@@ -1,0 +1,41 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Every bench binary does two things, in order:
+//   1. run its experiment and print the table(s) that regenerate one of the
+//      paper's figures/claims (EXPERIMENTS.md records the expected shape);
+//   2. run google-benchmark microbenchmarks of the underlying operations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace namecoh::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment_id << " ===\n" << claim << "\n\n";
+}
+
+inline std::string frac(double value, int decimals = 3) {
+  return format_fraction(value, decimals);
+}
+
+/// Standard main body: experiment first, then microbenchmarks.
+#define NAMECOH_BENCH_MAIN(experiment_fn)                       \
+  int main(int argc, char** argv) {                             \
+    experiment_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    return 0;                                                   \
+  }
+
+}  // namespace namecoh::bench

@@ -1,0 +1,173 @@
+// Experiment U1 (§2 mechanics): cost of the core naming-model operations —
+// compound-name resolution across depth × fanout, binding, lookup, graph
+// queries. Prints a resolution-cost table (steps scale linearly with
+// depth), then microbenchmarks.
+#include "bench_common.hpp"
+#include "core/graph_ops.hpp"
+#include "core/resolve.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace namecoh {
+namespace {
+
+struct SyntheticTree {
+  NamingGraph graph;
+  EntityId root;
+  std::vector<CompoundName> leaves;  // one full-depth name per leaf
+
+  SyntheticTree(std::size_t depth, std::size_t fanout) {
+    root = graph.add_context_object("root");
+    build(root, {}, depth, fanout);
+  }
+
+  void build(EntityId dir, std::vector<Name> prefix, std::size_t depth,
+             std::size_t fanout) {
+    if (depth == 0) {
+      EntityId file = graph.add_data_object("leaf");
+      Name name("leaf");
+      NAMECOH_CHECK(graph.bind(dir, name, file).is_ok(), "");
+      prefix.push_back(name);
+      leaves.emplace_back(prefix);
+      return;
+    }
+    for (std::size_t i = 0; i < fanout; ++i) {
+      Name name("d" + std::to_string(i));
+      EntityId child = graph.add_context_object(name.text());
+      NAMECOH_CHECK(graph.bind(dir, name, child).is_ok(), "");
+      auto next = prefix;
+      next.push_back(name);
+      build(child, std::move(next), depth - 1, fanout);
+    }
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "U1: core resolution mechanics (§2)",
+      "Resolution cost is linear in compound-name length and independent "
+      "of tree width;\nsteps == components, per the recursive definition "
+      "c(n1…nk) = σ(c(n1))(n2…nk).");
+
+  Table t({"depth", "fanout", "contexts", "avg steps per resolution",
+           "all leaves resolve"});
+  for (auto [depth, fanout] : {std::pair<std::size_t, std::size_t>{2, 8},
+                               {4, 4},
+                               {8, 2},
+                               {16, 1},
+                               {64, 1}}) {
+    SyntheticTree tree(depth, fanout);
+    Accumulator steps;
+    bool all_ok = true;
+    for (const auto& name : tree.leaves) {
+      Resolution res = resolve_from(tree.graph, tree.root, name);
+      all_ok = all_ok && res.ok();
+      steps.add(static_cast<double>(res.steps));
+    }
+    t.add_row({std::to_string(depth), std::to_string(fanout),
+               std::to_string(
+                   tree.graph.entities_of_kind(EntityKind::kContextObject)
+                       .size()),
+               bench::frac(steps.mean()), all_ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_ResolveByDepth(benchmark::State& state) {
+  SyntheticTree tree(static_cast<std::size_t>(state.range(0)), 1);
+  const CompoundName& name = tree.leaves.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve_from(tree.graph, tree.root, name));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ResolveByDepth)->RangeMultiplier(2)->Range(1, 128)->Complexity();
+
+void BM_ResolveByFanout(benchmark::State& state) {
+  // Width should not matter (map lookup per step).
+  SyntheticTree tree(2, static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve_from(
+        tree.graph, tree.root, tree.leaves[i++ % tree.leaves.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveByFanout)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_BindUnbind(benchmark::State& state) {
+  NamingGraph graph;
+  EntityId dir = graph.add_context_object("d");
+  EntityId target = graph.add_data_object("t");
+  Name name("x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.bind(dir, name, target));
+    benchmark::DoNotOptimize(graph.unbind(dir, name));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_BindUnbind);
+
+void BM_SingleLookup(benchmark::State& state) {
+  NamingGraph graph;
+  EntityId dir = graph.add_context_object("d");
+  for (int i = 0; i < 256; ++i) {
+    NAMECOH_CHECK(graph.bind(dir, Name("n" + std::to_string(i)),
+                             graph.add_data_object("t")).is_ok(), "");
+  }
+  Name probe("n128");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.lookup(dir, probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleLookup);
+
+void BM_EnumerateNames(benchmark::State& state) {
+  SyntheticTree tree(4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_names(tree.graph, tree.root));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnumerateNames);
+
+void BM_ShortestName(benchmark::State& state) {
+  SyntheticTree tree(6, 2);
+  Resolution target =
+      resolve_from(tree.graph, tree.root, tree.leaves.back());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shortest_name(tree.graph, tree.root, target.entity));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShortestName);
+
+void BM_GraphClone(benchmark::State& state) {
+  SyntheticTree tree(4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.graph.clone());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphClone);
+
+void BM_ParsePath(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CompoundName::parse_path("/usr/share/doc/project/README.md"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParsePath);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

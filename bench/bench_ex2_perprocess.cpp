@@ -1,0 +1,166 @@
+// Experiment E2 (§6 II + §5.1 remote execution): per-process views.
+//
+// Claim reproduced: for remote execution, binding the child's root to the
+// invoker's root gives parameter coherence but no local access; binding it
+// to the executor's root gives local access but breaks parameters; the
+// per-process view (private root carrying the parent's bindings plus a
+// fresh attachment of the executor's tree) gives both — "in spite of not
+// having global names".
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "os/process_manager.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct ExecWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  Simulator sim;
+  Internetwork net;
+  Transport transport{sim, net};
+  ProcessManager pm{graph, fs, net, transport};
+  MachineId m1, m2;
+  EntityId r1, r2;
+  ProcessId parent;
+  std::vector<CompoundName> params;       // names passed to the child
+  std::vector<CompoundName> local_names;  // executor-machine names
+
+  ExecWorld() {
+    NetworkId n = net.add_network("lan");
+    m1 = net.add_machine(n, "m1");
+    m2 = net.add_machine(n, "m2");
+    r1 = fs.make_root("m1");
+    r2 = fs.make_root("m2");
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 2;
+    spec.files_per_dir = 4;
+    spec.common_fraction = 0.5;
+    spec.site_tag = "s1";
+    populate_tree(fs, r1, spec, 401);
+    spec.site_tag = "s2";
+    populate_tree(fs, r2, spec, 401);
+    parent = pm.spawn(m1, "parent", r1, r1);
+    params = absolutize(probes_from_dir(graph, r1));
+    local_names = absolutize(probes_from_dir(graph, r2));
+  }
+
+  struct Row {
+    double param_coherence;
+    double local_access;
+  };
+
+  Row measure(RemoteExecPolicy policy) {
+    auto child = pm.remote_exec(parent, m2, "child", policy, r2,
+                                Name("exec-site"));
+    NAMECOH_CHECK(child.is_ok(), "remote_exec");
+    FractionCounter param_ok, local_ok;
+    for (const auto& p : params) {
+      param_ok.add(pm.resolve_internal(parent, p.to_path())
+                       .same_entity(pm.resolve_internal(child.value(),
+                                                        p.to_path())));
+    }
+    // Local access: the executor's files, via their local name or via the
+    // per-process attachment prefix.
+    Context executor_ctx = FileSystem::make_process_context(r2, r2);
+    for (const auto& p : local_names) {
+      Resolution truth = fs.resolve_path(executor_ctx, p.to_path());
+      if (!truth.ok()) continue;
+      Resolution direct = pm.resolve_internal(child.value(), p.to_path());
+      Resolution via_attach = pm.resolve_internal(
+          child.value(), "/exec-site" + p.to_path());
+      local_ok.add(truth.same_entity(direct) ||
+                   truth.same_entity(via_attach));
+    }
+    NAMECOH_CHECK(pm.kill(child.value()).is_ok(), "kill child");
+    return Row{param_ok.fraction(), local_ok.fraction()};
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "E2: remote execution & per-process views (§6 II, §5.1)",
+      "invoker-root: parameters coherent, no local access.  executor-root: "
+      "the reverse.\nper-process private attach: both at once, without "
+      "global names.");
+
+  ExecWorld w;
+  Table t({"child context policy", "parameter coherence",
+           "executor-local access"});
+  for (RemoteExecPolicy policy :
+       {RemoteExecPolicy::kInvokerRoot, RemoteExecPolicy::kExecutorRoot,
+        RemoteExecPolicy::kPrivateAttach}) {
+    auto row = w.measure(policy);
+    t.add_row({std::string(remote_exec_policy_name(policy)),
+               bench::frac(row.param_coherence),
+               bench::frac(row.local_access)});
+  }
+  t.print(std::cout);
+
+  // The view-sharing form of §6 II: two processes on different machines
+  // given identical private views are coherent for every name.
+  EntityId view = w.graph.add_context_object("shared-view");
+  w.graph.context(view).bind(Name("."), view);
+  w.graph.context(view).bind(Name(".."), view);
+  NAMECOH_CHECK(w.fs.attach(view, Name("m1"), w.r1).is_ok(), "");
+  NAMECOH_CHECK(w.fs.attach(view, Name("m2"), w.r2).is_ok(), "");
+  ProcessId a = w.pm.spawn(w.m1, "a", view, view);
+  ProcessId b = w.pm.spawn(w.m2, "b", view, view);
+  FractionCounter coherent;
+  for (const auto& p : absolutize(probes_from_dir(w.graph, view))) {
+    coherent.add(w.pm.resolve_internal(a, p.to_path())
+                     .same_entity(w.pm.resolve_internal(b, p.to_path())));
+  }
+  Table t2({"identical per-process views on different machines", "value"});
+  t2.add_row({"strict coherence over the whole view",
+              bench::frac(coherent.fraction())});
+  t2.add_row({"probes", std::to_string(coherent.trials())});
+  t2.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_RemoteExecSpawn(benchmark::State& state) {
+  // Design-choice ablation (DESIGN.md #5): cost of building the child
+  // context per policy; private-attach copies the parent's root bindings.
+  ExecWorld w;
+  auto policy = static_cast<RemoteExecPolicy>(state.range(0));
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    auto child = w.pm.remote_exec(w.parent, w.m2,
+                                  "c" + std::to_string(i), policy, w.r2,
+                                  Name("x" + std::to_string(i)));
+    benchmark::DoNotOptimize(child);
+    state.PauseTiming();
+    if (child.is_ok()) (void)w.pm.kill(child.value());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteExecSpawn)
+    ->Arg(static_cast<int>(RemoteExecPolicy::kInvokerRoot))
+    ->Arg(static_cast<int>(RemoteExecPolicy::kExecutorRoot))
+    ->Arg(static_cast<int>(RemoteExecPolicy::kPrivateAttach));
+
+void BM_ForkChild(benchmark::State& state) {
+  ExecWorld w;
+  int i = 0;
+  for (auto _ : state) {
+    ProcessId child = w.pm.fork_child(w.parent, "f" + std::to_string(i++));
+    benchmark::DoNotOptimize(child);
+    state.PauseTiming();
+    (void)w.pm.kill(child);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForkChild);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

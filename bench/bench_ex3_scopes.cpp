@@ -1,0 +1,181 @@
+// Experiment E3 (§7): shared name spaces at limited scopes.
+//
+// Claims reproduced:
+//   * a name space attached under a common name in every context of a
+//     scope (/users within an org, /services across orgs) gives coherence
+//     exactly within that scope;
+//   * crossing scope boundaries needs the human prefix mapping
+//     (/users → /org2/users), which mechanically restores reference;
+//   * embedded names inside a subtree fetched across the boundary are
+//     incoherent under the prefix mapping alone ("the names would surely
+//     not be prefixed by /org2/users") — the §6 R(file) rule restores
+//     them.
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "embed/embedded.hpp"
+#include "workload/doc_gen.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct ScopesWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  // Two organizations, two machines each.
+  EntityId org1_users, org2_users, services;
+  EntityId m11, m12, m21, m22;  // machine roots
+
+  ScopesWorld() {
+    org1_users = fs.make_root("org1-users");
+    org2_users = fs.make_root("org2-users");
+    services = fs.make_root("services");
+    TreeSpec spec;
+    spec.depth = 1;
+    spec.dirs_per_dir = 3;
+    spec.files_per_dir = 3;
+    spec.common_fraction = 1.0;
+    populate_tree(fs, org1_users, spec, 61);
+    populate_tree(fs, org2_users, spec, 62);
+    populate_tree(fs, services, spec, 63);
+
+    auto make_machine = [&](const char* label, EntityId users,
+                            EntityId other_org_users, const char* other) {
+      EntityId root = fs.make_root(label);
+      NAMECOH_CHECK(fs.attach(root, Name("users"), users).is_ok(), "");
+      NAMECOH_CHECK(fs.attach(root, Name("services"), services).is_ok(), "");
+      // Cross-scope access: the other org's user space under a prefix.
+      EntityId other_dir = fs.mkdir(root, Name(other)).value();
+      NAMECOH_CHECK(
+          fs.attach(other_dir, Name("users"), other_org_users).is_ok(), "");
+      return root;
+    };
+    m11 = make_machine("org1-m1", org1_users, org2_users, "org2");
+    m12 = make_machine("org1-m2", org1_users, org2_users, "org2");
+    m21 = make_machine("org2-m1", org2_users, org1_users, "org1");
+    m22 = make_machine("org2-m2", org2_users, org1_users, "org1");
+  }
+
+  EntityId ctx_for(EntityId root) {
+    EntityId ctx = graph.add_context_object("pctx");
+    graph.context(ctx) = FileSystem::make_process_context(root, root);
+    return ctx;
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "E3: shared name spaces in limited scopes (§7)",
+      "/users is coherent within an organization, incoherent across; "
+      "/services is\ncoherent everywhere; the /org2 prefix mapping bridges "
+      "the boundary.");
+
+  ScopesWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+  EntityId c11 = w.ctx_for(w.m11);
+  EntityId c12 = w.ctx_for(w.m12);
+  EntityId c21 = w.ctx_for(w.m21);
+
+  std::vector<CompoundName> user_probes;
+  for (const auto& p : probes_from_dir(w.graph, w.org1_users)) {
+    user_probes.push_back(CompoundName::path("/users").append(p));
+  }
+  std::vector<CompoundName> service_probes;
+  for (const auto& p : probes_from_dir(w.graph, w.services)) {
+    service_probes.push_back(CompoundName::path("/services").append(p));
+  }
+
+  Table t({"name space", "pair", "strict coherence", "probes"});
+  auto add = [&](const std::string& space, const std::string& pair,
+                 EntityId a, EntityId b,
+                 const std::vector<CompoundName>& probes) {
+    DegreeReport r = analyzer.degree(a, b, probes);
+    t.add_row({space, pair, bench::frac(r.strict.fraction()),
+               std::to_string(r.strict.trials())});
+  };
+  add("/users (org scope)", "org1-m1 <-> org1-m2", c11, c12, user_probes);
+  add("/users (org scope)", "org1-m1 <-> org2-m1", c11, c21, user_probes);
+  add("/services (global scope)", "org1-m1 <-> org2-m1", c11, c21,
+      service_probes);
+  t.print(std::cout);
+
+  // Prefix mapping across the boundary.
+  Context on_org2 = FileSystem::make_process_context(w.m21, w.m21);
+  Context on_org1 = FileSystem::make_process_context(w.m11, w.m11);
+  FractionCounter mapped_ok;
+  for (const auto& p : probes_from_dir(w.graph, w.org2_users)) {
+    CompoundName local = CompoundName::path("/users").append(p);
+    Resolution meant = w.fs.resolve_path(on_org2, local.to_path());
+    if (!meant.ok()) continue;
+    auto mapped = local.rebase(CompoundName::path("/users"),
+                               CompoundName::path("/org2/users"));
+    mapped_ok.add(mapped.is_ok() &&
+                  w.fs.resolve_path(on_org1, mapped.value().to_path())
+                      .same_entity(meant));
+  }
+  Table t2({"§7 prefix mapping", "value"});
+  t2.add_row({"org2 /users name -> /org2/users on org1: restored",
+              bench::frac(mapped_ok.fraction())});
+  t2.add_row({"names mapped", std::to_string(mapped_ok.trials())});
+  t2.print(std::cout);
+
+  // Embedded names across the scope boundary: the prefix trick cannot be
+  // applied by humans to names *inside* files; R(file) fixes them.
+  Document doc = make_document(w.fs, w.org2_users, Name("report"), DocSpec{});
+  NAMECOH_CHECK(doc.refs > 0, "document generation");
+  DocumentAssembler assembler(w.graph);
+  // org1 user opens it as /org2/users/report/book.tex.
+  Resolution opened =
+      w.fs.resolve_path(on_org1, "/org2/users/report/book.tex");
+  NAMECOH_CHECK(opened.ok(), "cross-scope open failed");
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning via_file_rule =
+      assembler.assemble(opened.entity, opened.trail.back(), algol);
+  AssembleOptions by_activity;
+  by_activity.rule = EmbedRule::kActivityContext;
+  by_activity.reader_context = &on_org1;
+  DocumentMeaning via_activity_rule =
+      assembler.assemble(opened.entity, opened.trail.back(), by_activity);
+  Table t3({"embedded names across the scope boundary", "fully resolved"});
+  t3.add_row({"R(activity) (reader's context on org1)",
+              bench::frac(via_activity_rule.fully_resolved() ? 1 : 0)});
+  t3.add_row({"R(file) Algol scope (§6 solution)",
+              bench::frac(via_file_rule.fully_resolved() ? 1 : 0)});
+  t3.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_ScopedResolution(benchmark::State& state) {
+  ScopesWorld w;
+  Context ctx = FileSystem::make_process_context(w.m11, w.m11);
+  std::vector<CompoundName> probes;
+  for (const auto& p : probes_from_dir(w.graph, w.services)) {
+    probes.push_back(CompoundName::path("/services").append(p));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve(w.graph, ctx, probes[i++ % probes.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedResolution);
+
+void BM_PrefixRebase(benchmark::State& state) {
+  CompoundName from = CompoundName::path("/users");
+  CompoundName to = CompoundName::path("/org2/users");
+  CompoundName name = CompoundName::path("/users/ann/projects/x/report.txt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(name.rebase(from, to));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixRebase);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

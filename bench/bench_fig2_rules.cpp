@@ -1,0 +1,178 @@
+// Experiment F2 (Fig. 2 + §4 "Coherence and Resolution Rules").
+//
+// Claim reproduced: for names exchanged between activities, R(receiver) is
+// coherent only for global names while R(sender) is coherent for ALL
+// exchanged names; for names obtained from objects, R(activity) is coherent
+// only for global names while R(object) is coherent for ALL embedded names.
+//
+// Setup: two machines, each with its own naming tree (mixed common/unique
+// names) plus one genuinely shared subtree attached under the same name on
+// both (the "global names" subset). A sender process on m1 sends every name
+// it can see to a receiver on m2; separately, files on m1 carry embedded
+// names read by an activity on m2. Coherence between the meaning intended
+// (sender's / object's) and the meaning obtained (receiver's) is measured
+// per rule.
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "os/process_manager.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct Fig2World {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  Simulator sim;
+  Internetwork net;
+  Transport transport{sim, net};
+  ProcessManager pm{graph, fs, net, transport};
+  ProcessId sender, receiver;
+  EntityId r1, r2, shared;
+  std::vector<CompoundName> probes;  // names the sender exchanges
+
+  Fig2World() {
+    NetworkId n = net.add_network("lan");
+    MachineId m1 = net.add_machine(n, "m1");
+    MachineId m2 = net.add_machine(n, "m2");
+    r1 = fs.make_root("m1");
+    r2 = fs.make_root("m2");
+    shared = fs.make_root("shared");
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 3;
+    spec.files_per_dir = 4;
+    spec.common_fraction = 0.5;
+    spec.site_tag = "s1";
+    populate_tree(fs, r1, spec, 2024);
+    spec.site_tag = "s2";
+    populate_tree(fs, r2, spec, 2024);
+    TreeSpec shared_spec;
+    shared_spec.depth = 1;
+    shared_spec.dirs_per_dir = 2;
+    shared_spec.files_per_dir = 3;
+    shared_spec.common_fraction = 1.0;
+    populate_tree(fs, shared, shared_spec, 7);
+    NAMECOH_CHECK(fs.attach(r1, Name("shared"), shared).is_ok(), "attach");
+    NAMECOH_CHECK(fs.attach(r2, Name("shared"), shared).is_ok(), "attach");
+    sender = pm.spawn(m1, "sender", r1, r1);
+    receiver = pm.spawn(m2, "receiver", r2, r2);
+    probes = absolutize(probes_from_dir(graph, r1));
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "F2: coherence vs resolution rule (Fig. 2)",
+      "Exchanged names: R(receiver) coherent only for global names; "
+      "R(sender) coherent for all.\n"
+      "Embedded names:  R(activity) coherent only for global names; "
+      "R(object) coherent for all.");
+
+  Fig2World w;
+
+  // --- Part 1: names exchanged in messages --------------------------------
+  for (const auto& p : w.probes) {
+    Status s = w.pm.send_name_to(w.sender, w.receiver, p.to_path());
+    NAMECOH_CHECK(s.is_ok(), "send failed");
+  }
+  w.pm.settle();
+
+  FractionCounter receiver_rule, sender_rule, global_subset;
+  CompoundName shared_prefix = CompoundName::path("/shared");
+  FractionCounter receiver_on_global, receiver_on_local;
+  for (const ReceivedName& rn : w.pm.received_names()) {
+    Resolution meant = w.pm.resolve_internal(w.sender, rn.path);
+    if (!meant.ok()) continue;
+    Resolution as_recv = w.pm.resolve_received(rn, ByReceiverRule{});
+    Resolution as_send = w.pm.resolve_received(rn, BySenderRule{});
+    bool recv_ok = meant.same_entity(as_recv);
+    receiver_rule.add(recv_ok);
+    sender_rule.add(meant.same_entity(as_send));
+    bool is_global = CompoundName::path(rn.path).has_prefix(shared_prefix);
+    global_subset.add(is_global);
+    (is_global ? receiver_on_global : receiver_on_local).add(recv_ok);
+  }
+
+  Table t1({"name source", "rule", "probe subset", "coherent fraction"});
+  t1.add_row({"exchanged", "R(receiver)", "all names",
+              bench::frac(receiver_rule.fraction())});
+  t1.add_row({"exchanged", "R(receiver)", "global (/shared) only",
+              bench::frac(receiver_on_global.fraction())});
+  t1.add_row({"exchanged", "R(receiver)", "non-global only",
+              bench::frac(receiver_on_local.fraction())});
+  t1.add_row({"exchanged", "R(sender)", "all names",
+              bench::frac(sender_rule.fraction())});
+  t1.print(std::cout);
+  std::cout << "(global names are " << bench::frac(global_subset.fraction())
+            << " of the probe set)\n\n";
+
+  // --- Part 2: names embedded in objects ----------------------------------
+  // Embed every probe (as a graph-relative name) in a file on m1, assign
+  // the file's object context, and read it from the receiver's side.
+  ClosureTable& table = w.pm.closures();
+  EntityId m1_ctx = w.graph.add_context_object("obj-scope:m1");
+  w.graph.context(m1_ctx) = FileSystem::make_process_context(w.r1, w.r1);
+
+  FractionCounter activity_rule, object_rule;
+  EntityId receiver_act = w.pm.info(w.receiver).activity;
+  for (const auto& p : w.probes) {
+    EntityId file = w.graph.add_data_object("carrier");
+    w.graph.add_embedded_name(file, p);
+    table.set_object_context(file, m1_ctx);
+    Circumstance c = Circumstance::from_object(receiver_act, file);
+    Resolution meant = resolve_from(w.graph, m1_ctx, p);
+    if (!meant.ok()) continue;
+    Resolution by_activity =
+        resolve_with_rule(w.graph, table, ByActivityRule{}, c, p);
+    Resolution by_object =
+        resolve_with_rule(w.graph, table, ByObjectRule{}, c, p);
+    activity_rule.add(meant.same_entity(by_activity));
+    object_rule.add(meant.same_entity(by_object));
+  }
+
+  Table t2({"name source", "rule", "probe subset", "coherent fraction"});
+  t2.add_row({"embedded", "R(activity)", "all names",
+              bench::frac(activity_rule.fraction())});
+  t2.add_row({"embedded", "R(object)", "all names",
+              bench::frac(object_rule.fraction())});
+  t2.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_ResolveWithRule(benchmark::State& state) {
+  Fig2World w;
+  auto rule = make_rule(static_cast<RuleKind>(state.range(0)));
+  Circumstance c = Circumstance::from_message(
+      w.pm.info(w.receiver).activity, w.pm.info(w.sender).activity);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const CompoundName& p = w.probes[i++ % w.probes.size()];
+    Resolution res = resolve_with_rule(w.graph, w.pm.closures(), *rule, c, p);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveWithRule)
+    ->Arg(static_cast<int>(RuleKind::kByReceiver))
+    ->Arg(static_cast<int>(RuleKind::kBySender));
+
+void BM_SendNameEndToEnd(benchmark::State& state) {
+  Fig2World w;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Status s = w.pm.send_name_to(w.sender, w.receiver,
+                                 w.probes[i++ % w.probes.size()].to_path());
+    benchmark::DoNotOptimize(s);
+    w.pm.settle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SendNameEndToEnd);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

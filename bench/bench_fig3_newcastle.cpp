@@ -1,0 +1,182 @@
+// Experiment F3 (Fig. 3 + §5.1, the Newcastle Connection).
+//
+// Claims reproduced, on the paper's own three-machine topology:
+//   * processes on the same machine are fully coherent for '/…' names;
+//   * across machines there is NO coherence for '/…' names (no common
+//     reference, no global names) — failures split between silently-
+//     different and unresolved;
+//   * the '..'-above-root mapping rule ("/x" on m1 → "/../m1/x" on m2)
+//     restores common reference for 100% of names;
+//   * parent/child coherence: a child inherits its parent's context and
+//     stays coherent until one of them rebinds its root.
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "os/process_manager.hpp"
+#include "schemes/newcastle.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct NewcastleWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  NewcastleScheme scheme{fs};
+  SiteId m1, m2, m3;
+  std::vector<CompoundName> probes_m1;
+
+  NewcastleWorld() {
+    m1 = scheme.add_site("m1");
+    m2 = scheme.add_site("m2");
+    m3 = scheme.add_site("m3");
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 3;
+    spec.files_per_dir = 4;
+    spec.common_fraction = 0.5;
+    for (auto [site, tag] : {std::pair{m1, "s1"}, {m2, "s2"}, {m3, "s3"}}) {
+      spec.site_tag = tag;
+      populate_tree(fs, scheme.site_tree(site), spec, 1993);
+    }
+    scheme.finalize();
+    probes_m1 = absolutize(probes_from_dir(graph, scheme.site_tree(m1)));
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "F3: the Newcastle Connection, three machines (Fig. 3)",
+      "Coherence for '/…' names exists only among processes on the same "
+      "machine;\nthe '..'-above-root mapping rule restores common reference "
+      "across machines.");
+
+  NewcastleWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+
+  EntityId c1a = w.scheme.make_site_context(w.m1);
+  EntityId c1b = w.scheme.make_site_context(w.m1);
+  EntityId c2 = w.scheme.make_site_context(w.m2);
+  EntityId c3 = w.scheme.make_site_context(w.m3);
+
+  Table t({"process pair", "strict coherence", "different", "one-unresolved",
+           "probes"});
+  auto add = [&](const std::string& label, EntityId a, EntityId b) {
+    DegreeReport r = analyzer.degree(a, b, w.probes_m1);
+    t.add_row({label, bench::frac(r.strict.fraction()),
+               std::to_string(r.verdicts.get("different")),
+               std::to_string(r.verdicts.get("one-unresolved")),
+               std::to_string(r.strict.trials())});
+  };
+  add("m1 <-> m1 (same machine)", c1a, c1b);
+  add("m1 <-> m2 (cross machine)", c1a, c2);
+  add("m1 <-> m3 (cross machine)", c1a, c3);
+  add("m2 <-> m3 (cross machine)", c2, c3);
+  t.print(std::cout);
+
+  // Mapping rule: translate every m1 name for use on m2 and m3.
+  FractionCounter mapped_ok_m2, mapped_ok_m3;
+  Context on_m1 = FileSystem::make_process_context(w.scheme.site_root(w.m1),
+                                                   w.scheme.site_root(w.m1));
+  Context on_m2 = FileSystem::make_process_context(w.scheme.site_root(w.m2),
+                                                   w.scheme.site_root(w.m2));
+  Context on_m3 = FileSystem::make_process_context(w.scheme.site_root(w.m3),
+                                                   w.scheme.site_root(w.m3));
+  for (const auto& p : w.probes_m1) {
+    Resolution direct = w.fs.resolve_path(on_m1, p.to_path());
+    if (!direct.ok()) continue;
+    auto to2 = w.scheme.map_path(w.m1, w.m2, p.to_path());
+    auto to3 = w.scheme.map_path(w.m1, w.m3, p.to_path());
+    mapped_ok_m2.add(to2.is_ok() &&
+                     w.fs.resolve_path(on_m2, to2.value()).same_entity(direct));
+    mapped_ok_m3.add(to3.is_ok() &&
+                     w.fs.resolve_path(on_m3, to3.value()).same_entity(direct));
+  }
+  Table t2({"mapping", "restored common reference"});
+  t2.add_row({"m1 name -> m2 via /../m1 prefix",
+              bench::frac(mapped_ok_m2.fraction())});
+  t2.add_row({"m1 name -> m3 via /../m1 prefix",
+              bench::frac(mapped_ok_m3.fraction())});
+  t2.print(std::cout);
+
+  // Parent/child coherence (§5.1): inherit, then diverge.
+  Simulator sim;
+  Internetwork net;
+  Transport tp(sim, net);
+  ProcessManager pm(w.graph, w.fs, net, tp);
+  NetworkId n = net.add_network("lan");
+  MachineId machine1 = net.add_machine(n, "m1");
+  ProcessId parent = pm.spawn(machine1, "parent", w.scheme.site_root(w.m1),
+                              w.scheme.site_root(w.m1));
+  ProcessId child = pm.fork_child(parent, "child");
+  FractionCounter inherited, after_rebind;
+  for (const auto& p : w.probes_m1) {
+    inherited.add(pm.resolve_internal(parent, p.to_path())
+                      .same_entity(pm.resolve_internal(child, p.to_path())));
+  }
+  NAMECOH_CHECK(pm.set_root(child, w.scheme.site_root(w.m2)).is_ok(), "");
+  for (const auto& p : w.probes_m1) {
+    after_rebind.add(
+        pm.resolve_internal(parent, p.to_path())
+            .same_entity(pm.resolve_internal(child, p.to_path())));
+  }
+  Table t3({"parent/child state", "strict coherence"});
+  t3.add_row({"child inherits parent context",
+              bench::frac(inherited.fraction())});
+  t3.add_row({"child rebinds its root", bench::frac(after_rebind.fraction())});
+  t3.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_NewcastleLocalResolve(benchmark::State& state) {
+  NewcastleWorld w;
+  Context ctx = FileSystem::make_process_context(w.scheme.site_root(w.m1),
+                                                 w.scheme.site_root(w.m1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve(w.graph, ctx, w.probes_m1[i++ % w.probes_m1.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NewcastleLocalResolve);
+
+void BM_NewcastleCrossMachineResolve(benchmark::State& state) {
+  // Resolution through the super-root ('..' above root) costs two extra
+  // steps; this quantifies the overhead vs the local path.
+  NewcastleWorld w;
+  Context ctx = FileSystem::make_process_context(w.scheme.site_root(w.m2),
+                                                 w.scheme.site_root(w.m2));
+  std::vector<CompoundName> mapped;
+  for (const auto& p : w.probes_m1) {
+    auto m = w.scheme.map_path(w.m1, w.m2, p.to_path());
+    if (m.is_ok()) mapped.push_back(CompoundName::path(m.value()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve(w.graph, ctx, mapped[i++ % mapped.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NewcastleCrossMachineResolve);
+
+void BM_CoherenceDegreeSweep(benchmark::State& state) {
+  NewcastleWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+  EntityId a = w.scheme.make_site_context(w.m1);
+  EntityId b = w.scheme.make_site_context(w.m2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.degree(a, b, w.probes_m1));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(w.probes_m1.size()));
+}
+BENCHMARK(BM_CoherenceDegreeSweep);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,203 @@
+// Experiment F4 (Fig. 4 + §5.2, the shared naming graph: Andrew, OSF DCE).
+//
+// Claims reproduced:
+//   * exactly the /vice-prefixed names are global across client subsystems;
+//   * replicated commands (/bin, /lib analogues) are weakly coherent but
+//     not strictly coherent;
+//   * local names are incoherent across clients (and the failure mode for
+//     common local names is the silent kDifferent);
+//   * DCE cells: cell-relative ("/.:") names are coherent within a cell
+//     and incoherent across cells — one local cell per machine is the §5.2
+//     limitation.
+#include <unordered_set>
+
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "schemes/shared_graph.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct AndrewWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  SharedGraphScheme scheme{fs};
+  std::vector<SiteId> sites;
+  std::vector<CompoundName> all_probes, vice_probes, local_probes,
+      replicated_probes;
+
+  explicit AndrewWorld(std::size_t n_sites = 4) {
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      sites.push_back(scheme.add_site("c" + std::to_string(i)));
+    }
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 2;
+    spec.files_per_dir = 3;
+    spec.common_fraction = 0.5;
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      spec.site_tag = "s" + std::to_string(i);
+      populate_tree(fs, scheme.site_tree(sites[i]), spec, 77);
+    }
+    // Shared-tree content (user homes, project trees).
+    TreeSpec shared_spec;
+    shared_spec.depth = 2;
+    shared_spec.dirs_per_dir = 2;
+    shared_spec.files_per_dir = 3;
+    shared_spec.common_fraction = 1.0;
+    populate_tree(fs, scheme.shared_tree(), shared_spec, 5);
+    // Replicated commands at the same local paths on every site.
+    std::unordered_set<CompoundName> replicated_set;
+    for (const char* cmd : {"bin/cc", "bin/ld", "bin/sh", "lib/libc.a"}) {
+      NAMECOH_CHECK(scheme.replicate_everywhere(cmd, cmd).is_ok(), "repl");
+      replicated_set.insert(
+          CompoundName::path(std::string("/") + cmd));
+    }
+    scheme.finalize();
+
+    all_probes = absolutize(probes_from_dir(graph, scheme.site_tree(sites[0])));
+    CompoundName vice = CompoundName::path("/vice");
+    for (const auto& p : all_probes) {
+      if (p.has_prefix(vice)) {
+        vice_probes.push_back(p);
+      } else if (replicated_set.contains(p)) {
+        replicated_probes.push_back(p);
+      } else {
+        local_probes.push_back(p);
+      }
+    }
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "F4: shared naming graph among clients (Fig. 4, Andrew / OSF DCE)",
+      "Global names are exactly the /vice-prefixed ones; replicated "
+      "commands are weakly\ncoherent; local names are incoherent across "
+      "client subsystems.");
+
+  AndrewWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+  std::vector<EntityId> contexts;
+  for (SiteId s : w.sites) contexts.push_back(w.scheme.make_site_context(s));
+
+  Table t({"probe subset", "pairwise strict", "pairwise weak", "global",
+           "probes"});
+  auto add = [&](const std::string& label,
+                 const std::vector<CompoundName>& probes) {
+    DegreeReport r = analyzer.pairwise_degree(contexts, probes);
+    FractionCounter g = analyzer.global_fraction(contexts, probes,
+                                                 CoherenceMode::kStrict);
+    t.add_row({label, bench::frac(r.strict.fraction()),
+               bench::frac(r.weak.fraction()), bench::frac(g.fraction()),
+               std::to_string(probes.size())});
+  };
+  add("/vice names (shared graph)", w.vice_probes);
+  add("replicated commands (/bin,/lib)", w.replicated_probes);
+  add("local names", w.local_probes);
+  add("all names", w.all_probes);
+  t.print(std::cout);
+
+  // DCE cells: two orgs, three machines.
+  NamingGraph graph2;
+  FileSystem fs2(graph2);
+  SharedGraphConfig config;
+  config.shared_name = Name("...");
+  config.cell_name = Name(".:");
+  SharedGraphScheme dce(fs2, config);
+  SiteId a1 = dce.add_site("orgA-1");
+  SiteId a2 = dce.add_site("orgA-2");
+  SiteId b1 = dce.add_site("orgB-1");
+  NAMECOH_CHECK(dce.assign_cell(a1, Name("orgA")).is_ok(), "cell");
+  NAMECOH_CHECK(dce.assign_cell(a2, Name("orgA")).is_ok(), "cell");
+  NAMECOH_CHECK(dce.assign_cell(b1, Name("orgB")).is_ok(), "cell");
+  TreeSpec cell_spec;
+  cell_spec.depth = 1;
+  cell_spec.dirs_per_dir = 2;
+  cell_spec.files_per_dir = 3;
+  cell_spec.common_fraction = 1.0;
+  Context shared_root_ctx = FileSystem::make_process_context(
+      dce.shared_tree(), dce.shared_tree());
+  populate_tree(fs2, fs2.resolve_path(shared_root_ctx, "/orgA").entity,
+                cell_spec, 11);
+  populate_tree(fs2, fs2.resolve_path(shared_root_ctx, "/orgB").entity,
+                cell_spec, 11);
+  dce.finalize();
+
+  CoherenceAnalyzer analyzer2(graph2);
+  EntityId ca1 = dce.make_site_context(a1);
+  EntityId ca2 = dce.make_site_context(a2);
+  EntityId cb1 = dce.make_site_context(b1);
+  // Cell-relative probes "/.:/…" built from orgA's cell content.
+  EntityId orgA_dir = fs2.resolve_path(shared_root_ctx, "/orgA").entity;
+  std::vector<CompoundName> cell_probes;
+  for (const auto& p : probes_from_dir(graph2, orgA_dir)) {
+    std::vector<Name> parts{Name("/"), Name(".:")};
+    for (const Name& c : p.components()) parts.push_back(c);
+    cell_probes.emplace_back(std::move(parts));
+  }
+  DegreeReport same_cell = analyzer2.degree(ca1, ca2, cell_probes);
+  DegreeReport cross_cell = analyzer2.degree(ca1, cb1, cell_probes);
+  Table t2({"DCE pair", "cell-relative (/.:) strict coherence", "probes"});
+  t2.add_row({"same cell (orgA-1, orgA-2)",
+              bench::frac(same_cell.strict.fraction()),
+              std::to_string(same_cell.strict.trials())});
+  t2.add_row({"cross cell (orgA-1, orgB-1)",
+              bench::frac(cross_cell.strict.fraction()),
+              std::to_string(cross_cell.strict.trials())});
+  t2.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_SharedGraphResolveVice(benchmark::State& state) {
+  AndrewWorld w;
+  Context ctx = FileSystem::make_process_context(
+      w.scheme.site_root(w.sites[0]), w.scheme.site_root(w.sites[0]));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve(w.graph, ctx, w.vice_probes[i++ % w.vice_probes.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SharedGraphResolveVice);
+
+void BM_WeakCoherenceCheck(benchmark::State& state) {
+  // Design-choice ablation (DESIGN.md #4): cost of the weak-equality check
+  // (replica groups) on the probe path.
+  AndrewWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+  EntityId a = w.scheme.make_site_context(w.sites[0]);
+  EntityId b = w.scheme.make_site_context(w.sites[1]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.probe(
+        a, b, w.replicated_probes[i++ % w.replicated_probes.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WeakCoherenceCheck);
+
+void BM_ReplicateEverywhere(benchmark::State& state) {
+  // Cost of installing a replicated command across N sites.
+  for (auto _ : state) {
+    state.PauseTiming();
+    NamingGraph graph;
+    FileSystem fs(graph);
+    SharedGraphScheme scheme(fs);
+    for (int i = 0; i < 8; ++i) scheme.add_site("c" + std::to_string(i));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        scheme.replicate_everywhere("bin/tool", "payload"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ReplicateEverywhere);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

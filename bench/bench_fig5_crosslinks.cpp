@@ -1,0 +1,160 @@
+// Experiment F5 (Fig. 5 + §5.3, cross-links between autonomous systems).
+//
+// Claims reproduced:
+//   * cross-links give *access* to the remote naming graph: after linking,
+//     the fraction of system-2 entities reachable from system 1 jumps from
+//     0 to ~1;
+//   * they give no *coherence*: the same name still means different things
+//     ("no global names between systems unless they happen to use the same
+//     prefix name");
+//   * exchanged names across the boundary conflict exactly like the shared
+//     naming graph's remote-execution case;
+//   * the §7 prefix mapping (/users → /org2/users) mechanically restores
+//     common reference for 100% of mapped names.
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "core/graph_ops.hpp"
+#include "schemes/crosslink.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct FederationWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  CrossLinkScheme scheme{fs};
+  SiteId org1, org2;
+  std::vector<CompoundName> org2_probes;
+
+  FederationWorld() {
+    org1 = scheme.add_site("org1");
+    org2 = scheme.add_site("org2");
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 2;
+    spec.files_per_dir = 4;
+    spec.common_fraction = 0.5;
+    spec.site_tag = "o1";
+    populate_tree(fs, scheme.site_tree(org1), spec, 55);
+    spec.site_tag = "o2";
+    populate_tree(fs, scheme.site_tree(org2), spec, 55);
+    // Organizational structure the paper talks about: /users at both.
+    NAMECOH_CHECK(
+        fs.create_file_at(scheme.site_tree(org1), "users/ann/profile", "ann")
+            .is_ok(), "");
+    NAMECOH_CHECK(
+        fs.create_file_at(scheme.site_tree(org2), "users/bob/profile", "bob")
+            .is_ok(), "");
+    scheme.finalize();
+    org2_probes = absolutize(probes_from_dir(graph, scheme.site_tree(org2)));
+  }
+
+  double reachable_fraction_of_org2_from_org1() {
+    auto reachable = reachable_from(graph, scheme.site_tree(org1));
+    auto org2_entities = reachable_from(graph, scheme.site_tree(org2));
+    std::size_t hit = 0;
+    for (EntityId e : org2_entities) {
+      if (reachable.contains(e)) ++hit;
+    }
+    return org2_entities.empty()
+               ? 0.0
+               : static_cast<double>(hit) /
+                     static_cast<double>(org2_entities.size());
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "F5: cross-links between autonomous systems (Fig. 5)",
+      "Cross-links give access to the remote graph but no coherence; the "
+      "§7 prefix\nmapping restores common reference mechanically.");
+
+  FederationWorld w;
+  CoherenceAnalyzer analyzer(w.graph);
+  EntityId c1 = w.scheme.make_site_context(w.org1);
+  EntityId c2 = w.scheme.make_site_context(w.org2);
+
+  double access_before = w.reachable_fraction_of_org2_from_org1();
+  DegreeReport coherence_before = analyzer.degree(c1, c2, w.org2_probes);
+
+  NAMECOH_CHECK(
+      w.scheme.add_cross_link(w.org1, Name("org2"), w.org2).is_ok(), "");
+
+  double access_after = w.reachable_fraction_of_org2_from_org1();
+  DegreeReport coherence_after = analyzer.degree(c1, c2, w.org2_probes);
+
+  Table t({"state", "org2 entities reachable from org1",
+           "strict coherence (org2 names)"});
+  t.add_row({"before cross-link", bench::frac(access_before),
+             bench::frac(coherence_before.strict.fraction())});
+  t.add_row({"after cross-link", bench::frac(access_after),
+             bench::frac(coherence_after.strict.fraction())});
+  t.print(std::cout);
+
+  // Prefix mapping: translate each org2 name for use on org1.
+  Context on1 = FileSystem::make_process_context(w.scheme.site_root(w.org1),
+                                                 w.scheme.site_root(w.org1));
+  Context on2 = FileSystem::make_process_context(w.scheme.site_root(w.org2),
+                                                 w.scheme.site_root(w.org2));
+  FractionCounter mapped_ok;
+  for (const auto& p : w.org2_probes) {
+    Resolution meant = w.fs.resolve_path(on2, p.to_path());
+    if (!meant.ok()) continue;
+    auto mapped = CrossLinkScheme::map_with_prefix(Name("org2"), p.to_path());
+    mapped_ok.add(mapped.is_ok() &&
+                  w.fs.resolve_path(on1, mapped.value()).same_entity(meant));
+  }
+  Table t2({"§7 mapping", "restored common reference", "names"});
+  t2.add_row({"/X on org2 -> /org2/X on org1",
+              bench::frac(mapped_ok.fraction()),
+              std::to_string(mapped_ok.trials())});
+  t2.print(std::cout);
+
+  // The "same prefix by luck" case: /users exists on both — same *name*,
+  // different entity: the dangerous silent conflict.
+  ProbeVerdict users = analyzer.probe(c1, c2, CompoundName::path("/users"));
+  std::cout << "\n\"/users\" on both systems: verdict = "
+            << probe_verdict_name(users)
+            << " (same name, different entity — the §5.3 name conflict)\n"
+            << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_CrossLinkResolution(benchmark::State& state) {
+  FederationWorld w;
+  NAMECOH_CHECK(
+      w.scheme.add_cross_link(w.org1, Name("org2"), w.org2).is_ok(), "");
+  Context on1 = FileSystem::make_process_context(w.scheme.site_root(w.org1),
+                                                 w.scheme.site_root(w.org1));
+  std::vector<CompoundName> mapped;
+  for (const auto& p : w.org2_probes) {
+    auto m = CrossLinkScheme::map_with_prefix(Name("org2"), p.to_path());
+    if (m.is_ok()) mapped.push_back(CompoundName::path(m.value()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve(w.graph, on1, mapped[i++ % mapped.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CrossLinkResolution);
+
+void BM_ReachabilitySweep(benchmark::State& state) {
+  FederationWorld w;
+  NAMECOH_CHECK(
+      w.scheme.add_cross_link(w.org1, Name("org2"), w.org2).is_ok(), "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reachable_from(w.graph, w.scheme.site_tree(w.org1)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReachabilitySweep);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,197 @@
+// Experiment F6 (Fig. 6 + §6 Example 2, embedded names with Algol scope).
+//
+// Claims reproduced, per operation on a structured-document subtree:
+//   * R(file) (Algol scope): meaning invariant under attach-elsewhere,
+//     relocation and combination; copies resolve fully within themselves;
+//   * R(activity): meaning survives only while the reader's context matches
+//     the layout the names were written against — relocation and
+//     multi-site reading break it.
+#include "bench_common.hpp"
+#include "embed/embedded.hpp"
+#include "workload/doc_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct DocWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  DocumentAssembler assembler{graph};
+  EntityId site1, site2;
+  Document doc;
+
+  DocWorld() {
+    site1 = fs.make_root("site1");
+    site2 = fs.make_root("site2");
+    DocSpec spec;
+    spec.chapters = 4;
+    spec.sections_per_chapter = 4;
+    spec.shared_refs_per_section = 2;
+    doc = make_document(fs, site1, Name("book"), spec);
+  }
+
+  DocumentMeaning assemble_algol(EntityId root_file, EntityId dir) {
+    AssembleOptions options;
+    options.rule = EmbedRule::kAlgolScope;
+    return assembler.assemble(root_file, dir, options);
+  }
+
+  DocumentMeaning assemble_activity(EntityId root_file,
+                                    const Context& reader) {
+    AssembleOptions options;
+    options.rule = EmbedRule::kActivityContext;
+    options.reader_context = &reader;
+    return assembler.assemble(root_file, doc.subtree, options);
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "F6: embedded names, R(file) Algol scope vs R(activity) (Fig. 6)",
+      "The subtree can be attached elsewhere, relocated, and combined "
+      "without changing\nthe meaning of embedded names — only under "
+      "R(file).");
+
+  Table t({"operation", "rule", "fully resolved", "meaning preserved"});
+
+  {  // Baseline + attach at a second site simultaneously.
+    DocWorld w;
+    DocumentMeaning base = w.assemble_algol(w.doc.root_file, w.doc.subtree);
+    NAMECOH_CHECK(
+        w.fs.attach(w.site2, Name("imported"), w.doc.subtree).is_ok(), "");
+    Context via2 = FileSystem::make_process_context(w.site2, w.site2);
+    Resolution opened = w.fs.resolve_path(via2, "/imported/book.tex");
+    DocumentMeaning from2 =
+        w.assemble_algol(opened.entity, opened.trail.back());
+    t.add_row({"attach at 2nd site", "R(file)",
+               bench::frac(from2.fully_resolved() ? 1 : 0),
+               bench::frac(from2.same_meaning(base) ? 1 : 0)});
+
+    Context reader2 = FileSystem::make_process_context(w.site2, w.site2);
+    DocumentMeaning act2 = w.assemble_activity(w.doc.root_file, reader2);
+    t.add_row({"attach at 2nd site", "R(activity)",
+               bench::frac(act2.fully_resolved() ? 1 : 0),
+               bench::frac(act2.same_meaning(base) ? 1 : 0)});
+  }
+
+  {  // Relocation.
+    DocWorld w;
+    Context reader_at_site1 =
+        FileSystem::make_process_context(w.site1, w.doc.subtree);
+    DocumentMeaning base_algol =
+        w.assemble_algol(w.doc.root_file, w.doc.subtree);
+    DocumentMeaning base_act =
+        w.assemble_activity(w.doc.root_file, reader_at_site1);
+    auto archive = w.fs.mkdir(w.site1, Name("archive"));
+    NAMECOH_CHECK(archive.is_ok(), "");
+    NAMECOH_CHECK(w.fs.move_entry(w.site1, Name("book"), archive.value(),
+                                  Name("book")).is_ok(), "");
+    DocumentMeaning moved_algol =
+        w.assemble_algol(w.doc.root_file, w.doc.subtree);
+    t.add_row({"relocate subtree", "R(file)",
+               bench::frac(moved_algol.fully_resolved() ? 1 : 0),
+               bench::frac(moved_algol.same_meaning(base_algol) ? 1 : 0)});
+    // A fresh reader at the old location (the paths the names were written
+    // against) no longer finds the parts.
+    Context stale_reader = FileSystem::make_process_context(w.site1, w.site1);
+    DocumentMeaning moved_act =
+        w.assemble_activity(w.doc.root_file, stale_reader);
+    t.add_row({"relocate subtree", "R(activity)",
+               bench::frac(moved_act.fully_resolved() ? 1 : 0),
+               bench::frac(moved_act.same_meaning(base_act) ? 1 : 0)});
+  }
+
+  {  // Copy.
+    DocWorld w;
+    auto copy = w.fs.copy_subtree(w.doc.subtree, w.site2, Name("book"));
+    NAMECOH_CHECK(copy.is_ok(), "");
+    Context via2 = FileSystem::make_process_context(w.site2, w.site2);
+    Resolution opened = w.fs.resolve_path(via2, "/book/book.tex");
+    DocumentMeaning copied =
+        w.assemble_algol(opened.entity, opened.trail.back());
+    // "Preserved" for a copy means: fully resolved, same shape, and
+    // entirely inside the copy (no reference leaks to the original).
+    DocumentMeaning base = w.assemble_algol(w.doc.root_file, w.doc.subtree);
+    bool self_contained = copied.fully_resolved() &&
+                          copied.refs.size() == base.refs.size();
+    for (const ResolvedRef& ref : copied.refs) {
+      for (const ResolvedRef& orig : base.refs) {
+        if (ref.target == orig.target) self_contained = false;
+      }
+    }
+    t.add_row({"copy subtree", "R(file)",
+               bench::frac(copied.fully_resolved() ? 1 : 0),
+               bench::frac(self_contained ? 1 : 0)});
+  }
+
+  {  // Combine two documents with identical internal names.
+    DocWorld w;
+    DocSpec spec;
+    Document other = make_document(w.fs, w.site1, Name("book2"), spec);
+    DocumentMeaning m1 = w.assemble_algol(w.doc.root_file, w.doc.subtree);
+    DocumentMeaning m2 = w.assemble_algol(other.root_file, other.subtree);
+    bool no_conflicts = m1.fully_resolved() && m2.fully_resolved();
+    for (const ResolvedRef& a : m1.refs) {
+      for (const ResolvedRef& b : m2.refs) {
+        if (a.target == b.target) no_conflicts = false;
+      }
+    }
+    t.add_row({"combine two subtrees", "R(file)",
+               bench::frac((m1.fully_resolved() && m2.fully_resolved()) ? 1
+                                                                        : 0),
+               bench::frac(no_conflicts ? 1 : 0)});
+  }
+
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_AlgolScopeSearch(benchmark::State& state) {
+  // Cost of the upward scope search at depth `range(0)`.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("r");
+  NAMECOH_CHECK(fs.create_file_at(root, "target", "x").is_ok(), "");
+  std::string path;
+  for (int i = 0; i < state.range(0); ++i) {
+    path += (i ? "/d" : "d") + std::to_string(i);
+  }
+  EntityId deep = state.range(0) == 0
+                      ? root
+                      : fs.mkdir_p(root, path).value();
+  EmbeddedNameResolver resolver(graph);
+  CompoundName name = CompoundName::relative("target");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve_algol(deep, name));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AlgolScopeSearch)->Arg(0)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DocumentAssembly(benchmark::State& state) {
+  DocWorld w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.assemble_algol(w.doc.root_file, w.doc.subtree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.doc.refs));
+}
+BENCHMARK(BM_DocumentAssembly);
+
+void BM_SubtreeCopy(benchmark::State& state) {
+  DocWorld w;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.fs.copy_subtree(
+        w.doc.subtree, w.site2, Name("copy" + std::to_string(i++))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubtreeCopy);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,148 @@
+// Experiment U3 (mechanics): file-system substrate and snapshot costs.
+//
+// Prints a storage-shape table (entities, bindings, snapshot bytes) for
+// growing trees — the §5.3 "ship a subtree between autonomous systems"
+// payload cost — then microbenchmarks the fs operations every scheme and
+// experiment sits on.
+#include "bench_common.hpp"
+#include "fs/fsck.hpp"
+#include "fs/snapshot.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct FsWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  EntityId root;
+
+  explicit FsWorld(std::size_t depth = 3, std::size_t fanout = 3) {
+    root = fs.make_root("root");
+    TreeSpec spec;
+    spec.depth = depth;
+    spec.dirs_per_dir = fanout;
+    spec.files_per_dir = 3;
+    spec.common_fraction = 1.0;
+    populate_tree(fs, root, spec, 77);
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "U3: file-system substrate & snapshot costs",
+      "Storage shape of growing naming trees and the byte cost of shipping "
+      "them as\nsnapshots (§5.3 copies across autonomous systems).");
+
+  Table t({"depth", "fanout", "directories", "files", "bindings",
+           "snapshot bytes", "bytes/entity"});
+  for (auto [depth, fanout] : {std::pair<std::size_t, std::size_t>{2, 2},
+                               {3, 3},
+                               {4, 4}}) {
+    FsWorld w(depth, fanout);
+    FsckReport shape = fsck(w.graph, w.root);
+    NAMECOH_CHECK(shape.clean(), "fsck");
+    auto snapshot = export_subtree(w.graph, w.root);
+    NAMECOH_CHECK(snapshot.is_ok(), "export");
+    double entities =
+        static_cast<double>(shape.directories + shape.files);
+    t.add_row({std::to_string(depth), std::to_string(fanout),
+               std::to_string(shape.directories),
+               std::to_string(shape.files),
+               std::to_string(shape.bindings),
+               std::to_string(snapshot.value().size()),
+               bench::frac(static_cast<double>(snapshot.value().size()) /
+                               entities,
+                           1)});
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_MkdirP(benchmark::State& state) {
+  FsWorld w(1, 1);
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(
+        w.fs.mkdir_p(w.root, "a" + std::to_string(i) + "/b/c/d"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_MkdirP);
+
+void BM_CreateFileAt(benchmark::State& state) {
+  FsWorld w(1, 1);
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(w.fs.create_file_at(
+        w.root, "dir/f" + std::to_string(i), "contents"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CreateFileAt);
+
+void BM_Walk(benchmark::State& state) {
+  FsWorld w(4, 3);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    w.fs.walk(w.root, [&](const CompoundName&, EntityId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Walk);
+
+void BM_CopySubtree(benchmark::State& state) {
+  FsWorld w(static_cast<std::size_t>(state.range(0)), 3);
+  EntityId dest = w.fs.make_root("dest");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.fs.copy_subtree(
+        w.root, dest, Name("c" + std::to_string(i++))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CopySubtree)->Arg(2)->Arg(4);
+
+void BM_SnapshotExport(benchmark::State& state) {
+  FsWorld w(4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(export_subtree(w.graph, w.root));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotExport);
+
+void BM_SnapshotImport(benchmark::State& state) {
+  FsWorld w(4, 3);
+  std::string snapshot = export_subtree(w.graph, w.root).value();
+  NamingGraph dst_graph;
+  FileSystem dst_fs(dst_graph);
+  EntityId dst = dst_fs.make_root("dst");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dst_fs.graph().entity_count());
+    benchmark::DoNotOptimize(import_snapshot(
+        dst_fs, dst, Name("s" + std::to_string(i++)), snapshot));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotImport);
+
+void BM_Fsck(benchmark::State& state) {
+  FsWorld w(4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsck(w.graph, w.root));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fsck);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,188 @@
+// Experiment X1 (extension; DESIGN.md "optional/extension features").
+//
+// The paper's coherence notion is *spatial* (different activities, same
+// instant). Real distributed name services (DNS, the §5.2 DCE CDS, modern
+// ZooKeeper/etcd consumers) add caches, which introduce *temporal*
+// incoherence: a cached binding that outlives a rebind makes a client
+// disagree with the authority. This experiment quantifies the classic
+// trade-off on our messaging substrate:
+//
+//   * cost: messages and simulated latency per resolution — local vs
+//     referral vs cache-hit;
+//   * correctness: fraction of resolutions agreeing with the authority, as
+//     a function of cache TTL vs rebind interval.
+#include "bench_common.hpp"
+#include "fs/file_system.hpp"
+#include "ns/name_service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace namecoh {
+namespace {
+
+struct NsWorld {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  Simulator sim;
+  Internetwork net;
+  Transport transport{sim, net};
+  HomeMap homes;
+  NameService service{graph, net, transport, homes};
+  MachineId m1, m2;
+  EntityId root, shared;
+  std::vector<CompoundName> local_names, remote_names;
+
+  NsWorld() {
+    NetworkId lan = net.add_network("lan");
+    m1 = net.add_machine(lan, "m1");
+    m2 = net.add_machine(lan, "m2");
+    root = fs.make_root("m1-root");
+    shared = fs.make_root("shared");
+    for (int i = 0; i < 16; ++i) {
+      NAMECOH_CHECK(fs.create_file_at(root,
+                                      "local/f" + std::to_string(i), "x")
+                        .is_ok(), "");
+      NAMECOH_CHECK(fs.create_file_at(shared,
+                                      "proj/f" + std::to_string(i), "y")
+                        .is_ok(), "");
+      local_names.push_back(
+          CompoundName::relative("local/f" + std::to_string(i)));
+      remote_names.push_back(
+          CompoundName::relative("shared/proj/f" + std::to_string(i)));
+    }
+    NAMECOH_CHECK(fs.attach(root, Name("shared"), shared).is_ok(), "");
+    homes.set_home_subtree(graph, shared, m2);
+    homes.set_home_subtree(graph, root, m1);
+    service.add_server(m1);
+    service.add_server(m2);
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "X1 (extension): distributed resolution & cache temporal incoherence",
+      "Referrals double the message cost; caching removes it entirely but "
+      "trades\nagreement with the authority for TTL-bounded staleness.");
+
+  // Part 1: cost per resolution kind.
+  {
+    NsWorld w;
+    ResolverClientConfig cached_cfg;
+    cached_cfg.cache_ttl = 1u << 30;  // effectively infinite
+    Table t({"resolution kind", "messages per resolve",
+             "sim ticks per resolve"});
+    auto measure = [&](const std::vector<CompoundName>& names,
+                       ResolverClientConfig cfg, bool warm,
+                       const std::string& label) {
+      ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service,
+                            w.m1, "c", cfg);
+      if (warm) {
+        for (const auto& n : names) (void)client.resolve(w.root, n);
+      }
+      std::uint64_t msgs_before = client.stats().messages_sent;
+      SimTime t0 = w.sim.now();
+      for (const auto& n : names) {
+        NAMECOH_CHECK(client.resolve(w.root, n).is_ok(), "resolve");
+      }
+      double n = static_cast<double>(names.size());
+      t.add_row(
+          {label,
+           bench::frac(static_cast<double>(client.stats().messages_sent -
+                                           msgs_before) / n, 2),
+           bench::frac(static_cast<double>(w.sim.now() - t0) / n, 1)});
+    };
+    measure(w.local_names, {}, false, "local (authoritative on this machine)");
+    measure(w.remote_names, {}, false, "remote (one referral)");
+    measure(w.remote_names, cached_cfg, true, "remote, cache warm");
+    t.print(std::cout);
+  }
+
+  // Part 2: staleness — agreement with the authority vs TTL/rebind ratio.
+  Table t2({"cache TTL (ticks)", "rebind interval (ticks)",
+            "agreement with authority"});
+  for (SimDuration ttl : {SimDuration{0}, SimDuration{200}, SimDuration{2000},
+                          SimDuration{20000}}) {
+    NsWorld w;
+    const SimDuration rebind_every = 2000;
+    ResolverClientConfig cfg;
+    cfg.cache_ttl = ttl;
+    ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service,
+                          w.m1, "c", cfg);
+    Context root_ctx = FileSystem::make_process_context(w.root, w.root);
+    EntityId local_dir = w.fs.resolve_path(root_ctx, "/local").entity;
+    Rng rng(5);
+    FractionCounter agree;
+    SimTime next_rebind = rebind_every;
+    for (int step = 0; step < 400; ++step) {
+      // Advance time; rebind a random local file on schedule.
+      w.sim.run_until(w.sim.now() + 97);
+      if (w.sim.now() >= next_rebind) {
+        next_rebind += rebind_every;
+        std::size_t idx = static_cast<std::size_t>(
+            rng.next_below(w.local_names.size()));
+        Name leaf = w.local_names[idx].back();
+        (void)w.fs.unlink(local_dir, leaf);
+        (void)w.fs.create_file(local_dir, leaf, "v" + std::to_string(step));
+      }
+      const CompoundName& name = rng.pick(w.local_names);
+      auto via_client = client.resolve(w.root, name);
+      Resolution truth = resolve_from(w.graph, w.root, name);
+      agree.add(via_client.is_ok() && truth.ok() &&
+                via_client.value() == truth.entity);
+    }
+    t2.add_row({std::to_string(ttl), std::to_string(rebind_every),
+                bench::frac(agree.fraction())});
+  }
+  t2.print(std::cout);
+  std::cout << "(TTL << rebind interval: agreement ~1; TTL >> rebind "
+               "interval: cached lies dominate)\n"
+            << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_RemoteResolveUncached(benchmark::State& state) {
+  NsWorld w;
+  ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service, w.m1,
+                        "c");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.resolve(
+        w.root, w.remote_names[i++ % w.remote_names.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteResolveUncached);
+
+void BM_RemoteResolveCached(benchmark::State& state) {
+  NsWorld w;
+  ResolverClientConfig cfg;
+  cfg.cache_ttl = 1u << 30;
+  ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service, w.m1,
+                        "c", cfg);
+  for (const auto& n : w.remote_names) (void)client.resolve(w.root, n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.resolve(
+        w.root, w.remote_names[i++ % w.remote_names.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteResolveCached);
+
+void BM_ServerWalk(benchmark::State& state) {
+  // In-memory equivalent of the server-side walk, for comparison.
+  NsWorld w;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve_from(
+        w.graph, w.root, w.local_names[i++ % w.local_names.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServerWalk);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,240 @@
+// Experiment S1: the §5 summary — "The Degree of Coherence in Some Common
+// Naming Schemes" as one matrix.
+//
+// Every scheme the paper analyses, built on an identical three-site
+// fixture, measured with identical probe sets. Rows reproduce the paper's
+// ranking: single graph (global root) at the top, per-process shared views
+// equal to it, shared graph in the middle (its /vice subset perfect, local
+// names zero), Newcastle and bare federation at the bottom — where the
+// mapping-rule column shows what the §5.1/§7 human rules recover.
+#include "bench_common.hpp"
+#include "coherence/coherence.hpp"
+#include "coherence/repair.hpp"
+#include "schemes/crosslink.hpp"
+#include "schemes/newcastle.hpp"
+#include "schemes/per_process.hpp"
+#include "schemes/shared_graph.hpp"
+#include "schemes/single_graph.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+struct Row {
+  std::string scheme;
+  double pairwise_strict;
+  double pairwise_weak;
+  double global_fraction;
+  double repairable;  // fraction of incoherent probes a mapping rule fixes
+};
+
+template <typename Scheme>
+Row measure(Scheme& scheme, NamingGraph& graph, FileSystem& fs,
+            bool allow_dot_names) {
+  TreeSpec spec;
+  spec.depth = 2;
+  spec.dirs_per_dir = 2;
+  spec.files_per_dir = 3;
+  spec.common_fraction = 0.5;
+  std::vector<SiteId> sites;
+  for (int i = 0; i < 3; ++i) {
+    sites.push_back(scheme.add_site("site" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    spec.site_tag = "s" + std::to_string(i);
+    populate_tree(fs, scheme.site_tree(sites[i]), spec, 1993);
+  }
+  scheme.finalize();
+
+  CoherenceAnalyzer analyzer(graph);
+  std::vector<EntityId> contexts;
+  for (SiteId s : sites) contexts.push_back(scheme.make_site_context(s));
+  auto probes =
+      absolutize(probes_from_dir(graph, scheme.site_root(sites[0])));
+
+  DegreeReport degree = analyzer.pairwise_degree(contexts, probes);
+  FractionCounter global =
+      analyzer.global_fraction(contexts, probes, CoherenceMode::kStrict);
+
+  RepairAdvisor advisor(graph);
+  RepairOptions options;
+  options.allow_dot_names = allow_dot_names;
+  RepairReport repair =
+      advisor.suggest(contexts[0], contexts[1], probes, options);
+  double repairable =
+      repair.incoherent == 0
+          ? 1.0
+          : static_cast<double>(repair.repairable) /
+                static_cast<double>(repair.incoherent);
+
+  return Row{std::string(scheme.scheme_name()), degree.strict.fraction(),
+             degree.weak.fraction(), global.fraction(), repairable};
+}
+
+void run_experiment() {
+  bench::print_header(
+      "S1: the §5 matrix — degree of coherence across naming schemes",
+      "Identical three-site fixture and probe sets for every scheme the "
+      "paper analyses.");
+
+  Table t({"scheme", "pairwise strict", "pairwise weak", "global names",
+           "repairable by mapping"});
+
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    SingleGraphScheme scheme(fs);
+    Row row = measure(scheme, graph, fs, true);
+    t.add_row({row.scheme, bench::frac(row.pairwise_strict),
+               bench::frac(row.pairwise_weak),
+               bench::frac(row.global_fraction),
+               bench::frac(row.repairable)});
+  }
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    PerProcessScheme scheme(fs);
+    // For the matrix, processes attach ALL sites (the shared-view case).
+    std::vector<SiteId> sites;
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 2;
+    spec.files_per_dir = 3;
+    spec.common_fraction = 0.5;
+    for (int i = 0; i < 3; ++i) {
+      sites.push_back(scheme.add_site("site" + std::to_string(i)));
+      spec.site_tag = "s" + std::to_string(i);
+      populate_tree(fs, scheme.site_tree(sites.back()), spec, 1993);
+    }
+    scheme.finalize();
+    CoherenceAnalyzer analyzer(graph);
+    std::vector<EntityId> contexts;
+    for (int i = 0; i < 3; ++i) {
+      EntityId view = scheme.make_view_of_sites(sites);
+      EntityId ctx = graph.add_context_object("p" + std::to_string(i));
+      graph.context(ctx) = FileSystem::make_process_context(view, view);
+      contexts.push_back(ctx);
+    }
+    auto probes = absolutize(probes_from_dir(
+        graph, graph.context(contexts[0])(Name("/"))));
+    DegreeReport degree = analyzer.pairwise_degree(contexts, probes);
+    FractionCounter global =
+        analyzer.global_fraction(contexts, probes, CoherenceMode::kStrict);
+    t.add_row({std::string(scheme.scheme_name()) + " (shared views)",
+               bench::frac(degree.strict.fraction()),
+               bench::frac(degree.weak.fraction()),
+               bench::frac(global.fraction()), bench::frac(1.0)});
+  }
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    SharedGraphScheme scheme(fs);
+    NAMECOH_CHECK(
+        fs.create_file_at(scheme.shared_tree(), "lib/shared.o", "s").is_ok(),
+        "");
+    Row row = measure(scheme, graph, fs, true);
+    t.add_row({row.scheme, bench::frac(row.pairwise_strict),
+               bench::frac(row.pairwise_weak),
+               bench::frac(row.global_fraction),
+               bench::frac(row.repairable)});
+  }
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    NewcastleScheme scheme(fs);
+    Row row = measure(scheme, graph, fs, true);
+    t.add_row({row.scheme, bench::frac(row.pairwise_strict),
+               bench::frac(row.pairwise_weak),
+               bench::frac(row.global_fraction),
+               bench::frac(row.repairable)});
+  }
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    CrossLinkScheme scheme(fs);
+    Row row = measure(scheme, graph, fs, false);
+    t.add_row({row.scheme + " (no links)", bench::frac(row.pairwise_strict),
+               bench::frac(row.pairwise_weak),
+               bench::frac(row.global_fraction),
+               bench::frac(row.repairable)});
+  }
+  {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    CrossLinkScheme scheme(fs);
+    // Build with links this time.
+    TreeSpec spec;
+    spec.depth = 2;
+    spec.dirs_per_dir = 2;
+    spec.files_per_dir = 3;
+    spec.common_fraction = 0.5;
+    std::vector<SiteId> sites;
+    for (int i = 0; i < 3; ++i) {
+      sites.push_back(scheme.add_site("site" + std::to_string(i)));
+      spec.site_tag = "s" + std::to_string(i);
+      populate_tree(fs, scheme.site_tree(sites.back()), spec, 1993);
+    }
+    scheme.finalize();
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i == j) continue;
+        NAMECOH_CHECK(scheme.add_cross_link(
+                          sites[i], Name("site" + std::to_string(j)),
+                          sites[j]).is_ok(), "");
+      }
+    }
+    CoherenceAnalyzer analyzer(graph);
+    std::vector<EntityId> contexts;
+    for (SiteId s : sites) contexts.push_back(scheme.make_site_context(s));
+    auto probes =
+        absolutize(probes_from_dir(graph, scheme.site_tree(sites[0])));
+    DegreeReport degree = analyzer.pairwise_degree(contexts, probes);
+    FractionCounter global =
+        analyzer.global_fraction(contexts, probes, CoherenceMode::kStrict);
+    RepairAdvisor advisor(graph);
+    RepairOptions options;
+    options.allow_dot_names = false;
+    RepairReport repair =
+        advisor.suggest(contexts[0], contexts[1], probes, options);
+    double repairable =
+        repair.incoherent == 0
+            ? 1.0
+            : static_cast<double>(repair.repairable) /
+                  static_cast<double>(repair.incoherent);
+    t.add_row({std::string(scheme.scheme_name()) + " (full links)",
+               bench::frac(degree.strict.fraction()),
+               bench::frac(degree.weak.fraction()),
+               bench::frac(global.fraction()), bench::frac(repairable)});
+  }
+
+  t.print(std::cout);
+  std::cout << "(probes are enumerated from site0's view in each scheme; "
+               "'repairable' is the\n fraction of incoherent probes a "
+               "single discovered mapping rule set fixes)\n"
+            << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_SchemeConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    NamingGraph graph;
+    FileSystem fs(graph);
+    NewcastleScheme scheme(fs);
+    TreeSpec spec;
+    for (int i = 0; i < 4; ++i) {
+      SiteId s = scheme.add_site("m" + std::to_string(i));
+      spec.site_tag = "s" + std::to_string(i);
+      populate_tree(fs, scheme.site_tree(s), spec, 7);
+    }
+    scheme.finalize();
+    benchmark::DoNotOptimize(scheme.super_root());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchemeConstruction);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

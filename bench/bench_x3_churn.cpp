@@ -1,0 +1,96 @@
+// Experiment X3 (extension): continuous churn — what the R(sender) remap
+// fixes and what it cannot.
+//
+// The remap eliminates *context* incoherence (sender and receiver
+// qualifying the same pid differently) completely, at any churn rate. It
+// cannot eliminate *staleness*: if the subject's machine is renumbered
+// after the pid was captured, the pid is simply out of date. The sweep
+// shows validity pinned by staleness alone with the remap on, and
+// strictly worse without it — with the gap being exactly the
+// cross-machine traffic share.
+#include "bench_common.hpp"
+#include "workload/churn.hpp"
+
+namespace namecoh {
+namespace {
+
+struct ChurnWorld {
+  Simulator sim;
+  Internetwork net;
+  std::vector<MachineId> machines;
+  std::vector<EndpointId> processes;
+
+  ChurnWorld() {
+    NetworkId n1 = net.add_network("n1");
+    NetworkId n2 = net.add_network("n2");
+    for (int m = 0; m < 3; ++m) {
+      machines.push_back(net.add_machine(m < 2 ? n1 : n2,
+                                         "m" + std::to_string(m)));
+      for (int p = 0; p < 4; ++p) {
+        processes.push_back(net.add_endpoint(machines.back(), "p"));
+      }
+    }
+  }
+};
+
+void run_experiment() {
+  bench::print_header(
+      "X3 (extension): pid validity under continuous churn",
+      "The R(sender) remap removes context incoherence at any rate; "
+      "staleness from\nrenumbering-in-flight remains and grows with churn.");
+
+  Table t({"renumber interval (ticks)", "remap", "pid valid fraction",
+           "deliveries", "reconfigs"});
+  for (SimDuration interval : {SimDuration{0}, SimDuration{5000},
+                               SimDuration{500}, SimDuration{100}}) {
+    for (bool remap : {true, false}) {
+      ChurnWorld w;
+      TransportConfig config;
+      config.remap_embedded_pids = remap;
+      Transport transport(w.sim, w.net, config);
+      ChurnSpec spec;
+      spec.duration = 60000;
+      spec.message_interval = 20;
+      spec.renumber_interval = interval;
+      spec.seed = 99;
+      ChurnOutcome outcome = run_churn(w.sim, w.net, transport, w.machines,
+                                       w.processes, spec);
+      t.add_row({interval == 0 ? "none" : std::to_string(interval),
+                 remap ? "on" : "off",
+                 bench::frac(outcome.pid_valid.fraction()),
+                 std::to_string(outcome.deliveries),
+                 std::to_string(outcome.reconfigurations)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(with no churn, remap-on is exactly 1.000 and remap-off "
+               "fails on the cross-machine\n share of traffic; with churn, "
+               "remap-on degrades only by true staleness)\n"
+            << std::endl;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_ChurnThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    ChurnWorld w;
+    Transport transport(w.sim, w.net);
+    ChurnSpec spec;
+    spec.duration = 10000;
+    spec.message_interval = 10;
+    spec.renumber_interval = 500;
+    ChurnOutcome outcome = run_churn(w.sim, w.net, transport, w.machines,
+                                     w.processes, spec);
+    benchmark::DoNotOptimize(outcome);
+    state.counters["deliveries"] =
+        static_cast<double>(outcome.deliveries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_ChurnThroughput);
+
+}  // namespace
+}  // namespace namecoh
+
+NAMECOH_BENCH_MAIN(namecoh::run_experiment)

@@ -1,0 +1,222 @@
+// namespace_shell: a tiny shell over the naming library.
+//
+// Demonstrates the public API surface end to end: building topology,
+// navigating with process contexts, mounting, per-process attachments, and
+// coherence checks — as shell commands.
+//
+//   ls [path]        list a directory
+//   cd <path>        change the working directory
+//   pwd              print the cwd's shortest name from root
+//   cat <path>       print file contents
+//   mkdir <path>     create directories (mkdir -p)
+//   write <path> <text…>  create/overwrite a file
+//   ln <path> <name> bind an existing entity under a new name in cwd
+//   attach <name> @<n>  attach machine n's tree under <name> in cwd
+//   chroot @<n>      switch the shell to machine n's root
+//   probe <path> @<a> @<b>  coherence verdict for a name on two machines
+//   quit
+//
+// Run: ./namespace_shell            (runs the built-in demo script)
+//      ./namespace_shell -          (reads commands from stdin)
+#include <iostream>
+#include <sstream>
+
+#include "coherence/coherence.hpp"
+#include "core/graph_ops.hpp"
+#include "fs/file_system.hpp"
+#include "util/strings.hpp"
+#include "workload/tree_gen.hpp"
+
+using namespace namecoh;
+
+namespace {
+
+struct Shell {
+  NamingGraph graph;
+  FileSystem fs{graph};
+  CoherenceAnalyzer analyzer{graph};
+  std::vector<EntityId> machine_roots;
+  EntityId root, cwd;
+
+  Shell() {
+    for (int i = 0; i < 3; ++i) {
+      EntityId r = fs.make_root("machine" + std::to_string(i));
+      populate_unix_skeleton(fs, r, "m" + std::to_string(i));
+      machine_roots.push_back(r);
+    }
+    root = cwd = machine_roots[0];
+  }
+
+  Context ctx() const { return FileSystem::make_process_context(root, cwd); }
+
+  Result<EntityId> machine_arg(const std::string& arg) const {
+    if (arg.size() < 2 || arg[0] != '@') {
+      return invalid_argument_error("expected @<machine-number>");
+    }
+    std::size_t n = static_cast<std::size_t>(std::stoul(arg.substr(1)));
+    if (n >= machine_roots.size()) {
+      return invalid_argument_error("no such machine");
+    }
+    return machine_roots[n];
+  }
+
+  void run_command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') return;
+    std::cout << "$ " << line << "\n";
+
+    auto resolve_arg = [&](const std::string& path) {
+      return fs.resolve_path(ctx(), path);
+    };
+
+    if (cmd == "ls") {
+      std::string path = ".";
+      in >> path;
+      Resolution res = resolve_arg(path);
+      if (!res.ok()) {
+        std::cout << "ls: " << res.status << "\n";
+        return;
+      }
+      for (const auto& [name, target] : fs.list(res.entity)) {
+        std::cout << "  " << name
+                  << (graph.is_context_object(target) ? "/" : "") << "\n";
+      }
+    } else if (cmd == "cd") {
+      std::string path;
+      in >> path;
+      Resolution res = resolve_arg(path);
+      if (res.ok() && graph.is_context_object(res.entity)) {
+        cwd = res.entity;
+      } else {
+        std::cout << "cd: not a directory\n";
+      }
+    } else if (cmd == "pwd") {
+      if (cwd == root) {
+        std::cout << "/\n";
+      } else {
+        auto name = shortest_name(graph, root, cwd);
+        std::cout << (name.is_ok() ? "/" + name.value().to_path()
+                                   : std::string("(unreachable from root)"))
+                  << "\n";
+      }
+    } else if (cmd == "cat") {
+      std::string path;
+      in >> path;
+      Resolution res = resolve_arg(path);
+      if (res.ok() && graph.is_data_object(res.entity)) {
+        std::cout << graph.data(res.entity) << "\n";
+      } else {
+        std::cout << "cat: " << res.status << "\n";
+      }
+    } else if (cmd == "mkdir") {
+      std::string path;
+      in >> path;
+      auto made = fs.mkdir_p(cwd, path);
+      if (!made.is_ok()) std::cout << "mkdir: " << made.status() << "\n";
+    } else if (cmd == "write") {
+      std::string path, word, text;
+      in >> path;
+      while (in >> word) {
+        if (!text.empty()) text += ' ';
+        text += word;
+      }
+      auto made = fs.create_file_at(cwd, path, text);
+      if (!made.is_ok()) std::cout << "write: " << made.status() << "\n";
+    } else if (cmd == "ln") {
+      std::string path, name;
+      in >> path >> name;
+      Resolution res = resolve_arg(path);
+      if (!res.ok()) {
+        std::cout << "ln: " << res.status << "\n";
+        return;
+      }
+      Status linked = fs.link(cwd, Name(name), res.entity);
+      if (!linked.is_ok()) std::cout << "ln: " << linked << "\n";
+    } else if (cmd == "attach") {
+      std::string name, machine;
+      in >> name >> machine;
+      auto target = machine_arg(machine);
+      if (!target.is_ok()) {
+        std::cout << "attach: " << target.status() << "\n";
+        return;
+      }
+      Status attached = fs.attach(cwd, Name(name), target.value());
+      if (!attached.is_ok()) std::cout << "attach: " << attached << "\n";
+    } else if (cmd == "chroot") {
+      std::string machine;
+      in >> machine;
+      auto target = machine_arg(machine);
+      if (!target.is_ok()) {
+        std::cout << "chroot: " << target.status() << "\n";
+        return;
+      }
+      root = cwd = target.value();
+    } else if (cmd == "probe") {
+      std::string path, ma, mb;
+      in >> path >> ma >> mb;
+      auto ra = machine_arg(ma);
+      auto rb = machine_arg(mb);
+      if (!ra.is_ok() || !rb.is_ok()) {
+        std::cout << "probe: bad machine\n";
+        return;
+      }
+      EntityId ca = graph.add_context_object("probe-a");
+      graph.context(ca) =
+          FileSystem::make_process_context(ra.value(), ra.value());
+      EntityId cb = graph.add_context_object("probe-b");
+      graph.context(cb) =
+          FileSystem::make_process_context(rb.value(), rb.value());
+      ProbeVerdict verdict =
+          analyzer.probe(ca, cb, CompoundName::path(path));
+      std::cout << path << " between " << ma << " and " << mb << ": "
+                << probe_verdict_name(verdict) << "\n";
+    } else if (cmd == "quit") {
+      // handled by the caller
+    } else {
+      std::cout << cmd << ": unknown command\n";
+    }
+  }
+};
+
+constexpr const char* kDemoScript[] = {
+    "# --- exploring machine0 ---",
+    "ls /",
+    "cat /etc/passwd",
+    "cd /home/m0",
+    "pwd",
+    "ls",
+    "# --- same name, different machine: incoherence ---",
+    "probe /etc/passwd @0 @1",
+    "# --- a name everyone shares after attaching ---",
+    "cd /",
+    "mkdir shared",
+    "write shared/notice.txt visible from machine0",
+    "attach m1win @1",
+    "ls /m1win/etc",
+    "cat /m1win/etc/passwd",
+    "# --- links give second names to the same entity ---",
+    "ln /etc/passwd users-file",
+    "probe /users-file @0 @1",
+    "# --- switch viewpoint entirely ---",
+    "chroot @1",
+    "cat /etc/passwd",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (trim(line) == "quit") break;
+      shell.run_command(line);
+    }
+  } else {
+    std::cout << "(running the built-in demo; use '" << argv[0]
+              << " -' to drive it from stdin)\n\n";
+    for (const char* line : kDemoScript) shell.run_command(line);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the naming model in 80 lines.
+//
+// Builds a tiny naming graph, resolves compound names in two process
+// contexts, and uses the coherence analyzer to show where the same name
+// means different things — the paper's core concepts end to end.
+//
+// Run: ./quickstart
+#include <iostream>
+
+#include "coherence/coherence.hpp"
+#include "fs/file_system.hpp"
+
+using namespace namecoh;
+
+int main() {
+  // 1. A naming graph: entities + contexts (§2).
+  NamingGraph graph;
+  FileSystem fs(graph);
+
+  // Two machines, each with its own naming tree.
+  EntityId mercury = fs.make_root("mercury");
+  EntityId venus = fs.make_root("venus");
+  (void)fs.create_file_at(mercury, "etc/passwd", "users of mercury").value();
+  (void)fs.create_file_at(venus, "etc/passwd", "users of venus").value();
+
+  // One shared subtree, attached on both machines under the same name.
+  EntityId shared = fs.make_root("shared");
+  (void)fs.create_file_at(shared, "tools/cc", "the one true compiler").value();
+  (void)fs.attach(mercury, Name("shared"), shared);
+  (void)fs.attach(venus, Name("shared"), shared);
+
+  // 2. Process contexts: "/" and "." bindings (§5.1).
+  Context on_mercury = FileSystem::make_process_context(mercury, mercury);
+  Context on_venus = FileSystem::make_process_context(venus, venus);
+
+  // 3. Resolution: a name is resolved in a context.
+  Resolution here = fs.resolve_path(on_mercury, "/etc/passwd");
+  Resolution there = fs.resolve_path(on_venus, "/etc/passwd");
+  std::cout << "/etc/passwd on mercury -> \"" << graph.data(here.entity)
+            << "\"\n";
+  std::cout << "/etc/passwd on venus   -> \"" << graph.data(there.entity)
+            << "\"\n";
+  std::cout << "same entity? " << (here.same_entity(there) ? "yes" : "NO")
+            << "  <- incoherence: same name, different meaning\n\n";
+
+  // 4. The coherence analyzer quantifies this over whole probe sets (§4).
+  EntityId ctx_m = graph.add_context_object("pctx:mercury");
+  graph.context(ctx_m) = on_mercury;
+  EntityId ctx_v = graph.add_context_object("pctx:venus");
+  graph.context(ctx_v) = on_venus;
+  CoherenceAnalyzer analyzer(graph);
+
+  for (const char* path : {"/etc/passwd", "/shared/tools/cc"}) {
+    ProbeVerdict verdict =
+        analyzer.probe(ctx_m, ctx_v, CompoundName::path(path));
+    std::cout << path << ": " << probe_verdict_name(verdict) << "\n";
+  }
+
+  // 5. Degree of coherence over everything mercury can name.
+  auto probes = absolutize(probes_from_dir(graph, mercury));
+  DegreeReport report = analyzer.degree(ctx_m, ctx_v, probes);
+  std::cout << "\ndegree of coherence mercury<->venus over " << probes.size()
+            << " names: " << report.strict.fraction() << "\n";
+  std::cout << "only the shared name space is coherent — which is the "
+               "paper's point:\ncoherence comes from *arranging contexts*, "
+               "not from global names.\n";
+  return 0;
+}

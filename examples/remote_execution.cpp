@@ -1,0 +1,86 @@
+// Remote execution with per-process views (§6 II).
+//
+// A parent process on machine "client" launches a child on machine
+// "server", passing a file name as a parameter — over the real messaging
+// layer. The demo runs all three context policies and shows the trade-off
+// the paper describes, plus the per-process view that dissolves it.
+//
+// Run: ./remote_execution
+#include <iostream>
+
+#include "os/process_manager.hpp"
+#include "workload/tree_gen.hpp"
+
+using namespace namecoh;
+
+int main() {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  Simulator sim;
+  Internetwork net;
+  Transport transport(sim, net);
+  ProcessManager pm(graph, fs, net, transport);
+
+  NetworkId lan = net.add_network("lan");
+  MachineId client = net.add_machine(lan, "client");
+  MachineId server = net.add_machine(lan, "server");
+  EntityId client_root = fs.make_root("client");
+  EntityId server_root = fs.make_root("server");
+  populate_unix_skeleton(fs, client_root, "client");
+  populate_unix_skeleton(fs, server_root, "server");
+  (void)fs.create_file_at(client_root, "job/input.dat", "simulation input").value();
+
+  ProcessId parent = pm.spawn(client, "parent", client_root, client_root);
+  const std::string param = "/job/input.dat";
+
+  for (RemoteExecPolicy policy :
+       {RemoteExecPolicy::kInvokerRoot, RemoteExecPolicy::kExecutorRoot,
+        RemoteExecPolicy::kPrivateAttach}) {
+    std::cout << "--- policy: " << remote_exec_policy_name(policy)
+              << " ---\n";
+    auto child = pm.remote_exec(parent, server, "worker", policy,
+                                server_root, Name("srv"));
+    if (!child.is_ok()) {
+      std::cout << "spawn failed: " << child.status() << "\n";
+      continue;
+    }
+
+    // Pass the parameter over the wire (a *name* in a message).
+    (void)pm.send_name_to(parent, child.value(), param);
+    pm.settle();
+    const ReceivedName& received = pm.received_names().back();
+
+    // The child resolves the parameter in its own context — R(receiver),
+    // which is what a real exec does with argv.
+    Resolution got = pm.resolve_internal(child.value(), received.path);
+    Resolution meant = pm.resolve_internal(parent, param);
+    std::cout << "  parameter \"" << param << "\": "
+              << (got.ok() ? (got.same_entity(meant)
+                                  ? "resolves to the parent's file  [OK]"
+                                  : "resolves to the WRONG file")
+                           : "does not resolve  [" +
+                                 std::string(
+                                     status_code_name(got.status.code())) +
+                                 "]")
+              << "\n";
+
+    // Can the child still use the server's own tools?
+    bool local = false;
+    for (const char* path : {"/bin/sh", "/srv/bin/sh"}) {
+      Resolution res = pm.resolve_internal(child.value(), path);
+      if (res.ok() && graph.data(res.entity).find("server") !=
+                          std::string::npos) {
+        local = true;
+        std::cout << "  server-local /bin/sh reachable as " << path << "\n";
+      }
+    }
+    if (!local) std::cout << "  server-local files NOT reachable\n";
+    (void)pm.kill(child.value());
+    pm.clear_inboxes();
+    std::cout << "\n";
+  }
+
+  std::cout << "private-attach gives parameter coherence AND local access — "
+               "\"in spite of not\nhaving global names\" (§6 II).\n";
+  return 0;
+}

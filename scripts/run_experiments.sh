@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table and the microbenchmarks.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [out-file]
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+: > "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$OUT"
+  "$b" | tee -a "$OUT"
+done
+echo "wrote $OUT"

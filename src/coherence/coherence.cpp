@@ -1,0 +1,206 @@
+#include "coherence/coherence.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace namecoh {
+
+std::string_view coherence_mode_name(CoherenceMode mode) {
+  switch (mode) {
+    case CoherenceMode::kStrict:
+      return "strict";
+    case CoherenceMode::kWeak:
+      return "weak";
+  }
+  return "?";
+}
+
+std::string_view probe_verdict_name(ProbeVerdict verdict) {
+  switch (verdict) {
+    case ProbeVerdict::kSameEntity:
+      return "same-entity";
+    case ProbeVerdict::kWeakReplicas:
+      return "weak-replicas";
+    case ProbeVerdict::kDifferent:
+      return "different";
+    case ProbeVerdict::kOneUnresolved:
+      return "one-unresolved";
+    case ProbeVerdict::kBothUnresolved:
+      return "both-unresolved";
+  }
+  return "?";
+}
+
+bool verdict_coherent(ProbeVerdict verdict, CoherenceMode mode) {
+  switch (verdict) {
+    case ProbeVerdict::kSameEntity:
+      return true;
+    case ProbeVerdict::kWeakReplicas:
+      return mode == CoherenceMode::kWeak;
+    default:
+      return false;
+  }
+}
+
+void DegreeReport::add(ProbeVerdict verdict) {
+  strict.add(verdict_coherent(verdict, CoherenceMode::kStrict));
+  weak.add(verdict_coherent(verdict, CoherenceMode::kWeak));
+  verdicts.add(std::string(probe_verdict_name(verdict)));
+}
+
+void DegreeReport::merge(const DegreeReport& other) {
+  strict.merge(other.strict);
+  weak.merge(other.weak);
+  for (const auto& [key, n] : other.verdicts.counts()) {
+    verdicts.add(key, n);
+  }
+}
+
+ProbeVerdict CoherenceAnalyzer::compare(const Resolution& a,
+                                        const Resolution& b) const {
+  if (a.ok() && b.ok()) {
+    if (a.entity == b.entity) return ProbeVerdict::kSameEntity;
+    if (graph_->weakly_equal(a.entity, b.entity)) {
+      return ProbeVerdict::kWeakReplicas;
+    }
+    return ProbeVerdict::kDifferent;
+  }
+  if (!a.ok() && !b.ok()) return ProbeVerdict::kBothUnresolved;
+  return ProbeVerdict::kOneUnresolved;
+}
+
+ProbeVerdict CoherenceAnalyzer::probe(EntityId ctx_a, EntityId ctx_b,
+                                      const CompoundName& name) const {
+  Resolution a = resolve_from(*graph_, ctx_a, name);
+  Resolution b = resolve_from(*graph_, ctx_b, name);
+  return compare(a, b);
+}
+
+bool CoherenceAnalyzer::coherent_for(EntityId ctx_a, EntityId ctx_b,
+                                     const CompoundName& name,
+                                     CoherenceMode mode) const {
+  return verdict_coherent(probe(ctx_a, ctx_b, name), mode);
+}
+
+DegreeReport CoherenceAnalyzer::degree(
+    EntityId ctx_a, EntityId ctx_b,
+    std::span<const CompoundName> probes) const {
+  DegreeReport report;
+  for (const CompoundName& name : probes) {
+    report.add(probe(ctx_a, ctx_b, name));
+  }
+  return report;
+}
+
+DegreeReport CoherenceAnalyzer::degree_under_rule(
+    const ClosureTable& table, const ResolutionRule& rule,
+    const Circumstance& side_a, const Circumstance& side_b,
+    std::span<const CompoundName> probes) const {
+  DegreeReport report;
+  for (const CompoundName& name : probes) {
+    Resolution a =
+        resolve_with_rule(*graph_, table, rule, side_a, name);
+    Resolution b =
+        resolve_with_rule(*graph_, table, rule, side_b, name);
+    report.add(compare(a, b));
+  }
+  return report;
+}
+
+bool CoherenceAnalyzer::is_global_name(std::span<const EntityId> contexts,
+                                       const CompoundName& name,
+                                       CoherenceMode mode) const {
+  if (contexts.empty()) return false;
+  Resolution first = resolve_from(*graph_, contexts.front(), name);
+  if (!first.ok()) return false;
+  for (std::size_t i = 1; i < contexts.size(); ++i) {
+    Resolution other = resolve_from(*graph_, contexts[i], name);
+    if (!verdict_coherent(compare(first, other), mode)) return false;
+  }
+  return true;
+}
+
+FractionCounter CoherenceAnalyzer::global_fraction(
+    std::span<const EntityId> contexts, std::span<const CompoundName> probes,
+    CoherenceMode mode) const {
+  FractionCounter counter;
+  for (const CompoundName& name : probes) {
+    counter.add(is_global_name(contexts, name, mode));
+  }
+  return counter;
+}
+
+DegreeReport CoherenceAnalyzer::pairwise_degree(
+    std::span<const EntityId> contexts,
+    std::span<const CompoundName> probes) const {
+  DegreeReport report;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    for (std::size_t j = i + 1; j < contexts.size(); ++j) {
+      report.merge(degree(contexts[i], contexts[j], probes));
+    }
+  }
+  return report;
+}
+
+std::vector<CoherenceAnalyzer::ClassifiedProbe> CoherenceAnalyzer::classify(
+    EntityId ctx_a, EntityId ctx_b,
+    std::span<const CompoundName> probes) const {
+  std::vector<ClassifiedProbe> out;
+  out.reserve(probes.size());
+  for (const CompoundName& name : probes) {
+    out.push_back(ClassifiedProbe{name, probe(ctx_a, ctx_b, name)});
+  }
+  return out;
+}
+
+std::vector<CompoundName> CoherenceAnalyzer::probes_with_verdict(
+    EntityId ctx_a, EntityId ctx_b, std::span<const CompoundName> probes,
+    ProbeVerdict verdict) const {
+  std::vector<CompoundName> out;
+  for (const CompoundName& name : probes) {
+    if (probe(ctx_a, ctx_b, name) == verdict) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<CompoundName> probes_from_dir(const NamingGraph& graph,
+                                          EntityId dir,
+                                          std::size_t max_depth,
+                                          std::size_t max_probes) {
+  EnumerateOptions options;
+  options.max_depth = max_depth;
+  options.max_results = max_probes;
+  std::vector<CompoundName> out;
+  for (const NamedEntity& named : enumerate_names(graph, dir, options)) {
+    out.push_back(named.name);
+  }
+  return out;
+}
+
+std::vector<CompoundName> absolutize(std::span<const CompoundName> probes) {
+  std::vector<CompoundName> out;
+  out.reserve(probes.size());
+  const Name root{std::string(kRootName)};
+  for (const CompoundName& probe : probes) {
+    std::vector<Name> names;
+    names.reserve(probe.size() + 1);
+    names.push_back(root);
+    for (const Name& n : probe.components()) names.push_back(n);
+    out.emplace_back(std::move(names));
+  }
+  return out;
+}
+
+std::vector<CompoundName> merge_probes(
+    std::span<const std::vector<CompoundName>> sets) {
+  std::vector<CompoundName> out;
+  std::unordered_set<CompoundName> seen;
+  for (const auto& set : sets) {
+    for (const CompoundName& name : set) {
+      if (seen.insert(name).second) out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,139 @@
+// The coherence analyzer (§4, §5).
+//
+// Coherence in naming: a name n is *coherent* across activities when it
+// denotes the same entity in the context each activity's closure mechanism
+// selects. *Weak* coherence (§5) relaxes "same entity" to "replicas of the
+// same replicated object" — sufficient for read-only replicated objects
+// like /bin on every machine.
+//
+// The analyzer never guesses: every verdict is computed by actually running
+// the resolver in both contexts and comparing outcomes. Verdicts distinguish
+// *why* a probe is incoherent (different entities vs one side unresolved)
+// because the §5 schemes fail in characteristically different ways —
+// Newcastle mostly gives kDifferent (same name, different machine's file),
+// while cross-link federations mostly give kOneUnresolved (name missing).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/closure.hpp"
+#include "core/graph_ops.hpp"
+#include "core/naming_graph.hpp"
+#include "core/resolve.hpp"
+#include "util/stats.hpp"
+
+namespace namecoh {
+
+enum class CoherenceMode : std::uint8_t { kStrict, kWeak };
+std::string_view coherence_mode_name(CoherenceMode mode);
+
+enum class ProbeVerdict : std::uint8_t {
+  kSameEntity,      ///< both resolved, identical entity — coherent
+  kWeakReplicas,    ///< both resolved, same replica group — weakly coherent
+  kDifferent,       ///< both resolved, unrelated entities
+  kOneUnresolved,   ///< resolved on one side only
+  kBothUnresolved,  ///< unresolved on both sides (both see ⊥E)
+};
+std::string_view probe_verdict_name(ProbeVerdict verdict);
+
+/// Is a verdict coherent under the mode? kSameEntity always is;
+/// kWeakReplicas only under kWeak. kBothUnresolved is *not* counted as
+/// coherent: the probes in every experiment are names that denote something
+/// for at least one party, so double-failure means the probe lost its
+/// meaning entirely.
+bool verdict_coherent(ProbeVerdict verdict, CoherenceMode mode);
+
+/// Aggregate result of a probe sweep between two parties.
+struct DegreeReport {
+  FractionCounter strict;  ///< fraction coherent under kStrict
+  FractionCounter weak;    ///< fraction coherent under kWeak
+  CategoryCounter verdicts;
+
+  void add(ProbeVerdict verdict);
+  void merge(const DegreeReport& other);
+};
+
+class CoherenceAnalyzer {
+ public:
+  explicit CoherenceAnalyzer(const NamingGraph& graph) : graph_(&graph) {}
+
+  /// Compare two resolution outcomes of the same name.
+  [[nodiscard]] ProbeVerdict compare(const Resolution& a,
+                                     const Resolution& b) const;
+
+  /// The paper's definition, directly: does `name` denote the same entity
+  /// in the contexts of the two context objects?
+  [[nodiscard]] ProbeVerdict probe(EntityId ctx_a, EntityId ctx_b,
+                                   const CompoundName& name) const;
+  [[nodiscard]] bool coherent_for(EntityId ctx_a, EntityId ctx_b,
+                                  const CompoundName& name,
+                                  CoherenceMode mode) const;
+
+  /// Degree of coherence between two contexts over a probe set
+  /// ("The degree of coherence can be determined by comparing the contexts
+  ///  R(a) associated with different activities", §5).
+  [[nodiscard]] DegreeReport degree(EntityId ctx_a, EntityId ctx_b,
+                                    std::span<const CompoundName> probes) const;
+
+  /// Degree of coherence when each side resolves under a closure rule in
+  /// its own circumstance — the §4 "Coherence and Resolution Rules" sweep.
+  [[nodiscard]] DegreeReport degree_under_rule(
+      const ClosureTable& table, const ResolutionRule& rule,
+      const Circumstance& side_a, const Circumstance& side_b,
+      std::span<const CompoundName> probes) const;
+
+  /// Global names (§1, §4): a name that denotes the same entity in *every*
+  /// listed context.
+  [[nodiscard]] bool is_global_name(std::span<const EntityId> contexts,
+                                    const CompoundName& name,
+                                    CoherenceMode mode) const;
+
+  /// Fraction of probe names that are global across the listed contexts.
+  [[nodiscard]] FractionCounter global_fraction(
+      std::span<const EntityId> contexts,
+      std::span<const CompoundName> probes, CoherenceMode mode) const;
+
+  /// Pairwise mean coherence across a set of contexts (all unordered
+  /// pairs), the summary statistic used by the scheme-comparison benches.
+  [[nodiscard]] DegreeReport pairwise_degree(
+      std::span<const EntityId> contexts,
+      std::span<const CompoundName> probes) const;
+
+  /// Per-probe classification, for diagnosis tools that need the *names*,
+  /// not just the counts.
+  struct ClassifiedProbe {
+    CompoundName name;
+    ProbeVerdict verdict;
+  };
+  [[nodiscard]] std::vector<ClassifiedProbe> classify(
+      EntityId ctx_a, EntityId ctx_b,
+      std::span<const CompoundName> probes) const;
+
+  /// The subset of probes with a given verdict.
+  [[nodiscard]] std::vector<CompoundName> probes_with_verdict(
+      EntityId ctx_a, EntityId ctx_b, std::span<const CompoundName> probes,
+      ProbeVerdict verdict) const;
+
+ private:
+  const NamingGraph* graph_;
+};
+
+/// Build a probe set from everything resolvable in a directory context
+/// (dot-free, breadth-first). Names come back *relative* (⟨a,b⟩); use
+/// absolutize() to turn them into the "/a/b" vocabulary resolved through
+/// process contexts.
+std::vector<CompoundName> probes_from_dir(const NamingGraph& graph,
+                                          EntityId dir,
+                                          std::size_t max_depth = 8,
+                                          std::size_t max_probes = 4096);
+
+/// Prefix each probe with the root binding "/" (⟨a,b⟩ → ⟨"/",a,b⟩).
+std::vector<CompoundName> absolutize(std::span<const CompoundName> probes);
+
+/// Union of several probe sets, deduplicated, stable order.
+std::vector<CompoundName> merge_probes(
+    std::span<const std::vector<CompoundName>> sets);
+
+}  // namespace namecoh

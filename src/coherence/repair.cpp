@@ -1,0 +1,129 @@
+#include "coherence/repair.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/graph_ops.hpp"
+
+namespace namecoh {
+namespace {
+
+/// Longest common suffix length of two component sequences.
+std::size_t common_suffix(std::span<const Name> a, std::span<const Name> b) {
+  std::size_t n = 0;
+  while (n < a.size() && n < b.size() &&
+         a[a.size() - 1 - n] == b[b.size() - 1 - n]) {
+    ++n;
+  }
+  return n;
+}
+
+/// Drop the last `suffix` components; the remainder may be empty, which we
+/// represent as nullopt (an empty prefix rule is a no-op and never useful).
+std::optional<CompoundName> strip_suffix(const CompoundName& name,
+                                         std::size_t suffix) {
+  if (suffix >= name.size()) return std::nullopt;
+  std::vector<Name> parts(name.components().begin(),
+                          name.components().end() - static_cast<long>(suffix));
+  return CompoundName(std::move(parts));
+}
+
+}  // namespace
+
+RepairReport RepairAdvisor::suggest(EntityId ctx_a, EntityId ctx_b,
+                                    std::span<const CompoundName> probes,
+                                    RepairOptions options) const {
+  RepairReport report;
+  report.probes = probes.size();
+  CoherenceAnalyzer analyzer(*graph_);
+
+  struct Candidate {
+    std::size_t votes = 0;
+  };
+  std::map<std::pair<CompoundName, CompoundName>, Candidate> candidates;
+  std::vector<const CompoundName*> incoherent_probes;
+
+  for (const CompoundName& probe : probes) {
+    Resolution at_a = resolve_from(*graph_, ctx_a, probe);
+    Resolution at_b = resolve_from(*graph_, ctx_b, probe);
+    ProbeVerdict verdict = analyzer.compare(at_a, at_b);
+    if (verdict_coherent(verdict, options.mode)) continue;
+    ++report.incoherent;
+    if (verdict == ProbeVerdict::kDifferent) ++report.conflicts;
+    if (!at_a.ok()) continue;  // nothing to repair toward
+    incoherent_probes.push_back(&probe);
+
+    // How could ctx_b name the entity ctx_a means?
+    auto b_name =
+        shortest_name(*graph_, ctx_b, at_a.entity, options.max_name_depth,
+                      /*skip_dot_names=*/!options.allow_dot_names);
+    if (!b_name.is_ok() && options.mode == CoherenceMode::kWeak &&
+        graph_->replica_group(at_a.entity).valid()) {
+      // Weak mode: a name for any replica of the entity is as good.
+      for (EntityId candidate : graph_->entities()) {
+        if (candidate == at_a.entity ||
+            !graph_->weakly_equal(candidate, at_a.entity)) {
+          continue;
+        }
+        b_name = shortest_name(*graph_, ctx_b, candidate,
+                               options.max_name_depth,
+                               !options.allow_dot_names);
+        if (b_name.is_ok()) break;
+      }
+    }
+    if (!b_name.is_ok()) continue;
+
+    std::size_t suffix =
+        common_suffix(probe.components(), b_name.value().components());
+    auto from_prefix = strip_suffix(probe, suffix);
+    auto to_prefix = strip_suffix(b_name.value(), suffix);
+    if (!from_prefix.has_value() || !to_prefix.has_value()) continue;
+    ++candidates[{*from_prefix, *to_prefix}].votes;
+  }
+
+  // Validate each candidate against the incoherent probes it applies to.
+  std::unordered_set<const CompoundName*> repaired_set;
+  for (const auto& [key, candidate] : candidates) {
+    (void)candidate;
+    MappingSuggestion suggestion(key.first, key.second);
+    for (const CompoundName* probe : incoherent_probes) {
+      if (!probe->has_prefix(suggestion.from_prefix)) continue;
+      ++suggestion.applicable;
+      auto mapped = probe->rebase(suggestion.from_prefix,
+                                  suggestion.to_prefix);
+      if (!mapped.is_ok()) continue;
+      Resolution at_a = resolve_from(*graph_, ctx_a, *probe);
+      Resolution at_b = resolve_from(*graph_, ctx_b, mapped.value());
+      if (verdict_coherent(analyzer.compare(at_a, at_b), options.mode)) {
+        ++suggestion.repaired;
+        repaired_set.insert(probe);
+      }
+    }
+    if (suggestion.repaired > 0) {
+      report.suggestions.push_back(std::move(suggestion));
+    }
+  }
+  report.repairable = repaired_set.size();
+
+  std::sort(report.suggestions.begin(), report.suggestions.end(),
+            [](const MappingSuggestion& a, const MappingSuggestion& b) {
+              if (a.repaired != b.repaired) return a.repaired > b.repaired;
+              // Tie-break: shorter rules are more "simple and intuitive".
+              return a.from_prefix.size() + a.to_prefix.size() <
+                     b.from_prefix.size() + b.to_prefix.size();
+            });
+  if (report.suggestions.size() > options.max_suggestions) {
+    report.suggestions.erase(
+        report.suggestions.begin() +
+            static_cast<long>(options.max_suggestions),
+        report.suggestions.end());
+  }
+  return report;
+}
+
+Result<CompoundName> RepairAdvisor::apply(const MappingSuggestion& suggestion,
+                                          const CompoundName& name) {
+  return name.rebase(suggestion.from_prefix, suggestion.to_prefix);
+}
+
+}  // namespace namecoh

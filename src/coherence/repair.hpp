@@ -1,0 +1,77 @@
+// Incoherence diagnosis and mechanical repair suggestions.
+//
+// §7's answer to cross-scope references is a *mapping rule* applied by
+// humans: "one has to rely on humans to map names by adding the prefix
+// /org2 … acceptable if … the mapping rules are simple and intuitive."
+// This module derives such rules automatically: given two contexts and a
+// probe set, it finds, for every name that is incoherent between them, how
+// the second context *could* name the entity the first one means, and
+// factors the per-name fixes into ranked prefix-rewrite rules
+// (from-prefix → to-prefix), each validated against the probes it claims
+// to repair.
+//
+// On the paper's own topologies the advisor rediscovers the paper's own
+// rules: "/" → "/../m1" on a Newcastle system, "/users" → "/org2/users"
+// on a cross-linked federation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coherence/coherence.hpp"
+
+namespace namecoh {
+
+/// One suggested rewrite rule, with its measured effect.
+struct MappingSuggestion {
+  MappingSuggestion(CompoundName from, CompoundName to)
+      : from_prefix(std::move(from)), to_prefix(std::move(to)) {}
+
+  CompoundName from_prefix;  ///< prefix in the A-side vocabulary
+  CompoundName to_prefix;    ///< replacement in the B-side vocabulary
+  std::size_t repaired = 0;    ///< incoherent probes this rule fixes
+  std::size_t applicable = 0;  ///< incoherent probes carrying from_prefix
+
+  [[nodiscard]] double coverage() const {
+    return applicable == 0 ? 0.0
+                           : static_cast<double>(repaired) /
+                                 static_cast<double>(applicable);
+  }
+};
+
+struct RepairReport {
+  std::size_t probes = 0;
+  std::size_t incoherent = 0;   ///< probes not strictly coherent
+  std::size_t repairable = 0;   ///< incoherent probes some rule fixes
+  std::size_t conflicts = 0;    ///< kDifferent verdicts (silent collisions)
+  /// Ranked by probes repaired, descending; deduplicated.
+  std::vector<MappingSuggestion> suggestions;
+};
+
+struct RepairOptions {
+  std::size_t max_name_depth = 64;   ///< search depth for B-side names
+  bool allow_dot_names = true;       ///< let B-side names climb ".."
+  CoherenceMode mode = CoherenceMode::kWeak;
+  std::size_t max_suggestions = 16;
+};
+
+class RepairAdvisor {
+ public:
+  explicit RepairAdvisor(const NamingGraph& graph) : graph_(&graph) {}
+
+  /// Diagnose incoherence from ctx_a's point of view: for every probe that
+  /// ctx_a resolves but that is incoherent with ctx_b, find a B-side name
+  /// for the A-side entity and derive the prefix rule.
+  [[nodiscard]] RepairReport suggest(EntityId ctx_a, EntityId ctx_b,
+                                     std::span<const CompoundName> probes,
+                                     RepairOptions options = {}) const;
+
+  /// Apply a suggestion to one name: rebase from_prefix → to_prefix.
+  [[nodiscard]] static Result<CompoundName> apply(
+      const MappingSuggestion& suggestion, const CompoundName& name);
+
+ private:
+  const NamingGraph* graph_;
+};
+
+}  // namespace namecoh

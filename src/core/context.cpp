@@ -1,0 +1,61 @@
+#include "core/context.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+void Context::bind(const Name& name, EntityId entity) {
+  NAMECOH_CHECK(entity.valid(), "cannot bind '" + name.text() +
+                                    "' to the undefined entity; use unbind");
+  bindings_[name] = entity;
+}
+
+bool Context::unbind(const Name& name) {
+  return bindings_.erase(name) > 0;
+}
+
+EntityId Context::operator()(const Name& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? EntityId::invalid() : it->second;
+}
+
+std::optional<EntityId> Context::lookup(const Name& name) const {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Context::contains(const Name& name) const {
+  return bindings_.contains(name);
+}
+
+void Context::overlay(const Context& other) {
+  for (const auto& [name, entity] : other.bindings_) {
+    bindings_[name] = entity;
+  }
+}
+
+bool Context::agrees_on(const Context& other, const Name& name) const {
+  return (*this)(name) == other(name);
+}
+
+std::string Context::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Context& c) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, entity] : c.bindings_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << " -> " << entity;
+  }
+  return os << '}';
+}
+
+}  // namespace namecoh

@@ -1,0 +1,63 @@
+// Contexts (§2): a context is a function from names to entities,
+// C = [N → E]. Unbound names map to the undefined entity ⊥E, represented
+// here as EntityId::invalid().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/entity.hpp"
+#include "core/name.hpp"
+
+namespace namecoh {
+
+/// A finite-support representation of a context function. Names outside the
+/// support resolve to ⊥E. Ordered so iteration (and equality) is stable.
+class Context {
+ public:
+  Context() = default;
+
+  /// Bind n ↦ e, replacing any previous binding. e must be valid.
+  void bind(const Name& name, EntityId entity);
+
+  /// Remove the binding for n (n ↦ ⊥E afterwards). Returns true if a
+  /// binding existed.
+  bool unbind(const Name& name);
+
+  /// The paper's c(n): entity denoted by n, or ⊥E (invalid id) if unbound.
+  [[nodiscard]] EntityId operator()(const Name& name) const;
+
+  /// lookup with explicit absence signalling.
+  [[nodiscard]] std::optional<EntityId> lookup(const Name& name) const;
+
+  [[nodiscard]] bool contains(const Name& name) const;
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+  [[nodiscard]] bool empty() const { return bindings_.empty(); }
+
+  /// Stable iteration over (name, entity) pairs.
+  [[nodiscard]] const std::map<Name, EntityId>& bindings() const {
+    return bindings_;
+  }
+
+  /// Copy every binding of `other` into this context, overwriting
+  /// collisions. Used for context inheritance (parent → child, §5.1) and
+  /// for per-process view construction (§6 II).
+  void overlay(const Context& other);
+
+  /// Two contexts agree on a name when they bind it to the same entity
+  /// (both-unbound counts as agreement on ⊥E).
+  [[nodiscard]] bool agrees_on(const Context& other, const Name& name) const;
+
+  friend bool operator==(const Context& a, const Context& b) = default;
+
+  /// Debug rendering "{a -> #1, b -> #2}".
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Context& c);
+
+ private:
+  std::map<Name, EntityId> bindings_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,37 @@
+// Entities (§2): activities (active) and objects (passive).
+//
+// EntityId is a strong id whose kind (activity vs object) is recorded in the
+// naming graph, not in the id itself; the graph is the single source of
+// truth for entity state σ(e).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "util/ids.hpp"
+
+namespace namecoh {
+
+struct EntityTag {};
+/// Identifier of an entity in a NamingGraph. The value
+/// EntityId::invalid() plays the role of the paper's undefined entity ⊥E.
+using EntityId = StrongId<EntityTag>;
+
+struct ReplicaGroupTag {};
+/// Identifier of a replica equivalence class (weak coherence, §5).
+using ReplicaGroupId = StrongId<ReplicaGroupTag>;
+
+enum class EntityKind : std::uint8_t {
+  kActivity,       ///< performs computation, exchanges names (e.g. process)
+  kDataObject,     ///< passive object whose state is data (e.g. file)
+  kContextObject,  ///< passive object whose state is a context (directory)
+};
+
+std::string_view entity_kind_name(EntityKind kind);
+
+inline std::ostream& operator<<(std::ostream& os, EntityKind kind) {
+  return os << entity_kind_name(kind);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,129 @@
+#include "core/graph_ops.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace namecoh {
+
+std::unordered_set<EntityId> reachable_from(const NamingGraph& graph,
+                                            EntityId start,
+                                            std::size_t max_depth) {
+  std::unordered_set<EntityId> seen;
+  if (!graph.is_context_object(start)) return seen;
+  seen.insert(start);
+  std::deque<std::pair<EntityId, std::size_t>> frontier;
+  frontier.emplace_back(start, 0);
+  while (!frontier.empty()) {
+    auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= max_depth) continue;
+    for (const auto& [name, target] : graph.context(node).bindings()) {
+      if (!graph.contains(target)) continue;
+      if (seen.insert(target).second && graph.is_context_object(target)) {
+        frontier.emplace_back(target, depth + 1);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<NamedEntity> enumerate_names(const NamingGraph& graph,
+                                         EntityId start,
+                                         EnumerateOptions options) {
+  std::vector<NamedEntity> out;
+  if (!graph.is_context_object(start)) return out;
+
+  std::unordered_set<EntityId> expanded;
+  expanded.insert(start);
+  // Frontier of context objects to expand, each with the name that reached
+  // it (empty optional for the start context: names begin at its bindings).
+  struct Item {
+    EntityId ctx;
+    std::vector<Name> prefix;
+  };
+  std::deque<Item> frontier;
+  frontier.push_back(Item{start, {}});
+
+  while (!frontier.empty() && out.size() < options.max_results) {
+    Item item = std::move(frontier.front());
+    frontier.pop_front();
+    for (const auto& [name, target] : graph.context(item.ctx).bindings()) {
+      if (options.skip_dot_names && (name.is_cwd() || name.is_parent())) {
+        continue;
+      }
+      if (!graph.contains(target)) continue;
+      std::vector<Name> full = item.prefix;
+      full.push_back(name);
+      bool is_ctx = graph.is_context_object(target);
+      if (!options.contexts_only || is_ctx) {
+        out.push_back(NamedEntity{CompoundName(full), target});
+        if (out.size() >= options.max_results) break;
+      }
+      if (is_ctx && full.size() < options.max_depth &&
+          expanded.insert(target).second) {
+        frontier.push_back(Item{target, std::move(full)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<CompoundName> shortest_name(const NamingGraph& graph, EntityId start,
+                                   EntityId target, std::size_t max_depth,
+                                   bool skip_dot_names) {
+  if (!graph.is_context_object(start)) {
+    return not_a_context_error("shortest_name: start is not a context");
+  }
+  struct Item {
+    EntityId ctx;
+    std::vector<Name> prefix;
+  };
+  std::unordered_set<EntityId> expanded;
+  expanded.insert(start);
+  std::deque<Item> frontier;
+  frontier.push_back(Item{start, {}});
+  while (!frontier.empty()) {
+    Item item = std::move(frontier.front());
+    frontier.pop_front();
+    for (const auto& [name, bound] : graph.context(item.ctx).bindings()) {
+      if (skip_dot_names && (name.is_cwd() || name.is_parent())) continue;
+      if (!skip_dot_names && name.is_cwd()) continue;  // "." never helps
+      std::vector<Name> full = item.prefix;
+      full.push_back(name);
+      if (bound == target) return CompoundName(std::move(full));
+      if (graph.is_context_object(bound) && full.size() < max_depth &&
+          expanded.insert(bound).second) {
+        frontier.push_back(Item{bound, std::move(full)});
+      }
+    }
+  }
+  return not_found_error("no name for target entity from given context");
+}
+
+std::string to_dot(const NamingGraph& graph) {
+  std::ostringstream os;
+  os << "digraph naming {\n";
+  for (EntityId id : graph.entities()) {
+    os << "  n" << id.value() << " [label=\"" << graph.label(id) << "\"";
+    switch (graph.kind_of(id)) {
+      case EntityKind::kContextObject:
+        os << ", shape=box";
+        break;
+      case EntityKind::kDataObject:
+        os << ", shape=ellipse";
+        break;
+      case EntityKind::kActivity:
+        os << ", shape=diamond";
+        break;
+    }
+    os << "];\n";
+  }
+  for (const auto& edge : graph.edges()) {
+    os << "  n" << edge.from.value() << " -> n" << edge.to.value()
+       << " [label=\"" << edge.name.text() << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace namecoh

@@ -1,0 +1,62 @@
+// Whole-graph queries over the naming graph.
+//
+// The coherence analyzer and the schemes need structural questions answered:
+// which entities can an activity reach from its context (§5: "an activity
+// can access only a part of the naming graph"), what names does an entity
+// have relative to a context, and a DOT dump for debugging the topologies
+// of Figures 3-5.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/naming_graph.hpp"
+#include "core/resolve.hpp"
+
+namespace namecoh {
+
+/// All entities reachable from the context of `start` by resolving compound
+/// names of length <= max_depth. Includes `start` itself.
+std::unordered_set<EntityId> reachable_from(const NamingGraph& graph,
+                                            EntityId start,
+                                            std::size_t max_depth = 64);
+
+/// A (name, entity) pair discovered by enumeration.
+struct NamedEntity {
+  CompoundName name;
+  EntityId entity;
+};
+
+struct EnumerateOptions {
+  std::size_t max_depth = 16;      ///< maximum compound-name length
+  std::size_t max_results = 100000;
+  bool skip_dot_names = true;      ///< skip "." and ".." edges (fs hygiene)
+  bool contexts_only = false;      ///< only report context objects
+};
+
+/// Enumerate the compound names resolvable from the context of `start`,
+/// breadth-first, shortest names first. Each visited context object is
+/// expanded once (via its shortest name), so the enumeration terminates on
+/// cyclic graphs; an entity reachable by several routes is reported once
+/// per distinct discovered name for non-context entities, and once for
+/// context objects.
+std::vector<NamedEntity> enumerate_names(const NamingGraph& graph,
+                                         EntityId start,
+                                         EnumerateOptions options = {});
+
+/// The shortest compound name resolving to `target` from the context of
+/// `start`, if any. By default "." / ".." edges are skipped; passing
+/// skip_dot_names = false lets the search climb through ".." — which is
+/// how names above a machine's root (Newcastle, §5.1) are discovered.
+Result<CompoundName> shortest_name(const NamingGraph& graph, EntityId start,
+                                   EntityId target,
+                                   std::size_t max_depth = 64,
+                                   bool skip_dot_names = true);
+
+/// Graphviz DOT rendering of the naming graph (context objects as boxes,
+/// data objects as ellipses, activities as diamonds).
+std::string to_dot(const NamingGraph& graph);
+
+}  // namespace namecoh

@@ -1,0 +1,146 @@
+#include "core/name.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace namecoh {
+
+Name::Name(std::string text) : text_(std::move(text)) {
+  NAMECOH_CHECK(is_valid(text_), "invalid name: '" + text_ + "'");
+}
+
+bool Name::is_valid(std::string_view text) {
+  if (text.empty()) return false;
+  if (text == kRootName) return true;
+  return text.find('/') == std::string_view::npos &&
+         text.find('\0') == std::string_view::npos;
+}
+
+Result<Name> Name::make(std::string text) {
+  if (!is_valid(text)) {
+    return invalid_argument_error("invalid name: '" + text + "'");
+  }
+  return Name(Unchecked{}, std::move(text));
+}
+
+CompoundName::CompoundName(std::vector<Name> names)
+    : names_(std::move(names)) {
+  NAMECOH_CHECK(!names_.empty(), "compound name must be non-empty");
+}
+
+Result<CompoundName> CompoundName::parse_path(std::string_view path) {
+  if (path.empty()) {
+    return invalid_argument_error("empty path");
+  }
+  std::vector<Name> names;
+  if (path.front() == '/') {
+    names.emplace_back(std::string(kRootName));
+    path.remove_prefix(1);
+    if (path.empty()) return CompoundName(std::move(names));
+  } else {
+    names.emplace_back(std::string(kCwdName));
+    // "." alone parses to just the cwd binding.
+    if (path == kCwdName) return CompoundName(std::move(names));
+  }
+  for (const std::string& piece : split(path, '/')) {
+    auto name = Name::make(piece);
+    if (!name.is_ok()) {
+      return invalid_argument_error("bad path component in '" +
+                                    std::string(path) + "': " +
+                                    name.status().message());
+    }
+    names.push_back(std::move(name).value());
+  }
+  return CompoundName(std::move(names));
+}
+
+CompoundName CompoundName::path(std::string_view path) {
+  auto parsed = parse_path(path);
+  NAMECOH_CHECK(parsed.is_ok(), "bad path literal: " + std::string(path));
+  return std::move(parsed).value();
+}
+
+Result<CompoundName> CompoundName::parse_relative(std::string_view path) {
+  if (path.empty()) return invalid_argument_error("empty relative path");
+  if (path.front() == '/') {
+    return invalid_argument_error("relative path must not start with '/': '" +
+                                  std::string(path) + "'");
+  }
+  std::vector<Name> names;
+  for (const std::string& piece : split(path, '/')) {
+    auto name = Name::make(piece);
+    if (!name.is_ok()) {
+      return invalid_argument_error("bad component in '" + std::string(path) +
+                                    "': " + name.status().message());
+    }
+    names.push_back(std::move(name).value());
+  }
+  return CompoundName(std::move(names));
+}
+
+CompoundName CompoundName::relative(std::string_view path) {
+  auto parsed = parse_relative(path);
+  NAMECOH_CHECK(parsed.is_ok(),
+                "bad relative path literal: " + std::string(path));
+  return std::move(parsed).value();
+}
+
+CompoundName CompoundName::rest() const {
+  NAMECOH_CHECK(names_.size() >= 2, "rest() of single-component name");
+  return CompoundName(std::vector<Name>(names_.begin() + 1, names_.end()));
+}
+
+CompoundName CompoundName::parent() const {
+  NAMECOH_CHECK(names_.size() >= 2, "parent() of single-component name");
+  return CompoundName(std::vector<Name>(names_.begin(), names_.end() - 1));
+}
+
+CompoundName CompoundName::append(const CompoundName& other) const {
+  std::vector<Name> names = names_;
+  names.insert(names.end(), other.names_.begin(), other.names_.end());
+  return CompoundName(std::move(names));
+}
+
+CompoundName CompoundName::child(const Name& name) const {
+  std::vector<Name> names = names_;
+  names.push_back(name);
+  return CompoundName(std::move(names));
+}
+
+bool CompoundName::has_prefix(const CompoundName& prefix) const {
+  if (prefix.size() > size()) return false;
+  return std::equal(prefix.names_.begin(), prefix.names_.end(),
+                    names_.begin());
+}
+
+Result<CompoundName> CompoundName::rebase(const CompoundName& from,
+                                          const CompoundName& to) const {
+  if (!has_prefix(from)) {
+    return invalid_argument_error("rebase: '" + from.to_path() +
+                                  "' is not a prefix of '" + to_path() + "'");
+  }
+  std::vector<Name> names = to.names_;
+  names.insert(names.end(), names_.begin() + static_cast<long>(from.size()),
+               names_.end());
+  return CompoundName(std::move(names));
+}
+
+std::string CompoundName::to_path() const {
+  std::string out;
+  std::size_t start = 0;
+  if (names_.front().is_root()) {
+    out = "/";
+    start = 1;
+  } else if (names_.front().is_cwd() && names_.size() > 1) {
+    start = 1;  // drop the implicit "." when more components follow
+  }
+  for (std::size_t i = start; i < names_.size(); ++i) {
+    if (i > start) out += '/';
+    out += names_[i].text();
+  }
+  if (out.empty()) out = names_.front().text();  // "/" or "." alone
+  return out;
+}
+
+}  // namespace namecoh

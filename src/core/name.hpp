@@ -1,0 +1,163 @@
+// Names and compound names (§2 of Radia & Pachl).
+//
+// A Name is an atomic identifier. A CompoundName is a non-empty sequence of
+// names (the paper's N+), resolved step-by-step through context objects.
+//
+// Path syntax: the library follows the paper's Unix discussion. A process
+// context holds two distinguished bindings, kRootName ("/") for the root
+// directory and kCwdName (".") for the working directory. Parsing the path
+// string "/a/b" yields the compound name ⟨"/", "a", "b"⟩ and "a/b" yields
+// ⟨".", "a", "b"⟩ — after that the resolver is entirely uniform and knows
+// nothing about path syntax. "." and ".." inside directories are ordinary
+// bindings installed by the file-system layer, which is exactly what lets
+// the Newcastle Connection (§5.1) give '..'-above-root its meaning with no
+// resolver changes.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Distinguished binding names used by process contexts and directories.
+inline constexpr std::string_view kRootName = "/";
+inline constexpr std::string_view kCwdName = ".";
+inline constexpr std::string_view kParentName = "..";
+
+/// An atomic name. Valid names are non-empty, contain no NUL and no '/'
+/// — except the single reserved name "/" itself (the root binding).
+class Name {
+ public:
+  /// Throws PreconditionError on invalid text; use validate() + make() when
+  /// the text comes from untrusted input.
+  explicit Name(std::string text);
+  Name(const char* text) : Name(std::string(text)) {}  // NOLINT: ergonomics
+
+  /// Validity check without construction.
+  static bool is_valid(std::string_view text);
+  /// Non-throwing factory.
+  static Result<Name> make(std::string text);
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  [[nodiscard]] bool is_root() const { return text_ == kRootName; }
+  [[nodiscard]] bool is_cwd() const { return text_ == kCwdName; }
+  [[nodiscard]] bool is_parent() const { return text_ == kParentName; }
+
+  friend auto operator<=>(const Name& a, const Name& b) {
+    return a.text_ <=> b.text_;
+  }
+  friend bool operator==(const Name& a, const Name& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Name& n) {
+    return os << n.text_;
+  }
+
+ private:
+  struct Unchecked {};
+  Name(Unchecked, std::string text) : text_(std::move(text)) {}
+  std::string text_;
+  friend class CompoundName;
+};
+
+/// A non-empty sequence of names (the paper's N+). Immutable value type.
+class CompoundName {
+ public:
+  CompoundName(std::initializer_list<Name> names)
+      : CompoundName(std::vector<Name>(names)) {}
+  explicit CompoundName(std::vector<Name> names);
+
+  /// Parse a Unix-style path string per the convention documented above.
+  ///  "/a/b"  -> ⟨"/", "a", "b"⟩        (absolute)
+  ///  "a/b"   -> ⟨".", "a", "b"⟩        (relative; "." prepended)
+  ///  "/"     -> ⟨"/"⟩
+  ///  "."     -> ⟨"."⟩
+  ///  "../x"  -> ⟨".", "..", "x"⟩
+  /// Empty strings and empty components ("a//b") are invalid.
+  static Result<CompoundName> parse_path(std::string_view path);
+
+  /// Parse, throwing on invalid input. For literals in tests/examples.
+  static CompoundName path(std::string_view path);
+
+  /// Parse a bare component sequence: "a/p" -> ⟨"a","p"⟩ with NO implicit
+  /// "." prefix and no leading '/'. This is the form names embedded in
+  /// files take (§6 Example 2): the first component is what the Algol-scope
+  /// search looks for in ancestor directories, so it must not be hidden
+  /// behind a "." binding.
+  static Result<CompoundName> parse_relative(std::string_view path);
+  /// Throwing variant for literals.
+  static CompoundName relative(std::string_view path);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const Name& at(std::size_t i) const { return names_.at(i); }
+  [[nodiscard]] const Name& front() const { return names_.front(); }
+  [[nodiscard]] const Name& back() const { return names_.back(); }
+  [[nodiscard]] std::span<const Name> components() const { return names_; }
+
+  [[nodiscard]] bool is_absolute() const { return names_.front().is_root(); }
+
+  /// The name without its first component; requires size() >= 2.
+  [[nodiscard]] CompoundName rest() const;
+  /// The name without its last component; requires size() >= 2.
+  [[nodiscard]] CompoundName parent() const;
+  /// Concatenation ⟨this..., other...⟩.
+  [[nodiscard]] CompoundName append(const CompoundName& other) const;
+  /// Concatenation ⟨this..., name⟩.
+  [[nodiscard]] CompoundName child(const Name& name) const;
+
+  /// True if `prefix` is a (not necessarily proper) prefix of this name.
+  [[nodiscard]] bool has_prefix(const CompoundName& prefix) const;
+
+  /// Replace the prefix `from` with `to`; error if `from` is not a prefix.
+  /// This is the §7 "human mapping rule" (/users -> /org2/users) made
+  /// mechanical.
+  [[nodiscard]] Result<CompoundName> rebase(const CompoundName& from,
+                                            const CompoundName& to) const;
+
+  /// Render back to path syntax: ⟨"/","a","b"⟩ -> "/a/b",
+  /// ⟨".","a"⟩ -> "a", ⟨"x","y"⟩ -> "x/y".
+  [[nodiscard]] std::string to_path() const;
+
+  friend auto operator<=>(const CompoundName& a, const CompoundName& b) {
+    return a.names_ <=> b.names_;
+  }
+  friend bool operator==(const CompoundName& a,
+                         const CompoundName& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const CompoundName& n) {
+    return os << n.to_path();
+  }
+
+ private:
+  std::vector<Name> names_;
+};
+
+}  // namespace namecoh
+
+template <>
+struct std::hash<namecoh::Name> {
+  std::size_t operator()(const namecoh::Name& n) const noexcept {
+    return std::hash<std::string>{}(n.text());
+  }
+};
+
+template <>
+struct std::hash<namecoh::CompoundName> {
+  std::size_t operator()(const namecoh::CompoundName& n) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const auto& part : n.components()) {
+      h ^= std::hash<namecoh::Name>{}(part);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};

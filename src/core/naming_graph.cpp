@@ -1,0 +1,227 @@
+#include "core/naming_graph.hpp"
+
+namespace namecoh {
+
+std::string_view entity_kind_name(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kActivity:
+      return "activity";
+    case EntityKind::kDataObject:
+      return "data-object";
+    case EntityKind::kContextObject:
+      return "context-object";
+  }
+  return "?";
+}
+
+NamingGraph NamingGraph::clone() const {
+  NamingGraph copy;
+  copy.records_ = records_;
+  copy.next_group_ = next_group_;
+  return copy;
+}
+
+EntityId NamingGraph::add_activity(std::string label) {
+  records_.push_back(Record{EntityKind::kActivity, std::move(label),
+                            Context{}, std::string{}, {}, {}});
+  return EntityId(records_.size() - 1);
+}
+
+EntityId NamingGraph::add_data_object(std::string label, std::string bytes) {
+  records_.push_back(Record{EntityKind::kDataObject, std::move(label),
+                            Context{}, std::move(bytes), {}, {}});
+  return EntityId(records_.size() - 1);
+}
+
+EntityId NamingGraph::add_context_object(std::string label) {
+  records_.push_back(Record{EntityKind::kContextObject, std::move(label),
+                            Context{}, std::string{}, {}, {}});
+  return EntityId(records_.size() - 1);
+}
+
+bool NamingGraph::contains(EntityId id) const {
+  return id.valid() && id.value() < records_.size();
+}
+
+const NamingGraph::Record& NamingGraph::record(EntityId id) const {
+  NAMECOH_CHECK(contains(id), "unknown entity id");
+  return records_[static_cast<std::size_t>(id.value())];
+}
+
+NamingGraph::Record& NamingGraph::record(EntityId id) {
+  NAMECOH_CHECK(contains(id), "unknown entity id");
+  return records_[static_cast<std::size_t>(id.value())];
+}
+
+EntityKind NamingGraph::kind_of(EntityId id) const {
+  return record(id).kind;
+}
+
+bool NamingGraph::is_activity(EntityId id) const {
+  return contains(id) && record(id).kind == EntityKind::kActivity;
+}
+
+bool NamingGraph::is_context_object(EntityId id) const {
+  return contains(id) && record(id).kind == EntityKind::kContextObject;
+}
+
+bool NamingGraph::is_data_object(EntityId id) const {
+  return contains(id) && record(id).kind == EntityKind::kDataObject;
+}
+
+const std::string& NamingGraph::label(EntityId id) const {
+  return record(id).label;
+}
+
+void NamingGraph::set_label(EntityId id, std::string label) {
+  record(id).label = std::move(label);
+}
+
+std::vector<EntityId> NamingGraph::entities() const {
+  std::vector<EntityId> out;
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<EntityId> NamingGraph::entities_of_kind(EntityKind kind) const {
+  std::vector<EntityId> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].kind == kind) out.emplace_back(i);
+  }
+  return out;
+}
+
+const Context& NamingGraph::context(EntityId id) const {
+  const Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kContextObject,
+                "context() on non-context entity '" + rec.label + "'");
+  return rec.ctx;
+}
+
+Context& NamingGraph::context(EntityId id) {
+  Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kContextObject,
+                "context() on non-context entity '" + rec.label + "'");
+  return rec.ctx;
+}
+
+Status NamingGraph::bind(EntityId ctx, const Name& name, EntityId target) {
+  if (!contains(ctx)) return invalid_argument_error("bind: unknown context id");
+  if (!contains(target)) {
+    return invalid_argument_error("bind: unknown target entity");
+  }
+  Record& rec = record(ctx);
+  if (rec.kind != EntityKind::kContextObject) {
+    return not_a_context_error("bind: '" + rec.label + "' is a " +
+                               std::string(entity_kind_name(rec.kind)));
+  }
+  rec.ctx.bind(name, target);
+  return Status::ok();
+}
+
+Status NamingGraph::unbind(EntityId ctx, const Name& name) {
+  if (!contains(ctx)) {
+    return invalid_argument_error("unbind: unknown context id");
+  }
+  Record& rec = record(ctx);
+  if (rec.kind != EntityKind::kContextObject) {
+    return not_a_context_error("unbind: '" + rec.label + "' is a " +
+                               std::string(entity_kind_name(rec.kind)));
+  }
+  if (!rec.ctx.unbind(name)) {
+    return not_found_error("unbind: '" + name.text() + "' not bound in '" +
+                           rec.label + "'");
+  }
+  return Status::ok();
+}
+
+Result<EntityId> NamingGraph::lookup(EntityId ctx, const Name& name) const {
+  if (!contains(ctx)) {
+    return invalid_argument_error("lookup: unknown context id");
+  }
+  const Record& rec = record(ctx);
+  if (rec.kind != EntityKind::kContextObject) {
+    return not_a_context_error("lookup: '" + rec.label + "' is a " +
+                               std::string(entity_kind_name(rec.kind)));
+  }
+  auto found = rec.ctx.lookup(name);
+  if (!found.has_value()) {
+    return not_found_error("'" + name.text() + "' not bound in '" +
+                           rec.label + "'");
+  }
+  return *found;
+}
+
+const std::string& NamingGraph::data(EntityId id) const {
+  const Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,
+                "data() on non-data entity '" + rec.label + "'");
+  return rec.data;
+}
+
+void NamingGraph::set_data(EntityId id, std::string bytes) {
+  Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,
+                "set_data() on non-data entity '" + rec.label + "'");
+  rec.data = std::move(bytes);
+}
+
+const std::vector<CompoundName>& NamingGraph::embedded_names(
+    EntityId id) const {
+  const Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,
+                "embedded_names() on non-data entity '" + rec.label + "'");
+  return rec.embedded;
+}
+
+void NamingGraph::add_embedded_name(EntityId id, CompoundName name) {
+  Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,
+                "add_embedded_name() on non-data entity '" + rec.label + "'");
+  rec.embedded.push_back(std::move(name));
+}
+
+void NamingGraph::clear_embedded_names(EntityId id) {
+  Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,
+                "clear_embedded_names() on non-data entity");
+  rec.embedded.clear();
+}
+
+ReplicaGroupId NamingGraph::new_replica_group() {
+  return ReplicaGroupId(next_group_++);
+}
+
+void NamingGraph::set_replica_group(EntityId id, ReplicaGroupId group) {
+  Record& rec = record(id);
+  NAMECOH_CHECK(rec.kind != EntityKind::kActivity,
+                "activities cannot be replicated");
+  rec.group = group;
+}
+
+ReplicaGroupId NamingGraph::replica_group(EntityId id) const {
+  return record(id).group;
+}
+
+bool NamingGraph::weakly_equal(EntityId a, EntityId b) const {
+  if (a == b) return contains(a);
+  if (!contains(a) || !contains(b)) return false;
+  ReplicaGroupId ga = record(a).group;
+  ReplicaGroupId gb = record(b).group;
+  return ga.valid() && ga == gb;
+}
+
+std::vector<NamingGraph::Edge> NamingGraph::edges() const {
+  std::vector<Edge> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    if (rec.kind != EntityKind::kContextObject) continue;
+    for (const auto& [name, target] : rec.ctx.bindings()) {
+      out.push_back(Edge{EntityId(i), name, target});
+    }
+  }
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,119 @@
+// The naming graph (§2): the global state σ of all entities.
+//
+// Nodes are entities; for every context object o and binding n ↦ e in its
+// context σ(o), there is an edge o →(n) e. Compound-name resolution is a
+// directed traversal of this graph (see resolve.hpp).
+//
+// The graph owns all entity state: kind, debug label, the Context of each
+// context object, the byte payload and embedded names of each data object,
+// and the replica group used for weak coherence (§5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/entity.hpp"
+#include "core/name.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+class NamingGraph {
+ public:
+  NamingGraph() = default;
+
+  // Graphs are heavyweight and identity-bearing (ids index into them);
+  // copying one by accident is almost always a bug. clone() is explicit.
+  NamingGraph(const NamingGraph&) = delete;
+  NamingGraph& operator=(const NamingGraph&) = delete;
+  NamingGraph(NamingGraph&&) = default;
+  NamingGraph& operator=(NamingGraph&&) = default;
+
+  [[nodiscard]] NamingGraph clone() const;
+
+  // --- Entity creation -----------------------------------------------------
+
+  EntityId add_activity(std::string label);
+  EntityId add_data_object(std::string label, std::string bytes = {});
+  EntityId add_context_object(std::string label);
+
+  // --- Entity inspection ---------------------------------------------------
+
+  [[nodiscard]] bool contains(EntityId id) const;
+  /// Precondition: contains(id).
+  [[nodiscard]] EntityKind kind_of(EntityId id) const;
+  [[nodiscard]] bool is_activity(EntityId id) const;
+  [[nodiscard]] bool is_context_object(EntityId id) const;
+  [[nodiscard]] bool is_data_object(EntityId id) const;
+
+  [[nodiscard]] const std::string& label(EntityId id) const;
+  void set_label(EntityId id, std::string label);
+
+  [[nodiscard]] std::size_t entity_count() const { return records_.size(); }
+  [[nodiscard]] std::vector<EntityId> entities() const;
+  [[nodiscard]] std::vector<EntityId> entities_of_kind(EntityKind kind) const;
+
+  // --- Context-object state ------------------------------------------------
+
+  /// Precondition: is_context_object(id).
+  [[nodiscard]] const Context& context(EntityId id) const;
+  [[nodiscard]] Context& context(EntityId id);
+
+  /// Bind name ↦ target in the context of ctx. Fails (kInvalidArgument /
+  /// kNotAContext) rather than throwing: schemes bind data-driven names.
+  Status bind(EntityId ctx, const Name& name, EntityId target);
+  Status unbind(EntityId ctx, const Name& name);
+  /// Single-step lookup; kNotFound when unbound (the paper's ⊥E).
+  [[nodiscard]] Result<EntityId> lookup(EntityId ctx, const Name& name) const;
+
+  // --- Data-object state ---------------------------------------------------
+
+  /// Precondition: is_data_object(id).
+  [[nodiscard]] const std::string& data(EntityId id) const;
+  void set_data(EntityId id, std::string bytes);
+
+  /// Names embedded in a data object (§4 case 3, §6 Example 2). Stored as
+  /// compound names; the embed module decides how they are resolved.
+  [[nodiscard]] const std::vector<CompoundName>& embedded_names(
+      EntityId id) const;
+  void add_embedded_name(EntityId id, CompoundName name);
+  void clear_embedded_names(EntityId id);
+
+  // --- Replication (weak coherence, §5) -------------------------------------
+
+  ReplicaGroupId new_replica_group();
+  /// Precondition: id is an object (not an activity).
+  void set_replica_group(EntityId id, ReplicaGroupId group);
+  /// invalid() when the object is not replicated.
+  [[nodiscard]] ReplicaGroupId replica_group(EntityId id) const;
+  /// Same entity, or two replicas of the same replicated object.
+  [[nodiscard]] bool weakly_equal(EntityId a, EntityId b) const;
+
+  // --- Whole-graph edge view (for analysis / DOT dumps) ---------------------
+
+  struct Edge {
+    EntityId from;  ///< a context object
+    Name name;      ///< edge label
+    EntityId to;
+  };
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
+  struct Record {
+    EntityKind kind;
+    std::string label;
+    Context ctx;                           // context objects only
+    std::string data;                      // data objects only
+    std::vector<CompoundName> embedded;    // data objects only
+    ReplicaGroupId group;                  // objects only; may be invalid
+  };
+
+  [[nodiscard]] const Record& record(EntityId id) const;
+  [[nodiscard]] Record& record(EntityId id);
+
+  std::vector<Record> records_;
+  std::uint64_t next_group_ = 0;
+};
+
+}  // namespace namecoh

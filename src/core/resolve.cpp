@@ -1,0 +1,69 @@
+#include "core/resolve.hpp"
+
+namespace namecoh {
+namespace {
+
+Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
+                        EntityId start_obj, const CompoundName& name,
+                        const ResolveOptions& options) {
+  Resolution res;
+  const Context* ctx = start_ctx;
+  if (!ctx) {
+    if (!graph.is_context_object(start_obj)) {
+      res.status = not_a_context_error("resolution must start in a context");
+      return res;
+    }
+    ctx = &graph.context(start_obj);
+    res.trail.push_back(start_obj);
+  }
+
+  const auto components = name.components();
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (res.steps >= options.max_steps) {
+      res.status = depth_exceeded_error("resolution exceeded " +
+                                        std::to_string(options.max_steps) +
+                                        " steps at '" + name.to_path() + "'");
+      return res;
+    }
+    ++res.steps;
+
+    EntityId next = (*ctx)(components[i]);
+    if (!next.valid()) {
+      res.status = not_found_error("'" + components[i].text() +
+                                   "' unbound while resolving '" +
+                                   name.to_path() + "'");
+      return res;
+    }
+    if (i + 1 == components.size()) {
+      // Last component: any entity is a legal result.
+      res.entity = next;
+      res.status = Status::ok();
+      return res;
+    }
+    // Interior component: σ(next) must be a context to continue.
+    if (!graph.is_context_object(next)) {
+      res.status = not_a_context_error(
+          "'" + components[i].text() + "' denotes a non-context entity " +
+          "while resolving '" + name.to_path() + "'");
+      return res;
+    }
+    ctx = &graph.context(next);
+    res.trail.push_back(next);
+  }
+  res.status = internal_error("unreachable: empty compound name");
+  return res;
+}
+
+}  // namespace
+
+Resolution resolve(const NamingGraph& graph, const Context& start,
+                   const CompoundName& name, ResolveOptions options) {
+  return resolve_impl(graph, &start, EntityId::invalid(), name, options);
+}
+
+Resolution resolve_from(const NamingGraph& graph, EntityId start_context,
+                        const CompoundName& name, ResolveOptions options) {
+  return resolve_impl(graph, nullptr, start_context, name, options);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,54 @@
+// Compound-name resolution (§2).
+//
+// Implements the paper's recursive definition
+//   c(n1 … nk) = σ(c(n1))(n2 … nk)   when σ(c(n1)) ∈ C
+//              = ⊥E                   otherwise
+// as an iterative traversal of the naming graph, with a depth limit that
+// guards against pathological graphs (the naming graph is a general directed
+// graph and may contain cycles, e.g. the "." and ".." bindings of a file
+// system).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/name.hpp"
+#include "core/naming_graph.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+struct ResolveOptions {
+  /// Maximum number of resolution steps (compound-name components
+  /// processed). Generous default: real paths are far shorter.
+  std::size_t max_steps = 256;
+};
+
+/// The outcome of resolving one compound name, with the traversal trail for
+/// diagnostics and path-length statistics.
+struct Resolution {
+  Status status;            ///< OK, NOT_FOUND, NOT_A_CONTEXT, DEPTH_EXCEEDED
+  EntityId entity;          ///< valid iff status OK; else ⊥E (invalid)
+  std::vector<EntityId> trail;  ///< context objects traversed, in order
+  std::size_t steps = 0;    ///< components consumed
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+
+  /// Two resolutions denote the same entity (both OK, equal ids).
+  [[nodiscard]] bool same_entity(const Resolution& other) const {
+    return ok() && other.ok() && entity == other.entity;
+  }
+};
+
+/// Resolve `name` starting from an explicit context value.
+Resolution resolve(const NamingGraph& graph, const Context& start,
+                   const CompoundName& name, ResolveOptions options = {});
+
+/// Resolve `name` starting from the context of a context object.
+Resolution resolve_from(const NamingGraph& graph, EntityId start_context,
+                        const CompoundName& name,
+                        ResolveOptions options = {});
+
+}  // namespace namecoh

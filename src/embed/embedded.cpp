@@ -1,0 +1,125 @@
+#include "embed/embedded.hpp"
+
+#include <unordered_set>
+
+namespace namecoh {
+
+std::string_view embed_rule_name(EmbedRule rule) {
+  switch (rule) {
+    case EmbedRule::kActivityContext:
+      return "R(activity)";
+    case EmbedRule::kAlgolScope:
+      return "R(file)";
+  }
+  return "?";
+}
+
+Result<EntityId> EmbeddedNameResolver::find_scope(
+    EntityId containing_dir, const CompoundName& name) const {
+  if (!graph_->is_context_object(containing_dir)) {
+    return not_a_context_error("find_scope: containing_dir not a directory");
+  }
+  const Name& first = name.front();
+  const Name parent{std::string(kParentName)};
+  std::unordered_set<EntityId> visited;
+  EntityId dir = containing_dir;
+  while (visited.insert(dir).second) {
+    const Context& ctx = graph_->context(dir);
+    if (ctx.contains(first)) return dir;
+    EntityId up = ctx(parent);
+    if (!up.valid() || !graph_->is_context_object(up)) break;
+    dir = up;  // root's ".." binds to itself, terminating via `visited`
+  }
+  return not_found_error("no ancestor of '" + graph_->label(containing_dir) +
+                         "' binds '" + first.text() + "'");
+}
+
+Resolution EmbeddedNameResolver::resolve_algol(
+    EntityId containing_dir, const CompoundName& name) const {
+  auto scope = find_scope(containing_dir, name);
+  if (!scope.is_ok()) {
+    Resolution res;
+    res.status = scope.status();
+    return res;
+  }
+  return resolve_from(*graph_, scope.value(), name);
+}
+
+std::vector<EntityId> DocumentMeaning::denotation() const {
+  std::vector<EntityId> out;
+  out.reserve(refs.size());
+  for (const ResolvedRef& ref : refs) {
+    out.push_back(ref.status.is_ok() ? ref.target : EntityId::invalid());
+  }
+  return out;
+}
+
+bool DocumentMeaning::same_meaning(const DocumentMeaning& other) const {
+  return fully_resolved() && other.fully_resolved() &&
+         denotation() == other.denotation();
+}
+
+DocumentMeaning DocumentAssembler::assemble(
+    EntityId root_file, EntityId containing_dir,
+    const AssembleOptions& options) const {
+  DocumentMeaning out;
+  NAMECOH_CHECK(options.rule != EmbedRule::kActivityContext ||
+                    options.reader_context != nullptr,
+                "kActivityContext assembly needs a reader context");
+  std::unordered_set<EntityId> in_progress;
+  expand(root_file, containing_dir, options, 0, in_progress, out);
+  return out;
+}
+
+void DocumentAssembler::expand(EntityId file, EntityId containing_dir,
+                               const AssembleOptions& options,
+                               std::size_t depth,
+                               std::unordered_set<EntityId>& in_progress,
+                               DocumentMeaning& out) const {
+  if (!graph_->is_data_object(file)) return;
+  if (depth > options.max_depth || out.parts.size() >= options.max_parts) {
+    return;
+  }
+  if (!in_progress.insert(file).second) return;  // include cycle: cut it
+
+  out.parts.push_back(file);
+  out.text += graph_->data(file);
+
+  for (const CompoundName& embedded : graph_->embedded_names(file)) {
+    Resolution res;
+    if (options.rule == EmbedRule::kAlgolScope) {
+      res = resolver_.resolve_algol(containing_dir, embedded);
+    } else {
+      // R(a): a bare embedded name ("a/p") is interpreted the way Unix
+      // readers interpret it — relative to the reader's working directory.
+      const Name& first = embedded.front();
+      if (first.is_root() || first.is_cwd()) {
+        res = resolve(*graph_, *options.reader_context, embedded);
+      } else {
+        std::vector<Name> names;
+        names.reserve(embedded.size() + 1);
+        names.emplace_back(std::string(kCwdName));
+        for (const Name& n : embedded.components()) names.push_back(n);
+        res = resolve(*graph_, *options.reader_context,
+                      CompoundName(std::move(names)));
+      }
+    }
+    ResolvedRef ref{file, embedded, res.status,
+                    res.ok() ? res.entity : EntityId::invalid()};
+    out.refs.push_back(ref);
+    if (!res.ok()) {
+      ++out.unresolved;
+      continue;
+    }
+    if (graph_->is_data_object(res.entity)) {
+      // The directory the included file was found in governs *its* embedded
+      // names: the last context object on the resolution trail.
+      EntityId child_dir =
+          res.trail.empty() ? containing_dir : res.trail.back();
+      expand(res.entity, child_dir, options, depth + 1, in_progress, out);
+    }
+  }
+  in_progress.erase(file);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,123 @@
+// Embedded names and structured objects (§4 case 3, §6 Example 2, Fig. 6).
+//
+// A structured object is a file whose payload refers to other files by
+// embedded names (LaTeX \input, C #include, multi-file executables). Its
+// *meaning* is determined by what the embedded names denote; the file is
+// coherent across activities/sites when every embedded name denotes the
+// same entity everywhere.
+//
+// Two resolution disciplines are implemented:
+//
+//   * activity-context (the common, incoherent one): each embedded name is
+//     resolved in the *reader's* process context, rule R(a). Copy a
+//     document tree to another machine, or read it from a different
+//     process, and its meaning can change.
+//
+//   * Algol scope, rule R(file) (the paper's fix): an embedded name n1…nk
+//     is resolved relative to the closest ancestor directory — walking up
+//     ".." from the file's containing directory — that has a binding for
+//     n1. Nested subtrees play the role of Algol's nested blocks (Fig. 6).
+//     The subtree can be attached in several places, relocated, or copied
+//     without changing the meaning of its embedded names.
+//
+// The containing directory of a file is taken from the resolution trail
+// that reached it (a file hard-linked into several directories has a
+// well-defined scope per access path), mirroring how a real system knows
+// which directory it opened the file through.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/naming_graph.hpp"
+#include "core/resolve.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Algol-scope resolution of one embedded name.
+class EmbeddedNameResolver {
+ public:
+  explicit EmbeddedNameResolver(const NamingGraph& graph) : graph_(&graph) {}
+
+  /// Find the closest ancestor of `containing_dir` (inclusive) that binds
+  /// the first component of `name`; kNotFound when the search exhausts the
+  /// ancestor chain.
+  [[nodiscard]] Result<EntityId> find_scope(EntityId containing_dir,
+                                            const CompoundName& name) const;
+
+  /// Full R(file) resolution: find_scope, then resolve `name` relative to
+  /// the scope directory.
+  [[nodiscard]] Resolution resolve_algol(EntityId containing_dir,
+                                         const CompoundName& name) const;
+
+ private:
+  const NamingGraph* graph_;
+};
+
+/// How a document assembler resolves embedded names.
+enum class EmbedRule : std::uint8_t {
+  kActivityContext,  ///< R(a): in the reader's process context
+  kAlgolScope,       ///< R(file): closest-ancestor scope of the file
+};
+std::string_view embed_rule_name(EmbedRule rule);
+
+/// One resolved (or unresolved) embedded reference.
+struct ResolvedRef {
+  EntityId from_file;    ///< the file containing the embedded name
+  CompoundName name;     ///< the embedded name as written
+  Status status;         ///< resolution outcome
+  EntityId target;       ///< valid iff status OK
+};
+
+/// The meaning of a structured object: every embedded reference in the
+/// include closure, in deterministic (depth-first, in-file) order, plus the
+/// concatenated text of all parts.
+struct DocumentMeaning {
+  std::vector<ResolvedRef> refs;
+  std::vector<EntityId> parts;  ///< files in assembly order (root first)
+  std::string text;             ///< concatenated payloads
+  std::size_t unresolved = 0;
+
+  [[nodiscard]] bool fully_resolved() const { return unresolved == 0; }
+
+  /// The entity sequence denoted by the document's embedded names — the
+  /// object of the coherence comparison.
+  [[nodiscard]] std::vector<EntityId> denotation() const;
+
+  /// Same meaning: identical denotation sequences and both fully resolved.
+  [[nodiscard]] bool same_meaning(const DocumentMeaning& other) const;
+};
+
+struct AssembleOptions {
+  EmbedRule rule = EmbedRule::kAlgolScope;
+  /// Reader's process context; required for kActivityContext.
+  const Context* reader_context = nullptr;
+  std::size_t max_depth = 32;      ///< include-nesting limit
+  std::size_t max_parts = 10000;   ///< total parts limit
+};
+
+/// Recursively expand a structured object from its root file.
+/// `containing_dir` is the directory the root file was opened through.
+class DocumentAssembler {
+ public:
+  explicit DocumentAssembler(const NamingGraph& graph)
+      : graph_(&graph), resolver_(graph) {}
+
+  [[nodiscard]] DocumentMeaning assemble(EntityId root_file,
+                                         EntityId containing_dir,
+                                         const AssembleOptions& options) const;
+
+ private:
+  void expand(EntityId file, EntityId containing_dir,
+              const AssembleOptions& options, std::size_t depth,
+              std::unordered_set<EntityId>& in_progress,
+              DocumentMeaning& out) const;
+
+  const NamingGraph* graph_;
+  EmbeddedNameResolver resolver_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,337 @@
+#include "fs/file_system.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace namecoh {
+namespace {
+
+const Name kDot{std::string(kCwdName)};
+const Name kDotDot{std::string(kParentName)};
+const Name kSlash{std::string(kRootName)};
+
+}  // namespace
+
+Result<EntityId> FileSystem::require_dir(EntityId id,
+                                         std::string_view op) const {
+  if (!graph_->contains(id)) {
+    return invalid_argument_error(std::string(op) + ": unknown entity");
+  }
+  if (!graph_->is_context_object(id)) {
+    return not_a_context_error(std::string(op) + ": '" + graph_->label(id) +
+                               "' is not a directory");
+  }
+  return id;
+}
+
+EntityId FileSystem::make_root(std::string label) {
+  EntityId root = graph_->add_context_object(std::move(label));
+  graph_->context(root).bind(kDot, root);
+  graph_->context(root).bind(kDotDot, root);
+  return root;
+}
+
+Result<EntityId> FileSystem::mkdir(EntityId parent, const Name& name) {
+  auto dir = require_dir(parent, "mkdir");
+  if (!dir.is_ok()) return dir.status();
+  if (graph_->context(parent).contains(name)) {
+    return already_exists_error("mkdir: '" + name.text() + "' exists in '" +
+                                graph_->label(parent) + "'");
+  }
+  EntityId child = graph_->add_context_object(name.text());
+  graph_->context(child).bind(kDot, child);
+  graph_->context(child).bind(kDotDot, parent);
+  graph_->context(parent).bind(name, child);
+  return child;
+}
+
+Result<EntityId> FileSystem::create_file(EntityId dir, const Name& name,
+                                         std::string data) {
+  auto d = require_dir(dir, "create_file");
+  if (!d.is_ok()) return d.status();
+  if (graph_->context(dir).contains(name)) {
+    return already_exists_error("create_file: '" + name.text() +
+                                "' exists in '" + graph_->label(dir) + "'");
+  }
+  EntityId file = graph_->add_data_object(name.text(), std::move(data));
+  graph_->context(dir).bind(name, file);
+  return file;
+}
+
+Status FileSystem::link(EntityId dir, const Name& name, EntityId target) {
+  auto d = require_dir(dir, "link");
+  if (!d.is_ok()) return d.status();
+  if (!graph_->contains(target)) {
+    return invalid_argument_error("link: unknown target");
+  }
+  if (graph_->context(dir).contains(name)) {
+    return already_exists_error("link: '" + name.text() + "' exists in '" +
+                                graph_->label(dir) + "'");
+  }
+  return graph_->bind(dir, name, target);
+}
+
+Status FileSystem::unlink(EntityId dir, const Name& name) {
+  auto d = require_dir(dir, "unlink");
+  if (!d.is_ok()) return d.status();
+  if (name.is_cwd() || name.is_parent()) {
+    return invalid_argument_error("unlink: refusing to remove '" +
+                                  name.text() + "'");
+  }
+  return graph_->unbind(dir, name);
+}
+
+Result<EntityId> FileSystem::parent_of(EntityId dir) const {
+  auto d = require_dir(dir, "parent_of");
+  if (!d.is_ok()) return d.status();
+  return graph_->lookup(dir, kDotDot);
+}
+
+std::vector<std::pair<Name, EntityId>> FileSystem::list(EntityId dir) const {
+  std::vector<std::pair<Name, EntityId>> out;
+  if (!graph_->is_context_object(dir)) return out;
+  for (const auto& [name, target] : graph_->context(dir).bindings()) {
+    if (name.is_cwd() || name.is_parent()) continue;
+    out.emplace_back(name, target);
+  }
+  return out;
+}
+
+void FileSystem::walk(
+    EntityId dir,
+    const std::function<void(const CompoundName&, EntityId)>& visitor) const {
+  if (!graph_->is_context_object(dir)) return;
+  std::unordered_set<EntityId> visited;
+  visited.insert(dir);
+  // Iterative DFS carrying the path from `dir`.
+  struct Frame {
+    EntityId node;
+    std::vector<Name> path;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{dir, {}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    for (const auto& [name, target] : list(frame.node)) {
+      std::vector<Name> path = frame.path;
+      path.push_back(name);
+      visitor(CompoundName(path), target);
+      if (graph_->is_context_object(target) &&
+          visited.insert(target).second) {
+        stack.push_back(Frame{target, std::move(path)});
+      }
+    }
+  }
+}
+
+Resolution FileSystem::resolve_path(const Context& process_context,
+                                    std::string_view path) const {
+  auto name = CompoundName::parse_path(path);
+  if (!name.is_ok()) {
+    Resolution res;
+    res.status = name.status();
+    return res;
+  }
+  return resolve(*graph_, process_context, name.value());
+}
+
+Result<EntityId> FileSystem::mkdir_p(EntityId dir, std::string_view path) {
+  auto d = require_dir(dir, "mkdir_p");
+  if (!d.is_ok()) return d.status();
+  if (!path.empty() && path.front() == '/') {
+    return invalid_argument_error("mkdir_p: path must be relative");
+  }
+  EntityId current = dir;
+  for (const std::string& piece : split(path, '/', /*skip_empty=*/true)) {
+    auto name = Name::make(piece);
+    if (!name.is_ok()) return name.status();
+    auto existing = graph_->context(current).lookup(name.value());
+    if (existing.has_value()) {
+      if (!graph_->is_context_object(*existing)) {
+        return not_a_context_error("mkdir_p: '" + piece +
+                                   "' exists and is not a directory");
+      }
+      current = *existing;
+    } else {
+      auto made = mkdir(current, name.value());
+      if (!made.is_ok()) return made.status();
+      current = made.value();
+    }
+  }
+  return current;
+}
+
+Result<EntityId> FileSystem::create_file_at(EntityId dir,
+                                            std::string_view path,
+                                            std::string data) {
+  auto slash = path.rfind('/');
+  EntityId parent = dir;
+  std::string_view base = path;
+  if (slash != std::string_view::npos) {
+    auto made = mkdir_p(dir, path.substr(0, slash));
+    if (!made.is_ok()) return made.status();
+    parent = made.value();
+    base = path.substr(slash + 1);
+  }
+  auto name = Name::make(std::string(base));
+  if (!name.is_ok()) return name.status();
+  auto existing = graph_->context(parent).lookup(name.value());
+  if (existing.has_value()) {
+    if (!graph_->is_data_object(*existing)) {
+      return already_exists_error("create_file_at: '" + std::string(base) +
+                                  "' exists and is not a file");
+    }
+    graph_->set_data(*existing, std::move(data));
+    return *existing;
+  }
+  return create_file(parent, name.value(), std::move(data));
+}
+
+Context FileSystem::make_process_context(EntityId root, EntityId cwd) {
+  Context ctx;
+  ctx.bind(kSlash, root);
+  ctx.bind(kDot, cwd);
+  return ctx;
+}
+
+Status FileSystem::attach(EntityId dir, const Name& name,
+                          EntityId subtree_root) {
+  auto d = require_dir(dir, "attach");
+  if (!d.is_ok()) return d.status();
+  auto s = require_dir(subtree_root, "attach(subtree)");
+  if (!s.is_ok()) return s.status();
+  if (graph_->context(dir).contains(name)) {
+    return already_exists_error("attach: '" + name.text() + "' exists in '" +
+                                graph_->label(dir) + "'");
+  }
+  return graph_->bind(dir, name, subtree_root);
+}
+
+Status FileSystem::mount(EntityId dir, const Name& name,
+                         EntityId subtree_root) {
+  Status attached = attach(dir, name, subtree_root);
+  if (!attached.is_ok()) return attached;
+  graph_->context(subtree_root).bind(kDotDot, dir);
+  return Status::ok();
+}
+
+EntityId FileSystem::make_super_root(
+    std::string label,
+    const std::vector<std::pair<Name, EntityId>>& machine_roots) {
+  EntityId super = make_root(std::move(label));
+  for (const auto& [name, root] : machine_roots) {
+    Status mounted = mount(super, name, root);
+    NAMECOH_CHECK(mounted.is_ok(),
+                  "make_super_root: " + mounted.to_string());
+  }
+  return super;
+}
+
+Result<EntityId> FileSystem::replicate_file(EntityId original, EntityId dir,
+                                            const Name& name) {
+  if (!graph_->is_data_object(original)) {
+    return invalid_argument_error("replicate_file: original is not a file");
+  }
+  ReplicaGroupId group = graph_->replica_group(original);
+  if (!group.valid()) {
+    group = graph_->new_replica_group();
+    graph_->set_replica_group(original, group);
+  }
+  auto copy = create_file(dir, name, graph_->data(original));
+  if (!copy.is_ok()) return copy.status();
+  for (const auto& embedded : graph_->embedded_names(original)) {
+    graph_->add_embedded_name(copy.value(), embedded);
+  }
+  graph_->set_replica_group(copy.value(), group);
+  return copy;
+}
+
+EntityId FileSystem::copy_rec(EntityId node,
+                              std::unordered_map<EntityId, EntityId>& memo) {
+  auto it = memo.find(node);
+  if (it != memo.end()) return it->second;
+
+  if (graph_->is_data_object(node)) {
+    EntityId copy =
+        graph_->add_data_object(graph_->label(node), graph_->data(node));
+    for (const auto& embedded : graph_->embedded_names(node)) {
+      graph_->add_embedded_name(copy, embedded);
+    }
+    // A copy is a new object, not a replica: replica groups are only
+    // created by replicate_file, where the system promises state equality.
+    memo[node] = copy;
+    return copy;
+  }
+  if (!graph_->is_context_object(node)) {
+    memo[node] = node;  // activities are never copied; keep the reference
+    return node;
+  }
+  EntityId copy = graph_->add_context_object(graph_->label(node));
+  memo[node] = copy;  // memoize before recursing: subtrees may be cyclic
+  graph_->context(copy).bind(kDot, copy);
+  // Snapshot the bindings: the recursion adds entities, which may
+  // reallocate the graph's storage and invalidate live references.
+  const std::map<Name, EntityId> bindings =
+      graph_->context(node).bindings();
+  // ".." is fixed up by the caller for the subtree root; interior
+  // directories get their copied parent via the recursion below.
+  for (const auto& [name, target] : bindings) {
+    if (name.is_cwd()) continue;
+    if (name.is_parent()) continue;  // re-established structurally below
+    EntityId target_copy = copy_rec(target, memo);
+    graph_->context(copy).bind(name, target_copy);
+    if (graph_->is_context_object(target_copy) &&
+        memo.count(target) != 0 && target_copy != target) {
+      // Point the copied child's ".." at its copied parent when the child
+      // was actually copied (not an activity passthrough).
+      graph_->context(target_copy).bind(kDotDot, copy);
+    }
+  }
+  return copy;
+}
+
+Result<EntityId> FileSystem::copy_subtree(EntityId subtree_root,
+                                          EntityId dest_dir,
+                                          const Name& name) {
+  auto s = require_dir(subtree_root, "copy_subtree");
+  if (!s.is_ok()) return s.status();
+  auto d = require_dir(dest_dir, "copy_subtree(dest)");
+  if (!d.is_ok()) return d.status();
+  if (graph_->context(dest_dir).contains(name)) {
+    return already_exists_error("copy_subtree: '" + name.text() +
+                                "' exists in destination");
+  }
+  std::unordered_map<EntityId, EntityId> memo;
+  EntityId copy = copy_rec(subtree_root, memo);
+  graph_->context(copy).bind(kDotDot, dest_dir);
+  graph_->context(dest_dir).bind(name, copy);
+  graph_->set_label(copy, name.text());
+  return copy;
+}
+
+Status FileSystem::move_entry(EntityId src_dir, const Name& name,
+                              EntityId dest_dir, const Name& new_name) {
+  auto s = require_dir(src_dir, "move_entry");
+  if (!s.is_ok()) return s.status();
+  auto d = require_dir(dest_dir, "move_entry(dest)");
+  if (!d.is_ok()) return d.status();
+  auto target = graph_->lookup(src_dir, name);
+  if (!target.is_ok()) return target.status();
+  if (graph_->context(dest_dir).contains(new_name)) {
+    return already_exists_error("move_entry: '" + new_name.text() +
+                                "' exists in destination");
+  }
+  Status unbound = graph_->unbind(src_dir, name);
+  if (!unbound.is_ok()) return unbound;
+  Status bound = graph_->bind(dest_dir, new_name, target.value());
+  if (!bound.is_ok()) return bound;
+  if (graph_->is_context_object(target.value())) {
+    graph_->context(target.value()).bind(kDotDot, dest_dir);
+  }
+  return Status::ok();
+}
+
+}  // namespace namecoh

@@ -1,0 +1,147 @@
+// A hierarchical file system as a naming graph (§2, §5).
+//
+// Directories are context objects; files are data objects. Every directory
+// carries the ordinary bindings "." (itself) and ".." (its parent), and a
+// root's ".." points at itself — until a Newcastle-style super-root (§5.1)
+// rebinds it, which is all it takes for '..'-above-root to work, because
+// ".." is just a binding and the resolver treats it like any other name.
+//
+// A process sees the file system through a process context holding exactly
+// the two bindings the paper describes for Unix (§5.1): "/" (its root
+// directory) and "." (its working directory). make_process_context() builds
+// one; the os module wraps it in a Process.
+//
+// The FileSystem does not own the NamingGraph: several subsystems (schemes,
+// embedded-name documents) build structure in one shared graph.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/closure.hpp"
+#include "core/naming_graph.hpp"
+#include "core/resolve.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+class FileSystem {
+ public:
+  explicit FileSystem(NamingGraph& graph) : graph_(&graph) {}
+
+  [[nodiscard]] NamingGraph& graph() { return *graph_; }
+  [[nodiscard]] const NamingGraph& graph() const { return *graph_; }
+
+  // --- Creation --------------------------------------------------------------
+
+  /// Create a root directory: "." and ".." both bind to itself.
+  EntityId make_root(std::string label);
+
+  /// Create a subdirectory of `parent`. Fails if the name is taken.
+  Result<EntityId> mkdir(EntityId parent, const Name& name);
+
+  /// Create a regular file in `dir`. Fails if the name is taken.
+  Result<EntityId> create_file(EntityId dir, const Name& name,
+                               std::string data = {});
+
+  /// Bind an existing entity under a new name (hard link). Does not touch
+  /// the target's "..": the link is an alias, not a re-parenting.
+  Status link(EntityId dir, const Name& name, EntityId target);
+
+  /// Remove a binding. The target entity stays in the graph (entities are
+  /// never destroyed; unreachable ones simply have no names).
+  Status unlink(EntityId dir, const Name& name);
+
+  // --- Structure inspection ---------------------------------------------------
+
+  [[nodiscard]] bool is_dir(EntityId id) const {
+    return graph_->is_context_object(id);
+  }
+  [[nodiscard]] bool is_file(EntityId id) const {
+    return graph_->is_data_object(id);
+  }
+  /// The directory a directory's ".." binds to.
+  [[nodiscard]] Result<EntityId> parent_of(EntityId dir) const;
+  /// Directory entries excluding "." and "..".
+  [[nodiscard]] std::vector<std::pair<Name, EntityId>> list(
+      EntityId dir) const;
+  /// Depth-first visit of the subtree under `dir` following tree edges
+  /// (bindings other than "." / ".."), cycle-safe. The visitor receives
+  /// (path-from-dir, entity).
+  void walk(EntityId dir,
+            const std::function<void(const CompoundName&, EntityId)>&
+                visitor) const;
+
+  // --- Path-based convenience ---------------------------------------------------
+
+  /// Resolve a path string in a process context (bindings "/" and ".").
+  [[nodiscard]] Resolution resolve_path(const Context& process_context,
+                                        std::string_view path) const;
+
+  /// mkdir -p relative to a directory: creates missing intermediate
+  /// directories; returns the final one. `path` must be relative
+  /// components like "a/b/c" (no leading '/').
+  Result<EntityId> mkdir_p(EntityId dir, std::string_view path);
+
+  /// Create (or overwrite) a file at a relative path, creating directories
+  /// as needed.
+  Result<EntityId> create_file_at(EntityId dir, std::string_view path,
+                                  std::string data = {});
+
+  /// Build the two-binding process context of §5.1.
+  [[nodiscard]] static Context make_process_context(EntityId root,
+                                                    EntityId cwd);
+
+  // --- Mounting & federation (§5.2, §5.3) ---------------------------------------
+
+  /// Attach a subtree under a name in `dir` *without* touching the
+  /// subtree's "..". Used to attach one shared naming graph in many client
+  /// trees simultaneously (Andrew's /vice, DCE's /...): each client sees
+  /// the same objects.
+  Status attach(EntityId dir, const Name& name, EntityId subtree_root);
+
+  /// Mount: attach and re-parent (subtree's ".." is rebound to `dir`).
+  /// Used when the subtree logically moves into the tree, e.g. gluing
+  /// machine trees under a Newcastle super-root.
+  Status mount(EntityId dir, const Name& name, EntityId subtree_root);
+
+  /// Build a Newcastle super-root (§5.1, Fig. 3): a fresh root whose
+  /// entries are the given machine trees; each machine root's ".." is
+  /// rebound to the super-root so '..' climbs above a machine's root.
+  EntityId make_super_root(
+      std::string label,
+      const std::vector<std::pair<Name, EntityId>>& machine_roots);
+
+  // --- Replication (weak coherence, §5) -------------------------------------------
+
+  /// Create a replica of `original` (a file) bound in `dir`: a distinct
+  /// data object with the same contents, placed in the same replica group.
+  Result<EntityId> replicate_file(EntityId original, EntityId dir,
+                                  const Name& name);
+
+  // --- Subtree operations (§6 Example 2, Fig. 6) -------------------------------------
+
+  /// Deep-copy the subtree rooted at `subtree_root` and bind the copy in
+  /// `dest_dir` under `name`. Follows tree edges; sharing and cycles inside
+  /// the subtree are preserved (memoized). Embedded names in files are
+  /// copied verbatim — whether they still mean the same thing afterwards is
+  /// precisely the Fig. 6 experiment.
+  Result<EntityId> copy_subtree(EntityId subtree_root, EntityId dest_dir,
+                                const Name& name);
+
+  /// Unbind `name` from `src_dir` and bind it in `dest_dir` under
+  /// `new_name`, re-parenting a moved directory.
+  Status move_entry(EntityId src_dir, const Name& name, EntityId dest_dir,
+                    const Name& new_name);
+
+ private:
+  Result<EntityId> require_dir(EntityId id, std::string_view op) const;
+  EntityId copy_rec(EntityId node,
+                    std::unordered_map<EntityId, EntityId>& memo);
+
+  NamingGraph* graph_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,56 @@
+#include "fs/fsck.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace namecoh {
+
+FsckReport fsck(const NamingGraph& graph, EntityId root) {
+  FsckReport report;
+  if (!graph.is_context_object(root)) {
+    report.issues.push_back("root is not a directory");
+    return report;
+  }
+  std::unordered_set<EntityId> seen{root};
+  std::deque<EntityId> frontier{root};
+  while (!frontier.empty()) {
+    EntityId dir = frontier.front();
+    frontier.pop_front();
+    ++report.directories;
+    const Context& ctx = graph.context(dir);
+    const std::string& label = graph.label(dir);
+
+    EntityId self = ctx(Name("."));
+    if (!self.valid()) {
+      report.issues.push_back("'" + label + "': missing '.' binding");
+    } else if (self != dir) {
+      report.issues.push_back("'" + label + "': '.' does not bind itself");
+    }
+    EntityId parent = ctx(Name(".."));
+    if (!parent.valid()) {
+      report.issues.push_back("'" + label + "': missing '..' binding");
+    } else if (!graph.is_context_object(parent)) {
+      report.issues.push_back("'" + label +
+                              "': '..' binds a non-directory");
+    }
+
+    for (const auto& [name, target] : ctx.bindings()) {
+      ++report.bindings;
+      if (!graph.contains(target)) {
+        report.issues.push_back("'" + label + "/" + name.text() +
+                                "': dangling binding");
+        continue;
+      }
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (graph.is_data_object(target)) {
+        ++report.files;
+      } else if (graph.is_context_object(target) &&
+                 seen.insert(target).second) {
+        frontier.push_back(target);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace namecoh

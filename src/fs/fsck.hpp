@@ -1,0 +1,30 @@
+// Consistency checking for file-system subtrees.
+//
+// The fs layer maintains invariants the resolver depends on (every
+// directory's "." binds itself; ".." binds a directory; every binding
+// target exists). fsck() verifies them over a subtree and reports
+// violations instead of asserting, so property tests and long random-op
+// sequences can check the state after the fact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+
+struct FsckReport {
+  std::size_t directories = 0;
+  std::size_t files = 0;
+  std::size_t bindings = 0;
+  std::vector<std::string> issues;
+
+  [[nodiscard]] bool clean() const { return issues.empty(); }
+};
+
+/// Check every directory reachable from `root` (through any binding,
+/// including dots).
+FsckReport fsck(const NamingGraph& graph, EntityId root);
+
+}  // namespace namecoh

@@ -1,0 +1,247 @@
+#include "fs/snapshot.hpp"
+
+#include <charconv>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace namecoh {
+namespace {
+
+/// Strict non-throwing integer parse for untrusted snapshot fields.
+Result<std::size_t> parse_index(const std::string& text) {
+  std::size_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    return invalid_argument_error("bad integer field '" + text + "'");
+  }
+  return value;
+}
+
+std::string to_hex(std::string_view bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  if (out.empty()) out = "-";  // keep the column non-empty
+  return out;
+}
+
+Result<std::string> from_hex(std::string_view hex) {
+  if (hex == "-") return std::string{};
+  if (hex.size() % 2 != 0) return invalid_argument_error("odd hex length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return invalid_argument_error("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> export_subtree(
+    const NamingGraph& graph, EntityId root,
+    const std::unordered_set<EntityId>& boundary) {
+  if (!graph.is_context_object(root)) {
+    return not_a_context_error("export_subtree: root is not a directory");
+  }
+  if (boundary.contains(root)) {
+    return invalid_argument_error("export_subtree: root is on the boundary");
+  }
+
+  // Pass 1: collect the subtree closure (BFS over non-dot edges, stopping
+  // at boundary entities and activities).
+  std::unordered_map<EntityId, std::size_t> index;
+  std::vector<EntityId> order;
+  std::size_t cut = 0;
+  std::deque<EntityId> frontier{root};
+  index[root] = 0;
+  order.push_back(root);
+  while (!frontier.empty()) {
+    EntityId node = frontier.front();
+    frontier.pop_front();
+    if (!graph.is_context_object(node)) continue;
+    for (const auto& [name, target] : graph.context(node).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (graph.is_activity(target) || boundary.contains(target)) {
+        ++cut;
+        continue;
+      }
+      if (index.emplace(target, order.size()).second) {
+        order.push_back(target);
+        if (graph.is_context_object(target)) frontier.push_back(target);
+      }
+    }
+  }
+
+  // Pass 2: emit records.
+  std::ostringstream os;
+  os << "namecoh-snapshot v1 " << cut << '\n';
+  for (EntityId node : order) {
+    std::size_t idx = index.at(node);
+    if (graph.is_context_object(node)) {
+      os << "D\t" << idx << '\t' << to_hex(graph.label(node)) << '\n';
+    } else {
+      os << "F\t" << idx << '\t' << to_hex(graph.label(node)) << '\t'
+         << to_hex(graph.data(node)) << '\n';
+      for (const CompoundName& embedded : graph.embedded_names(node)) {
+        os << "N\t" << idx << '\t' << to_hex(embedded.to_path()) << '\n';
+      }
+    }
+  }
+  for (EntityId node : order) {
+    if (!graph.is_context_object(node)) continue;
+    for (const auto& [name, target] : graph.context(node).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      auto it = index.find(target);
+      if (it == index.end()) continue;  // cut edge
+      os << "E\t" << index.at(node) << '\t' << to_hex(name.text()) << '\t'
+         << it->second << '\n';
+    }
+  }
+  os << "R\t0\n";
+  return os.str();
+}
+
+Result<ImportReport> import_snapshot(FileSystem& fs, EntityId dest_dir,
+                                     const Name& name,
+                                     const std::string& snapshot) {
+  NamingGraph& graph = fs.graph();
+  if (!graph.is_context_object(dest_dir)) {
+    return not_a_context_error("import_snapshot: destination not a dir");
+  }
+  if (graph.context(dest_dir).contains(name)) {
+    return already_exists_error("import_snapshot: name taken");
+  }
+
+  std::vector<std::string> lines = split(snapshot, '\n');
+  if (lines.empty() || !starts_with(lines[0], "namecoh-snapshot v1")) {
+    return invalid_argument_error("not a namecoh snapshot");
+  }
+  ImportReport report;
+  {
+    auto header = split(lines[0], ' ');
+    if (header.size() >= 3) {
+      auto cut = parse_index(header[2]);
+      if (!cut.is_ok()) return cut.status();
+      report.external_refs_cut = cut.value();
+    }
+  }
+
+  std::unordered_map<std::size_t, EntityId> entities;
+  struct PendingEdge {
+    std::size_t from;
+    std::string name;
+    std::size_t to;
+  };
+  std::vector<PendingEdge> edges;
+  std::size_t root_index = ~std::size_t{0};
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> f = split(lines[i], '\t');
+    const std::string& kind = f[0];
+    auto need = [&](std::size_t n) { return f.size() >= n; };
+    if (kind == "D") {
+      if (!need(3)) return invalid_argument_error("bad D record");
+      auto label = from_hex(f[2]);
+      if (!label.is_ok()) return label.status();
+      auto idx = parse_index(f[1]);
+      if (!idx.is_ok()) return idx.status();
+      EntityId dir = graph.add_context_object(label.value());
+      graph.context(dir).bind(Name("."), dir);
+      graph.context(dir).bind(Name(".."), dir);  // fixed up below
+      entities[idx.value()] = dir;
+    } else if (kind == "F") {
+      if (!need(4)) return invalid_argument_error("bad F record");
+      auto label = from_hex(f[2]);
+      auto data = from_hex(f[3]);
+      if (!label.is_ok()) return label.status();
+      if (!data.is_ok()) return data.status();
+      auto idx = parse_index(f[1]);
+      if (!idx.is_ok()) return idx.status();
+      entities[idx.value()] =
+          graph.add_data_object(label.value(), std::move(data).value());
+      ++report.files;
+    } else if (kind == "N") {
+      if (!need(3)) return invalid_argument_error("bad N record");
+      auto idx = parse_index(f[1]);
+      if (!idx.is_ok()) return idx.status();
+      auto it = entities.find(idx.value());
+      if (it == entities.end() || !graph.is_data_object(it->second)) {
+        return invalid_argument_error("N record must follow its F record");
+      }
+      auto path = from_hex(f[2]);
+      if (!path.is_ok()) return path.status();
+      auto parsed = CompoundName::parse_relative(path.value());
+      if (!parsed.is_ok()) return parsed.status();
+      graph.add_embedded_name(it->second, std::move(parsed).value());
+      ++report.embedded_names;
+    } else if (kind == "E") {
+      if (!need(4)) return invalid_argument_error("bad E record");
+      auto edge_name = from_hex(f[2]);
+      if (!edge_name.is_ok()) return edge_name.status();
+      auto from_idx = parse_index(f[1]);
+      auto to_idx = parse_index(f[3]);
+      if (!from_idx.is_ok()) return from_idx.status();
+      if (!to_idx.is_ok()) return to_idx.status();
+      edges.push_back(PendingEdge{from_idx.value(),
+                                  std::move(edge_name).value(),
+                                  to_idx.value()});
+    } else if (kind == "R") {
+      if (!need(2)) return invalid_argument_error("bad R record");
+      auto idx = parse_index(f[1]);
+      if (!idx.is_ok()) return idx.status();
+      root_index = idx.value();
+    } else {
+      return invalid_argument_error("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!entities.contains(root_index)) {
+    return invalid_argument_error("snapshot has no root record");
+  }
+
+  for (const PendingEdge& edge : edges) {
+    auto from = entities.find(edge.from);
+    auto to = entities.find(edge.to);
+    if (from == entities.end() || to == entities.end()) {
+      return invalid_argument_error("edge references unknown index");
+    }
+    auto parsed = Name::make(edge.name);
+    if (!parsed.is_ok()) return parsed.status();
+    Status bound = graph.bind(from->second, parsed.value(), to->second);
+    if (!bound.is_ok()) return bound;
+    // Re-establish '..' for child directories (last writer wins on DAGs,
+    // matching copy_subtree semantics).
+    if (graph.is_context_object(to->second)) {
+      graph.context(to->second).bind(Name(".."), from->second);
+    }
+    ++report.edges;
+  }
+
+  report.root = entities.at(root_index);
+  report.directories = entities.size() - report.files;
+  graph.context(report.root).bind(Name(".."), dest_dir);
+  Status attached = graph.bind(dest_dir, name, report.root);
+  if (!attached.is_ok()) return attached;
+  graph.set_label(report.root, name.text());
+  return report;
+}
+
+}  // namespace namecoh

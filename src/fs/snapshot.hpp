@@ -1,0 +1,60 @@
+// Subtree snapshots: a portable text format for naming-graph subtrees.
+//
+// §5.3's federations copy and move structured objects between autonomous
+// systems that do NOT share a naming graph — a copy crosses an
+// administrative boundary as bytes, not as shared entity ids. Snapshot
+// export/import models that: export_subtree() serializes everything
+// reachable from a directory (structure, file payloads, embedded names,
+// internal sharing and cycles); import_snapshot() materializes it in any
+// graph, producing fresh entities.
+//
+// What survives the trip is exactly what Fig. 6 predicts: structure and
+// embedded names (so R(file) resolution still works in the copy); what
+// cannot survive is entity identity — replica-group membership and links
+// to entities *outside* the subtree are dropped, and the importer reports
+// how many such external references were cut.
+//
+// Format (line-oriented, one record per line, '\t'-separated):
+//   namecoh-snapshot v1
+//   D <index> <label>                  directory
+//   F <index> <label> <data-hex>       file
+//   E <dir-index> <name> <child-index> edge (tree edge or internal link)
+//   N <file-index> <embedded-path>     embedded name
+//   R <root-index>                     subtree root marker
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+
+struct ImportReport {
+  EntityId root;                    ///< the imported subtree's root
+  std::size_t directories = 0;
+  std::size_t files = 0;
+  std::size_t edges = 0;
+  std::size_t embedded_names = 0;
+  std::size_t external_refs_cut = 0;  ///< edges to entities outside the
+                                      ///< subtree, dropped at export
+};
+
+/// Serialize the subtree reachable from `root` through tree edges
+/// (bindings other than "."/".."). Edges to activities, and edges to
+/// entities listed in `boundary` (e.g. a shared tree attached inside the
+/// subtree that must NOT travel with it), are cut; the cut count is stored
+/// in the snapshot header and surfaces in ImportReport::external_refs_cut.
+/// All strings are hex-encoded in the format, so labels, payloads and
+/// names may contain arbitrary bytes.
+Result<std::string> export_subtree(
+    const NamingGraph& graph, EntityId root,
+    const std::unordered_set<EntityId>& boundary = {});
+
+/// Materialize a snapshot under `dest_dir`/`name` in (possibly another)
+/// graph.
+Result<ImportReport> import_snapshot(FileSystem& fs, EntityId dest_dir,
+                                     const Name& name,
+                                     const std::string& snapshot);
+
+}  // namespace namecoh

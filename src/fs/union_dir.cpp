@@ -1,0 +1,82 @@
+#include "fs/union_dir.hpp"
+
+namespace namecoh {
+
+Result<EntityId> UnionViews::create(std::string label,
+                                    std::vector<EntityId> members) {
+  NamingGraph& graph = fs_->graph();
+  for (EntityId member : members) {
+    if (!graph.is_context_object(member)) {
+      return invalid_argument_error("union member is not a directory");
+    }
+  }
+  EntityId dir = fs_->make_root(std::move(label));
+  members_[dir] = std::move(members);
+  Status status = materialize(dir);
+  if (!status.is_ok()) return status;
+  return dir;
+}
+
+Status UnionViews::materialize(EntityId union_dir) {
+  NamingGraph& graph = fs_->graph();
+  auto it = members_.find(union_dir);
+  if (it == members_.end()) {
+    return not_found_error("not a union directory");
+  }
+  // Wipe everything except the dots, then merge members in order; the
+  // first binding of a name wins.
+  Context& ctx = graph.context(union_dir);
+  std::vector<Name> stale;
+  for (const auto& [name, target] : ctx.bindings()) {
+    if (!name.is_cwd() && !name.is_parent()) stale.push_back(name);
+  }
+  for (const Name& name : stale) ctx.unbind(name);
+  for (EntityId member : it->second) {
+    if (!graph.is_context_object(member)) {
+      return invalid_argument_error("union member vanished");
+    }
+    for (const auto& [name, target] : graph.context(member).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (!ctx.contains(name)) ctx.bind(name, target);
+    }
+  }
+  return Status::ok();
+}
+
+Status UnionViews::refresh(EntityId union_dir) {
+  return materialize(union_dir);
+}
+
+Status UnionViews::refresh_all() {
+  for (const auto& [dir, _] : members_) {
+    Status status = materialize(dir);
+    if (!status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
+Result<std::vector<EntityId>> UnionViews::members_of(
+    EntityId union_dir) const {
+  auto it = members_.find(union_dir);
+  if (it == members_.end()) {
+    return not_found_error("not a union directory");
+  }
+  return it->second;
+}
+
+Status UnionViews::set_members(EntityId union_dir,
+                               std::vector<EntityId> members) {
+  auto it = members_.find(union_dir);
+  if (it == members_.end()) {
+    return not_found_error("not a union directory");
+  }
+  for (EntityId member : members) {
+    if (!fs_->graph().is_context_object(member)) {
+      return invalid_argument_error("union member is not a directory");
+    }
+  }
+  it->second = std::move(members);
+  return materialize(union_dir);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,52 @@
+// Union views: Plan 9-style union directories, materialized.
+//
+// The per-process view systems the paper endorses (§6 II — Plan 9 and the
+// extended Waterloo Port) let a process see several directories *merged*
+// under one name (Plan 9's `bind -a`). Here a union directory is an
+// ordinary context object whose bindings are the merge of an ordered
+// member list — earlier members shadow later ones — so the resolver stays
+// completely unchanged (the same move as '..'-as-binding).
+//
+// The merge is materialized: changes to members become visible only after
+// refresh(). That is a deliberate modelling choice — it makes the
+// "union view staleness" failure observable and testable, the same
+// time-axis incoherence the ns cache exhibits.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+
+class UnionViews {
+ public:
+  explicit UnionViews(FileSystem& fs) : fs_(&fs) {}
+
+  /// Create a union directory over `members`, in order of precedence
+  /// (members[0] shadows members[1] …). Members must be directories.
+  Result<EntityId> create(std::string label, std::vector<EntityId> members);
+
+  /// Re-materialize one union after member changes.
+  Status refresh(EntityId union_dir);
+  /// Re-materialize every union created by this instance.
+  Status refresh_all();
+
+  [[nodiscard]] bool is_union(EntityId dir) const {
+    return members_.contains(dir);
+  }
+  [[nodiscard]] Result<std::vector<EntityId>> members_of(
+      EntityId union_dir) const;
+
+  /// Change precedence / membership, then refresh.
+  Status set_members(EntityId union_dir, std::vector<EntityId> members);
+
+ private:
+  Status materialize(EntityId union_dir);
+
+  FileSystem* fs_;
+  std::unordered_map<EntityId, std::vector<EntityId>> members_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,68 @@
+#include "net/address.hpp"
+
+#include <sstream>
+
+namespace namecoh {
+
+std::ostream& operator<<(std::ostream& os, const Location& loc) {
+  return os << '<' << loc.naddr << ',' << loc.maddr << ',' << loc.laddr
+            << '>';
+}
+
+bool Pid::is_well_formed() const {
+  // Qualified fields must be an outer suffix of (naddr, maddr, laddr):
+  // naddr qualified implies maddr qualified implies laddr qualified.
+  if (naddr != 0 && maddr == 0) return false;
+  if (maddr != 0 && laddr == 0) return false;
+  return true;
+}
+
+int Pid::qualification_level() const {
+  return (naddr != 0 ? 1 : 0) + (maddr != 0 ? 1 : 0) + (laddr != 0 ? 1 : 0);
+}
+
+std::ostream& operator<<(std::ostream& os, const Pid& pid) {
+  return os << '(' << pid.naddr << ',' << pid.maddr << ',' << pid.laddr
+            << ')';
+}
+
+std::string Pid::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Result<Location> qualify(const Pid& pid, const Location& reference) {
+  if (!pid.is_well_formed()) {
+    return invalid_argument_error("malformed pid " + pid.to_string());
+  }
+  if (!reference.is_valid()) {
+    return invalid_argument_error("qualify: invalid reference location");
+  }
+  Location out;
+  out.naddr = pid.naddr != 0 ? pid.naddr : reference.naddr;
+  out.maddr = pid.maddr != 0 ? pid.maddr : reference.maddr;
+  out.laddr = pid.laddr != 0 ? pid.laddr : reference.laddr;
+  return out;
+}
+
+Pid relativize(const Location& target, const Location& reference,
+               bool allow_self) {
+  NAMECOH_CHECK(target.is_valid() && reference.is_valid(),
+                "relativize needs valid locations");
+  if (allow_self && target == reference) return Pid::self();
+  if (target.same_machine(reference)) return Pid{0, 0, target.laddr};
+  if (target.same_network(reference)) {
+    return Pid{0, target.maddr, target.laddr};
+  }
+  return Pid::fully_qualified(target);
+}
+
+Result<Pid> rebase(const Pid& pid, const Location& sender,
+                   const Location& receiver) {
+  auto target = qualify(pid, sender);
+  if (!target.is_ok()) return target.status();
+  return relativize(target.value(), receiver, /*allow_self=*/false);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,127 @@
+// Partially qualified process identifiers (§6 Example 1, [Radia-Pachl 92]).
+//
+// A process with local address l on machine m in network n can be denoted,
+// depending on the context of reference, by any of the pids
+//     (0,0,0)   — itself only,
+//     (0,0,l)   — from any process on the same machine,
+//     (0,m,l)   — from any process in the same network,
+//     (n,m,l)   — from anywhere (fully qualified).
+// Zero is the reserved "unqualified" value for each field, and the
+// qualified fields of a well-formed pid are always an outer suffix — i.e.
+// (n,0,l) is malformed, since qualifying the network but not the machine
+// names nothing.
+//
+// The point of partial qualification is survivability: when a machine or
+// network is renumbered, pids qualified only *inside* the renamed scope
+// remain valid, so the subsystem keeps its internal connections (§6). The
+// price is that a pid embedded in a message is valid in the *sender's*
+// context but not necessarily the receiver's; rebase() implements the
+// paper's R(sender) rule by remapping the pid at the boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Raw address field. 0 means "unqualified" in a Pid; real addresses are
+/// always >= 1.
+using Addr = std::uint32_t;
+inline constexpr Addr kUnqualified = 0;
+
+/// A fully qualified process location: all three fields non-zero.
+struct Location {
+  Addr naddr = 0;  ///< network address
+  Addr maddr = 0;  ///< machine address within the network
+  Addr laddr = 0;  ///< local address within the machine
+
+  [[nodiscard]] bool is_valid() const {
+    return naddr != kUnqualified && maddr != kUnqualified &&
+           laddr != kUnqualified;
+  }
+  [[nodiscard]] bool same_machine(const Location& other) const {
+    return naddr == other.naddr && maddr == other.maddr;
+  }
+  [[nodiscard]] bool same_network(const Location& other) const {
+    return naddr == other.naddr;
+  }
+
+  friend auto operator<=>(const Location&, const Location&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Location& loc);
+};
+
+/// A possibly partially qualified process identifier.
+struct Pid {
+  Addr naddr = 0;
+  Addr maddr = 0;
+  Addr laddr = 0;
+
+  /// The pid (0,0,0): "myself", usable by any process to denote itself.
+  static constexpr Pid self() { return Pid{0, 0, 0}; }
+
+  /// A fully qualified pid denoting the given location.
+  static Pid fully_qualified(const Location& loc) {
+    return Pid{loc.naddr, loc.maddr, loc.laddr};
+  }
+
+  /// Well-formed pids are exactly (0,0,0), (0,0,l), (0,m,l), (n,m,l) with
+  /// each shown field non-zero.
+  [[nodiscard]] bool is_well_formed() const;
+
+  [[nodiscard]] bool is_self() const {
+    return naddr == 0 && maddr == 0 && laddr == 0;
+  }
+  [[nodiscard]] bool is_fully_qualified() const {
+    return naddr != 0 && maddr != 0 && laddr != 0;
+  }
+  /// Number of qualified (non-zero) fields: 0, 1, 2 or 3.
+  [[nodiscard]] int qualification_level() const;
+
+  friend auto operator<=>(const Pid&, const Pid&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Pid& pid);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Interpret `pid` in the context of a process at `reference`: fill the
+/// unqualified fields from the reference location. (0,0,0) denotes the
+/// referring process itself. Fails on malformed pids.
+Result<Location> qualify(const Pid& pid, const Location& reference);
+
+/// The minimal (least qualified) pid by which a process at `reference` can
+/// denote `target`. If allow_self and target == reference, yields (0,0,0).
+Pid relativize(const Location& target, const Location& reference,
+               bool allow_self = false);
+
+/// Remap a pid embedded in a message: `pid` is valid in the context of a
+/// process at `sender`; produce the equivalent pid valid in the context of
+/// a process at `receiver`. This is the mechanical form of the paper's
+/// R(sender) resolution rule for exchanged names.
+Result<Pid> rebase(const Pid& pid, const Location& sender,
+                   const Location& receiver);
+
+}  // namespace namecoh
+
+template <>
+struct std::hash<namecoh::Location> {
+  std::size_t operator()(const namecoh::Location& loc) const noexcept {
+    std::uint64_t x = (std::uint64_t(loc.naddr) << 40) ^
+                      (std::uint64_t(loc.maddr) << 20) ^ loc.laddr;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <>
+struct std::hash<namecoh::Pid> {
+  std::size_t operator()(const namecoh::Pid& pid) const noexcept {
+    return std::hash<namecoh::Location>{}(
+        namecoh::Location{pid.naddr, pid.maddr, pid.laddr});
+  }
+};

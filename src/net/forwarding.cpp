@@ -1,0 +1,85 @@
+#include "net/forwarding.hpp"
+
+namespace namecoh {
+
+void ForwardingTable::add(const Location& from, const Location& to) {
+  NAMECOH_CHECK(from.is_valid() && to.is_valid(),
+                "forwarding edge needs valid locations");
+  if (from == to) return;
+  table_[from] = to;
+}
+
+Result<EndpointId> ForwardingTable::resolve(const Internetwork& net,
+                                            Location location) {
+  ++stats_.lookups;
+  for (std::size_t hop = 0; hop <= max_hops_; ++hop) {
+    auto endpoint = net.endpoint_at(location);
+    if (endpoint.is_ok()) return endpoint;
+    auto it = table_.find(location);
+    if (it == table_.end()) {
+      ++stats_.dead_ends;
+      return unreachable_error("no endpoint and no forwarding address");
+    }
+    ++stats_.chased;
+    location = it->second;
+  }
+  ++stats_.exhausted;
+  return depth_exceeded_error("forwarding chain exceeded hop limit");
+}
+
+std::size_t ForwardingTable::chain_length(const Internetwork& net,
+                                          Location location) const {
+  std::size_t hops = 0;
+  while (hops <= max_hops_) {
+    if (net.endpoint_at(location).is_ok()) return hops;
+    auto it = table_.find(location);
+    if (it == table_.end()) return hops;
+    location = it->second;
+    ++hops;
+  }
+  return hops;
+}
+
+namespace {
+
+template <typename Renumber>
+Status renumber_with_forwarding(Internetwork& net, ForwardingTable& table,
+                                const std::vector<EndpointId>& endpoints,
+                                Renumber&& renumber) {
+  std::vector<std::pair<EndpointId, Location>> before;
+  before.reserve(endpoints.size());
+  for (EndpointId ep : endpoints) {
+    auto loc = net.location_of(ep);
+    if (loc.is_ok()) before.emplace_back(ep, loc.value());
+  }
+  Status status = renumber();
+  if (!status.is_ok()) return status;
+  for (const auto& [ep, old_loc] : before) {
+    auto new_loc = net.location_of(ep);
+    if (new_loc.is_ok()) table.add(old_loc, new_loc.value());
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status renumber_machine_with_forwarding(Internetwork& net,
+                                        ForwardingTable& table,
+                                        MachineId machine) {
+  return renumber_with_forwarding(
+      net, table, net.endpoints_on(machine),
+      [&] { return net.renumber_machine(machine); });
+}
+
+Status renumber_network_with_forwarding(Internetwork& net,
+                                        ForwardingTable& table,
+                                        NetworkId network) {
+  std::vector<EndpointId> endpoints;
+  for (MachineId m : net.machines_in(network)) {
+    for (EndpointId ep : net.endpoints_on(m)) endpoints.push_back(ep);
+  }
+  return renumber_with_forwarding(
+      net, table, endpoints, [&] { return net.renumber_network(network); });
+}
+
+}  // namespace namecoh

@@ -1,0 +1,71 @@
+// Forwarding tables: the classical alternative to partially qualified
+// identifiers (ablation #3 in DESIGN.md).
+//
+// §6 Example 1 argues for pids that are qualified only as far as necessary,
+// because renumbering then invalidates nothing inside the renamed scope.
+// The conventional alternative keeps pids fully qualified and leaves a
+// *forwarding address* behind on every renumbering — old location → new
+// location — chased at resolution time (cf. mail forwarding, Emerald
+// object mobility, 6LoWPAN renumbering proxies).
+//
+// This module implements that alternative so the two designs can be
+// compared on identical reconfiguration workloads (bench_ex1_pqids):
+// forwarding keeps stale pids working, but at the cost of state that grows
+// with reconfiguration history and of lookup chains that lengthen with
+// every renumbering of the same machine — whereas partial qualification is
+// stateless.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/topology.hpp"
+
+namespace namecoh {
+
+struct ForwardingStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t chased = 0;      ///< total forwarding hops followed
+  std::uint64_t exhausted = 0;   ///< chains that hit the hop limit
+  std::uint64_t dead_ends = 0;   ///< chains ending at no endpoint
+};
+
+class ForwardingTable {
+ public:
+  /// Maximum chain length before giving up (cycle guard).
+  explicit ForwardingTable(std::size_t max_hops = 64) : max_hops_(max_hops) {}
+
+  /// Record one forwarding edge old → current.
+  void add(const Location& from, const Location& to);
+
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+
+  /// Resolve a (possibly stale) fully qualified location to the endpoint
+  /// now reachable from it, chasing forwarding edges.
+  [[nodiscard]] Result<EndpointId> resolve(const Internetwork& net,
+                                           Location location);
+
+  /// Chain length that resolve() would follow for `location` (0 = direct).
+  [[nodiscard]] std::size_t chain_length(const Internetwork& net,
+                                         Location location) const;
+
+  [[nodiscard]] const ForwardingStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<Location, Location> table_;
+  std::size_t max_hops_;
+  ForwardingStats stats_;
+};
+
+/// Renumber `machine`, recording forwarding addresses for every endpoint on
+/// it. Drop-in replacement for Internetwork::renumber_machine in workloads
+/// that use the forwarding design.
+Status renumber_machine_with_forwarding(Internetwork& net,
+                                        ForwardingTable& table,
+                                        MachineId machine);
+
+/// Likewise for networks.
+Status renumber_network_with_forwarding(Internetwork& net,
+                                        ForwardingTable& table,
+                                        NetworkId network);
+
+}  // namespace namecoh

@@ -1,0 +1,261 @@
+#include "net/topology.hpp"
+
+namespace namecoh {
+namespace {
+
+template <typename Vec, typename Id>
+bool index_ok(const Vec& vec, Id id) {
+  return id.valid() && id.value() < vec.size();
+}
+
+}  // namespace
+
+Addr Internetwork::allocate_naddr() {
+  if (reuse_addresses_ && !free_naddrs_.empty()) {
+    Addr a = free_naddrs_.back();
+    free_naddrs_.pop_back();
+    return a;
+  }
+  return next_naddr_++;
+}
+
+Addr Internetwork::allocate_maddr(NetworkRec& net) {
+  if (reuse_addresses_ && !net.free_maddrs.empty()) {
+    Addr a = net.free_maddrs.back();
+    net.free_maddrs.pop_back();
+    return a;
+  }
+  return net.next_maddr++;
+}
+
+Addr Internetwork::allocate_laddr(MachineRec& mach) {
+  if (reuse_addresses_ && !mach.free_laddrs.empty()) {
+    Addr a = mach.free_laddrs.back();
+    mach.free_laddrs.pop_back();
+    return a;
+  }
+  return mach.next_laddr++;
+}
+
+NetworkId Internetwork::add_network(std::string label) {
+  NetworkRec rec;
+  rec.label = std::move(label);
+  rec.naddr = allocate_naddr();
+  networks_.push_back(std::move(rec));
+  return NetworkId(networks_.size() - 1);
+}
+
+MachineId Internetwork::add_machine(NetworkId network, std::string label) {
+  NAMECOH_CHECK(index_ok(networks_, network), "unknown network");
+  MachineRec rec;
+  rec.label = std::move(label);
+  rec.network = network;
+  rec.maddr = allocate_maddr(networks_[network.value()]);
+  machines_.push_back(std::move(rec));
+  MachineId id(machines_.size() - 1);
+  networks_[network.value()].machines.push_back(id);
+  return id;
+}
+
+EndpointId Internetwork::add_endpoint(MachineId machine, std::string label) {
+  NAMECOH_CHECK(index_ok(machines_, machine), "unknown machine");
+  EndpointRec rec;
+  rec.label = std::move(label);
+  rec.machine = machine;
+  rec.laddr = allocate_laddr(machines_[machine.value()]);
+  rec.alive = true;
+  endpoints_.push_back(std::move(rec));
+  EndpointId id(endpoints_.size() - 1);
+  machines_[machine.value()].endpoints.push_back(id);
+  Location loc = location_of(id).value();
+  by_location_[loc] = id;
+  return id;
+}
+
+Status Internetwork::remove_endpoint(EndpointId endpoint) {
+  if (!has_endpoint(endpoint)) {
+    return not_found_error("remove_endpoint: no such endpoint");
+  }
+  EndpointRec& rec = endpoints_[endpoint.value()];
+  by_location_.erase(location_of(endpoint).value());
+  MachineRec& mach = machines_[rec.machine.value()];
+  std::erase(mach.endpoints, endpoint);
+  mach.free_laddrs.push_back(rec.laddr);
+  rec.alive = false;
+  return Status::ok();
+}
+
+std::size_t Internetwork::endpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& rec : endpoints_) {
+    if (rec.alive) ++n;
+  }
+  return n;
+}
+
+bool Internetwork::has_endpoint(EndpointId endpoint) const {
+  return index_ok(endpoints_, endpoint) &&
+         endpoints_[endpoint.value()].alive;
+}
+
+Result<Location> Internetwork::location_of(EndpointId endpoint) const {
+  if (!has_endpoint(endpoint)) {
+    return not_found_error("location_of: no such endpoint");
+  }
+  const EndpointRec& rec = endpoints_[endpoint.value()];
+  const MachineRec& mach = machines_[rec.machine.value()];
+  const NetworkRec& net = networks_[mach.network.value()];
+  return Location{net.naddr, mach.maddr, rec.laddr};
+}
+
+Result<MachineId> Internetwork::machine_of(EndpointId endpoint) const {
+  if (!has_endpoint(endpoint)) {
+    return not_found_error("machine_of: no such endpoint");
+  }
+  return endpoints_[endpoint.value()].machine;
+}
+
+Result<NetworkId> Internetwork::network_of(MachineId machine) const {
+  if (!index_ok(machines_, machine)) {
+    return not_found_error("network_of: no such machine");
+  }
+  return machines_[machine.value()].network;
+}
+
+Result<Addr> Internetwork::naddr_of(NetworkId network) const {
+  if (!index_ok(networks_, network)) {
+    return not_found_error("naddr_of: no such network");
+  }
+  return networks_[network.value()].naddr;
+}
+
+Result<Addr> Internetwork::maddr_of(MachineId machine) const {
+  if (!index_ok(machines_, machine)) {
+    return not_found_error("maddr_of: no such machine");
+  }
+  return machines_[machine.value()].maddr;
+}
+
+const std::string& Internetwork::network_label(NetworkId network) const {
+  NAMECOH_CHECK(index_ok(networks_, network), "unknown network");
+  return networks_[network.value()].label;
+}
+
+const std::string& Internetwork::machine_label(MachineId machine) const {
+  NAMECOH_CHECK(index_ok(machines_, machine), "unknown machine");
+  return machines_[machine.value()].label;
+}
+
+const std::string& Internetwork::endpoint_label(EndpointId endpoint) const {
+  NAMECOH_CHECK(index_ok(endpoints_, endpoint), "unknown endpoint");
+  return endpoints_[endpoint.value()].label;
+}
+
+Result<EndpointId> Internetwork::endpoint_at(const Location& loc) const {
+  auto it = by_location_.find(loc);
+  if (it == by_location_.end()) {
+    return unreachable_error("no endpoint at " + [&] {
+      std::string s = "<" + std::to_string(loc.naddr) + "," +
+                      std::to_string(loc.maddr) + "," +
+                      std::to_string(loc.laddr) + ">";
+      return s;
+    }());
+  }
+  return it->second;
+}
+
+std::vector<EndpointId> Internetwork::endpoints() const {
+  std::vector<EndpointId> out;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].alive) out.emplace_back(i);
+  }
+  return out;
+}
+
+std::vector<EndpointId> Internetwork::endpoints_on(MachineId machine) const {
+  NAMECOH_CHECK(index_ok(machines_, machine), "unknown machine");
+  return machines_[machine.value()].endpoints;
+}
+
+std::vector<MachineId> Internetwork::machines() const {
+  std::vector<MachineId> out;
+  for (std::size_t i = 0; i < machines_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<MachineId> Internetwork::machines_in(NetworkId network) const {
+  NAMECOH_CHECK(index_ok(networks_, network), "unknown network");
+  return networks_[network.value()].machines;
+}
+
+std::vector<NetworkId> Internetwork::networks() const {
+  std::vector<NetworkId> out;
+  for (std::size_t i = 0; i < networks_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+void Internetwork::deindex_machine(MachineId machine) {
+  for (EndpointId ep : machines_[machine.value()].endpoints) {
+    by_location_.erase(location_of(ep).value());
+  }
+}
+
+void Internetwork::reindex_machine(MachineId machine) {
+  for (EndpointId ep : machines_[machine.value()].endpoints) {
+    by_location_[location_of(ep).value()] = ep;
+  }
+}
+
+Status Internetwork::renumber_machine(MachineId machine) {
+  if (!index_ok(machines_, machine)) {
+    return not_found_error("renumber_machine: no such machine");
+  }
+  MachineRec& rec = machines_[machine.value()];
+  NetworkRec& net = networks_[rec.network.value()];
+  deindex_machine(machine);
+  // Allocate the new address *before* freeing the old one: a renumber must
+  // actually change the address, not hand the same one back.
+  Addr fresh = allocate_maddr(net);
+  if (reuse_addresses_) net.free_maddrs.push_back(rec.maddr);
+  rec.maddr = fresh;
+  reindex_machine(machine);
+  ++reconfigurations_;
+  return Status::ok();
+}
+
+Status Internetwork::renumber_network(NetworkId network) {
+  if (!index_ok(networks_, network)) {
+    return not_found_error("renumber_network: no such network");
+  }
+  NetworkRec& net = networks_[network.value()];
+  for (MachineId m : net.machines) deindex_machine(m);
+  Addr fresh = allocate_naddr();
+  if (reuse_addresses_) free_naddrs_.push_back(net.naddr);
+  net.naddr = fresh;
+  for (MachineId m : net.machines) reindex_machine(m);
+  ++reconfigurations_;
+  return Status::ok();
+}
+
+Status Internetwork::move_machine(MachineId machine, NetworkId destination) {
+  if (!index_ok(machines_, machine)) {
+    return not_found_error("move_machine: no such machine");
+  }
+  if (!index_ok(networks_, destination)) {
+    return not_found_error("move_machine: no such network");
+  }
+  MachineRec& rec = machines_[machine.value()];
+  NetworkRec& from = networks_[rec.network.value()];
+  NetworkRec& to = networks_[destination.value()];
+  deindex_machine(machine);
+  std::erase(from.machines, machine);
+  if (reuse_addresses_) from.free_maddrs.push_back(rec.maddr);
+  rec.network = destination;
+  rec.maddr = allocate_maddr(to);
+  to.machines.push_back(machine);
+  reindex_machine(machine);
+  ++reconfigurations_;
+  return Status::ok();
+}
+
+}  // namespace namecoh

@@ -1,0 +1,136 @@
+// The internetwork: networks, machines, and process endpoints, with the
+// renumbering (reconfiguration) operations of §6 Example 1.
+//
+// Identity vs address: networks, machines and endpoints have *stable ids*
+// (NetworkId, MachineId, EndpointId) that never change, and *addresses*
+// (naddr, maddr, laddr) that renumbering changes. A pid names an address
+// path, not an identity — which is exactly why fully qualified pids go
+// stale when a machine or network is renamed, while pids qualified only
+// inside the renamed scope keep working.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/ids.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+struct NetworkTag {};
+using NetworkId = StrongId<NetworkTag>;
+struct MachineTag {};
+using MachineId = StrongId<MachineTag>;
+struct EndpointTag {};
+using EndpointId = StrongId<EndpointTag>;
+
+class Internetwork {
+ public:
+  Internetwork() = default;
+  Internetwork(const Internetwork&) = delete;
+  Internetwork& operator=(const Internetwork&) = delete;
+  Internetwork(Internetwork&&) = default;
+  Internetwork& operator=(Internetwork&&) = default;
+
+  // --- Construction --------------------------------------------------------
+
+  NetworkId add_network(std::string label);
+  /// Add a machine to a network; maddr is allocated (unique within the
+  /// network, never reused unless reuse is enabled).
+  MachineId add_machine(NetworkId network, std::string label);
+  /// Add a process endpoint on a machine; laddr allocated likewise.
+  EndpointId add_endpoint(MachineId machine, std::string label);
+  Status remove_endpoint(EndpointId endpoint);
+
+  /// When enabled, freed/renumbered-away addresses may be handed out again
+  /// — modelling the dangerous reuse case where a stale fully qualified pid
+  /// silently denotes a *different* process.
+  void set_address_reuse(bool enabled) { reuse_addresses_ = enabled; }
+
+  // --- Inspection -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t network_count() const { return networks_.size(); }
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t endpoint_count() const;
+
+  [[nodiscard]] bool has_endpoint(EndpointId endpoint) const;
+  /// Current fully qualified location of a live endpoint.
+  [[nodiscard]] Result<Location> location_of(EndpointId endpoint) const;
+  [[nodiscard]] Result<MachineId> machine_of(EndpointId endpoint) const;
+  [[nodiscard]] Result<NetworkId> network_of(MachineId machine) const;
+  [[nodiscard]] Result<Addr> naddr_of(NetworkId network) const;
+  [[nodiscard]] Result<Addr> maddr_of(MachineId machine) const;
+
+  [[nodiscard]] const std::string& network_label(NetworkId network) const;
+  [[nodiscard]] const std::string& machine_label(MachineId machine) const;
+  [[nodiscard]] const std::string& endpoint_label(EndpointId endpoint) const;
+
+  /// The endpoint currently listening at a fully qualified location, if any.
+  [[nodiscard]] Result<EndpointId> endpoint_at(const Location& loc) const;
+
+  [[nodiscard]] std::vector<EndpointId> endpoints() const;
+  [[nodiscard]] std::vector<EndpointId> endpoints_on(MachineId machine) const;
+  [[nodiscard]] std::vector<MachineId> machines() const;
+  [[nodiscard]] std::vector<MachineId> machines_in(NetworkId network) const;
+  [[nodiscard]] std::vector<NetworkId> networks() const;
+
+  // --- Reconfiguration (§6: relocation / renumbering) -----------------------
+
+  /// Give a machine a fresh maddr within its network. All fully qualified
+  /// and (0,m,l) pids held elsewhere go stale; (0,0,l) pids held on the
+  /// machine itself keep working.
+  Status renumber_machine(MachineId machine);
+  /// Give a network a fresh naddr. (n,m,l) pids held in other networks go
+  /// stale; everything inside the network keeps working.
+  Status renumber_network(NetworkId network);
+  /// Move a machine to another network with a fresh maddr there.
+  Status move_machine(MachineId machine, NetworkId destination);
+
+  /// Total renumber operations performed (for experiment bookkeeping).
+  [[nodiscard]] std::uint64_t reconfigurations() const {
+    return reconfigurations_;
+  }
+
+ private:
+  struct NetworkRec {
+    std::string label;
+    Addr naddr = 0;
+    Addr next_maddr = 1;
+    std::vector<MachineId> machines;
+    std::vector<Addr> free_maddrs;  // only used when reuse enabled
+  };
+  struct MachineRec {
+    std::string label;
+    NetworkId network;
+    Addr maddr = 0;
+    Addr next_laddr = 1;
+    std::vector<EndpointId> endpoints;
+    std::vector<Addr> free_laddrs;
+  };
+  struct EndpointRec {
+    std::string label;
+    MachineId machine;
+    Addr laddr = 0;
+    bool alive = false;
+  };
+
+  Addr allocate_naddr();
+  Addr allocate_maddr(NetworkRec& net);
+  Addr allocate_laddr(MachineRec& mach);
+  void reindex_machine(MachineId machine);
+  void deindex_machine(MachineId machine);
+
+  std::vector<NetworkRec> networks_;
+  std::vector<MachineRec> machines_;
+  std::vector<EndpointRec> endpoints_;
+  std::unordered_map<Location, EndpointId> by_location_;
+  Addr next_naddr_ = 1;
+  std::vector<Addr> free_naddrs_;
+  bool reuse_addresses_ = false;
+  std::uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace namecoh

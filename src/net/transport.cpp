@@ -1,0 +1,140 @@
+#include "net/transport.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace namecoh {
+
+Transport::Transport(Simulator& sim, Internetwork& net,
+                     TransportConfig config, std::uint64_t seed)
+    : sim_(sim), net_(net), config_(config), rng_(seed) {
+  trace_.set_enabled(false);  // opt-in: traces grow with every message
+}
+
+void Transport::set_handler(EndpointId endpoint, Handler handler) {
+  NAMECOH_CHECK(static_cast<bool>(handler), "null handler");
+  handlers_[endpoint] = std::move(handler);
+}
+
+void Transport::clear_handler(EndpointId endpoint) {
+  handlers_.erase(endpoint);
+}
+
+Result<EndpointId> Transport::resolve_pid(EndpointId holder,
+                                          const Pid& pid) const {
+  auto holder_loc = net_.location_of(holder);
+  if (!holder_loc.is_ok()) return holder_loc.status();
+  auto target = qualify(pid, holder_loc.value());
+  if (!target.is_ok()) return target.status();
+  return net_.endpoint_at(target.value());
+}
+
+SimDuration Transport::latency_between(const Location& a,
+                                       const Location& b) const {
+  if (a.same_machine(b)) return config_.intra_machine_latency;
+  if (a.same_network(b)) return config_.intra_network_latency;
+  return config_.inter_network_latency;
+}
+
+Status Transport::send(EndpointId from, const Pid& to, Message message) {
+  auto from_loc = net_.location_of(from);
+  if (!from_loc.is_ok()) {
+    return failed_precondition_error("send from dead endpoint");
+  }
+  auto target_loc = qualify(to, from_loc.value());
+  if (!target_loc.is_ok()) return target_loc.status();
+  auto target = net_.endpoint_at(target_loc.value());
+  if (!target.is_ok()) {
+    ++stats_.unreachable;
+    trace_.record(sim_.now(), "unreachable",
+                  net_.endpoint_label(from) + " -> " + to.to_string());
+    return target.status();
+  }
+
+  ++stats_.sent;
+  std::vector<std::uint8_t> frame = message.payload.encode();
+  stats_.bytes_sent += frame.size();
+
+  if (config_.drop_probability > 0.0 &&
+      rng_.bernoulli(config_.drop_probability)) {
+    ++stats_.dropped;
+    trace_.record(sim_.now(), "dropped",
+                  net_.endpoint_label(from) + " -> " + to.to_string());
+    return Status::ok();  // fire-and-forget: the loss is observable later
+  }
+
+  SimDuration latency = latency_between(from_loc.value(), target_loc.value());
+  EndpointId intended = target.value();
+  Location sender_at_send = from_loc.value();
+  Location target_address = target_loc.value();
+  std::uint32_t type = message.type;
+  sim_.schedule_in(latency, [this, intended, target_address, sender_at_send,
+                             frame = std::move(frame), type]() mutable {
+    deliver(intended, target_address, sender_at_send, std::move(frame), type);
+  });
+  return Status::ok();
+}
+
+void Transport::deliver(EndpointId intended, Location target,
+                        Location sender_at_send,
+                        std::vector<std::uint8_t> frame, std::uint32_t type) {
+  // Re-resolve the *address* at delivery time: renumbering mid-flight can
+  // orphan the address or (with reuse) hand it to a different process.
+  auto now_there = net_.endpoint_at(target);
+  if (!now_there.is_ok()) {
+    ++stats_.unreachable;
+    trace_.record(sim_.now(), "undeliverable", "address moved away");
+    return;
+  }
+  EndpointId receiver = now_there.value();
+  if (receiver != intended) {
+    ++stats_.misdelivered;
+    trace_.record(sim_.now(), "misdelivered",
+                  "stale address reached " + net_.endpoint_label(receiver));
+  }
+
+  auto payload = Payload::decode(frame);
+  if (!payload.is_ok()) {
+    NAMECOH_ERROR("wire decode failed: " << payload.status());
+    return;
+  }
+  Message message;
+  message.type = type;
+  message.payload = std::move(payload).value();
+
+  auto receiver_loc = net_.location_of(receiver);
+  if (!receiver_loc.is_ok()) {
+    ++stats_.unreachable;
+    return;
+  }
+
+  // R(sender): rebase every embedded pid from the sender's context (at send
+  // time) to the receiver's context. With the remap disabled, embedded pids
+  // arrive verbatim and mean whatever they happen to mean at the receiver —
+  // the §6 incoherence.
+  if (config_.remap_embedded_pids) {
+    for (std::size_t i : message.payload.pid_indices()) {
+      auto rebased =
+          rebase(message.payload.pid_at(i), sender_at_send,
+                 receiver_loc.value());
+      if (rebased.is_ok()) {
+        message.payload.set_pid(i, rebased.value());
+        ++stats_.pids_remapped;
+      } else {
+        ++stats_.remap_failures;
+      }
+    }
+  }
+
+  // Let the receiver reply: the sender's pid relative to the receiver.
+  message.reply_to = relativize(sender_at_send, receiver_loc.value());
+
+  ++stats_.delivered;
+  trace_.record(sim_.now(), "delivered",
+                "to " + net_.endpoint_label(receiver));
+  auto it = handlers_.find(receiver);
+  if (it != handlers_.end()) it->second(receiver, message);
+}
+
+}  // namespace namecoh

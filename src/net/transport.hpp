@@ -1,0 +1,105 @@
+// Message transport over the simulated internetwork.
+//
+// One-way datagram messaging with:
+//   * pid-based addressing: the destination pid is resolved in the *sender's*
+//     context (its current location), per §6 Example 1;
+//   * embedded-pid remapping at delivery (the R(sender) rule): every kPid
+//     field in the payload is rebased from the sender's context to the
+//     receiver's. The remap can be disabled to reproduce the incoherence the
+//     paper warns about;
+//   * full wire round-trip: payloads are encoded and decoded on every hop so
+//     the codec is exercised by every integration test and experiment;
+//   * latency by locality (intra-machine / intra-network / inter-network)
+//     and optional drop probability, all on the deterministic simulator.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "net/wire.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace namecoh {
+
+/// An application message. `reply_to` is filled in by the transport at
+/// delivery: it is the sender's pid *relative to the receiver*, so the
+/// receiver can always answer (the client/server pattern of §4 case 2).
+struct Message {
+  std::uint32_t type = 0;
+  Pid reply_to;
+  Payload payload;
+};
+
+struct TransportConfig {
+  SimDuration intra_machine_latency = 5;
+  SimDuration intra_network_latency = 50;
+  SimDuration inter_network_latency = 500;
+  /// Apply the R(sender) remap to embedded pids at delivery. Disabling it
+  /// reproduces the paper's incoherence for exchanged pids.
+  bool remap_embedded_pids = true;
+  double drop_probability = 0.0;
+};
+
+struct TransportStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t unreachable = 0;   ///< destination pid resolved to nothing
+  std::uint64_t misdelivered = 0;  ///< stale address reused by another process
+  std::uint64_t pids_remapped = 0;
+  std::uint64_t remap_failures = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Transport {
+ public:
+  Transport(Simulator& sim, Internetwork& net, TransportConfig config = {},
+            std::uint64_t seed = 1);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  using Handler = std::function<void(EndpointId self, const Message&)>;
+
+  /// Install the receive handler for an endpoint. Messages to endpoints
+  /// without a handler are counted as delivered and discarded.
+  void set_handler(EndpointId endpoint, Handler handler);
+  void clear_handler(EndpointId endpoint);
+
+  /// Resolve a destination pid in the context of `holder` (its current
+  /// location) to the endpoint currently at that address.
+  [[nodiscard]] Result<EndpointId> resolve_pid(EndpointId holder,
+                                               const Pid& pid) const;
+
+  /// Send `message` from `from` to the process denoted by `to` *in the
+  /// sender's context*. Returns an error only for immediately detectable
+  /// failures (dead sender, malformed pid, unresolvable address); delivery
+  /// itself happens later on the simulator.
+  Status send(EndpointId from, const Pid& to, Message message);
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+  void set_remap_embedded_pids(bool enabled) {
+    config_.remap_embedded_pids = enabled;
+  }
+
+ private:
+  SimDuration latency_between(const Location& a, const Location& b) const;
+  void deliver(EndpointId intended, Location target, Location sender_at_send,
+               std::vector<std::uint8_t> frame, std::uint32_t type);
+
+  Simulator& sim_;
+  Internetwork& net_;
+  TransportConfig config_;
+  Rng rng_;
+  TransportStats stats_;
+  Trace trace_;
+  std::unordered_map<EndpointId, Handler> handlers_;
+};
+
+}  // namespace namecoh

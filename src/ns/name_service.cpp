@@ -1,0 +1,301 @@
+#include "ns/name_service.hpp"
+
+#include <deque>
+
+#include "util/strings.hpp"
+
+namespace namecoh {
+namespace {
+
+std::string encode_components(std::span<const Name> components) {
+  std::string out;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i > 0) out += '/';
+    out += components[i].text();
+  }
+  return out;
+}
+
+}  // namespace
+
+void HomeMap::set_home(EntityId ctx, MachineId machine) {
+  NAMECOH_CHECK(ctx.valid() && machine.valid(), "invalid home assignment");
+  homes_[ctx] = machine;
+}
+
+void HomeMap::set_home_subtree(const NamingGraph& graph, EntityId root,
+                               MachineId machine) {
+  NAMECOH_CHECK(graph.is_context_object(root),
+                "set_home_subtree: root is not a context object");
+  std::deque<EntityId> frontier{root};
+  homes_.try_emplace(root, machine);
+  while (!frontier.empty()) {
+    EntityId ctx = frontier.front();
+    frontier.pop_front();
+    if (homes_.at(ctx) != machine) continue;  // foreign authority: stop
+    for (const auto& [name, target] : graph.context(ctx).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (graph.is_context_object(target) &&
+          homes_.try_emplace(target, machine).second) {
+        frontier.push_back(target);
+      }
+    }
+  }
+}
+
+Result<MachineId> HomeMap::home_of(EntityId ctx) const {
+  auto it = homes_.find(ctx);
+  if (it == homes_.end()) {
+    return not_found_error("context has no authoritative home");
+  }
+  return it->second;
+}
+
+bool HomeMap::has_home(EntityId ctx) const { return homes_.contains(ctx); }
+
+NameService::NameService(const NamingGraph& graph, Internetwork& net,
+                         Transport& transport, const HomeMap& homes)
+    : graph_(graph), net_(net), transport_(transport), homes_(homes) {}
+
+EndpointId NameService::add_server(MachineId machine) {
+  NAMECOH_CHECK(!servers_.contains(machine),
+                "machine already has a name server");
+  EndpointId server = net_.add_endpoint(machine, "nameserver");
+  servers_[machine] = server;
+  transport_.set_handler(server,
+                         [this](EndpointId self, const Message& message) {
+                           handle_request(self, message);
+                         });
+  return server;
+}
+
+Result<EndpointId> NameService::server_on(MachineId machine) const {
+  auto it = servers_.find(machine);
+  if (it == servers_.end()) {
+    return unreachable_error("no name server on machine");
+  }
+  return it->second;
+}
+
+void NameService::handle_request(EndpointId self, const Message& message) {
+  if (message.type != NsWire::kResolveRequest ||
+      message.payload.size() < 2 ||
+      message.payload.type_at(0) != FieldType::kU64 ||
+      message.payload.type_at(1) != FieldType::kName) {
+    return;  // not ours / malformed
+  }
+  ++stats_.requests;
+  EntityId ctx(message.payload.u64_at(0));
+  const std::string& path = message.payload.name_at(1);
+
+  // Reply layout (fixed): [disposition, entity, remaining, error,
+  // next-server pid]. The pid is in *this server's* context; the transport
+  // rebases it into the receiver's context in flight (R(sender)).
+  auto send_reply = [&](std::uint64_t disposition, EntityId entity,
+                        std::string remaining, std::string error,
+                        Pid next_server) {
+    Message reply;
+    reply.type = NsWire::kResolveReply;
+    reply.payload.add_u64(disposition);
+    reply.payload.add_u64(entity.valid() ? entity.value() : ~0ULL);
+    reply.payload.add_name(std::move(remaining));
+    reply.payload.add_string(std::move(error));
+    reply.payload.add_pid(next_server);
+    (void)transport_.send(self, message.reply_to, std::move(reply));
+  };
+  auto send_error = [&](std::string error) {
+    ++stats_.failures;
+    send_reply(NsWire::kError, {}, "", std::move(error), Pid::self());
+  };
+
+  auto my_machine = net_.machine_of(self);
+  if (!my_machine.is_ok()) return;
+  auto my_loc = net_.location_of(self);
+  if (!my_loc.is_ok()) return;
+
+  auto parsed = CompoundName::parse_relative(path);
+  if (!parsed.is_ok()) {
+    send_error(parsed.status().to_string());
+    return;
+  }
+  std::span<const Name> components = parsed.value().components();
+
+  // Walk while the current context is homed here; refer onward otherwise.
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (!graph_.is_context_object(ctx)) {
+      send_error("NOT_A_CONTEXT at '" + components[i].text() + "'");
+      return;
+    }
+    auto home = homes_.home_of(ctx);
+    if (!home.is_ok()) {
+      send_error("context has no authoritative home");
+      return;
+    }
+    if (home.value() != my_machine.value()) {
+      auto next_server = server_on(home.value());
+      if (!next_server.is_ok()) {
+        send_error("authoritative machine has no name server");
+        return;
+      }
+      auto next_loc = net_.location_of(next_server.value());
+      if (!next_loc.is_ok()) {
+        send_error("authoritative server endpoint is dead");
+        return;
+      }
+      ++stats_.referrals;
+      send_reply(NsWire::kReferral, ctx,
+                 encode_components(components.subspan(i)), "",
+                 relativize(next_loc.value(), my_loc.value()));
+      return;
+    }
+    auto next = graph_.lookup(ctx, components[i]);
+    if (!next.is_ok()) {
+      send_error(next.status().to_string());
+      return;
+    }
+    if (i + 1 == components.size()) {
+      ++stats_.answers;
+      send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self());
+      return;
+    }
+    ctx = next.value();
+  }
+}
+
+ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
+                               Transport& transport, Simulator& sim,
+                               const NameService& service, MachineId machine,
+                               std::string label,
+                               ResolverClientConfig config)
+    : graph_(graph),
+      net_(net),
+      transport_(transport),
+      sim_(sim),
+      service_(service),
+      endpoint_(net.add_endpoint(machine, std::move(label))),
+      config_(config) {
+  transport_.set_handler(
+      endpoint_, [this](EndpointId, const Message& message) {
+        if (message.type != NsWire::kResolveReply ||
+            message.payload.size() < 5 ||
+            message.payload.type_at(0) != FieldType::kU64 ||
+            message.payload.type_at(1) != FieldType::kU64 ||
+            message.payload.type_at(2) != FieldType::kName ||
+            message.payload.type_at(3) != FieldType::kString ||
+            message.payload.type_at(4) != FieldType::kPid) {
+          return;
+        }
+        reply_received_ = true;
+        reply_disposition_ = message.payload.u64_at(0);
+        std::uint64_t raw = message.payload.u64_at(1);
+        reply_entity_ = raw == ~0ULL ? EntityId::invalid() : EntityId(raw);
+        reply_remaining_ = message.payload.name_at(2);
+        reply_error_ = message.payload.string_at(3);
+        reply_next_server_ = message.payload.pid_at(4);
+      });
+}
+
+ResolverClient::~ResolverClient() {
+  transport_.clear_handler(endpoint_);
+  (void)net_.remove_endpoint(endpoint_);
+}
+
+Status ResolverClient::round_trip(const Pid& server, EntityId start,
+                                  const std::string& path) {
+  for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
+    Message request;
+    request.type = NsWire::kResolveRequest;
+    request.payload.add_u64(start.value());
+    request.payload.add_name(path);
+    reply_received_ = false;
+    ++stats_.messages_sent;
+    Status sent = transport_.send(endpoint_, server, request);
+    if (!sent.is_ok()) return sent;  // hard failure: no point retrying
+    // Drive the simulator until our reply lands (single outstanding
+    // request; other traffic may interleave but cannot consume our reply).
+    while (!reply_received_ && sim_.pending() > 0) {
+      sim_.run(1);
+    }
+    if (reply_received_) return Status::ok();
+    // Silence: the request or the reply was dropped. Try again.
+  }
+  return unreachable_error("no reply from name server (message lost)");
+}
+
+Result<EntityId> ResolverClient::resolve(EntityId start,
+                                         const CompoundName& name) {
+  ++stats_.resolutions;
+  if (name.front().is_root()) {
+    ++stats_.failures;
+    return invalid_argument_error(
+        "remote resolution takes names relative to a context object; "
+        "resolve the root binding locally first");
+  }
+  std::string path = name.to_path();
+
+  CacheKey key{start, path};
+  if (config_.cache_ttl > 0) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.expires > sim_.now()) {
+        ++stats_.cache_hits;
+        return it->second.entity;
+      }
+      cache_.erase(it);
+    }
+    ++stats_.cache_misses;
+  }
+
+  // First hop: this machine's own server (DNS-style "local recursive").
+  auto my_machine = net_.machine_of(endpoint_);
+  if (!my_machine.is_ok()) {
+    ++stats_.failures;
+    return my_machine.status();
+  }
+  auto local_server = service_.server_on(my_machine.value());
+  if (!local_server.is_ok()) {
+    ++stats_.failures;
+    return local_server.status();
+  }
+  auto my_loc = net_.location_of(endpoint_);
+  auto server_loc = net_.location_of(local_server.value());
+  if (!my_loc.is_ok() || !server_loc.is_ok()) {
+    ++stats_.failures;
+    return unreachable_error("client or server endpoint is dead");
+  }
+  Pid server_pid = relativize(server_loc.value(), my_loc.value());
+
+  EntityId current = start;
+  std::string remaining = path;
+  for (std::size_t chase = 0; chase <= config_.max_referrals; ++chase) {
+    Status rt = round_trip(server_pid, current, remaining);
+    if (!rt.is_ok()) {
+      ++stats_.failures;
+      return rt;
+    }
+    switch (reply_disposition_) {
+      case NsWire::kAnswer:
+        if (config_.cache_ttl > 0) {
+          cache_[key] =
+              CacheEntry{reply_entity_, sim_.now() + config_.cache_ttl};
+        }
+        return reply_entity_;
+      case NsWire::kError:
+        ++stats_.failures;
+        return not_found_error(reply_error_);
+      case NsWire::kReferral:
+        ++stats_.referrals_followed;
+        current = reply_entity_;
+        remaining = reply_remaining_;
+        server_pid = reply_next_server_;  // already rebased by the transport
+        break;
+      default:
+        ++stats_.failures;
+        return internal_error("unknown reply disposition");
+    }
+  }
+  ++stats_.failures;
+  return depth_exceeded_error("referral chase exceeded limit");
+}
+
+}  // namespace namecoh

@@ -1,0 +1,182 @@
+// A distributed name service: resolution of compound names across machines
+// over the real message transport.
+//
+// The paper's model is deliberately location-free — a context is just a
+// function — but in the distributed systems it analyses (Locus, Andrew,
+// Newcastle, DCE) the context objects *live somewhere*, and resolving a
+// compound name whose path crosses machines costs messages. This module
+// supplies that substrate:
+//
+//   * HomeMap        — which machine is authoritative for each context
+//                      object (directories of a machine's tree are homed on
+//                      that machine; a shared tree is homed on its server);
+//   * NameService    — one server endpoint per machine; servers walk the
+//                      compound name through locally-homed contexts and
+//                      answer with either a result or a *referral* (next
+//                      authoritative machine + remaining path), the
+//                      iterative style of DNS;
+//   * ResolverClient — issues requests, follows referrals, and keeps an
+//                      optional TTL cache of (context, path) → entity.
+//
+// The cache is where naming meets time: a cached binding that outlives a
+// rebind makes the client resolve a name to an entity the authority no
+// longer means — *temporal* incoherence, measured by bench_ns_cache.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/naming_graph.hpp"
+#include "core/resolve.hpp"
+#include "net/transport.hpp"
+
+namespace namecoh {
+
+/// Authority assignment: context object → machine.
+class HomeMap {
+ public:
+  void set_home(EntityId ctx, MachineId machine);
+  /// Assign `root` and every directory reachable from it (tree edges) to
+  /// `machine`. Stops at directories that already have a different home,
+  /// so shared subtrees keep their own authority.
+  void set_home_subtree(const NamingGraph& graph, EntityId root,
+                        MachineId machine);
+  [[nodiscard]] Result<MachineId> home_of(EntityId ctx) const;
+  [[nodiscard]] bool has_home(EntityId ctx) const;
+  [[nodiscard]] std::size_t size() const { return homes_.size(); }
+
+ private:
+  std::unordered_map<EntityId, MachineId> homes_;
+};
+
+struct NameServiceStats {
+  std::uint64_t requests = 0;    ///< server-side requests handled
+  std::uint64_t answers = 0;     ///< final results returned
+  std::uint64_t referrals = 0;   ///< referrals issued
+  std::uint64_t failures = 0;    ///< resolution errors returned
+};
+
+/// Wire protocol message types (Transport Message::type).
+struct NsWire {
+  static constexpr std::uint32_t kResolveRequest = 100;
+  static constexpr std::uint32_t kResolveReply = 101;
+  // Reply dispositions.
+  static constexpr std::uint64_t kAnswer = 0;
+  static constexpr std::uint64_t kReferral = 1;
+  static constexpr std::uint64_t kError = 2;
+};
+
+/// The server side: one endpoint per machine, walking names through
+/// locally-homed context objects.
+class NameService {
+ public:
+  NameService(const NamingGraph& graph, Internetwork& net,
+              Transport& transport, const HomeMap& homes);
+
+  /// Install a server on `machine`; returns its endpoint. A machine
+  /// without a server cannot answer for contexts homed on it.
+  EndpointId add_server(MachineId machine);
+
+  [[nodiscard]] Result<EndpointId> server_on(MachineId machine) const;
+  [[nodiscard]] const NameServiceStats& stats() const { return stats_; }
+
+ private:
+  void handle_request(EndpointId self, const Message& message);
+
+  const NamingGraph& graph_;
+  Internetwork& net_;
+  Transport& transport_;
+  const HomeMap& homes_;
+  std::unordered_map<MachineId, EndpointId> servers_;
+  NameServiceStats stats_;
+};
+
+struct ResolverClientStats {
+  std::uint64_t resolutions = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t referrals_followed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ResolverClientConfig {
+  /// Cache TTL in simulator ticks; 0 disables caching.
+  SimDuration cache_ttl = 0;
+  /// Referral-chase limit (cycle guard).
+  std::size_t max_referrals = 32;
+  /// Resend attempts per hop when a request or reply is lost (the
+  /// transport reports nothing; loss shows up as silence). 0 = fail on
+  /// first loss.
+  std::size_t retries = 0;
+};
+
+/// The client side: a process endpoint that resolves names by talking to
+/// the authoritative servers, following referrals.
+class ResolverClient {
+ public:
+  ResolverClient(const NamingGraph& graph, Internetwork& net,
+                 Transport& transport, Simulator& sim,
+                 const NameService& service, MachineId machine,
+                 std::string label, ResolverClientConfig config = {});
+  ~ResolverClient();
+
+  ResolverClient(const ResolverClient&) = delete;
+  ResolverClient& operator=(const ResolverClient&) = delete;
+
+  /// Resolve `name` starting at the context object `start`. Drives the
+  /// simulator until the reply chain completes (the call is synchronous in
+  /// simulated time; latency accumulates on the shared clock).
+  Result<EntityId> resolve(EntityId start, const CompoundName& name);
+
+  [[nodiscard]] const ResolverClientStats& stats() const { return stats_; }
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+
+  void clear_cache() { cache_.clear(); }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheKey {
+    EntityId start;
+    std::string path;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      return std::hash<EntityId>{}(key.start) ^
+             (std::hash<std::string>{}(key.path) << 1);
+    }
+  };
+  struct CacheEntry {
+    EntityId entity;
+    SimTime expires;
+  };
+
+  /// One request/reply round; fills the reply_* fields via the handler.
+  /// The server is addressed by pid in this client's context.
+  Status round_trip(const Pid& server, EntityId start,
+                    const std::string& path);
+
+  const NamingGraph& graph_;
+  Internetwork& net_;
+  Transport& transport_;
+  Simulator& sim_;
+  const NameService& service_;
+  EndpointId endpoint_;
+  ResolverClientConfig config_;
+  ResolverClientStats stats_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+
+  // In-flight state (single outstanding request; the resolver is
+  // synchronous).
+  bool reply_received_ = false;
+  std::uint64_t reply_disposition_ = NsWire::kError;
+  EntityId reply_entity_;
+  std::string reply_remaining_;
+  std::string reply_error_;
+  Pid reply_next_server_;  ///< referral: the next authoritative server,
+                           ///< already rebased into this client's context
+                           ///< by the transport's R(sender) remap
+};
+
+}  // namespace namecoh

@@ -1,0 +1,33 @@
+// Processes: the activities of the model, wired to both worlds.
+//
+// A Process is simultaneously
+//   * an activity in the NamingGraph (so coherence probes can ask what a
+//     name means *to it*),
+//   * the owner of a context object holding its "/" and "." bindings (the
+//     paper's R(p), §5.1) plus any per-process attachments (§6 II), and
+//   * an endpoint in the Internetwork (so it can exchange names and pids in
+//     messages over the Transport).
+#pragma once
+
+#include <string>
+
+#include "core/entity.hpp"
+#include "net/topology.hpp"
+#include "util/ids.hpp"
+
+namespace namecoh {
+
+struct ProcessTag {};
+using ProcessId = StrongId<ProcessTag>;
+
+struct ProcessInfo {
+  std::string label;
+  EntityId activity;       ///< the activity node in the naming graph
+  EntityId context_object; ///< the context object holding R(p)
+  EndpointId endpoint;     ///< the messaging endpoint
+  MachineId machine;       ///< where the process runs
+  ProcessId parent;        ///< invalid for top-level processes
+  bool alive = true;
+};
+
+}  // namespace namecoh

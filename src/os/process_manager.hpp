@@ -1,0 +1,182 @@
+// Process management: spawn, fork-with-context-inheritance, per-process
+// views, remote execution, and the exchange of names and pids in messages.
+//
+// This is the layer where the paper's three sources of names (Fig. 1)
+// become concrete events:
+//   * internal   — a process resolves a path it generated itself,
+//   * exchanged  — send_name()/send_pid_of() put a name into a message; the
+//                  receiver's inbox records the circumstance (who sent it),
+//   * embedded   — read_names_from() pulls the names embedded in a file the
+//                  process opened (resolution handled by the embed module).
+//
+// Remote execution (§6 II and the §5.1 discussion) is parameterized by the
+// context-attachment policy, which is the experimental knob of E2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/closure.hpp"
+#include "fs/file_system.hpp"
+#include "net/transport.hpp"
+#include "os/process.hpp"
+
+namespace namecoh {
+
+/// How a remotely executed child's naming context is set up (§5.1, §6 II).
+enum class RemoteExecPolicy : std::uint8_t {
+  /// Child's root is the invoker's root: names passed as parameters stay
+  /// coherent, but the child cannot reach the executor machine's local
+  /// objects by their local names.
+  kInvokerRoot,
+  /// Child's root is the executor machine's root: local access works, but
+  /// parameters from the parent are resolved in the wrong tree.
+  kExecutorRoot,
+  /// Per-process view (Plan 9 / extended Waterloo Port): the child gets a
+  /// private root carrying *all* of the parent's root bindings plus an
+  /// attachment of the executor's tree under a fresh name — parameter
+  /// coherence and local access at the same time.
+  kPrivateAttach,
+};
+
+std::string_view remote_exec_policy_name(RemoteExecPolicy policy);
+
+/// A name received in a message, with the circumstance needed to resolve it
+/// under any resolution rule.
+struct ReceivedName {
+  ProcessId receiver;
+  ProcessId sender;
+  std::string path;
+  SimTime at = 0;
+};
+
+/// A pid received in a message (possibly remapped in flight).
+struct ReceivedPid {
+  ProcessId receiver;
+  ProcessId sender;
+  Pid pid;
+  SimTime at = 0;
+};
+
+class ProcessManager {
+ public:
+  /// Message types used on the wire.
+  static constexpr std::uint32_t kMsgName = 1;
+  static constexpr std::uint32_t kMsgPid = 2;
+
+  ProcessManager(NamingGraph& graph, FileSystem& fs, Internetwork& net,
+                 Transport& transport);
+
+  ProcessManager(const ProcessManager&) = delete;
+  ProcessManager& operator=(const ProcessManager&) = delete;
+
+  // --- Lifecycle -------------------------------------------------------------
+
+  /// Create a process on `machine` whose context binds "/" to `root` and
+  /// "." to `cwd`.
+  ProcessId spawn(MachineId machine, std::string label, EntityId root,
+                  EntityId cwd);
+
+  /// Fork: child on the same machine, context bindings *copied* from the
+  /// parent (§5.1: "a child inherits the context of its parent", and they
+  /// stay coherent only until one of them modifies its context).
+  ProcessId fork_child(ProcessId parent, std::string label);
+
+  /// Remote execution with a context-attachment policy. `executor_root` is
+  /// the root of the naming tree of the executing machine (needed by the
+  /// kExecutorRoot and kPrivateAttach policies; `attach_as` names the
+  /// attachment for kPrivateAttach).
+  Result<ProcessId> remote_exec(ProcessId parent, MachineId where,
+                                std::string label, RemoteExecPolicy policy,
+                                EntityId executor_root,
+                                const Name& attach_as = Name("local"));
+
+  Status kill(ProcessId process);
+
+  // --- Introspection -----------------------------------------------------------
+
+  [[nodiscard]] bool alive(ProcessId process) const;
+  [[nodiscard]] const ProcessInfo& info(ProcessId process) const;
+  [[nodiscard]] std::size_t process_count() const;
+  [[nodiscard]] std::vector<ProcessId> processes() const;
+  [[nodiscard]] Result<ProcessId> by_endpoint(EndpointId endpoint) const;
+  [[nodiscard]] Result<Location> location_of(ProcessId process) const;
+
+  [[nodiscard]] const ClosureTable& closures() const { return closures_; }
+  [[nodiscard]] ClosureTable& closures() { return closures_; }
+  [[nodiscard]] NamingGraph& graph() { return graph_; }
+  [[nodiscard]] const NamingGraph& graph() const { return graph_; }
+
+  // --- Context manipulation -------------------------------------------------------
+
+  Status set_root(ProcessId process, EntityId dir);
+  Status set_cwd(ProcessId process, EntityId dir);
+  /// Per-process view: bind an extra name directly in the process context
+  /// ("attach a name space to the context of an activity", §7 fn. 1).
+  Status attach_in_context(ProcessId process, const Name& name,
+                           EntityId target);
+  [[nodiscard]] Result<EntityId> root_of(ProcessId process) const;
+  [[nodiscard]] Result<EntityId> cwd_of(ProcessId process) const;
+
+  // --- Resolution --------------------------------------------------------------
+
+  /// Resolve a path the process generated internally: circumstance
+  /// (process, internal), rule R(a).
+  [[nodiscard]] Resolution resolve_internal(ProcessId process,
+                                            std::string_view path) const;
+
+  /// Resolve a received name under the given rule (R(receiver), R(sender)…).
+  [[nodiscard]] Resolution resolve_received(const ReceivedName& received,
+                                            const ResolutionRule& rule) const;
+
+  /// The circumstance in which `process` resolves internally generated
+  /// names; exposed for custom probes.
+  [[nodiscard]] Circumstance internal_circumstance(ProcessId process) const;
+
+  // --- Name & pid exchange ----------------------------------------------------------
+
+  /// Send a path string as a *name* to another process (addressed by pid in
+  /// the sender's context). Delivery lands in the receiver's inbox.
+  Status send_name(ProcessId from, const Pid& to, std::string path);
+  /// Convenience: address the destination process directly.
+  Status send_name_to(ProcessId from, ProcessId to, std::string path);
+
+  /// Send the pid of `subject` (relativized to the sender's location) to
+  /// another process. The transport remaps it en route iff configured.
+  Status send_pid_of(ProcessId from, ProcessId to, ProcessId subject);
+  /// Send a raw pid value (for experiments that craft stale pids).
+  Status send_pid(ProcessId from, ProcessId to, Pid pid);
+
+  /// Drain processing: run the simulator until all in-flight messages land.
+  void settle();
+
+  [[nodiscard]] const std::vector<ReceivedName>& received_names() const {
+    return received_names_;
+  }
+  [[nodiscard]] const std::vector<ReceivedPid>& received_pids() const {
+    return received_pids_;
+  }
+  void clear_inboxes();
+
+  /// The endpoint the pid in a ReceivedPid record currently denotes for its
+  /// receiver (resolution in the receiver's location context).
+  [[nodiscard]] Result<ProcessId> resolve_received_pid(
+      const ReceivedPid& received) const;
+
+ private:
+  const ProcessInfo& checked(ProcessId process) const;
+  ProcessInfo& checked(ProcessId process);
+  void install_handler(ProcessId process);
+
+  NamingGraph& graph_;
+  FileSystem& fs_;
+  Internetwork& net_;
+  Transport& transport_;
+  ClosureTable closures_;
+  std::vector<ProcessInfo> processes_;
+  std::unordered_map<EndpointId, ProcessId> by_endpoint_;
+  std::vector<ReceivedName> received_names_;
+  std::vector<ReceivedPid> received_pids_;
+};
+
+}  // namespace namecoh

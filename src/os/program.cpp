@@ -1,0 +1,92 @@
+#include "os/program.hpp"
+
+namespace namecoh {
+
+LoadedProgram ProgramLoader::from_meaning(EntityId image,
+                                          const DocumentMeaning& meaning) {
+  LoadedProgram program;
+  program.image = image;
+  program.segments = meaning.parts;
+  program.text = meaning.text;
+  program.unresolved = meaning.unresolved;
+  return program;
+}
+
+LoadedProgram ProgramLoader::load(EntityId image,
+                                  EntityId containing_dir) const {
+  AssembleOptions options;
+  options.rule = EmbedRule::kAlgolScope;
+  return from_meaning(image,
+                      assembler_.assemble(image, containing_dir, options));
+}
+
+LoadedProgram ProgramLoader::load_in_context(
+    EntityId image, const Context& reader_context) const {
+  AssembleOptions options;
+  options.rule = EmbedRule::kActivityContext;
+  options.reader_context = &reader_context;
+  // containing_dir is irrelevant under R(activity); pass any context
+  // object — the reader context's cwd if present, else fail gracefully by
+  // using the image itself (assemble checks kinds).
+  EntityId cwd = reader_context(Name("."));
+  return from_meaning(image, assembler_.assemble(image, cwd, options));
+}
+
+Result<EntityId> make_program(FileSystem& fs, EntityId dir, const Name& name,
+                              std::string entry_code,
+                              const std::vector<std::string>& segment_names) {
+  auto image = fs.create_file(dir, name, std::move(entry_code));
+  if (!image.is_ok()) return image.status();
+  for (const std::string& segment : segment_names) {
+    auto parsed = CompoundName::parse_relative(segment);
+    if (!parsed.is_ok()) return parsed.status();
+    fs.graph().add_embedded_name(image.value(), std::move(parsed).value());
+  }
+  return image;
+}
+
+Result<ProcessId> exec_program(ProcessManager& pm, ProcessId parent,
+                               MachineId machine,
+                               std::string_view program_path,
+                               const std::vector<std::string>& args) {
+  Resolution image = pm.resolve_internal(parent, program_path);
+  if (!image.ok()) return image.status;
+  NamingGraph& graph = [&]() -> NamingGraph& {
+    // The loader needs the graph the process manager operates on; reach it
+    // through the parent's context object.
+    return pm.graph();
+  }();
+  if (!graph.is_data_object(image.entity)) {
+    return invalid_argument_error("exec: '" + std::string(program_path) +
+                                  "' is not an executable file");
+  }
+  if (image.trail.empty()) {
+    return failed_precondition_error("exec: no containing directory");
+  }
+  ProgramLoader loader(graph);
+  LoadedProgram program = loader.load(image.entity, image.trail.back());
+  if (!program.complete()) {
+    return failed_precondition_error(
+        "exec: program incomplete — " + std::to_string(program.unresolved) +
+        " unresolved segment reference(s)");
+  }
+  // Child inherits the parent's root/cwd, as Unix exec does, but runs on
+  // the requested machine.
+  auto root = pm.root_of(parent);
+  if (!root.is_ok()) return root.status();
+  auto cwd = pm.cwd_of(parent);
+  if (!cwd.is_ok()) return cwd.status();
+  ProcessId child = pm.spawn(machine, graph.label(image.entity),
+                             root.value(), cwd.value());
+  for (const std::string& arg : args) {
+    Status sent = pm.send_name_to(parent, child, arg);
+    if (!sent.is_ok()) {
+      (void)pm.kill(child);
+      return sent;
+    }
+  }
+  if (!args.empty()) pm.settle();
+  return child;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,80 @@
+// Programs as structured objects (§6 Example 2's motivating case).
+//
+// "An executable program may also be stored in several files … The
+// executable code for a multi-process application may be stored in several
+// executable files with embedded names." A Program here is a file whose
+// embedded names denote its segments (code, data, libraries); loading it
+// means resolving every embedded name and concatenating the pieces — i.e.
+// assembling a structured object — and *executing* it means spawning a
+// process whose success depended on which resolution rule found the
+// segments.
+//
+// The loader is the bridge between the embed module and the process layer:
+// with R(file) a program image can be installed on any machine (or moved,
+// §6: "relocated or copied without changing the meaning of the embedded
+// names") and still load; with R(activity) it loads only for processes
+// whose context matches the layout the image was linked against.
+#pragma once
+
+#include "embed/embedded.hpp"
+#include "os/process_manager.hpp"
+
+namespace namecoh {
+
+/// A program resolved to its constituent pieces.
+struct LoadedProgram {
+  EntityId image;                 ///< the executable's root file
+  std::vector<EntityId> segments; ///< all files, image first
+  std::string text;               ///< concatenated "code"
+  std::size_t unresolved = 0;
+
+  [[nodiscard]] bool complete() const { return unresolved == 0; }
+};
+
+class ProgramLoader {
+ public:
+  explicit ProgramLoader(const NamingGraph& graph)
+      : graph_(&graph), assembler_(graph) {}
+
+  /// Load with R(file): segments found by Algol scope from the directory
+  /// the image was opened through.
+  [[nodiscard]] LoadedProgram load(EntityId image,
+                                   EntityId containing_dir) const;
+
+  /// Load with R(activity): segments resolved in the reader's process
+  /// context (the incoherent default).
+  [[nodiscard]] LoadedProgram load_in_context(
+      EntityId image, const Context& reader_context) const;
+
+ private:
+  static LoadedProgram from_meaning(EntityId image,
+                                    const DocumentMeaning& meaning);
+
+  const NamingGraph* graph_;
+  DocumentAssembler assembler_;
+};
+
+/// Create an executable image: a file whose embedded names are its
+/// segments. `segments` are names relative to the image's directory
+/// hierarchy (bare component sequences like "lib/rt.o").
+Result<EntityId> make_program(FileSystem& fs, EntityId dir, const Name& name,
+                              std::string entry_code,
+                              const std::vector<std::string>& segment_names);
+
+/// exec-by-name (§4 case 2 + §6): resolve `program_path` in the parent's
+/// context, load it with R(file), and spawn a child process on `machine`
+/// running it. Fails (kFailedPrecondition) when the program does not load
+/// completely — the observable consequence of incoherent embedded names.
+///
+/// `args` are passed Unix-style: each is sent to the child as a *name* in
+/// a message (§5.1: "A parent can pass any file name as an argument to a
+/// child") and lands in the child's inbox; the call settles the simulator
+/// so the args have arrived when it returns. Because the child inherits
+/// the parent's context, argv names resolve coherently even under the
+/// plain R(receiver) rule.
+Result<ProcessId> exec_program(ProcessManager& pm, ProcessId parent,
+                               MachineId machine,
+                               std::string_view program_path,
+                               const std::vector<std::string>& args = {});
+
+}  // namespace namecoh

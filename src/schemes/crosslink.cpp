@@ -1,0 +1,28 @@
+#include "schemes/crosslink.hpp"
+
+namespace namecoh {
+
+Status CrossLinkScheme::add_cross_link_to(SiteId from, const Name& as,
+                                          SiteId to,
+                                          std::string_view remote_path) {
+  Resolution res = fs_->resolve_path(
+      FileSystem::make_process_context(site_tree(to), site_tree(to)),
+      std::string("/") + std::string(remote_path));
+  if (!res.ok()) return res.status;
+  if (fs_->is_dir(res.entity)) {
+    return fs_->attach(site_tree(from), as, res.entity);
+  }
+  return fs_->link(site_tree(from), as, res.entity);
+}
+
+Result<std::string> CrossLinkScheme::map_with_prefix(
+    const Name& link, std::string_view remote_path) {
+  if (remote_path.empty() || remote_path.front() != '/') {
+    return invalid_argument_error("map_with_prefix needs an absolute path");
+  }
+  std::string out = "/" + link.text();
+  if (remote_path != "/") out += remote_path;
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,49 @@
+// Cross-links between autonomous systems (§5.3, Fig. 5).
+//
+// Each site is an autonomous system with its own root; there is no shared
+// tree and no super-root. Limited interaction is enabled by *cross-links*:
+// a binding added to one system's root (or any of its directories) that
+// points into another system's tree, e.g. /org2 on system 1 naming system
+// 2's root, so system 1 refers to the other organization's home
+// directories as /org2/users (§7).
+//
+// "There are no global names between systems unless they happen to use the
+// same prefix name for a shared entity" — which the F5/E3 experiments
+// measure directly.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+class CrossLinkScheme final : public NamingScheme {
+ public:
+  explicit CrossLinkScheme(FileSystem& fs) : NamingScheme(fs) {}
+
+  [[nodiscard]] std::string_view scheme_name() const override {
+    return "cross-links (federated)";
+  }
+
+  /// Each process binds "/" to its own system's root.
+  [[nodiscard]] EntityId site_root(SiteId site) const override {
+    return site_tree(site);
+  }
+
+  /// Add a cross-link: in `from`'s root, bind `as` to `to`'s root.
+  Status add_cross_link(SiteId from, const Name& as, SiteId to) {
+    return fs_->attach(site_tree(from), as, site_tree(to));
+  }
+
+  /// Add a cross-link deeper in the remote tree: bind `as` in `from`'s
+  /// root to the entity at `remote_path` (relative) within `to`'s tree.
+  Status add_cross_link_to(SiteId from, const Name& as, SiteId to,
+                           std::string_view remote_path);
+
+  /// The §7 human mapping rule: rewrite a name that `to` uses locally
+  /// ("/users/ann") into the cross-link form `from` must use
+  /// ("/org2/users/ann"), given the link name.
+  [[nodiscard]] static Result<std::string> map_with_prefix(
+      const Name& link, std::string_view remote_path);
+};
+
+}  // namespace namecoh

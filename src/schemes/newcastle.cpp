@@ -1,0 +1,34 @@
+#include "schemes/newcastle.hpp"
+
+namespace namecoh {
+
+void NewcastleScheme::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::vector<std::pair<Name, EntityId>> roots;
+  roots.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    roots.emplace_back(Name(sites_[i].label), sites_[i].tree);
+  }
+  super_root_ = fs_->make_super_root("super-root", roots);
+}
+
+Result<std::string> NewcastleScheme::map_path(SiteId from, SiteId to,
+                                              std::string_view path) const {
+  if (!finalized_) {
+    return failed_precondition_error("map_path before finalize()");
+  }
+  if (path.empty() || path.front() != '/') {
+    return invalid_argument_error(
+        "map_path handles absolute '/…' paths only");
+  }
+  if (from == to) return std::string(path);
+  (void)site(to);  // validate the id
+  // "/x" on `from` is "/../<from>/x" on `to`: up from `to`'s root to the
+  // super-root, then down into `from`'s tree.
+  std::string out = "/../" + site(from).label;
+  if (path != "/") out += path;
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,50 @@
+// The Newcastle Connection (§5.1, Fig. 3).
+//
+// Machine trees are glued under a new super-root, but — unlike Locus —
+// every process keeps its own machine's root as "/": "typically R(p)(/) is
+// the root of the machine on which p executes". The super-root is reached
+// with the Unix '..' notation: a machine root's ".." is rebound to the
+// super-root by finalize(), so "/../m2/x" names machine m2's file x from
+// machine m1.
+//
+// Consequently: coherence for '/…' names only among processes on the same
+// machine; no global names; but a *simple mapping rule* translates a name
+// valid on one machine to one valid on another (map_path), which is the
+// paper's "a simple rule can be used to map names across machines".
+#pragma once
+
+#include <string>
+
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+class NewcastleScheme final : public NamingScheme {
+ public:
+  explicit NewcastleScheme(FileSystem& fs) : NamingScheme(fs) {}
+
+  [[nodiscard]] std::string_view scheme_name() const override {
+    return "newcastle-connection";
+  }
+
+  /// Build the super-root over all sites added so far.
+  void finalize() override;
+
+  /// Each process binds "/" to its own machine's root.
+  [[nodiscard]] EntityId site_root(SiteId site) const override {
+    return site_tree(site);
+  }
+
+  [[nodiscard]] EntityId super_root() const { return super_root_; }
+
+  /// The §5.1 mapping rule: translate an absolute path valid on `from`
+  /// into the path a process on `to` must use for the same entity:
+  /// "/x/y" on m1  →  "/../m1/x/y" on m2. Identity when from == to.
+  [[nodiscard]] Result<std::string> map_path(SiteId from, SiteId to,
+                                             std::string_view path) const;
+
+ private:
+  EntityId super_root_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,36 @@
+#include "schemes/per_process.hpp"
+
+namespace namecoh {
+
+void PerProcessScheme::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  default_views_.resize(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    default_views_[i] =
+        make_view({{Name(sites_[i].label), sites_[i].tree}});
+  }
+}
+
+EntityId PerProcessScheme::make_view(
+    const std::vector<std::pair<Name, EntityId>>& attachments) {
+  EntityId view = fs_->make_root("view");
+  for (const auto& [name, tree] : attachments) {
+    Status attached = fs_->attach(view, name, tree);
+    NAMECOH_CHECK(attached.is_ok(),
+                  "view attach failed: " + attached.to_string());
+  }
+  return view;
+}
+
+EntityId PerProcessScheme::make_view_of_sites(
+    const std::vector<SiteId>& site_ids) {
+  std::vector<std::pair<Name, EntityId>> attachments;
+  attachments.reserve(site_ids.size());
+  for (SiteId id : site_ids) {
+    attachments.emplace_back(Name(site_label(id)), site_tree(id));
+  }
+  return make_view(attachments);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,55 @@
+// Per-process views (§6 II, §7 fn. 1): Plan 9 / extended Waterloo Port.
+//
+// There is no per-site root at all: every process gets its *own* root — a
+// private context directory to which the naming trees of the subsystems
+// the process knows are attached by name. Two processes that attach the
+// same subsystems under the same names have coherence for every name
+// through those attachments, regardless of where either process executes —
+// this is how §6 II arranges R(a1)(n) = R(a2)(n) for the names in N'.
+//
+// The scheme tracks each site's tree; views are built per process from any
+// mix of site trees (plus extra subtrees such as a shared /services).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+class PerProcessScheme final : public NamingScheme {
+ public:
+  explicit PerProcessScheme(FileSystem& fs) : NamingScheme(fs) {}
+
+  [[nodiscard]] std::string_view scheme_name() const override {
+    return "per-process views (Plan 9/Port)";
+  }
+
+  /// With no attachments specified, a "default view" of a site is a
+  /// private root seeing only that site's tree under its own label.
+  [[nodiscard]] EntityId site_root(SiteId site) const override {
+    NAMECOH_CHECK(site.valid() && site.value() < default_views_.size() &&
+                      default_views_[site.value()].valid(),
+                  "site has no default view yet; call finalize()");
+    return default_views_[site.value()];
+  }
+
+  /// Build default views (one per site: the site's tree attached under the
+  /// site label).
+  void finalize() override;
+
+  /// Build a private view root from explicit attachments.
+  [[nodiscard]] EntityId make_view(
+      const std::vector<std::pair<Name, EntityId>>& attachments);
+
+  /// The common case: a view seeing the given sites' trees, each under its
+  /// site label.
+  [[nodiscard]] EntityId make_view_of_sites(
+      const std::vector<SiteId>& site_ids);
+
+ private:
+  std::vector<EntityId> default_views_;
+};
+
+}  // namespace namecoh

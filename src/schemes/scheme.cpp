@@ -1,0 +1,43 @@
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+SiteId NamingScheme::add_site(std::string label) {
+  NAMECOH_CHECK(!finalized_, "add_site after finalize()");
+  SiteRec rec;
+  rec.tree = fs_->make_root("root:" + label);
+  rec.label = std::move(label);
+  sites_.push_back(std::move(rec));
+  SiteId id(sites_.size() - 1);
+  on_site_added(id);
+  return id;
+}
+
+const NamingScheme::SiteRec& NamingScheme::site(SiteId id) const {
+  NAMECOH_CHECK(id.valid() && id.value() < sites_.size(), "unknown site");
+  return sites_[id.value()];
+}
+
+const std::string& NamingScheme::site_label(SiteId id) const {
+  return site(id).label;
+}
+
+EntityId NamingScheme::site_tree(SiteId id) const { return site(id).tree; }
+
+EntityId NamingScheme::make_site_context(SiteId id) {
+  EntityId root = site_root(id);
+  EntityId ctx = graph().add_context_object("pctx:" + site(id).label);
+  graph().context(ctx) = FileSystem::make_process_context(root, root);
+  return ctx;
+}
+
+std::vector<EntityId> NamingScheme::make_all_site_contexts() {
+  std::vector<EntityId> out;
+  out.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    out.push_back(make_site_context(SiteId(i)));
+  }
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,81 @@
+// Common interface for the naming schemes analysed in §5.
+//
+// Vocabulary: a *site* is one machine / client subsystem, owning a naming
+// tree of its own. A scheme decides how the sites' trees are composed and
+// which directory the processes of each site bind "/" to. The degree of
+// coherence between sites then falls out of the CoherenceAnalyzer with no
+// scheme-specific measurement code — exactly the paper's method of
+// "comparing the contexts R(a) associated with different activities".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/file_system.hpp"
+#include "util/ids.hpp"
+
+namespace namecoh {
+
+struct SiteTag {};
+using SiteId = StrongId<SiteTag>;
+
+class NamingScheme {
+ public:
+  explicit NamingScheme(FileSystem& fs) : fs_(&fs) {}
+  virtual ~NamingScheme() = default;
+
+  NamingScheme(const NamingScheme&) = delete;
+  NamingScheme& operator=(const NamingScheme&) = delete;
+
+  [[nodiscard]] virtual std::string_view scheme_name() const = 0;
+
+  /// Add a site; creates the site's own naming tree. Must be called before
+  /// finalize().
+  SiteId add_site(std::string label);
+
+  /// Hook for schemes that compose trees only once all sites exist
+  /// (Newcastle's super-root). Idempotent.
+  virtual void finalize() {}
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const std::string& site_label(SiteId site) const;
+
+  /// Root of the site's *own* naming tree (populate files here).
+  [[nodiscard]] EntityId site_tree(SiteId site) const;
+
+  /// The directory a typical process on this site binds "/" to. This is
+  /// the scheme's defining choice.
+  [[nodiscard]] virtual EntityId site_root(SiteId site) const = 0;
+
+  /// A fresh process-context object for a typical process on the site:
+  /// "/" → site_root(site), "." → site_root(site). The returned id can go
+  /// straight into CoherenceAnalyzer::degree().
+  [[nodiscard]] EntityId make_site_context(SiteId site);
+
+  /// One context per site, for pairwise sweeps.
+  [[nodiscard]] std::vector<EntityId> make_all_site_contexts();
+
+  [[nodiscard]] FileSystem& fs() { return *fs_; }
+  [[nodiscard]] const FileSystem& fs() const { return *fs_; }
+  [[nodiscard]] NamingGraph& graph() { return fs_->graph(); }
+  [[nodiscard]] const NamingGraph& graph() const { return fs_->graph(); }
+
+ protected:
+  struct SiteRec {
+    std::string label;
+    EntityId tree;
+  };
+
+  /// Called by add_site after the site's tree exists.
+  virtual void on_site_added(SiteId site) { (void)site; }
+
+  [[nodiscard]] const SiteRec& site(SiteId id) const;
+
+  FileSystem* fs_;
+  std::vector<SiteRec> sites_;
+  bool finalized_ = false;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,46 @@
+#include "schemes/shared_graph.hpp"
+
+namespace namecoh {
+
+Status SharedGraphScheme::assign_cell(SiteId site_id, const Name& cell) {
+  if (!config_.cell_name.has_value()) {
+    return failed_precondition_error(
+        "assign_cell: scheme configured without cells");
+  }
+  // Cells live inside the shared tree, one directory per organization unit.
+  EntityId cell_dir;
+  auto existing = graph().context(shared_tree_).lookup(cell);
+  if (existing.has_value()) {
+    if (!graph().is_context_object(*existing)) {
+      return not_a_context_error("assign_cell: '" + cell.text() +
+                                 "' is not a directory");
+    }
+    cell_dir = *existing;
+  } else {
+    auto made = fs_->mkdir(shared_tree_, cell);
+    if (!made.is_ok()) return made.status();
+    cell_dir = made.value();
+  }
+  Context& site_ctx = graph().context(site_tree(site_id));
+  if (site_ctx.contains(*config_.cell_name)) {
+    return already_exists_error("assign_cell: site already has a cell");
+  }
+  site_ctx.bind(*config_.cell_name, cell_dir);
+  return Status::ok();
+}
+
+Result<ReplicaGroupId> SharedGraphScheme::replicate_everywhere(
+    std::string_view path, std::string contents) {
+  if (sites_.empty()) {
+    return failed_precondition_error("replicate_everywhere: no sites");
+  }
+  ReplicaGroupId group = graph().new_replica_group();
+  for (const SiteRec& rec : sites_) {
+    auto file = fs_->create_file_at(rec.tree, path, contents);
+    if (!file.is_ok()) return file.status();
+    graph().set_replica_group(file.value(), group);
+  }
+  return group;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,77 @@
+// The shared naming graph approach (§5.2, Fig. 4): Andrew, OSF DCE.
+//
+// Every client site keeps its own local tree as its processes' root, and
+// one *shared* tree is attached (not mounted — it keeps no single parent)
+// in each local tree under a common name: /vice in Andrew, /... in DCE.
+// Only names under the shared attachment are global; replicated commands
+// (/bin, /lib) are locally bound replicas with weak coherence; everything
+// else is local and incoherent across sites.
+//
+// The DCE flavour adds cells (§5.2): an extra per-site binding /.: to the
+// site's organizational cell directory inside the shared tree. Names
+// relative to the cell are exactly as incoherent across cells as the paper
+// says ("Incoherence arises for names that are relative to the cell
+// context") — two sites of the same cell agree on /.:/…, two sites of
+// different cells do not.
+#pragma once
+
+#include <optional>
+
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+struct SharedGraphConfig {
+  /// The common attachment name: "vice" for Andrew, "..." for DCE.
+  Name shared_name{"vice"};
+  /// When set, each site also binds this name to its cell directory
+  /// (DCE's "/.:").
+  std::optional<Name> cell_name;
+};
+
+class SharedGraphScheme final : public NamingScheme {
+ public:
+  SharedGraphScheme(FileSystem& fs, SharedGraphConfig config = {})
+      : NamingScheme(fs),
+        config_(std::move(config)),
+        shared_tree_(fs.make_root("shared-tree")) {}
+
+  [[nodiscard]] std::string_view scheme_name() const override {
+    return "shared-graph (Andrew/DCE)";
+  }
+
+  /// Each process binds "/" to its site's local root.
+  [[nodiscard]] EntityId site_root(SiteId site) const override {
+    return site_tree(site);
+  }
+
+  [[nodiscard]] EntityId shared_tree() const { return shared_tree_; }
+  [[nodiscard]] const Name& shared_name() const {
+    return config_.shared_name;
+  }
+
+  /// Create (or reuse) a cell directory named `cell` inside the shared
+  /// tree and bind the site's cell name ("/.:") to it. Requires
+  /// config_.cell_name.
+  Status assign_cell(SiteId site, const Name& cell);
+
+  /// Install a replica of a shared command/library on every site at the
+  /// same local path (e.g. "bin/cc"): each site gets its own data object,
+  /// all in one replica group. Returns the group id.
+  Result<ReplicaGroupId> replicate_everywhere(std::string_view path,
+                                              std::string contents);
+
+ protected:
+  void on_site_added(SiteId site) override {
+    Status attached =
+        fs_->attach(site_tree(site), config_.shared_name, shared_tree_);
+    NAMECOH_CHECK(attached.is_ok(),
+                  "shared attach failed: " + attached.to_string());
+  }
+
+ private:
+  SharedGraphConfig config_;
+  EntityId shared_tree_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,42 @@
+// The single naming graph approach (§5.1): Locus / V-system style.
+//
+// One global tree shared by all sites. Each site's tree is mounted under
+// /<site-label> in the global root, and — following "the tradition of
+// binding the root directory of each process to the root of the naming
+// tree" — every process on every site binds "/" to the global root. The
+// result is the high-coherence end of the spectrum: every compound name
+// starting at "/" is global.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace namecoh {
+
+class SingleGraphScheme final : public NamingScheme {
+ public:
+  explicit SingleGraphScheme(FileSystem& fs)
+      : NamingScheme(fs), global_root_(fs.make_root("global-root")) {}
+
+  [[nodiscard]] std::string_view scheme_name() const override {
+    return "single-graph (Locus/V)";
+  }
+
+  [[nodiscard]] EntityId global_root() const { return global_root_; }
+
+  /// Every process binds "/" to the shared global root.
+  [[nodiscard]] EntityId site_root(SiteId) const override {
+    return global_root_;
+  }
+
+ protected:
+  void on_site_added(SiteId site) override {
+    Status mounted = fs_->mount(global_root_, Name(site_label(site)),
+                                site_tree(site));
+    NAMECOH_CHECK(mounted.is_ok(), "mount failed: " + mounted.to_string());
+  }
+
+ private:
+  EntityId global_root_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace namecoh {
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
+  NAMECOH_CHECK(at >= now_, "cannot schedule an event in the past");
+  NAMECOH_CHECK(static_cast<bool>(action), "null event action");
+  std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(action)});
+  pending_.insert(id);
+  return EventId(id);
+}
+
+EventId Simulator::schedule_in(SimDuration delay,
+                               std::function<void()> action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  return id.valid() && pending_.erase(id.value()) > 0;
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (pending_.erase(entry.id) == 0) continue;  // cancelled; skip silently
+    now_ = entry.at;
+    ++events_processed_;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && fire_next()) ++fired;
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (fire_next()) ++fired;
+  }
+  now_ = std::max(now_, until);
+  return fired;
+}
+
+void Simulator::reset() {
+  queue_ = {};
+  pending_.clear();
+  now_ = 0;
+  // next_id_/next_seq_ keep increasing so stale EventIds never alias.
+  events_processed_ = 0;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The paper's systems (Newcastle Connection machines, Port processes
+// exchanging pids) ran on real networks; we substitute a single-threaded
+// event simulator so every experiment is exactly reproducible. Events at
+// equal timestamps fire in scheduling order (a monotonically increasing
+// sequence number breaks ties), so runs are deterministic regardless of
+// container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Simulated time in integer ticks (we treat a tick as a microsecond in the
+/// experiments, but nothing depends on the unit).
+using SimTime = std::uint64_t;
+using SimDuration = std::uint64_t;
+
+/// Handle for cancelling a scheduled event.
+struct EventTag {};
+using EventId = StrongId<EventTag>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  /// Schedule `action` to run at absolute time `at` (>= now).
+  EventId schedule_at(SimTime at, std::function<void()> action);
+  /// Schedule `action` to run `delay` ticks from now.
+  EventId schedule_in(SimDuration delay, std::function<void()> action);
+
+  /// Cancel a pending event; returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL);
+
+  /// Run events with timestamp <= until; the clock ends at `until` even if
+  /// the queue drained earlier. Returns the number of events fired.
+  std::uint64_t run_until(SimTime until);
+
+  /// Drop all pending events and reset the clock. Event ids from before
+  /// the reset are invalidated.
+  void reset();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;  // ids not yet fired/cancelled
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace namecoh

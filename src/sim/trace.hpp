@@ -1,0 +1,53 @@
+// Simulation trace: a time-stamped event record, queryable by tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace namecoh {
+
+struct TraceEvent {
+  SimTime at;
+  std::string category;
+  std::string detail;
+};
+
+/// Append-only trace with simple filters. Cheap when disabled.
+class Trace {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(SimTime at, std::string category, std::string detail) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{at, std::move(category), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(std::string_view category) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.category == category) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::vector<TraceEvent> filter(
+      std::string_view category) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (e.category == category) out.push_back(e);
+    }
+    return out;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,62 @@
+// Strong integer id types.
+//
+// Almost every subsystem in this library hands out small integer handles:
+// entity ids, machine addresses, process slots, replica-group ids.  Raw
+// integers make it far too easy to pass a machine address where an entity id
+// is expected; StrongId<Tag> makes each handle a distinct type with no
+// implicit conversions, while staying a trivially copyable 8-byte value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace namecoh {
+
+/// A strongly typed integer identifier. `Tag` is any (possibly incomplete)
+/// type used only to distinguish id families at compile time.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  /// Default-constructed ids are invalid().
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  /// The reserved "no such thing" value.
+  static constexpr StrongId invalid() {
+    return StrongId(std::numeric_limits<underlying_type>::max());
+  }
+
+  [[nodiscard]] constexpr bool valid() const { return *this != invalid(); }
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value_;
+  }
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+}  // namespace namecoh
+
+template <typename Tag>
+struct std::hash<namecoh::StrongId<Tag>> {
+  std::size_t operator()(namecoh::StrongId<Tag> id) const noexcept {
+    // splitmix64 finalizer: ids are sequential, so mix before bucketing.
+    std::uint64_t x = id.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

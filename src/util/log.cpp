@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace namecoh {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { reset_sink(); }
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::reset_sink() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n",
+                 std::string(log_level_name(level)).c_str(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace namecoh

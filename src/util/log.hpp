@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// The simulator and messaging layer emit traces that are invaluable when an
+// experiment misbehaves but must be silent in benchmarks; the global level
+// defaults to kWarn so hot paths pay only a branch.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace namecoh {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Global log configuration. Not thread-safe by design: the simulator is
+/// single-threaded and tests set the level once up front.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the sink (default writes to stderr). Used by tests to capture.
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+  void set_sink(Sink sink);
+  void reset_sink();
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// RAII guard that sets the level for a scope (tests, verbose examples).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level)
+      : previous_(Logger::instance().level()) {
+    Logger::instance().set_level(level);
+  }
+  ~ScopedLogLevel() { Logger::instance().set_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+#define NAMECOH_LOG(level, expr)                                      \
+  do {                                                                \
+    if (::namecoh::Logger::instance().enabled(level)) {               \
+      std::ostringstream namecoh_log_os;                              \
+      namecoh_log_os << expr;                                         \
+      ::namecoh::Logger::instance().write(level, namecoh_log_os.str()); \
+    }                                                                 \
+  } while (false)
+
+#define NAMECOH_TRACE(expr) NAMECOH_LOG(::namecoh::LogLevel::kTrace, expr)
+#define NAMECOH_DEBUG(expr) NAMECOH_LOG(::namecoh::LogLevel::kDebug, expr)
+#define NAMECOH_INFO(expr) NAMECOH_LOG(::namecoh::LogLevel::kInfo, expr)
+#define NAMECOH_WARN(expr) NAMECOH_LOG(::namecoh::LogLevel::kWarn, expr)
+#define NAMECOH_ERROR(expr) NAMECOH_LOG(::namecoh::LogLevel::kError, expr)
+
+}  // namespace namecoh

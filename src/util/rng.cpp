@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace namecoh {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  // FNV-1a, then a splitmix finalize for avalanche.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  std::uint64_t state = h;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed all 256 bits from splitmix64 as the xoshiro authors recommend;
+  // guards against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  NAMECOH_CHECK(bound > 0, "next_below(0)");
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NAMECOH_CHECK(lo <= hi, "uniform_int with lo > hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  NAMECOH_CHECK(n > 0, "zipf over empty domain");
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[k] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+  }
+  double u = uniform01();
+  // Binary search for first cdf >= u.
+  std::size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  NAMECOH_CHECK(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
+  if (p >= 1.0) return 1;
+  double u = uniform01();
+  // Inverse CDF; +1 so the result counts trials, not failures.
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p)) + 1;
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // Combine current state with the label hash; does not advance *this.
+  std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                      rotl(s_[3], 47) ^ hash_label(label);
+  return Rng(mix);
+}
+
+}  // namespace namecoh

@@ -1,0 +1,89 @@
+// Deterministic random-number generation.
+//
+// All experiments in this repository must be reproducible run-to-run, so
+// everything random flows through Rng (xoshiro256**) seeded explicitly.
+// Rng::fork(label) derives independent substreams so that adding randomness
+// to one module does not perturb another module's stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// splitmix64 step; used for seeding and for hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** with convenience distributions. Satisfies
+/// UniformRandomBitGenerator so it plugs into <algorithm> shuffles.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s; rank 0 is hottest.
+  /// Used by workload generators for skewed name popularity.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Geometric number of trials until first success, >= 1.
+  std::uint64_t geometric(double p);
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    NAMECOH_CHECK(!items.empty(), "pick from empty span");
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent substream keyed by a label. Deterministic:
+  /// the same (parent seed, label) always yields the same stream.
+  Rng fork(std::string_view label) const;
+
+ private:
+  std::uint64_t s_[4];
+  // Cached harmonic sums for zipf(): (n, s) -> H_{n,s} would need a map;
+  // instead we recompute lazily for the last-used (n, s) pair, which covers
+  // the common generator pattern of many draws from one distribution.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,82 @@
+#include "util/status.hpp"
+
+#include <sstream>
+
+namespace namecoh {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kNotAContext:
+      return "NOT_A_CONTEXT";
+    case StatusCode::kDepthExceeded:
+      return "DEPTH_EXCEEDED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kPermission:
+      return "PERMISSION";
+    case StatusCode::kUnreachable:
+      return "UNREACHABLE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status not_found_error(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status not_a_context_error(std::string message) {
+  return {StatusCode::kNotAContext, std::move(message)};
+}
+Status depth_exceeded_error(std::string message) {
+  return {StatusCode::kDepthExceeded, std::move(message)};
+}
+Status invalid_argument_error(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status already_exists_error(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+Status permission_error(std::string message) {
+  return {StatusCode::kPermission, std::move(message)};
+}
+Status unreachable_error(std::string message) {
+  return {StatusCode::kUnreachable, std::move(message)};
+}
+Status failed_precondition_error(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "NAMECOH_CHECK failed: (" << expr << ") at " << file << ':' << line
+     << ": " << message;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace detail
+}  // namespace namecoh

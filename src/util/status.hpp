@@ -1,0 +1,154 @@
+// Error handling for the namecoh library.
+//
+// Name resolution fails routinely and cheaply (unbound names, traversals
+// through non-context objects, depth limits), so the resolver and everything
+// above it reports failure by value with Status / Result<T> rather than by
+// exception.  Exceptions remain for genuine programmer errors (violated
+// preconditions), thrown via NAMECOH_CHECK.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace namecoh {
+
+/// Failure categories. The resolver distinguishes *why* a resolution failed
+/// because the coherence analyzer treats "both unbound" differently from
+/// "bound to different entities".
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,        ///< name has no binding in the selected context
+  kNotAContext,     ///< compound-name step landed on a non-context entity
+  kDepthExceeded,   ///< resolution-path length limit hit (cycle guard)
+  kInvalidArgument, ///< malformed name / id / parameter
+  kAlreadyExists,   ///< binding or entity already present
+  kPermission,      ///< operation not allowed by scheme/view
+  kUnreachable,     ///< messaging: endpoint cannot be reached
+  kFailedPrecondition, ///< operation requires state the caller didn't set up
+  kInternal,        ///< invariant violation inside the library
+};
+
+/// Human-readable name of a status code ("NOT_FOUND" etc).
+std::string_view status_code_name(StatusCode code);
+
+/// A status: either OK or (code, message).
+class [[nodiscard]] Status {
+ public:
+  /// OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "NOT_FOUND: message".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    return os << s.to_string();
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status not_found_error(std::string message);
+Status not_a_context_error(std::string message);
+Status depth_exceeded_error(std::string message);
+Status invalid_argument_error(std::string message);
+Status already_exists_error(std::string message);
+Status permission_error(std::string message);
+Status unreachable_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status internal_error(std::string message);
+
+/// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(rep_);
+  }
+  [[nodiscard]] StatusCode code() const { return status().code(); }
+
+  /// Value accessors; throw std::logic_error when called on an error result
+  /// (that is a caller bug, not a runtime condition).
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  /// std::optional view of the value (empty on error).
+  [[nodiscard]] std::optional<T> as_optional() const {
+    if (is_ok()) return std::get<T>(rep_);
+    return std::nullopt;
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(rep_).to_string());
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+/// Precondition failure: programmer error, reported by exception.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// NAMECOH_CHECK(cond, "message"): throws PreconditionError when cond is
+/// false. Used for API preconditions, never for data-dependent failures.
+#define NAMECOH_CHECK(cond, message)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::namecoh::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                      (message));                        \
+    }                                                                    \
+  } while (false)
+
+}  // namespace namecoh

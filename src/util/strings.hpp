@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namecoh {
+
+/// Split on a separator character. Adjacent separators yield empty pieces
+/// unless skip_empty is set. split("/a//b", '/') -> {"", "a", "", "b"}.
+std::vector<std::string> split(std::string_view text, char sep,
+                               bool skip_empty = false);
+
+/// Join pieces with a separator string.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Fixed-width decimal rendering of a fraction, e.g. format_fraction(0.5, 3)
+/// == "0.500". Used by experiment tables for stable column widths.
+std::string format_fraction(double value, int decimals = 3);
+
+}  // namespace namecoh

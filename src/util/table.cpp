@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+namespace {
+
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths,
+                char left, char mid, char right) {
+  os << left;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i > 0) os << mid;
+    for (std::size_t k = 0; k < widths[i] + 2; ++k) os << '-';
+  }
+  os << right << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    os << ' ' << cell;
+    for (std::size_t k = cell.size(); k < widths[i]; ++k) os << ' ';
+    os << " |";
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NAMECOH_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NAMECOH_CHECK(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() {
+  if (!rows_.empty()) separators_.push_back(rows_.size() - 1);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  print_rule(os, widths, '+', '+', '+');
+  print_cells(os, headers_, widths);
+  print_rule(os, widths, '+', '+', '+');
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    print_cells(os, rows_[r], widths);
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      print_rule(os, widths, '+', '+', '+');
+    }
+  }
+  print_rule(os, widths, '+', '+', '+');
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace namecoh

@@ -1,0 +1,43 @@
+// ASCII table rendering for experiment output.
+//
+// Every bench binary reproduces one of the paper's figures/claims as a table
+// of rows; Table gives them a single consistent look and keeps column
+// alignment logic out of the experiment code.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace namecoh {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers)
+      : Table(std::vector<std::string>(headers)) {}
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Mark a horizontal separator after the most recently added row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render with a box-drawing frame.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices followed by a rule
+};
+
+}  // namespace namecoh

@@ -1,0 +1,67 @@
+// Disjoint-set (union-find) over dense indices.
+//
+// The coherence analyzer uses this for replica equivalence classes (§5:
+// "weak coherence"): two objects are weakly equal when they belong to the
+// same replica group, and groups merge when replication is configured.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace namecoh {
+
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    rank_.assign(n, 0);
+    components_ = n;
+  }
+
+  /// Grow the universe to at least n elements; new elements are singletons.
+  void ensure(std::size_t n) {
+    while (parent_.size() < n) {
+      parent_.push_back(parent_.size());
+      rank_.push_back(0);
+      ++components_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+  [[nodiscard]] std::size_t components() const { return components_; }
+
+  std::size_t find(std::size_t x) {
+    // Path halving.
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the sets were distinct and are now merged.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --components_;
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+  std::size_t components_ = 0;
+};
+
+}  // namespace namecoh

@@ -1,0 +1,95 @@
+#include "workload/churn.hpp"
+
+namespace namecoh {
+namespace {
+
+constexpr std::uint32_t kChurnMessage = 7001;
+
+struct ChurnState {
+  Simulator& sim;
+  Internetwork& net;
+  Transport& transport;
+  const std::vector<MachineId>& machines;
+  const std::vector<EndpointId>& processes;
+  ChurnSpec spec;
+  Rng rng;
+  ChurnOutcome outcome;
+  SimTime deadline;
+  // subject identity travels out-of-band for scoring only (a u64 field).
+  void send_one();
+  void renumber_one();
+};
+
+void ChurnState::send_one() {
+  if (sim.now() >= deadline) return;
+  sim.schedule_in(spec.message_interval, [this] { send_one(); });
+
+  EndpointId sender = rng.pick(processes);
+  EndpointId receiver = rng.pick(processes);
+  EndpointId subject = rng.pick(processes);
+  auto sender_loc = net.location_of(sender);
+  auto receiver_loc = net.location_of(receiver);
+  auto subject_loc = net.location_of(subject);
+  if (!sender_loc.is_ok() || !receiver_loc.is_ok() || !subject_loc.is_ok()) {
+    return;
+  }
+  Message msg;
+  msg.type = kChurnMessage;
+  msg.payload.add_pid(relativize(subject_loc.value(), sender_loc.value()));
+  msg.payload.add_u64(subject.value());  // ground truth for scoring
+  Status sent = transport.send(
+      sender, relativize(receiver_loc.value(), sender_loc.value()),
+      std::move(msg));
+  if (sent.is_ok()) {
+    ++outcome.messages_sent;
+  } else {
+    ++outcome.send_failures;
+  }
+}
+
+void ChurnState::renumber_one() {
+  if (sim.now() >= deadline || spec.renumber_interval == 0) return;
+  sim.schedule_in(spec.renumber_interval, [this] { renumber_one(); });
+  if (net.renumber_machine(rng.pick(machines)).is_ok()) {
+    ++outcome.reconfigurations;
+  }
+}
+
+}  // namespace
+
+ChurnOutcome run_churn(Simulator& sim, Internetwork& net,
+                       Transport& transport,
+                       const std::vector<MachineId>& machines,
+                       const std::vector<EndpointId>& processes,
+                       const ChurnSpec& spec) {
+  NAMECOH_CHECK(!machines.empty() && !processes.empty(),
+                "churn needs a populated topology");
+  ChurnState state{sim,       net,  transport, machines,
+                   processes, spec, Rng(spec.seed), {},
+                   sim.now() + spec.duration};
+
+  for (EndpointId ep : processes) {
+    transport.set_handler(ep, [&state](EndpointId self, const Message& m) {
+      if (m.type != kChurnMessage || m.payload.size() < 2 ||
+          m.payload.type_at(0) != FieldType::kPid ||
+          m.payload.type_at(1) != FieldType::kU64) {
+        return;
+      }
+      ++state.outcome.deliveries;
+      EndpointId intended(m.payload.u64_at(1));
+      auto resolved =
+          state.transport.resolve_pid(self, m.payload.pid_at(0));
+      state.outcome.pid_valid.add(resolved.is_ok() &&
+                                  resolved.value() == intended);
+    });
+  }
+
+  state.send_one();
+  if (spec.renumber_interval > 0) state.renumber_one();
+  sim.run_until(state.deadline);
+
+  for (EndpointId ep : processes) transport.clear_handler(ep);
+  return state.outcome;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,51 @@
+// Churn workload: continuous name/pid exchange under continuous
+// reconfiguration, fully event-driven on the simulator.
+//
+// Every message_interval ticks a random process sends the pid of a random
+// subject to a random receiver; every renumber_interval ticks a random
+// machine is renumbered. The receiver resolves the delivered pid
+// immediately and the outcome is scored against the intended subject.
+//
+// What this separates cleanly:
+//   * context incoherence — the pid means the wrong thing because sender
+//     and receiver qualify it differently: eliminated by the R(sender)
+//     remap;
+//   * staleness — the subject's address changed between send and delivery
+//     (or between capture and send): NOT eliminated by the remap, and
+//     growing with the churn rate. §6's mechanism fixes the first; the
+//     second is the price of location-dependent identifiers under any
+//     scheme.
+#pragma once
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace namecoh {
+
+struct ChurnSpec {
+  SimDuration duration = 100000;
+  SimDuration message_interval = 50;
+  /// 0 disables renumbering.
+  SimDuration renumber_interval = 1000;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnOutcome {
+  FractionCounter pid_valid;    ///< delivered pid denoted the subject
+  std::uint64_t messages_sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t send_failures = 0;  ///< destination unreachable at send
+  std::uint64_t reconfigurations = 0;
+};
+
+/// Run the churn workload over an existing topology. Installs handlers on
+/// all `processes` (and removes them afterwards); drives `sim` for
+/// spec.duration ticks.
+ChurnOutcome run_churn(Simulator& sim, Internetwork& net,
+                       Transport& transport,
+                       const std::vector<MachineId>& machines,
+                       const std::vector<EndpointId>& processes,
+                       const ChurnSpec& spec);
+
+}  // namespace namecoh

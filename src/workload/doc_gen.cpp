@@ -1,0 +1,75 @@
+#include "workload/doc_gen.hpp"
+
+namespace namecoh {
+
+Document make_document(FileSystem& fs, EntityId parent, const Name& name,
+                       const DocSpec& spec) {
+  Document doc;
+  auto subtree = fs.mkdir(parent, name);
+  NAMECOH_CHECK(subtree.is_ok(), "make_document: " +
+                                     subtree.status().to_string());
+  doc.subtree = subtree.value();
+  NamingGraph& graph = fs.graph();
+
+  // Shared assets at the subtree root: referenced from deep inside, the
+  // Algol search must climb to the subtree root to find "assets".
+  auto assets = fs.mkdir(doc.subtree, Name("assets"));
+  NAMECOH_CHECK(assets.is_ok(), "make_document assets");
+  auto style = fs.create_file(assets.value(), Name("style.sty"),
+                              "% style definitions\n");
+  NAMECOH_CHECK(style.is_ok(), "make_document style");
+  ++doc.files;
+
+  auto root_file =
+      fs.create_file(doc.subtree, Name("book.tex"), "\\documentclass{}\n");
+  NAMECOH_CHECK(root_file.is_ok(), "make_document root file");
+  doc.root_file = root_file.value();
+  ++doc.files;
+  // The root file uses the style too (binding in its own directory).
+  graph.add_embedded_name(doc.root_file,
+                          CompoundName::relative("assets/style.sty"));
+  ++doc.refs;
+
+  for (std::size_t c = 0; c < spec.chapters; ++c) {
+    std::string chap_name = "ch" + std::to_string(c);
+    auto chap_dir = fs.mkdir(doc.subtree, Name(chap_name));
+    NAMECOH_CHECK(chap_dir.is_ok(), "make_document chapter dir");
+    auto chap_file =
+        fs.create_file(chap_dir.value(), Name("chapter.tex"),
+                       "\\chapter{" + chap_name + "}\n");
+    NAMECOH_CHECK(chap_file.is_ok(), "make_document chapter file");
+    ++doc.files;
+    // book.tex includes chX/chapter.tex (binding in the containing dir).
+    graph.add_embedded_name(
+        doc.root_file, CompoundName::relative(chap_name + "/chapter.tex"));
+    ++doc.refs;
+
+    for (std::size_t s = 0; s < spec.sections_per_chapter; ++s) {
+      std::string sec_name = "sec" + std::to_string(s) + ".tex";
+      auto sec_file = fs.create_file(chap_dir.value(), Name(sec_name),
+                                     "section " + sec_name + "\n");
+      NAMECOH_CHECK(sec_file.is_ok(), "make_document section file");
+      ++doc.files;
+      // chapter.tex includes chX/secS.tex, written relative to the
+      // document root (the way LaTeX sources are written). Under R(file)
+      // the scope search climbs from the chapter dir to the subtree root,
+      // which binds chX; under R(a) it happens to work as long as the
+      // reader's cwd is the subtree — and breaks on relocation.
+      graph.add_embedded_name(
+          chap_file.value(),
+          CompoundName::relative(chap_name + "/" + sec_name));
+      ++doc.refs;
+      // Sections reference the shared assets: the scope search must skip
+      // the chapter dir (no "assets" binding) and find it at the subtree
+      // root (distance-1).
+      for (std::size_t r = 0; r < spec.shared_refs_per_section; ++r) {
+        graph.add_embedded_name(sec_file.value(),
+                                CompoundName::relative("assets/style.sty"));
+        ++doc.refs;
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,39 @@
+// Structured-document workloads for the Fig. 6 experiments.
+//
+// Generates a self-contained document subtree: a root file including
+// chapter files, chapters including section files, plus embedded
+// references that exercise the Algol-scope search at varying distances
+// (binding found in the containing directory, the parent, the subtree
+// root). The subtree is relocatable by construction *iff* embedded names
+// are resolved with R(file); resolving them with R(a) works only while the
+// subtree sits at the path the names were written against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hpp"
+#include "util/rng.hpp"
+
+namespace namecoh {
+
+struct DocSpec {
+  std::size_t chapters = 3;
+  std::size_t sections_per_chapter = 3;
+  /// Extra references per section to shared assets at the subtree root
+  /// (exercises the upward scope search past the chapter directory).
+  std::size_t shared_refs_per_section = 1;
+};
+
+struct Document {
+  EntityId subtree;    ///< the document's directory (attach/copy this)
+  EntityId root_file;  ///< the master file ("book.tex")
+  std::size_t files = 0;
+  std::size_t refs = 0;  ///< embedded references created
+};
+
+/// Build a document subtree under `parent` with the given name.
+Document make_document(FileSystem& fs, EntityId parent, const Name& name,
+                       const DocSpec& spec);
+
+}  // namespace namecoh

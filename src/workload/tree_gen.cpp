@@ -1,0 +1,102 @@
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+// The common vocabulary is position-keyed: the i-th common subdirectory at
+// a given position gets the same name on every site, because the name is a
+// pure function of (level, index) and the per-position coin flips come from
+// an rng forked off the *position label*, not the site.
+std::string common_dir_name(std::size_t level, std::size_t index) {
+  static const char* kRoots[] = {"bin", "etc", "usr", "lib", "home",
+                                 "var", "opt", "srv", "tmp", "mnt"};
+  if (level == 0 && index < std::size(kRoots)) return kRoots[index];
+  return "d" + std::to_string(level) + "_" + std::to_string(index);
+}
+
+std::string common_file_name(std::size_t index) {
+  static const char* kCommon[] = {"README", "config", "passwd", "cc",
+                                  "ls",     "lib.a",  "init",   "sh"};
+  if (index < std::size(kCommon)) return kCommon[index];
+  return "f" + std::to_string(index);
+}
+
+void populate_rec(FileSystem& fs, EntityId dir, const TreeSpec& spec,
+                  Rng& position_rng, std::size_t level, TreeStats& stats,
+                  const std::string& path_key) {
+  for (std::size_t i = 0; i < spec.files_per_dir; ++i) {
+    // One coin per position, identical across sites (position_rng is
+    // seeded from the position-independent seed).
+    bool common = position_rng.bernoulli(spec.common_fraction);
+    std::string name = common
+                           ? common_file_name(i)
+                           : common_file_name(i) + "." + spec.site_tag;
+    auto file = fs.create_file(dir, Name(name),
+                               "contents of " + path_key + "/" + name);
+    if (file.is_ok()) ++stats.files;
+  }
+  if (level >= spec.depth) return;
+  for (std::size_t i = 0; i < spec.dirs_per_dir; ++i) {
+    bool common = position_rng.bernoulli(spec.common_fraction);
+    std::string name = common
+                           ? common_dir_name(level, i)
+                           : common_dir_name(level, i) + "." + spec.site_tag;
+    auto child = fs.mkdir(dir, Name(name));
+    if (!child.is_ok()) continue;
+    ++stats.directories;
+    populate_rec(fs, child.value(), spec, position_rng, level + 1, stats,
+                 path_key + "/" + name);
+  }
+}
+
+}  // namespace
+
+TreeStats populate_tree(FileSystem& fs, EntityId root, const TreeSpec& spec,
+                        std::uint64_t seed) {
+  TreeStats stats;
+  // The coin-flip stream must be identical across sites so that "common"
+  // decisions agree; only the names of non-common entries differ (via
+  // site_tag). Hence the rng is a function of the seed alone.
+  Rng position_rng(seed);
+  populate_rec(fs, root, spec, position_rng, 0, stats, "");
+  return stats;
+}
+
+TreeStats populate_unix_skeleton(FileSystem& fs, EntityId root,
+                                 const std::string& site_tag) {
+  TreeStats stats;
+  auto mk = [&](std::string_view path, std::string contents) {
+    auto file = fs.create_file_at(root, path, std::move(contents));
+    if (file.is_ok()) ++stats.files;
+  };
+  for (const char* dir :
+       {"bin", "etc", "usr/bin", "usr/lib", "lib", "home", "tmp"}) {
+    auto made = fs.mkdir_p(root, dir);
+    if (made.is_ok()) ++stats.directories;
+  }
+  mk("bin/sh", "#!shell on " + site_tag);
+  mk("bin/ls", "#!ls on " + site_tag);
+  mk("bin/cc", "#!cc on " + site_tag);
+  mk("etc/passwd", "users of " + site_tag);
+  mk("etc/hosts", "hosts known to " + site_tag);
+  mk("usr/bin/make", "#!make on " + site_tag);
+  mk("usr/lib/libc.a", "libc for " + site_tag);
+  mk("lib/crt0.o", "crt0 for " + site_tag);
+  mk("home/" + site_tag + "/notes.txt", "notes by the owner of " + site_tag);
+  mk("home/" + site_tag + "/project/main.c", "int main(){}");
+  return stats;
+}
+
+std::vector<CompoundName> sample_probes(Rng& rng,
+                                        const std::vector<CompoundName>& all,
+                                        std::size_t k, double zipf_s) {
+  std::vector<CompoundName> out;
+  if (all.empty()) return out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(all[rng.zipf(all.size(), zipf_s)]);
+  }
+  return out;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,54 @@
+// Synthetic naming-tree workloads.
+//
+// Populates site trees with a controlled mix of *common* names (the same
+// path exists on many sites — "/bin/cc", "/etc/passwd") and *site-unique*
+// names. The mix matters because the §5 schemes fail differently on the
+// two kinds: a common name resolving on both sites to different files gives
+// the dangerous kDifferent verdict (silently the wrong file), while a
+// unique name gives kOneUnresolved (an error the user at least sees).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hpp"
+#include "util/rng.hpp"
+
+namespace namecoh {
+
+struct TreeSpec {
+  std::size_t depth = 3;          ///< directory nesting below the root
+  std::size_t dirs_per_dir = 3;   ///< subdirectories per directory
+  std::size_t files_per_dir = 4;  ///< files per directory
+  /// Probability that a directory/file takes its name from the common
+  /// vocabulary (same name at the same position on every site) rather than
+  /// a site-unique one.
+  double common_fraction = 0.5;
+  /// Tag appended to site-unique names; set per site.
+  std::string site_tag = "s0";
+};
+
+struct TreeStats {
+  std::size_t directories = 0;
+  std::size_t files = 0;
+};
+
+/// Populate `root` per the spec. Deterministic in (spec, seed): two sites
+/// populated with the same spec and seed but different site_tags get
+/// identical *common* structure and disjoint unique names — the standard
+/// two-site fixture of the §5 experiments.
+TreeStats populate_tree(FileSystem& fs, EntityId root, const TreeSpec& spec,
+                        std::uint64_t seed);
+
+/// A realistic fixed skeleton ("/bin", "/etc", "/usr/lib", home dirs …)
+/// used by the example programs; returns the created file count.
+TreeStats populate_unix_skeleton(FileSystem& fs, EntityId root,
+                                 const std::string& site_tag);
+
+/// Sample k probes (with replacement, Zipf-skewed toward short/hot names)
+/// from a probe vocabulary.
+std::vector<CompoundName> sample_probes(Rng& rng,
+                                        const std::vector<CompoundName>& all,
+                                        std::size_t k, double zipf_s = 0.8);
+
+}  // namespace namecoh

@@ -1,0 +1,197 @@
+// Tests for the partially-qualified pid algebra (§6 Example 1):
+// well-formedness, qualify, relativize, rebase, and their algebraic laws.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/address.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Pid, WellFormedForms) {
+  // The four legal forms from the paper.
+  EXPECT_TRUE((Pid{0, 0, 0}).is_well_formed());  // self
+  EXPECT_TRUE((Pid{0, 0, 7}).is_well_formed());  // (0,0,l)
+  EXPECT_TRUE((Pid{0, 3, 7}).is_well_formed());  // (0,m,l)
+  EXPECT_TRUE((Pid{2, 3, 7}).is_well_formed());  // (n,m,l)
+}
+
+TEST(Pid, MalformedForms) {
+  EXPECT_FALSE((Pid{2, 0, 7}).is_well_formed());  // network w/o machine
+  EXPECT_FALSE((Pid{2, 3, 0}).is_well_formed());  // machine w/o local
+  EXPECT_FALSE((Pid{0, 3, 0}).is_well_formed());
+  EXPECT_FALSE((Pid{2, 0, 0}).is_well_formed());
+}
+
+TEST(Pid, QualificationLevel) {
+  EXPECT_EQ(Pid::self().qualification_level(), 0);
+  EXPECT_EQ((Pid{0, 0, 7}).qualification_level(), 1);
+  EXPECT_EQ((Pid{0, 3, 7}).qualification_level(), 2);
+  EXPECT_EQ((Pid{2, 3, 7}).qualification_level(), 3);
+}
+
+TEST(Pid, SelfAndFullyQualified) {
+  EXPECT_TRUE(Pid::self().is_self());
+  EXPECT_FALSE(Pid::self().is_fully_qualified());
+  Location loc{1, 2, 3};
+  Pid full = Pid::fully_qualified(loc);
+  EXPECT_TRUE(full.is_fully_qualified());
+  EXPECT_EQ(full, (Pid{1, 2, 3}));
+}
+
+TEST(Location, Validity) {
+  EXPECT_TRUE((Location{1, 1, 1}).is_valid());
+  EXPECT_FALSE((Location{0, 1, 1}).is_valid());
+  EXPECT_FALSE((Location{1, 0, 1}).is_valid());
+  EXPECT_FALSE((Location{1, 1, 0}).is_valid());
+}
+
+TEST(Location, MachineAndNetworkRelations) {
+  Location a{1, 2, 3}, b{1, 2, 9}, c{1, 5, 3}, d{4, 2, 3};
+  EXPECT_TRUE(a.same_machine(b));
+  EXPECT_FALSE(a.same_machine(c));
+  EXPECT_TRUE(a.same_network(c));
+  EXPECT_FALSE(a.same_network(d));
+}
+
+TEST(Qualify, FillsUnqualifiedFieldsFromReference) {
+  Location ref{1, 2, 3};
+  EXPECT_EQ(qualify(Pid::self(), ref).value(), ref);  // (0,0,0) = myself
+  EXPECT_EQ(qualify(Pid{0, 0, 9}, ref).value(), (Location{1, 2, 9}));
+  EXPECT_EQ(qualify(Pid{0, 7, 9}, ref).value(), (Location{1, 7, 9}));
+  EXPECT_EQ(qualify(Pid{5, 7, 9}, ref).value(), (Location{5, 7, 9}));
+}
+
+TEST(Qualify, RejectsMalformedPidAndBadReference) {
+  EXPECT_EQ(qualify(Pid{2, 0, 7}, Location{1, 2, 3}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(qualify(Pid::self(), Location{0, 0, 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Relativize, MinimalQualification) {
+  Location ref{1, 2, 3};
+  // Same machine: only the local part is needed.
+  EXPECT_EQ(relativize(Location{1, 2, 9}, ref), (Pid{0, 0, 9}));
+  // Same network, different machine.
+  EXPECT_EQ(relativize(Location{1, 7, 9}, ref), (Pid{0, 7, 9}));
+  // Different network: fully qualified.
+  EXPECT_EQ(relativize(Location{5, 7, 9}, ref), (Pid{5, 7, 9}));
+}
+
+TEST(Relativize, SelfHandling) {
+  Location ref{1, 2, 3};
+  EXPECT_EQ(relativize(ref, ref, /*allow_self=*/true), Pid::self());
+  // Without allow_self, a process's own location relativizes to (0,0,l).
+  EXPECT_EQ(relativize(ref, ref, /*allow_self=*/false), (Pid{0, 0, 3}));
+}
+
+TEST(Relativize, InvalidLocationsThrow) {
+  EXPECT_THROW(relativize(Location{0, 0, 0}, Location{1, 1, 1}),
+               PreconditionError);
+}
+
+// The fundamental round-trip law: qualify(relativize(t, r), r) == t.
+class PidRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PidRoundTrip, QualifyInvertsRelativize) {
+  int s = GetParam();
+  // Enumerate a grid of (target, reference) pairs from the seed.
+  Location targets[] = {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1},
+                        {2, 2, 2}, {3, 1, 5}, {1, 3, 5}};
+  Location refs[] = {{1, 1, 1}, {1, 2, 3}, {2, 1, 1}, {3, 3, 3}};
+  Location target = targets[s % 7];
+  Location ref = refs[(s / 7) % 4];
+  Pid pid = relativize(target, ref);
+  EXPECT_TRUE(pid.is_well_formed());
+  auto back = qualify(pid, ref);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PidRoundTrip, ::testing::Range(0, 28));
+
+TEST(Rebase, SenderToReceiverPreservesDenotation) {
+  // p sends q's pid to r: the pid means q in p's context; after rebase it
+  // must mean q in r's context.
+  Location q{1, 2, 9};   // subject
+  Location p{1, 2, 3};   // sender, same machine as q
+  Location r{4, 5, 6};   // receiver, different network
+  Pid in_p = relativize(q, p);
+  EXPECT_EQ(in_p, (Pid{0, 0, 9}));  // minimal in p's context
+  auto in_r = rebase(in_p, p, r);
+  ASSERT_TRUE(in_r.is_ok());
+  // In r's context the pid must be fully qualified (q is far away) …
+  EXPECT_EQ(in_r.value(), (Pid{1, 2, 9}));
+  // … and denote the same location.
+  EXPECT_EQ(qualify(in_r.value(), r).value(), q);
+}
+
+TEST(Rebase, IntoSameScopeShortensPid) {
+  // Receiver is on the subject's machine: the rebased pid is local again.
+  Location q{1, 2, 9};
+  Location p{4, 5, 6};
+  Location r{1, 2, 7};
+  Pid in_p = relativize(q, p);  // fully qualified from afar
+  EXPECT_TRUE(in_p.is_fully_qualified());
+  auto in_r = rebase(in_p, p, r);
+  ASSERT_TRUE(in_r.is_ok());
+  EXPECT_EQ(in_r.value(), (Pid{0, 0, 9}));
+  EXPECT_EQ(qualify(in_r.value(), r).value(), q);
+}
+
+TEST(Rebase, SelfPidBecomesSenderPid) {
+  // A process can send (0,0,0) meaning *itself*; the receiver must get a
+  // pid that denotes the sender.
+  Location p{1, 2, 3};
+  Location r{1, 5, 6};
+  auto in_r = rebase(Pid::self(), p, r);
+  ASSERT_TRUE(in_r.is_ok());
+  EXPECT_EQ(qualify(in_r.value(), r).value(), p);
+}
+
+TEST(Rebase, MalformedPidFails) {
+  EXPECT_FALSE(rebase(Pid{2, 0, 1}, Location{1, 1, 1}, Location{1, 1, 2})
+                   .is_ok());
+}
+
+// Law: rebase is transitive — relaying a pid p→r1→r2 with remapping at each
+// hop denotes the same location as sending it directly.
+class RebaseChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(RebaseChain, TransitivityAcrossHops) {
+  int s = GetParam();
+  Location subject{1, 2, static_cast<Addr>(1 + s % 5)};
+  Location sender{1, 2, 9};
+  Location hops[] = {{1, 2, 8}, {1, 7, 1}, {3, 1, 1}, {2, 2, 2}};
+  Location r1 = hops[s % 4];
+  Location r2 = hops[(s + 1) % 4];
+  Pid at_sender = relativize(subject, sender);
+  auto at_r1 = rebase(at_sender, sender, r1);
+  ASSERT_TRUE(at_r1.is_ok());
+  auto at_r2 = rebase(at_r1.value(), r1, r2);
+  ASSERT_TRUE(at_r2.is_ok());
+  auto direct = rebase(at_sender, sender, r2);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(qualify(at_r2.value(), r2).value(), subject);
+  EXPECT_EQ(at_r2.value(), direct.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, RebaseChain, ::testing::Range(0, 20));
+
+TEST(PidPrinting, Format) {
+  EXPECT_EQ((Pid{1, 2, 3}).to_string(), "(1,2,3)");
+  std::ostringstream os;
+  os << Location{4, 5, 6};
+  EXPECT_EQ(os.str(), "<4,5,6>");
+}
+
+TEST(PidHash, Distinguishes) {
+  std::hash<Pid> h;
+  EXPECT_NE(h(Pid{0, 0, 1}), h(Pid{0, 1, 0}));
+  EXPECT_NE(h(Pid{1, 2, 3}), h(Pid{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace namecoh

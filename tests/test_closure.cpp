@@ -1,0 +1,196 @@
+// Tests for closure mechanisms (§3): ClosureTable, the resolution rules
+// R(activity), R(receiver), R(sender), R(object) and per-source composites.
+#include <gtest/gtest.h>
+
+#include "core/closure.hpp"
+
+namespace namecoh {
+namespace {
+
+// Fixture with two activities that have different contexts binding the same
+// name "n" to different entities — the canonical incoherence setup — plus an
+// object with its own context.
+class ClosureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = g_.add_activity("alice");
+    bob_ = g_.add_activity("bob");
+    ctx_alice_ = g_.add_context_object("ctx-alice");
+    ctx_bob_ = g_.add_context_object("ctx-bob");
+    ctx_obj_ = g_.add_context_object("ctx-doc");
+    doc_ = g_.add_data_object("doc");
+    ea_ = g_.add_data_object("alice's n");
+    eb_ = g_.add_data_object("bob's n");
+    eo_ = g_.add_data_object("doc's n");
+    ASSERT_TRUE(g_.bind(ctx_alice_, Name("n"), ea_).is_ok());
+    ASSERT_TRUE(g_.bind(ctx_bob_, Name("n"), eb_).is_ok());
+    ASSERT_TRUE(g_.bind(ctx_obj_, Name("n"), eo_).is_ok());
+    table_.set_activity_context(alice_, ctx_alice_);
+    table_.set_activity_context(bob_, ctx_bob_);
+    table_.set_object_context(doc_, ctx_obj_);
+  }
+
+  NamingGraph g_;
+  ClosureTable table_;
+  EntityId alice_, bob_, ctx_alice_, ctx_bob_, ctx_obj_, doc_;
+  EntityId ea_, eb_, eo_;
+};
+
+TEST_F(ClosureTest, TableLookups) {
+  EXPECT_TRUE(table_.has_activity_context(alice_));
+  EXPECT_FALSE(table_.has_activity_context(doc_));
+  EXPECT_EQ(table_.activity_context(alice_).value(), ctx_alice_);
+  EXPECT_EQ(table_.object_context(doc_).value(), ctx_obj_);
+  EXPECT_EQ(table_.activity_context(EntityId(77)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(table_.object_context(EntityId(77)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClosureTest, TableClear) {
+  table_.clear();
+  EXPECT_FALSE(table_.has_activity_context(alice_));
+  EXPECT_FALSE(table_.has_object_context(doc_));
+}
+
+TEST_F(ClosureTest, ByActivitySelectsResolverContext) {
+  ByActivityRule rule;
+  auto ctx = rule.select(table_, Circumstance::internal(alice_));
+  ASSERT_TRUE(ctx.is_ok());
+  EXPECT_EQ(ctx.value(), ctx_alice_);
+  // Even for a message circumstance, R(activity) uses the resolver.
+  auto ctx2 = rule.select(table_, Circumstance::from_message(bob_, alice_));
+  EXPECT_EQ(ctx2.value(), ctx_bob_);
+}
+
+TEST_F(ClosureTest, ByReceiverEqualsByActivitySelection) {
+  ByReceiverRule receiver;
+  ByActivityRule activity;
+  Circumstance c = Circumstance::from_message(bob_, alice_);
+  EXPECT_EQ(receiver.select(table_, c).value(),
+            activity.select(table_, c).value());
+  EXPECT_EQ(receiver.kind(), RuleKind::kByReceiver);
+}
+
+TEST_F(ClosureTest, BySenderUsesSenderContextForMessages) {
+  BySenderRule rule;
+  Circumstance c = Circumstance::from_message(bob_, alice_);
+  EXPECT_EQ(rule.select(table_, c).value(), ctx_alice_);
+}
+
+TEST_F(ClosureTest, BySenderFallsBackForNonMessageSources) {
+  BySenderRule rule;
+  EXPECT_EQ(rule.select(table_, Circumstance::internal(bob_)).value(),
+            ctx_bob_);
+  EXPECT_EQ(
+      rule.select(table_, Circumstance::from_object(bob_, doc_)).value(),
+      ctx_bob_);
+}
+
+TEST_F(ClosureTest, ByObjectUsesObjectContextForEmbeddedNames) {
+  ByObjectRule rule;
+  Circumstance c = Circumstance::from_object(alice_, doc_);
+  EXPECT_EQ(rule.select(table_, c).value(), ctx_obj_);
+  // Internal names fall back to the resolver's context.
+  EXPECT_EQ(rule.select(table_, Circumstance::internal(alice_)).value(),
+            ctx_alice_);
+}
+
+TEST_F(ClosureTest, ResolveWithRuleEndToEnd) {
+  // The same name "n" resolved by bob under the three rules gives three
+  // different entities — exactly Fig. 2's point.
+  CompoundName n = CompoundName::relative("n");
+  Circumstance from_alice = Circumstance::from_message(bob_, alice_);
+  Circumstance from_doc = Circumstance::from_object(bob_, doc_);
+
+  Resolution r1 = resolve_with_rule(g_, table_, ByReceiverRule{},
+                                    from_alice, n);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.entity, eb_);  // bob's own meaning
+
+  Resolution r2 = resolve_with_rule(g_, table_, BySenderRule{},
+                                    from_alice, n);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.entity, ea_);  // alice's meaning — coherent with sender
+
+  Resolution r3 = resolve_with_rule(g_, table_, ByObjectRule{}, from_doc, n);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.entity, eo_);  // the document's meaning
+}
+
+TEST_F(ClosureTest, ResolveWithRuleReportsMissingAssignment) {
+  EntityId stranger = g_.add_activity("stranger");
+  Resolution res = resolve_with_rule(g_, table_, ByActivityRule{},
+                                     Circumstance::internal(stranger),
+                                     CompoundName::relative("n"));
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClosureTest, PerSourceRuleDispatchesBySource) {
+  auto rule = make_coherent_per_source_rule();
+  CompoundName n = CompoundName::relative("n");
+
+  // internal → R(a)
+  Resolution internal = resolve_with_rule(
+      g_, table_, *rule, Circumstance::internal(bob_), n);
+  EXPECT_EQ(internal.entity, eb_);
+  // message → R(sender)
+  Resolution message = resolve_with_rule(
+      g_, table_, *rule, Circumstance::from_message(bob_, alice_), n);
+  EXPECT_EQ(message.entity, ea_);
+  // embedded → R(object)
+  Resolution embedded = resolve_with_rule(
+      g_, table_, *rule, Circumstance::from_object(bob_, doc_), n);
+  EXPECT_EQ(embedded.entity, eo_);
+  EXPECT_EQ(rule->kind(), RuleKind::kPerSource);
+}
+
+TEST_F(ClosureTest, PerSourceRequiresAllSubRules) {
+  EXPECT_THROW(PerSourceRule(nullptr, make_rule(RuleKind::kBySender),
+                             make_rule(RuleKind::kByObject)),
+               PreconditionError);
+}
+
+TEST(ClosureFactory, BasicRulesAreSingletons) {
+  EXPECT_EQ(make_rule(RuleKind::kByActivity),
+            make_rule(RuleKind::kByActivity));
+  EXPECT_EQ(make_rule(RuleKind::kByActivity)->kind(), RuleKind::kByActivity);
+  EXPECT_EQ(make_rule(RuleKind::kBySender)->kind(), RuleKind::kBySender);
+  EXPECT_EQ(make_rule(RuleKind::kByReceiver)->kind(), RuleKind::kByReceiver);
+  EXPECT_EQ(make_rule(RuleKind::kByObject)->kind(), RuleKind::kByObject);
+  EXPECT_THROW(make_rule(RuleKind::kPerSource), PreconditionError);
+}
+
+TEST(ClosureNames, Stable) {
+  EXPECT_EQ(rule_kind_name(RuleKind::kByActivity), "R(activity)");
+  EXPECT_EQ(rule_kind_name(RuleKind::kBySender), "R(sender)");
+  EXPECT_EQ(rule_kind_name(RuleKind::kByReceiver), "R(receiver)");
+  EXPECT_EQ(rule_kind_name(RuleKind::kByObject), "R(object)");
+  EXPECT_EQ(name_source_name(NameSource::kInternal), "internal");
+  EXPECT_EQ(name_source_name(NameSource::kFromActivity), "from-activity");
+  EXPECT_EQ(name_source_name(NameSource::kFromObject), "from-object");
+}
+
+TEST(ClosureTable, SharedContextAcrossActivities) {
+  // The paper: one context may be shared by all activities (global ctx).
+  NamingGraph g;
+  EntityId a1 = g.add_activity("a1");
+  EntityId a2 = g.add_activity("a2");
+  EntityId shared = g.add_context_object("shared");
+  EntityId e = g.add_data_object("e");
+  ASSERT_TRUE(g.bind(shared, Name("n"), e).is_ok());
+  ClosureTable table;
+  table.set_activity_context(a1, shared);
+  table.set_activity_context(a2, shared);
+  ByActivityRule rule;
+  CompoundName n = CompoundName::relative("n");
+  Resolution r1 = resolve_with_rule(g, table, rule,
+                                    Circumstance::internal(a1), n);
+  Resolution r2 = resolve_with_rule(g, table, rule,
+                                    Circumstance::internal(a2), n);
+  EXPECT_TRUE(r1.same_entity(r2));  // trivially coherent: shared context
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,286 @@
+// Tests for the coherence analyzer: verdicts, strict vs weak coherence,
+// degree reports, global names, probe construction.
+#include <gtest/gtest.h>
+
+#include "coherence/coherence.hpp"
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+namespace {
+
+class CoherenceTest : public ::testing::Test {
+ protected:
+  CoherenceTest() : fs_(graph_), analyzer_(graph_) {
+    // Two machine trees with a mix of shared, conflicting and unique names.
+    m1_ = fs_.make_root("m1");
+    m2_ = fs_.make_root("m2");
+    shared_ = fs_.make_root("shared");
+    // Conflicting: /etc/passwd exists on both, different files.
+    NAMECOH_CHECK(fs_.create_file_at(m1_, "etc/passwd", "m1").is_ok(), "");
+    NAMECOH_CHECK(fs_.create_file_at(m2_, "etc/passwd", "m2").is_ok(), "");
+    // Unique: /only1 on m1.
+    NAMECOH_CHECK(fs_.create_file_at(m1_, "only1", "u1").is_ok(), "");
+    // Shared subtree attached on both as /vice.
+    NAMECOH_CHECK(fs_.create_file_at(shared_, "lib/common", "c").is_ok(), "");
+    NAMECOH_CHECK(fs_.attach(m1_, Name("vice"), shared_).is_ok(), "");
+    NAMECOH_CHECK(fs_.attach(m2_, Name("vice"), shared_).is_ok(), "");
+    // Replicated command /bin/cc (weakly coherent).
+    auto cc1 = fs_.create_file_at(m1_, "bin/cc", "cc");
+    NAMECOH_CHECK(cc1.is_ok(), "");
+    NAMECOH_CHECK(fs_.mkdir_p(m2_, "bin").is_ok(), "");
+    auto bin2 = fs_.mkdir_p(m2_, "bin");
+    auto cc2 = fs_.replicate_file(cc1.value(), bin2.value(), Name("cc"));
+    NAMECOH_CHECK(cc2.is_ok(), "");
+
+    ctx1_ = graph_.add_context_object("ctx1");
+    graph_.context(ctx1_) = FileSystem::make_process_context(m1_, m1_);
+    ctx2_ = graph_.add_context_object("ctx2");
+    graph_.context(ctx2_) = FileSystem::make_process_context(m2_, m2_);
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  CoherenceAnalyzer analyzer_;
+  EntityId m1_, m2_, shared_, ctx1_, ctx2_;
+};
+
+TEST_F(CoherenceTest, VerdictSameEntity) {
+  EXPECT_EQ(analyzer_.probe(ctx1_, ctx2_, CompoundName::path("/vice/lib/common")),
+            ProbeVerdict::kSameEntity);
+}
+
+TEST_F(CoherenceTest, VerdictDifferent) {
+  EXPECT_EQ(analyzer_.probe(ctx1_, ctx2_, CompoundName::path("/etc/passwd")),
+            ProbeVerdict::kDifferent);
+}
+
+TEST_F(CoherenceTest, VerdictWeakReplicas) {
+  EXPECT_EQ(analyzer_.probe(ctx1_, ctx2_, CompoundName::path("/bin/cc")),
+            ProbeVerdict::kWeakReplicas);
+}
+
+TEST_F(CoherenceTest, VerdictOneUnresolved) {
+  EXPECT_EQ(analyzer_.probe(ctx1_, ctx2_, CompoundName::path("/only1")),
+            ProbeVerdict::kOneUnresolved);
+}
+
+TEST_F(CoherenceTest, VerdictBothUnresolved) {
+  EXPECT_EQ(analyzer_.probe(ctx1_, ctx2_, CompoundName::path("/ghost")),
+            ProbeVerdict::kBothUnresolved);
+}
+
+TEST_F(CoherenceTest, VerdictCoherentMatrix) {
+  EXPECT_TRUE(verdict_coherent(ProbeVerdict::kSameEntity,
+                               CoherenceMode::kStrict));
+  EXPECT_TRUE(verdict_coherent(ProbeVerdict::kSameEntity,
+                               CoherenceMode::kWeak));
+  EXPECT_FALSE(verdict_coherent(ProbeVerdict::kWeakReplicas,
+                                CoherenceMode::kStrict));
+  EXPECT_TRUE(verdict_coherent(ProbeVerdict::kWeakReplicas,
+                               CoherenceMode::kWeak));
+  for (ProbeVerdict v : {ProbeVerdict::kDifferent,
+                         ProbeVerdict::kOneUnresolved,
+                         ProbeVerdict::kBothUnresolved}) {
+    EXPECT_FALSE(verdict_coherent(v, CoherenceMode::kStrict));
+    EXPECT_FALSE(verdict_coherent(v, CoherenceMode::kWeak));
+  }
+}
+
+TEST_F(CoherenceTest, CoherentForConvenience) {
+  EXPECT_TRUE(analyzer_.coherent_for(ctx1_, ctx2_,
+                                     CompoundName::path("/vice/lib/common"),
+                                     CoherenceMode::kStrict));
+  EXPECT_FALSE(analyzer_.coherent_for(ctx1_, ctx2_,
+                                      CompoundName::path("/bin/cc"),
+                                      CoherenceMode::kStrict));
+  EXPECT_TRUE(analyzer_.coherent_for(ctx1_, ctx2_,
+                                     CompoundName::path("/bin/cc"),
+                                     CoherenceMode::kWeak));
+}
+
+TEST_F(CoherenceTest, DegreeReportAggregates) {
+  std::vector<CompoundName> probes = {
+      CompoundName::path("/vice/lib/common"),  // same
+      CompoundName::path("/etc/passwd"),       // different
+      CompoundName::path("/bin/cc"),           // weak
+      CompoundName::path("/only1"),            // one-unresolved
+  };
+  DegreeReport report = analyzer_.degree(ctx1_, ctx2_, probes);
+  EXPECT_EQ(report.strict.trials(), 4u);
+  EXPECT_EQ(report.strict.successes(), 1u);
+  EXPECT_EQ(report.weak.successes(), 2u);
+  EXPECT_EQ(report.verdicts.get("same-entity"), 1u);
+  EXPECT_EQ(report.verdicts.get("different"), 1u);
+  EXPECT_EQ(report.verdicts.get("weak-replicas"), 1u);
+  EXPECT_EQ(report.verdicts.get("one-unresolved"), 1u);
+}
+
+TEST_F(CoherenceTest, DegreeReportMerge) {
+  DegreeReport a, b;
+  a.add(ProbeVerdict::kSameEntity);
+  b.add(ProbeVerdict::kDifferent);
+  b.add(ProbeVerdict::kWeakReplicas);
+  a.merge(b);
+  EXPECT_EQ(a.strict.trials(), 3u);
+  EXPECT_EQ(a.strict.successes(), 1u);
+  EXPECT_EQ(a.weak.successes(), 2u);
+  EXPECT_EQ(a.verdicts.total(), 3u);
+}
+
+TEST_F(CoherenceTest, SameContextIsFullyCoherent) {
+  auto probes = absolutize(probes_from_dir(graph_, m1_));
+  DegreeReport report = analyzer_.degree(ctx1_, ctx1_, probes);
+  EXPECT_GT(report.strict.trials(), 0u);
+  EXPECT_DOUBLE_EQ(report.strict.fraction(), 1.0);
+}
+
+TEST_F(CoherenceTest, GlobalNames) {
+  std::vector<EntityId> contexts = {ctx1_, ctx2_};
+  EXPECT_TRUE(analyzer_.is_global_name(
+      contexts, CompoundName::path("/vice/lib/common"),
+      CoherenceMode::kStrict));
+  EXPECT_FALSE(analyzer_.is_global_name(
+      contexts, CompoundName::path("/etc/passwd"), CoherenceMode::kStrict));
+  EXPECT_FALSE(analyzer_.is_global_name(
+      contexts, CompoundName::path("/ghost"), CoherenceMode::kStrict));
+  EXPECT_TRUE(analyzer_.is_global_name(contexts,
+                                       CompoundName::path("/bin/cc"),
+                                       CoherenceMode::kWeak));
+  EXPECT_FALSE(analyzer_.is_global_name({}, CompoundName::path("/x"),
+                                        CoherenceMode::kStrict));
+}
+
+TEST_F(CoherenceTest, GlobalFraction) {
+  std::vector<EntityId> contexts = {ctx1_, ctx2_};
+  std::vector<CompoundName> probes = {
+      CompoundName::path("/vice/lib/common"),
+      CompoundName::path("/etc/passwd"),
+      CompoundName::path("/bin/cc"),
+  };
+  FractionCounter strict =
+      analyzer_.global_fraction(contexts, probes, CoherenceMode::kStrict);
+  EXPECT_EQ(strict.trials(), 3u);
+  EXPECT_EQ(strict.successes(), 1u);
+  FractionCounter weak =
+      analyzer_.global_fraction(contexts, probes, CoherenceMode::kWeak);
+  EXPECT_EQ(weak.successes(), 2u);
+}
+
+TEST_F(CoherenceTest, PairwiseDegreeCoversAllPairs) {
+  EntityId ctx3 = graph_.add_context_object("ctx3");
+  graph_.context(ctx3) = FileSystem::make_process_context(m1_, m1_);
+  std::vector<EntityId> contexts = {ctx1_, ctx2_, ctx3};
+  std::vector<CompoundName> probes = {CompoundName::path("/etc/passwd")};
+  DegreeReport report = analyzer_.pairwise_degree(contexts, probes);
+  // 3 unordered pairs × 1 probe.
+  EXPECT_EQ(report.strict.trials(), 3u);
+  // ctx1-ctx3 agree (same root); the two pairs with ctx2 disagree.
+  EXPECT_EQ(report.strict.successes(), 1u);
+}
+
+TEST_F(CoherenceTest, ProbesFromDirEnumerates) {
+  auto probes = probes_from_dir(graph_, m1_);
+  EXPECT_FALSE(probes.empty());
+  // Contains the expected relative names.
+  auto has = [&](const char* p) {
+    return std::find(probes.begin(), probes.end(),
+                     CompoundName::relative(p)) != probes.end();
+  };
+  EXPECT_TRUE(has("etc/passwd"));
+  EXPECT_TRUE(has("only1"));
+  EXPECT_TRUE(has("bin/cc"));
+  EXPECT_TRUE(has("vice/lib/common"));
+}
+
+TEST_F(CoherenceTest, AbsolutizePrependsRoot) {
+  auto rel = probes_from_dir(graph_, m1_, /*max_depth=*/1);
+  auto abs = absolutize(rel);
+  ASSERT_EQ(abs.size(), rel.size());
+  for (std::size_t i = 0; i < abs.size(); ++i) {
+    EXPECT_TRUE(abs[i].is_absolute());
+    EXPECT_EQ(abs[i].size(), rel[i].size() + 1);
+  }
+}
+
+TEST_F(CoherenceTest, MergeProbesDeduplicates) {
+  std::vector<std::vector<CompoundName>> sets = {
+      {CompoundName::path("/a"), CompoundName::path("/b")},
+      {CompoundName::path("/b"), CompoundName::path("/c")},
+  };
+  auto merged = merge_probes(sets);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], CompoundName::path("/a"));
+  EXPECT_EQ(merged[1], CompoundName::path("/b"));
+  EXPECT_EQ(merged[2], CompoundName::path("/c"));
+}
+
+TEST_F(CoherenceTest, DegreeUnderRuleMatchesFig2) {
+  // Build activities with contexts and compare rules on an exchanged name.
+  EntityId sender = graph_.add_activity("sender");
+  EntityId receiver = graph_.add_activity("receiver");
+  ClosureTable table;
+  table.set_activity_context(sender, ctx1_);
+  table.set_activity_context(receiver, ctx2_);
+  std::vector<CompoundName> probes = {CompoundName::path("/etc/passwd"),
+                                      CompoundName::path("/vice/lib/common"),
+                                      CompoundName::path("/only1")};
+  // Side A: the sender resolving its own (internal) name.
+  Circumstance side_a = Circumstance::internal(sender);
+  // Side B: the receiver resolving the name it received from the sender.
+  Circumstance side_b = Circumstance::from_message(receiver, sender);
+
+  DegreeReport with_receiver_rule = analyzer_.degree_under_rule(
+      table, ByReceiverRule{}, side_a, side_b, probes);
+  DegreeReport with_sender_rule = analyzer_.degree_under_rule(
+      table, BySenderRule{}, side_a, side_b, probes);
+
+  // R(receiver): only the shared /vice name is coherent (1 of 3).
+  EXPECT_EQ(with_receiver_rule.strict.successes(), 1u);
+  // R(sender): all names coherent (resolved in the sender's context on
+  // both sides).
+  EXPECT_EQ(with_sender_rule.strict.successes(), 3u);
+}
+
+TEST_F(CoherenceTest, ClassifyListsEveryProbe) {
+  std::vector<CompoundName> probes = {
+      CompoundName::path("/vice/lib/common"),
+      CompoundName::path("/etc/passwd"),
+      CompoundName::path("/bin/cc"),
+      CompoundName::path("/only1"),
+  };
+  auto classified = analyzer_.classify(ctx1_, ctx2_, probes);
+  ASSERT_EQ(classified.size(), probes.size());
+  EXPECT_EQ(classified[0].verdict, ProbeVerdict::kSameEntity);
+  EXPECT_EQ(classified[1].verdict, ProbeVerdict::kDifferent);
+  EXPECT_EQ(classified[2].verdict, ProbeVerdict::kWeakReplicas);
+  EXPECT_EQ(classified[3].verdict, ProbeVerdict::kOneUnresolved);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(classified[i].name, probes[i]);
+  }
+}
+
+TEST_F(CoherenceTest, ProbesWithVerdictFilters) {
+  std::vector<CompoundName> probes = {
+      CompoundName::path("/vice/lib/common"),
+      CompoundName::path("/etc/passwd"),
+      CompoundName::path("/bin/cc"),
+  };
+  auto conflicts = analyzer_.probes_with_verdict(
+      ctx1_, ctx2_, probes, ProbeVerdict::kDifferent);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], CompoundName::path("/etc/passwd"));
+  EXPECT_TRUE(analyzer_.probes_with_verdict(ctx1_, ctx2_, probes,
+                                            ProbeVerdict::kBothUnresolved)
+                  .empty());
+}
+
+TEST(CoherenceNames, Stable) {
+  EXPECT_EQ(coherence_mode_name(CoherenceMode::kStrict), "strict");
+  EXPECT_EQ(coherence_mode_name(CoherenceMode::kWeak), "weak");
+  EXPECT_EQ(probe_verdict_name(ProbeVerdict::kSameEntity), "same-entity");
+  EXPECT_EQ(probe_verdict_name(ProbeVerdict::kBothUnresolved),
+            "both-unresolved");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,231 @@
+// Tests for Context and NamingGraph (§2: contexts, entities, state σ).
+#include <gtest/gtest.h>
+
+#include "core/naming_graph.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Context, BindLookupUnbind) {
+  Context ctx;
+  EXPECT_TRUE(ctx.empty());
+  ctx.bind(Name("a"), EntityId(1));
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_TRUE(ctx.contains(Name("a")));
+  EXPECT_EQ(ctx(Name("a")), EntityId(1));
+  ASSERT_TRUE(ctx.lookup(Name("a")).has_value());
+  EXPECT_EQ(*ctx.lookup(Name("a")), EntityId(1));
+  EXPECT_TRUE(ctx.unbind(Name("a")));
+  EXPECT_FALSE(ctx.unbind(Name("a")));
+  EXPECT_FALSE(ctx.contains(Name("a")));
+}
+
+TEST(Context, UnboundNameIsUndefinedEntity) {
+  Context ctx;
+  EXPECT_FALSE(ctx(Name("ghost")).valid());  // the paper's ⊥E
+  EXPECT_FALSE(ctx.lookup(Name("ghost")).has_value());
+}
+
+TEST(Context, RebindReplaces) {
+  Context ctx;
+  ctx.bind(Name("a"), EntityId(1));
+  ctx.bind(Name("a"), EntityId(2));
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_EQ(ctx(Name("a")), EntityId(2));
+}
+
+TEST(Context, BindingInvalidEntityThrows) {
+  Context ctx;
+  EXPECT_THROW(ctx.bind(Name("a"), EntityId::invalid()), PreconditionError);
+}
+
+TEST(Context, OverlayCopiesAndOverwrites) {
+  Context a, b;
+  a.bind(Name("x"), EntityId(1));
+  a.bind(Name("y"), EntityId(2));
+  b.bind(Name("y"), EntityId(9));
+  b.bind(Name("z"), EntityId(3));
+  a.overlay(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a(Name("x")), EntityId(1));
+  EXPECT_EQ(a(Name("y")), EntityId(9));
+  EXPECT_EQ(a(Name("z")), EntityId(3));
+}
+
+TEST(Context, AgreesOn) {
+  Context a, b;
+  a.bind(Name("x"), EntityId(1));
+  b.bind(Name("x"), EntityId(1));
+  EXPECT_TRUE(a.agrees_on(b, Name("x")));
+  EXPECT_TRUE(a.agrees_on(b, Name("unbound-in-both")));  // ⊥E == ⊥E
+  b.bind(Name("x"), EntityId(2));
+  EXPECT_FALSE(a.agrees_on(b, Name("x")));
+  b.unbind(Name("x"));
+  EXPECT_FALSE(a.agrees_on(b, Name("x")));  // bound vs ⊥E
+}
+
+TEST(Context, EqualityAndPrinting) {
+  Context a, b;
+  a.bind(Name("n"), EntityId(5));
+  EXPECT_NE(a, b);
+  b.bind(Name("n"), EntityId(5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "{n -> #5}");
+}
+
+TEST(NamingGraph, EntityCreationAndKinds) {
+  NamingGraph g;
+  EntityId act = g.add_activity("proc");
+  EntityId dir = g.add_context_object("dir");
+  EntityId file = g.add_data_object("file", "hello");
+  EXPECT_EQ(g.entity_count(), 3u);
+  EXPECT_TRUE(g.is_activity(act));
+  EXPECT_TRUE(g.is_context_object(dir));
+  EXPECT_TRUE(g.is_data_object(file));
+  EXPECT_EQ(g.kind_of(act), EntityKind::kActivity);
+  EXPECT_EQ(g.label(file), "file");
+  EXPECT_EQ(g.data(file), "hello");
+}
+
+TEST(NamingGraph, ContainsAndInvalidIds) {
+  NamingGraph g;
+  EntityId id = g.add_activity("a");
+  EXPECT_TRUE(g.contains(id));
+  EXPECT_FALSE(g.contains(EntityId::invalid()));
+  EXPECT_FALSE(g.contains(EntityId(99)));
+  EXPECT_FALSE(g.is_activity(EntityId(99)));
+  EXPECT_THROW((void)g.kind_of(EntityId(99)), PreconditionError);
+}
+
+TEST(NamingGraph, BindValidation) {
+  NamingGraph g;
+  EntityId dir = g.add_context_object("d");
+  EntityId file = g.add_data_object("f");
+  EXPECT_TRUE(g.bind(dir, Name("f"), file).is_ok());
+  // Binding in a non-context fails with NOT_A_CONTEXT.
+  EXPECT_EQ(g.bind(file, Name("x"), dir).code(), StatusCode::kNotAContext);
+  // Unknown ids.
+  EXPECT_EQ(g.bind(EntityId(99), Name("x"), dir).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.bind(dir, Name("x"), EntityId(99)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NamingGraph, LookupAndUnbind) {
+  NamingGraph g;
+  EntityId dir = g.add_context_object("d");
+  EntityId file = g.add_data_object("f");
+  ASSERT_TRUE(g.bind(dir, Name("f"), file).is_ok());
+  auto found = g.lookup(dir, Name("f"));
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(found.value(), file);
+  EXPECT_EQ(g.lookup(dir, Name("nope")).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(g.unbind(dir, Name("f")).is_ok());
+  EXPECT_EQ(g.unbind(dir, Name("f")).code(), StatusCode::kNotFound);
+}
+
+TEST(NamingGraph, DataObjectState) {
+  NamingGraph g;
+  EntityId file = g.add_data_object("f", "v1");
+  g.set_data(file, "v2");
+  EXPECT_EQ(g.data(file), "v2");
+  EntityId dir = g.add_context_object("d");
+  EXPECT_THROW((void)g.data(dir), PreconditionError);
+  EXPECT_THROW((void)g.context(file), PreconditionError);
+}
+
+TEST(NamingGraph, EmbeddedNames) {
+  NamingGraph g;
+  EntityId file = g.add_data_object("doc");
+  EXPECT_TRUE(g.embedded_names(file).empty());
+  g.add_embedded_name(file, CompoundName::relative("a/b"));
+  g.add_embedded_name(file, CompoundName::relative("c"));
+  ASSERT_EQ(g.embedded_names(file).size(), 2u);
+  EXPECT_EQ(g.embedded_names(file)[0].to_path(), "a/b");
+  g.clear_embedded_names(file);
+  EXPECT_TRUE(g.embedded_names(file).empty());
+}
+
+TEST(NamingGraph, ReplicaGroupsAndWeakEquality) {
+  NamingGraph g;
+  EntityId f1 = g.add_data_object("bin/cc@m1");
+  EntityId f2 = g.add_data_object("bin/cc@m2");
+  EntityId f3 = g.add_data_object("other");
+  EXPECT_FALSE(g.weakly_equal(f1, f2));
+  EXPECT_TRUE(g.weakly_equal(f1, f1));  // identity is weak equality
+  ReplicaGroupId group = g.new_replica_group();
+  g.set_replica_group(f1, group);
+  g.set_replica_group(f2, group);
+  EXPECT_TRUE(g.weakly_equal(f1, f2));
+  EXPECT_FALSE(g.weakly_equal(f1, f3));
+  EXPECT_EQ(g.replica_group(f1), group);
+  EXPECT_FALSE(g.replica_group(f3).valid());
+}
+
+TEST(NamingGraph, ActivitiesCannotBeReplicated) {
+  NamingGraph g;
+  EntityId act = g.add_activity("p");
+  ReplicaGroupId group = g.new_replica_group();
+  EXPECT_THROW(g.set_replica_group(act, group), PreconditionError);
+}
+
+TEST(NamingGraph, WeaklyEqualWithInvalidIds) {
+  NamingGraph g;
+  EntityId f = g.add_data_object("f");
+  EXPECT_FALSE(g.weakly_equal(f, EntityId::invalid()));
+  EXPECT_FALSE(g.weakly_equal(EntityId::invalid(), EntityId::invalid()));
+}
+
+TEST(NamingGraph, EntitiesOfKind) {
+  NamingGraph g;
+  g.add_activity("a1");
+  g.add_context_object("c1");
+  g.add_context_object("c2");
+  g.add_data_object("d1");
+  EXPECT_EQ(g.entities().size(), 4u);
+  EXPECT_EQ(g.entities_of_kind(EntityKind::kContextObject).size(), 2u);
+  EXPECT_EQ(g.entities_of_kind(EntityKind::kActivity).size(), 1u);
+  EXPECT_EQ(g.entities_of_kind(EntityKind::kDataObject).size(), 1u);
+}
+
+TEST(NamingGraph, EdgesEnumerateBindings) {
+  NamingGraph g;
+  EntityId dir = g.add_context_object("d");
+  EntityId file = g.add_data_object("f");
+  EntityId sub = g.add_context_object("s");
+  ASSERT_TRUE(g.bind(dir, Name("f"), file).is_ok());
+  ASSERT_TRUE(g.bind(dir, Name("s"), sub).is_ok());
+  auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 2u);
+  for (const auto& edge : edges) EXPECT_EQ(edge.from, dir);
+}
+
+TEST(NamingGraph, CloneIsDeepAndIndependent) {
+  NamingGraph g;
+  EntityId dir = g.add_context_object("d");
+  EntityId file = g.add_data_object("f", "original");
+  ASSERT_TRUE(g.bind(dir, Name("f"), file).is_ok());
+  NamingGraph copy = g.clone();
+  // Mutating the copy leaves the original untouched.
+  copy.set_data(file, "changed");
+  ASSERT_TRUE(copy.unbind(dir, Name("f")).is_ok());
+  EXPECT_EQ(g.data(file), "original");
+  EXPECT_TRUE(g.lookup(dir, Name("f")).is_ok());
+  EXPECT_FALSE(copy.lookup(dir, Name("f")).is_ok());
+}
+
+TEST(NamingGraph, SetLabel) {
+  NamingGraph g;
+  EntityId id = g.add_activity("old");
+  g.set_label(id, "new");
+  EXPECT_EQ(g.label(id), "new");
+}
+
+TEST(EntityKindNames, Stable) {
+  EXPECT_EQ(entity_kind_name(EntityKind::kActivity), "activity");
+  EXPECT_EQ(entity_kind_name(EntityKind::kDataObject), "data-object");
+  EXPECT_EQ(entity_kind_name(EntityKind::kContextObject), "context-object");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,308 @@
+// Tests for embedded names (§6 Example 2, Fig. 6): Algol-scope search,
+// document assembly, and the relocation-invariance property.
+#include <gtest/gtest.h>
+
+#include "embed/embedded.hpp"
+#include "fs/file_system.hpp"
+#include "workload/doc_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+class EmbeddedTest : public ::testing::Test {
+ protected:
+  EmbeddedTest() : fs_(graph_), resolver_(graph_), assembler_(graph_) {
+    root_ = fs_.make_root("root");
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  EmbeddedNameResolver resolver_;
+  DocumentAssembler assembler_;
+  EntityId root_;
+};
+
+TEST_F(EmbeddedTest, FindScopeInContainingDir) {
+  // Binding in the containing directory itself: distance 0.
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  ASSERT_TRUE(fs_.create_file(dir.value(), Name("target")).is_ok());
+  auto scope = resolver_.find_scope(dir.value(),
+                                    CompoundName::relative("target"));
+  ASSERT_TRUE(scope.is_ok());
+  EXPECT_EQ(scope.value(), dir.value());
+}
+
+TEST_F(EmbeddedTest, FindScopeClimbsAncestors) {
+  // Fig. 6: the binding sits at an ancestor n'; the search climbs to it.
+  ASSERT_TRUE(fs_.mkdir_p(root_, "a/b/c").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "a/style", "").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId c = fs_.resolve_path(ctx, "/a/b/c").entity;
+  EntityId a = fs_.resolve_path(ctx, "/a").entity;
+  auto scope = resolver_.find_scope(c, CompoundName::relative("style"));
+  ASSERT_TRUE(scope.is_ok());
+  EXPECT_EQ(scope.value(), a);
+}
+
+TEST_F(EmbeddedTest, FindScopeShadowing) {
+  // A nearer binding shadows an outer one — Algol's nested-block rule.
+  ASSERT_TRUE(fs_.create_file_at(root_, "lib/x", "outer").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "a/lib/x", "inner").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId a = fs_.resolve_path(ctx, "/a").entity;
+  Resolution res = resolver_.resolve_algol(a, CompoundName::relative("lib/x"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "inner");
+}
+
+TEST_F(EmbeddedTest, FindScopeFailsWhenNowhere) {
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  auto scope = resolver_.find_scope(dir.value(),
+                                    CompoundName::relative("ghost"));
+  EXPECT_EQ(scope.code(), StatusCode::kNotFound);
+  // Non-directory start.
+  auto file = fs_.create_file(root_, Name("f"));
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(resolver_.find_scope(file.value(),
+                                 CompoundName::relative("x"))
+                .code(),
+            StatusCode::kNotAContext);
+}
+
+TEST_F(EmbeddedTest, ResolveAlgolFullName) {
+  // The scope binds the first component; the *whole* name resolves from
+  // the scope dir (Fig. 6's "resolving a/p relative to node n'").
+  ASSERT_TRUE(fs_.create_file_at(root_, "assets/img/logo", "L").is_ok());
+  ASSERT_TRUE(fs_.mkdir_p(root_, "ch1/deep").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId deep = fs_.resolve_path(ctx, "/ch1/deep").entity;
+  Resolution res = resolver_.resolve_algol(
+      deep, CompoundName::relative("assets/img/logo"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "L");
+}
+
+TEST_F(EmbeddedTest, AssembleAlgolResolvesAllRefs) {
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  AssembleOptions options;
+  options.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning meaning =
+      assembler_.assemble(doc.root_file, doc.subtree, options);
+  EXPECT_TRUE(meaning.fully_resolved());
+  EXPECT_EQ(meaning.refs.size(), doc.refs);
+  // parts counts textual inclusions: every file at least once, shared
+  // assets once per reference.
+  EXPECT_GE(meaning.parts.size(), doc.files);
+  std::unordered_set<EntityId> distinct(meaning.parts.begin(),
+                                        meaning.parts.end());
+  EXPECT_EQ(distinct.size(), doc.files);
+  EXPECT_FALSE(meaning.text.empty());
+}
+
+TEST_F(EmbeddedTest, MeaningInvariantUnderRelocation) {
+  // Fig. 6's headline property: relocate the subtree, meaning unchanged —
+  // under R(file). Under R(a) with an absolute-style reader, it breaks.
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning before =
+      assembler_.assemble(doc.root_file, doc.subtree, algol);
+  ASSERT_TRUE(before.fully_resolved());
+
+  // Relocate: move the whole document under a different directory.
+  auto elsewhere = fs_.mkdir(root_, Name("elsewhere"));
+  ASSERT_TRUE(elsewhere.is_ok());
+  ASSERT_TRUE(fs_.move_entry(root_, Name("book"), elsewhere.value(),
+                             Name("book")).is_ok());
+  DocumentMeaning after =
+      assembler_.assemble(doc.root_file, doc.subtree, algol);
+  EXPECT_TRUE(after.same_meaning(before));
+}
+
+TEST_F(EmbeddedTest, MeaningInvariantUnderMultiAttach) {
+  // "The subtree … can be simultaneously attached in different parts of
+  // the distributed environment."
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  EntityId other_root = fs_.make_root("other-machine");
+  ASSERT_TRUE(fs_.attach(other_root, Name("imported-book"), doc.subtree)
+                  .is_ok());
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning here = assembler_.assemble(doc.root_file, doc.subtree, algol);
+  // Reached via the other attachment, the meaning is the same.
+  Context other_ctx = FileSystem::make_process_context(other_root, other_root);
+  Resolution via_other = fs_.resolve_path(other_ctx, "/imported-book/book.tex");
+  ASSERT_TRUE(via_other.ok());
+  EntityId containing = via_other.trail.back();
+  DocumentMeaning there =
+      assembler_.assemble(via_other.entity, containing, algol);
+  EXPECT_TRUE(here.same_meaning(there));
+}
+
+TEST_F(EmbeddedTest, CopyPreservesMeaningStructurally) {
+  // A copied subtree's documents resolve within the *copy* — same shape,
+  // different (copied) entities, still fully resolved.
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  auto copy = fs_.copy_subtree(doc.subtree, root_, Name("book2"));
+  ASSERT_TRUE(copy.is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  Resolution copied_root = fs_.resolve_path(ctx, "/book2/book.tex");
+  ASSERT_TRUE(copied_root.ok());
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning copied_meaning =
+      assembler_.assemble(copied_root.entity, copy.value(), algol);
+  DocumentMeaning original_meaning =
+      assembler_.assemble(doc.root_file, doc.subtree, algol);
+  EXPECT_TRUE(copied_meaning.fully_resolved());
+  EXPECT_EQ(copied_meaning.refs.size(), original_meaning.refs.size());
+  // The copy's refs point into the copy, not the original.
+  EXPECT_NE(copied_meaning.denotation(), original_meaning.denotation());
+}
+
+TEST_F(EmbeddedTest, ActivityRuleBreaksUnderRelocation) {
+  // The contrast case: with R(a), a reader whose cwd was the original
+  // location loses the document when it moves.
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  Context reader = FileSystem::make_process_context(root_, doc.subtree);
+  AssembleOptions by_activity;
+  by_activity.rule = EmbedRule::kActivityContext;
+  by_activity.reader_context = &reader;
+  DocumentMeaning before =
+      assembler_.assemble(doc.root_file, doc.subtree, by_activity);
+  EXPECT_TRUE(before.fully_resolved());
+
+  auto elsewhere = fs_.mkdir(root_, Name("elsewhere"));
+  ASSERT_TRUE(elsewhere.is_ok());
+  ASSERT_TRUE(fs_.move_entry(root_, Name("book"), elsewhere.value(),
+                             Name("book")).is_ok());
+  // The reader's context is unchanged (it still points at the old cwd —
+  // which is now reached differently); simulate a *fresh* reader at the
+  // old location's path, which is how real systems break: the path the
+  // names were written against no longer holds the files.
+  Context stale_reader = FileSystem::make_process_context(root_, root_);
+  AssembleOptions stale;
+  stale.rule = EmbedRule::kActivityContext;
+  stale.reader_context = &stale_reader;
+  DocumentMeaning after =
+      assembler_.assemble(doc.root_file, doc.subtree, stale);
+  EXPECT_FALSE(after.fully_resolved());
+  EXPECT_FALSE(after.same_meaning(before));
+}
+
+TEST_F(EmbeddedTest, ActivityRuleDependsOnReader) {
+  // Two readers with different cwds get different meanings for the same
+  // structured object — §4 case 3 incoherence.
+  ASSERT_TRUE(fs_.create_file_at(root_, "d1/inc", "one").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "d2/inc", "two").is_ok());
+  auto doc = fs_.create_file(root_, Name("main"), "body:");
+  ASSERT_TRUE(doc.is_ok());
+  graph_.add_embedded_name(doc.value(), CompoundName::relative("inc"));
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId d1 = fs_.resolve_path(ctx, "/d1").entity;
+  EntityId d2 = fs_.resolve_path(ctx, "/d2").entity;
+
+  Context reader1 = FileSystem::make_process_context(root_, d1);
+  Context reader2 = FileSystem::make_process_context(root_, d2);
+  AssembleOptions o1, o2;
+  o1.rule = o2.rule = EmbedRule::kActivityContext;
+  o1.reader_context = &reader1;
+  o2.reader_context = &reader2;
+  DocumentMeaning m1 = assembler_.assemble(doc.value(), root_, o1);
+  DocumentMeaning m2 = assembler_.assemble(doc.value(), root_, o2);
+  ASSERT_TRUE(m1.fully_resolved());
+  ASSERT_TRUE(m2.fully_resolved());
+  EXPECT_FALSE(m1.same_meaning(m2));
+  EXPECT_EQ(m1.text, "body:one");
+  EXPECT_EQ(m2.text, "body:two");
+}
+
+TEST_F(EmbeddedTest, AssembleCutsIncludeCycles) {
+  auto a = fs_.create_file(root_, Name("a"), "A");
+  auto b = fs_.create_file(root_, Name("b"), "B");
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  graph_.add_embedded_name(a.value(), CompoundName::relative("b"));
+  graph_.add_embedded_name(b.value(), CompoundName::relative("a"));
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning meaning = assembler_.assemble(a.value(), root_, algol);
+  EXPECT_EQ(meaning.text, "AB");  // the back-include of a is cut
+  EXPECT_EQ(meaning.parts.size(), 2u);
+}
+
+TEST_F(EmbeddedTest, AssembleRespectsDepthLimit) {
+  // A chain of includes deeper than max_depth is truncated, not fatal.
+  EntityId prev = EntityId::invalid();
+  for (int i = 0; i < 10; ++i) {
+    auto f = fs_.create_file(root_, Name("f" + std::to_string(i)),
+                             std::to_string(i));
+    ASSERT_TRUE(f.is_ok());
+    if (prev.valid()) {
+      graph_.add_embedded_name(prev,
+                               CompoundName::relative("f" + std::to_string(i)));
+    }
+    prev = f.value();
+  }
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId f0 = fs_.resolve_path(ctx, "/f0").entity;
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  algol.max_depth = 3;
+  DocumentMeaning meaning = assembler_.assemble(f0, root_, algol);
+  EXPECT_EQ(meaning.parts.size(), 4u);  // f0..f3
+}
+
+TEST_F(EmbeddedTest, UnresolvedRefsAreCountedNotFatal) {
+  auto doc = fs_.create_file(root_, Name("doc"), "text");
+  ASSERT_TRUE(doc.is_ok());
+  graph_.add_embedded_name(doc.value(), CompoundName::relative("missing"));
+  graph_.add_embedded_name(doc.value(), CompoundName::relative("also/gone"));
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning meaning = assembler_.assemble(doc.value(), root_, algol);
+  EXPECT_EQ(meaning.unresolved, 2u);
+  EXPECT_FALSE(meaning.fully_resolved());
+  EXPECT_EQ(meaning.refs.size(), 2u);
+  EXPECT_FALSE(meaning.refs[0].status.is_ok());
+  // Denotation marks unresolved refs with the invalid id.
+  EXPECT_FALSE(meaning.denotation()[0].valid());
+}
+
+TEST_F(EmbeddedTest, ActivityRuleRequiresReaderContext) {
+  auto doc = fs_.create_file(root_, Name("doc"), "x");
+  ASSERT_TRUE(doc.is_ok());
+  AssembleOptions bad;
+  bad.rule = EmbedRule::kActivityContext;
+  EXPECT_THROW(assembler_.assemble(doc.value(), root_, bad),
+               PreconditionError);
+}
+
+TEST_F(EmbeddedTest, CombiningSubtreesNoConflicts) {
+  // "several structured objects … can be combined to form a larger
+  // structured object … without name conflicts": two documents with
+  // *identical internal names* coexist under one parent.
+  Document d1 = make_document(fs_, root_, Name("bookA"), DocSpec{});
+  Document d2 = make_document(fs_, root_, Name("bookB"), DocSpec{});
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning m1 = assembler_.assemble(d1.root_file, d1.subtree, algol);
+  DocumentMeaning m2 = assembler_.assemble(d2.root_file, d2.subtree, algol);
+  ASSERT_TRUE(m1.fully_resolved());
+  ASSERT_TRUE(m2.fully_resolved());
+  // Each document's refs stay inside its own subtree: no entity is shared.
+  const std::vector<EntityId> d1_entities = m1.denotation();
+  std::unordered_set<EntityId> set1(d1_entities.begin(), d1_entities.end());
+  for (EntityId e : m2.denotation()) {
+    EXPECT_FALSE(set1.contains(e));
+  }
+}
+
+TEST(EmbedRuleNames, Stable) {
+  EXPECT_EQ(embed_rule_name(EmbedRule::kActivityContext), "R(activity)");
+  EXPECT_EQ(embed_rule_name(EmbedRule::kAlgolScope), "R(file)");
+}
+
+}  // namespace
+}  // namespace namecoh

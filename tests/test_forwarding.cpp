@@ -1,0 +1,129 @@
+// Tests for the forwarding-table alternative to partial qualification
+// (DESIGN.md ablation #3).
+#include <gtest/gtest.h>
+
+#include "net/forwarding.hpp"
+
+namespace namecoh {
+namespace {
+
+class ForwardingTest : public ::testing::Test {
+ protected:
+  ForwardingTest() {
+    n1_ = net_.add_network("n1");
+    m1_ = net_.add_machine(n1_, "m1");
+    m2_ = net_.add_machine(n1_, "m2");
+    a_ = net_.add_endpoint(m1_, "a");
+    b_ = net_.add_endpoint(m1_, "b");
+    c_ = net_.add_endpoint(m2_, "c");
+  }
+
+  Internetwork net_;
+  ForwardingTable table_;
+  NetworkId n1_;
+  MachineId m1_, m2_;
+  EndpointId a_, b_, c_;
+};
+
+TEST_F(ForwardingTest, DirectResolutionWithoutEntries) {
+  Location loc = net_.location_of(a_).value();
+  EXPECT_EQ(table_.resolve(net_, loc).value(), a_);
+  EXPECT_EQ(table_.chain_length(net_, loc), 0u);
+  EXPECT_EQ(table_.entries(), 0u);
+}
+
+TEST_F(ForwardingTest, StaleLocationForwardsAfterRenumber) {
+  Location old_a = net_.location_of(a_).value();
+  Location old_b = net_.location_of(b_).value();
+  ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
+  // Old locations are dead on the raw internetwork…
+  EXPECT_FALSE(net_.endpoint_at(old_a).is_ok());
+  // …but the forwarding table chases them.
+  EXPECT_EQ(table_.resolve(net_, old_a).value(), a_);
+  EXPECT_EQ(table_.resolve(net_, old_b).value(), b_);
+  EXPECT_EQ(table_.entries(), 2u);  // one edge per endpoint on the machine
+  EXPECT_EQ(table_.chain_length(net_, old_a), 1u);
+}
+
+TEST_F(ForwardingTest, ChainsLengthenWithRepeatedRenumbering) {
+  Location original = net_.location_of(a_).value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
+  }
+  EXPECT_EQ(table_.resolve(net_, original).value(), a_);
+  EXPECT_EQ(table_.chain_length(net_, original), 5u);
+  // State grows with history: 2 endpoints × 5 renumberings.
+  EXPECT_EQ(table_.entries(), 10u);
+  EXPECT_GE(table_.stats().chased, 5u);
+}
+
+TEST_F(ForwardingTest, NetworkRenumberForwardsEveryone) {
+  Location old_a = net_.location_of(a_).value();
+  Location old_c = net_.location_of(c_).value();
+  ASSERT_TRUE(renumber_network_with_forwarding(net_, table_, n1_).is_ok());
+  EXPECT_EQ(table_.resolve(net_, old_a).value(), a_);
+  EXPECT_EQ(table_.resolve(net_, old_c).value(), c_);
+  EXPECT_EQ(table_.entries(), 3u);
+}
+
+TEST_F(ForwardingTest, DeadEndWithoutForwardingEntry) {
+  ASSERT_TRUE(net_.renumber_machine(m1_).is_ok());  // raw renumber: no entry
+  Location stale{net_.naddr_of(n1_).value(), 1, 1};
+  auto result = table_.resolve(net_, stale);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kUnreachable);
+  EXPECT_EQ(table_.stats().dead_ends, 1u);
+}
+
+TEST_F(ForwardingTest, HopLimitGuardsCycles) {
+  ForwardingTable tiny(/*max_hops=*/2);
+  // Build an artificial cycle.
+  Location x{9, 9, 1}, y{9, 9, 2};
+  tiny.add(x, y);
+  tiny.add(y, x);
+  auto result = tiny.resolve(net_, x);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kDepthExceeded);
+  EXPECT_EQ(tiny.stats().exhausted, 1u);
+}
+
+TEST_F(ForwardingTest, SelfEdgeIgnored) {
+  Location loc = net_.location_of(a_).value();
+  table_.add(loc, loc);
+  EXPECT_EQ(table_.entries(), 0u);
+}
+
+TEST_F(ForwardingTest, StatsAccumulate) {
+  Location old_a = net_.location_of(a_).value();
+  ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
+  (void)table_.resolve(net_, old_a);
+  (void)table_.resolve(net_, old_a);
+  EXPECT_EQ(table_.stats().lookups, 2u);
+  EXPECT_EQ(table_.stats().chased, 2u);
+}
+
+TEST_F(ForwardingTest, ForwardingVsPartialQualificationContrast) {
+  // The point of the ablation, as a unit test: after k renumberings the
+  // partially qualified (0,0,l) pid works with ZERO state, while the
+  // fully qualified pid needs k forwarding edges per endpoint.
+  Location a_loc = net_.location_of(a_).value();
+  Location b_loc = net_.location_of(b_).value();
+  Pid pq = relativize(b_loc, a_loc);  // (0,0,l)
+  Pid fq = Pid::fully_qualified(b_loc);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
+  }
+  // PQ: resolves directly via qualification from a's *current* location.
+  Location a_now = net_.location_of(a_).value();
+  EXPECT_EQ(net_.endpoint_at(qualify(pq, a_now).value()).value(), b_);
+  // FQ: dead without the table, alive with it — at a cost.
+  EXPECT_FALSE(
+      net_.endpoint_at(Location{fq.naddr, fq.maddr, fq.laddr}).is_ok());
+  EXPECT_EQ(
+      table_.resolve(net_, Location{fq.naddr, fq.maddr, fq.laddr}).value(),
+      b_);
+  EXPECT_EQ(table_.entries(), 6u);  // 2 endpoints × 3 renumberings
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,323 @@
+// Tests for the file-system substrate: directories as context objects,
+// dot bindings, path resolution, mounts, super-roots, replication, and
+// subtree copy/move.
+#include <gtest/gtest.h>
+
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest() : fs_(graph_) { root_ = fs_.make_root("root"); }
+
+  Resolution at(EntityId root, std::string_view path) {
+    return fs_.resolve_path(FileSystem::make_process_context(root, root),
+                            path);
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  EntityId root_;
+};
+
+TEST_F(FsTest, RootHasSelfDots) {
+  EXPECT_EQ(graph_.context(root_)(Name(".")), root_);
+  EXPECT_EQ(graph_.context(root_)(Name("..")), root_);
+}
+
+TEST_F(FsTest, MkdirCreatesDirWithDots) {
+  auto dir = fs_.mkdir(root_, Name("etc"));
+  ASSERT_TRUE(dir.is_ok());
+  EXPECT_TRUE(fs_.is_dir(dir.value()));
+  EXPECT_EQ(graph_.context(dir.value())(Name(".")), dir.value());
+  EXPECT_EQ(graph_.context(dir.value())(Name("..")), root_);
+  EXPECT_EQ(fs_.parent_of(dir.value()).value(), root_);
+}
+
+TEST_F(FsTest, MkdirDuplicateFails) {
+  ASSERT_TRUE(fs_.mkdir(root_, Name("x")).is_ok());
+  EXPECT_EQ(fs_.mkdir(root_, Name("x")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, MkdirInNonDirFails) {
+  auto file = fs_.create_file(root_, Name("f"));
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(fs_.mkdir(file.value(), Name("x")).code(),
+            StatusCode::kNotAContext);
+}
+
+TEST_F(FsTest, CreateFileAndData) {
+  auto file = fs_.create_file(root_, Name("motd"), "hello");
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_TRUE(fs_.is_file(file.value()));
+  EXPECT_EQ(graph_.data(file.value()), "hello");
+  EXPECT_EQ(fs_.create_file(root_, Name("motd")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, LinkAliasesEntity) {
+  auto file = fs_.create_file(root_, Name("orig"));
+  ASSERT_TRUE(file.is_ok());
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  ASSERT_TRUE(fs_.link(dir.value(), Name("alias"), file.value()).is_ok());
+  EXPECT_EQ(at(root_, "/d/alias").entity, file.value());
+  EXPECT_EQ(at(root_, "/orig").entity, file.value());
+  // link does not retarget '..' of a linked directory.
+  auto sub = fs_.mkdir(root_, Name("sub"));
+  ASSERT_TRUE(fs_.link(dir.value(), Name("sub2"), sub.value()).is_ok());
+  EXPECT_EQ(fs_.parent_of(sub.value()).value(), root_);
+}
+
+TEST_F(FsTest, UnlinkRemovesBindingOnly) {
+  auto file = fs_.create_file(root_, Name("f"), "data");
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE(fs_.unlink(root_, Name("f")).is_ok());
+  EXPECT_FALSE(at(root_, "/f").ok());
+  // The entity still exists (no GC), just unnamed.
+  EXPECT_EQ(graph_.data(file.value()), "data");
+  // Refuses to unlink dots.
+  EXPECT_EQ(fs_.unlink(root_, Name(".")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_.unlink(root_, Name("..")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsTest, ListSkipsDots) {
+  ASSERT_TRUE(fs_.mkdir(root_, Name("a")).is_ok());
+  ASSERT_TRUE(fs_.create_file(root_, Name("b")).is_ok());
+  auto entries = fs_.list(root_);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first.text(), "a");
+  EXPECT_EQ(entries[1].first.text(), "b");
+}
+
+TEST_F(FsTest, ResolvePathAbsoluteRelativeDots) {
+  auto etc = fs_.mkdir(root_, Name("etc"));
+  ASSERT_TRUE(etc.is_ok());
+  auto passwd = fs_.create_file(etc.value(), Name("passwd"));
+  ASSERT_TRUE(passwd.is_ok());
+  // Absolute.
+  EXPECT_EQ(at(root_, "/etc/passwd").entity, passwd.value());
+  // Relative from cwd = root.
+  EXPECT_EQ(at(root_, "etc/passwd").entity, passwd.value());
+  // With dots.
+  EXPECT_EQ(at(root_, "/etc/./passwd").entity, passwd.value());
+  EXPECT_EQ(at(root_, "/etc/../etc/passwd").entity, passwd.value());
+  // cwd = etc.
+  Context ctx = FileSystem::make_process_context(root_, etc.value());
+  EXPECT_EQ(fs_.resolve_path(ctx, "passwd").entity, passwd.value());
+  EXPECT_EQ(fs_.resolve_path(ctx, "./passwd").entity, passwd.value());
+  EXPECT_EQ(fs_.resolve_path(ctx, "../etc/passwd").entity, passwd.value());
+  EXPECT_EQ(fs_.resolve_path(ctx, ".").entity, etc.value());
+  EXPECT_EQ(fs_.resolve_path(ctx, "/").entity, root_);
+}
+
+TEST_F(FsTest, ResolvePathErrors) {
+  EXPECT_EQ(at(root_, "/nope").status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(at(root_, "").status.code(), StatusCode::kInvalidArgument);
+  auto f = fs_.create_file(root_, Name("f"));
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(at(root_, "/f/deeper").status.code(), StatusCode::kNotAContext);
+}
+
+TEST_F(FsTest, MkdirP) {
+  auto deep = fs_.mkdir_p(root_, "a/b/c");
+  ASSERT_TRUE(deep.is_ok());
+  EXPECT_EQ(at(root_, "/a/b/c").entity, deep.value());
+  // Idempotent.
+  EXPECT_EQ(fs_.mkdir_p(root_, "a/b/c").value(), deep.value());
+  // Partial existence is fine.
+  ASSERT_TRUE(fs_.mkdir_p(root_, "a/b/d").is_ok());
+  // Absolute path rejected.
+  EXPECT_FALSE(fs_.mkdir_p(root_, "/abs").is_ok());
+  // Path through a file fails.
+  ASSERT_TRUE(fs_.create_file(root_, Name("file")).is_ok());
+  EXPECT_EQ(fs_.mkdir_p(root_, "file/x").code(), StatusCode::kNotAContext);
+}
+
+TEST_F(FsTest, CreateFileAt) {
+  auto file = fs_.create_file_at(root_, "usr/bin/cc", "compiler");
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(at(root_, "/usr/bin/cc").entity, file.value());
+  EXPECT_EQ(graph_.data(file.value()), "compiler");
+  // Overwrites content when the file already exists.
+  auto again = fs_.create_file_at(root_, "usr/bin/cc", "cc v2");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value(), file.value());
+  EXPECT_EQ(graph_.data(file.value()), "cc v2");
+  // Basename without directories works.
+  EXPECT_TRUE(fs_.create_file_at(root_, "toplevel", "x").is_ok());
+}
+
+TEST_F(FsTest, WalkVisitsWholeTreeOnce) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "a/f1", "").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "a/b/f2", "").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "c/f3", "").is_ok());
+  std::vector<std::string> paths;
+  fs_.walk(root_, [&](const CompoundName& path, EntityId) {
+    paths.push_back(path.to_path());
+  });
+  // 3 dirs (a, a/b, c) + 3 files.
+  EXPECT_EQ(paths.size(), 6u);
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "a/b/f2"), paths.end());
+}
+
+TEST_F(FsTest, WalkIsCycleSafe) {
+  auto a = fs_.mkdir(root_, Name("a"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(fs_.link(a.value(), Name("loop"), root_).is_ok());
+  std::size_t visits = 0;
+  fs_.walk(root_, [&](const CompoundName&, EntityId) { ++visits; });
+  EXPECT_LT(visits, 10u);
+}
+
+TEST_F(FsTest, AttachSharesSubtreeWithoutReparenting) {
+  EntityId shared = fs_.make_root("shared");
+  ASSERT_TRUE(fs_.create_file_at(shared, "data", "shared data").is_ok());
+  EntityId other_root = fs_.make_root("other");
+  ASSERT_TRUE(fs_.attach(root_, Name("vice"), shared).is_ok());
+  ASSERT_TRUE(fs_.attach(other_root, Name("vice"), shared).is_ok());
+  // Both roots see the same entity.
+  EXPECT_EQ(at(root_, "/vice/data").entity, at(other_root, "/vice/data").entity);
+  // '..' of the shared tree still points at itself (not re-parented).
+  EXPECT_EQ(fs_.parent_of(shared).value(), shared);
+  // Duplicate attach name fails.
+  EXPECT_EQ(fs_.attach(root_, Name("vice"), shared).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, MountReparents) {
+  EntityId sub = fs_.make_root("sub");
+  ASSERT_TRUE(fs_.mount(root_, Name("mnt"), sub).is_ok());
+  EXPECT_EQ(fs_.parent_of(sub).value(), root_);
+  EXPECT_EQ(at(root_, "/mnt").entity, sub);
+  EXPECT_EQ(at(root_, "/mnt/..").entity, root_);
+}
+
+TEST_F(FsTest, SuperRootGluesMachineTrees) {
+  EntityId m1 = fs_.make_root("m1");
+  EntityId m2 = fs_.make_root("m2");
+  ASSERT_TRUE(fs_.create_file_at(m2, "etc/hosts", "m2 hosts").is_ok());
+  EntityId super = fs_.make_super_root("super", {{Name("m1"), m1},
+                                                 {Name("m2"), m2}});
+  // From m1, '..' above the root reaches m2 (the Newcastle trick).
+  Resolution res = at(m1, "/../m2/etc/hosts");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "m2 hosts");
+  // The super-root's own '..' is itself.
+  EXPECT_EQ(fs_.parent_of(super).value(), super);
+}
+
+TEST_F(FsTest, ReplicateFileCreatesWeaklyEqualCopy) {
+  auto orig = fs_.create_file(root_, Name("cc"), "compiler");
+  ASSERT_TRUE(orig.is_ok());
+  EntityId other = fs_.make_root("other");
+  auto replica = fs_.replicate_file(orig.value(), other, Name("cc"));
+  ASSERT_TRUE(replica.is_ok());
+  EXPECT_NE(replica.value(), orig.value());
+  EXPECT_EQ(graph_.data(replica.value()), "compiler");
+  EXPECT_TRUE(graph_.weakly_equal(orig.value(), replica.value()));
+  // A third replica joins the same group.
+  EntityId third = fs_.make_root("third");
+  auto replica2 = fs_.replicate_file(orig.value(), third, Name("cc"));
+  ASSERT_TRUE(replica2.is_ok());
+  EXPECT_TRUE(graph_.weakly_equal(replica.value(), replica2.value()));
+}
+
+TEST_F(FsTest, ReplicateNonFileFails) {
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  EXPECT_FALSE(fs_.replicate_file(dir.value(), root_, Name("x")).is_ok());
+}
+
+TEST_F(FsTest, CopySubtreeIsDeepAndIndependent) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "doc/ch1/sec1", "s1").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "doc/style", "style").is_ok());
+  EntityId doc = at(root_, "/doc").entity;
+  EntityId dest = fs_.make_root("dest");
+  auto copy = fs_.copy_subtree(doc, dest, Name("doc-copy"));
+  ASSERT_TRUE(copy.is_ok());
+  // Copied structure resolves.
+  Resolution copied_sec = at(dest, "/doc-copy/ch1/sec1");
+  ASSERT_TRUE(copied_sec.ok());
+  EXPECT_EQ(graph_.data(copied_sec.entity), "s1");
+  // Deep: the copied file is a different entity.
+  EXPECT_NE(copied_sec.entity, at(root_, "/doc/ch1/sec1").entity);
+  // Mutating the copy leaves the original alone.
+  graph_.set_data(copied_sec.entity, "changed");
+  EXPECT_EQ(graph_.data(at(root_, "/doc/ch1/sec1").entity), "s1");
+  // '..' of the copy root points into the destination.
+  EXPECT_EQ(fs_.parent_of(copy.value()).value(), dest);
+}
+
+TEST_F(FsTest, CopySubtreePreservesEmbeddedNames) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "doc/main", "body").is_ok());
+  EntityId main = at(root_, "/doc/main").entity;
+  graph_.add_embedded_name(main, CompoundName::relative("style"));
+  EntityId doc = at(root_, "/doc").entity;
+  auto copy = fs_.copy_subtree(doc, root_, Name("doc2"));
+  ASSERT_TRUE(copy.is_ok());
+  EntityId copied_main = at(root_, "/doc2/main").entity;
+  ASSERT_EQ(graph_.embedded_names(copied_main).size(), 1u);
+  EXPECT_EQ(graph_.embedded_names(copied_main)[0].to_path(), "style");
+}
+
+TEST_F(FsTest, CopySubtreePreservesInternalSharing) {
+  // Two links to the same file inside the subtree stay one entity.
+  auto doc = fs_.mkdir(root_, Name("doc"));
+  ASSERT_TRUE(doc.is_ok());
+  auto shared = fs_.create_file(doc.value(), Name("shared"), "x");
+  ASSERT_TRUE(shared.is_ok());
+  ASSERT_TRUE(fs_.link(doc.value(), Name("alias"), shared.value()).is_ok());
+  auto copy = fs_.copy_subtree(doc.value(), root_, Name("doc2"));
+  ASSERT_TRUE(copy.is_ok());
+  EXPECT_EQ(at(root_, "/doc2/shared").entity, at(root_, "/doc2/alias").entity);
+  EXPECT_NE(at(root_, "/doc2/shared").entity, shared.value());
+}
+
+TEST_F(FsTest, CopySubtreeHandlesCycles) {
+  auto doc = fs_.mkdir(root_, Name("doc"));
+  ASSERT_TRUE(doc.is_ok());
+  auto inner = fs_.mkdir(doc.value(), Name("inner"));
+  ASSERT_TRUE(inner.is_ok());
+  ASSERT_TRUE(fs_.link(inner.value(), Name("back"), doc.value()).is_ok());
+  auto copy = fs_.copy_subtree(doc.value(), root_, Name("doc2"));
+  ASSERT_TRUE(copy.is_ok());
+  // The cycle is preserved within the copy.
+  EXPECT_EQ(at(root_, "/doc2/inner/back").entity, copy.value());
+}
+
+TEST_F(FsTest, MoveEntryRelinksAndReparents) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "src/d/f", "x").is_ok());
+  EntityId src = at(root_, "/src").entity;
+  EntityId d = at(root_, "/src/d").entity;
+  EntityId dest = fs_.make_root("dest");
+  ASSERT_TRUE(fs_.move_entry(src, Name("d"), dest, Name("moved")).is_ok());
+  EXPECT_FALSE(at(root_, "/src/d").ok());
+  EXPECT_EQ(at(dest, "/moved").entity, d);
+  EXPECT_EQ(at(dest, "/moved/f").entity.valid(), true);
+  EXPECT_EQ(fs_.parent_of(d).value(), dest);
+}
+
+TEST_F(FsTest, MoveEntryErrors) {
+  EntityId dest = fs_.make_root("dest");
+  EXPECT_EQ(fs_.move_entry(root_, Name("nope"), dest, Name("x")).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(fs_.create_file(root_, Name("f")).is_ok());
+  ASSERT_TRUE(fs_.create_file(dest, Name("taken")).is_ok());
+  EXPECT_EQ(fs_.move_entry(root_, Name("f"), dest, Name("taken")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, ProcessContextHasExactlyRootAndCwd) {
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EXPECT_EQ(ctx.size(), 2u);
+  EXPECT_EQ(ctx(Name("/")), root_);
+  EXPECT_EQ(ctx(Name(".")), root_);
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,158 @@
+// Tests for whole-graph queries: reachability, name enumeration, shortest
+// names, DOT rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/graph_ops.hpp"
+
+namespace namecoh {
+namespace {
+
+class GraphOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = g_.add_context_object("root");
+    a_ = g_.add_context_object("a");
+    b_ = g_.add_context_object("b");
+    deep_ = g_.add_context_object("deep");
+    f1_ = g_.add_data_object("f1");
+    f2_ = g_.add_data_object("f2");
+    island_ = g_.add_data_object("island");  // unreachable
+    ASSERT_TRUE(g_.bind(root_, Name("a"), a_).is_ok());
+    ASSERT_TRUE(g_.bind(root_, Name("b"), b_).is_ok());
+    ASSERT_TRUE(g_.bind(a_, Name("deep"), deep_).is_ok());
+    ASSERT_TRUE(g_.bind(a_, Name("f1"), f1_).is_ok());
+    ASSERT_TRUE(g_.bind(deep_, Name("f2"), f2_).is_ok());
+    // Unix dot edges (should be skipped by default enumeration).
+    ASSERT_TRUE(g_.bind(a_, Name("."), a_).is_ok());
+    ASSERT_TRUE(g_.bind(a_, Name(".."), root_).is_ok());
+  }
+
+  NamingGraph g_;
+  EntityId root_, a_, b_, deep_, f1_, f2_, island_;
+};
+
+TEST_F(GraphOpsTest, ReachableFromRoot) {
+  auto reachable = reachable_from(g_, root_);
+  EXPECT_TRUE(reachable.contains(root_));
+  EXPECT_TRUE(reachable.contains(a_));
+  EXPECT_TRUE(reachable.contains(b_));
+  EXPECT_TRUE(reachable.contains(deep_));
+  EXPECT_TRUE(reachable.contains(f1_));
+  EXPECT_TRUE(reachable.contains(f2_));
+  EXPECT_FALSE(reachable.contains(island_));
+}
+
+TEST_F(GraphOpsTest, ReachableRespectsDepthLimit) {
+  auto reachable = reachable_from(g_, root_, /*max_depth=*/1);
+  EXPECT_TRUE(reachable.contains(a_));
+  EXPECT_FALSE(reachable.contains(f2_));  // two hops away
+}
+
+TEST_F(GraphOpsTest, ReachableFromNonContextIsEmpty) {
+  EXPECT_TRUE(reachable_from(g_, f1_).empty());
+  EXPECT_TRUE(reachable_from(g_, EntityId::invalid()).empty());
+}
+
+TEST_F(GraphOpsTest, ReachableOnCycle) {
+  ASSERT_TRUE(g_.bind(deep_, Name("up"), root_).is_ok());
+  auto reachable = reachable_from(g_, root_);
+  EXPECT_TRUE(reachable.contains(deep_));  // terminates despite the cycle
+}
+
+TEST_F(GraphOpsTest, EnumerateNamesBreadthFirst) {
+  auto names = enumerate_names(g_, root_);
+  // Shortest names come first.
+  ASSERT_GE(names.size(), 5u);
+  EXPECT_EQ(names[0].name.size(), 1u);
+  // Every expected (name, entity) pair is present.
+  auto has = [&](const char* path, EntityId e) {
+    return std::any_of(names.begin(), names.end(), [&](const NamedEntity& n) {
+      return n.name == CompoundName::relative(path) && n.entity == e;
+    });
+  };
+  EXPECT_TRUE(has("a", a_));
+  EXPECT_TRUE(has("b", b_));
+  EXPECT_TRUE(has("a/f1", f1_));
+  EXPECT_TRUE(has("a/deep", deep_));
+  EXPECT_TRUE(has("a/deep/f2", f2_));
+}
+
+TEST_F(GraphOpsTest, EnumerateSkipsDotNamesByDefault) {
+  auto names = enumerate_names(g_, root_);
+  for (const auto& named : names) {
+    for (const Name& part : named.name.components()) {
+      EXPECT_FALSE(part.is_cwd());
+      EXPECT_FALSE(part.is_parent());
+    }
+  }
+}
+
+TEST_F(GraphOpsTest, EnumerateCanIncludeDotNames) {
+  EnumerateOptions options;
+  options.skip_dot_names = false;
+  auto names = enumerate_names(g_, root_, options);
+  bool found_dot = std::any_of(
+      names.begin(), names.end(), [](const NamedEntity& n) {
+        return n.name.back().is_cwd() || n.name.back().is_parent();
+      });
+  EXPECT_TRUE(found_dot);
+}
+
+TEST_F(GraphOpsTest, EnumerateContextsOnly) {
+  EnumerateOptions options;
+  options.contexts_only = true;
+  auto names = enumerate_names(g_, root_, options);
+  for (const auto& named : names) {
+    EXPECT_TRUE(g_.is_context_object(named.entity));
+  }
+}
+
+TEST_F(GraphOpsTest, EnumerateRespectsMaxResults) {
+  EnumerateOptions options;
+  options.max_results = 2;
+  EXPECT_EQ(enumerate_names(g_, root_, options).size(), 2u);
+}
+
+TEST_F(GraphOpsTest, EnumerateRespectsMaxDepth) {
+  EnumerateOptions options;
+  options.max_depth = 1;
+  auto names = enumerate_names(g_, root_, options);
+  for (const auto& named : names) EXPECT_LE(named.name.size(), 1u);
+}
+
+TEST_F(GraphOpsTest, EnumerateTerminatesOnCycle) {
+  ASSERT_TRUE(g_.bind(deep_, Name("loop"), root_).is_ok());
+  auto names = enumerate_names(g_, root_);
+  EXPECT_LT(names.size(), 100u);  // finite despite the cycle
+}
+
+TEST_F(GraphOpsTest, ShortestNameFindsMinimal) {
+  auto name = shortest_name(g_, root_, f2_);
+  ASSERT_TRUE(name.is_ok());
+  EXPECT_EQ(name.value(), CompoundName::relative("a/deep/f2"));
+  // Add a shortcut and the shorter name wins.
+  ASSERT_TRUE(g_.bind(root_, Name("short"), f2_).is_ok());
+  auto name2 = shortest_name(g_, root_, f2_);
+  ASSERT_TRUE(name2.is_ok());
+  EXPECT_EQ(name2.value(), CompoundName::relative("short"));
+}
+
+TEST_F(GraphOpsTest, ShortestNameNotFound) {
+  EXPECT_EQ(shortest_name(g_, root_, island_).code(), StatusCode::kNotFound);
+  EXPECT_EQ(shortest_name(g_, f1_, f2_).code(), StatusCode::kNotAContext);
+}
+
+TEST_F(GraphOpsTest, DotOutputContainsNodesAndEdges) {
+  std::string dot = to_dot(g_);
+  EXPECT_NE(dot.find("digraph naming"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"root\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"deep\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // contexts
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // data objects
+}
+
+}  // namespace
+}  // namespace namecoh

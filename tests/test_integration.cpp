@@ -1,0 +1,276 @@
+// Cross-module integration tests: miniature versions of the bench
+// experiments, asserting the paper's qualitative shapes end-to-end.
+#include <gtest/gtest.h>
+
+#include "coherence/coherence.hpp"
+#include "embed/embedded.hpp"
+#include "os/process_manager.hpp"
+#include "schemes/newcastle.hpp"
+#include "schemes/shared_graph.hpp"
+#include "workload/doc_gen.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+// E1 in miniature: partially qualified pids survive renumbering that kills
+// fully qualified ones.
+TEST(Integration, PqidSurvivalUnderRenumbering) {
+  Simulator sim;
+  Internetwork net;
+  Transport tp(sim, net);
+  NetworkId n1 = net.add_network("n1");
+  NetworkId n2 = net.add_network("n2");
+  MachineId m1 = net.add_machine(n1, "m1");
+  MachineId m2 = net.add_machine(n1, "m2");
+  MachineId m3 = net.add_machine(n2, "m3");
+  EndpointId a = net.add_endpoint(m1, "a");
+  EndpointId b = net.add_endpoint(m1, "b");   // same machine as a
+  EndpointId c = net.add_endpoint(m2, "c");   // same network
+  EndpointId d = net.add_endpoint(m3, "d");   // other network
+  (void)d;
+
+  // a holds three pids for b: minimal, network-qualified, fully qualified.
+  Location b_loc = net.location_of(b).value();
+  Location a_loc = net.location_of(a).value();
+  Pid minimal = relativize(b_loc, a_loc);                 // (0,0,l)
+  Pid network_q{0, b_loc.maddr, b_loc.laddr};             // (0,m,l)
+  Pid full = Pid::fully_qualified(b_loc);                 // (n,m,l)
+  ASSERT_EQ(tp.resolve_pid(a, minimal).value(), b);
+  ASSERT_EQ(tp.resolve_pid(a, network_q).value(), b);
+  ASSERT_EQ(tp.resolve_pid(a, full).value(), b);
+  // c (other machine) holds the network-qualified and full pids.
+  ASSERT_EQ(tp.resolve_pid(c, network_q).value(), b);
+
+  // Renumber the network: everything *inside* keeps working …
+  ASSERT_TRUE(net.renumber_network(n1).is_ok());
+  EXPECT_EQ(tp.resolve_pid(a, minimal).value(), b);
+  EXPECT_EQ(tp.resolve_pid(a, network_q).value(), b);
+  EXPECT_EQ(tp.resolve_pid(c, network_q).value(), b);
+  // … but the fully qualified pid is stale everywhere.
+  EXPECT_FALSE(tp.resolve_pid(a, full).is_ok());
+
+  // Renumber b's machine: the machine-qualified pid dies too; only the
+  // intra-machine pid survives.
+  ASSERT_TRUE(net.renumber_machine(m1).is_ok());
+  EXPECT_EQ(tp.resolve_pid(a, minimal).value(), b);
+  EXPECT_FALSE(tp.resolve_pid(c, network_q).is_ok());
+}
+
+// F2 in miniature, over the real message path: exchanged names are coherent
+// under R(sender) and incoherent under R(receiver).
+TEST(Integration, ExchangedNamesAcrossMachines) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  Simulator sim;
+  Internetwork net;
+  Transport tp(sim, net);
+  ProcessManager pm(graph, fs, net, tp);
+  NetworkId n = net.add_network("lan");
+  MachineId m1 = net.add_machine(n, "m1");
+  MachineId m2 = net.add_machine(n, "m2");
+  EntityId r1 = fs.make_root("m1");
+  EntityId r2 = fs.make_root("m2");
+  TreeSpec spec;
+  spec.site_tag = "s1";
+  populate_tree(fs, r1, spec, 21);
+  spec.site_tag = "s2";
+  populate_tree(fs, r2, spec, 21);
+  ProcessId sender = pm.spawn(m1, "sender", r1, r1);
+  ProcessId receiver = pm.spawn(m2, "receiver", r2, r2);
+
+  // The sender sends every name it can see.
+  auto probes = absolutize(probes_from_dir(graph, r1));
+  for (const auto& p : probes) {
+    ASSERT_TRUE(pm.send_name_to(sender, receiver, p.to_path()).is_ok());
+  }
+  pm.settle();
+  ASSERT_EQ(pm.received_names().size(), probes.size());
+
+  FractionCounter receiver_rule, sender_rule;
+  for (const ReceivedName& rn : pm.received_names()) {
+    Resolution meant = pm.resolve_internal(sender, rn.path);
+    Resolution as_recv = pm.resolve_received(rn, ByReceiverRule{});
+    Resolution as_send = pm.resolve_received(rn, BySenderRule{});
+    receiver_rule.add(meant.same_entity(as_recv));
+    sender_rule.add(meant.same_entity(as_send));
+  }
+  EXPECT_DOUBLE_EQ(sender_rule.fraction(), 1.0);
+  EXPECT_LT(receiver_rule.fraction(), 0.01);
+}
+
+// F3+F4 in miniature: the coherence ordering of the schemes.
+TEST(Integration, SchemeCoherenceOrdering) {
+  // Newcastle < shared-graph(vice names) for cross-site coherence.
+  NamingGraph g1;
+  FileSystem f1(g1);
+  NewcastleScheme newcastle(f1);
+  SiteId na = newcastle.add_site("m1");
+  SiteId nb = newcastle.add_site("m2");
+  TreeSpec spec;
+  spec.site_tag = "s1";
+  populate_tree(f1, newcastle.site_tree(na), spec, 4);
+  spec.site_tag = "s2";
+  populate_tree(f1, newcastle.site_tree(nb), spec, 4);
+  newcastle.finalize();
+  CoherenceAnalyzer an1(g1);
+  auto nc_probes = absolutize(probes_from_dir(g1, newcastle.site_tree(na)));
+  double newcastle_coherence =
+      an1.degree(newcastle.make_site_context(na),
+                 newcastle.make_site_context(nb), nc_probes)
+          .strict.fraction();
+
+  NamingGraph g2;
+  FileSystem f2(g2);
+  SharedGraphScheme shared(f2);
+  SiteId sa = shared.add_site("c1");
+  SiteId sb = shared.add_site("c2");
+  spec.site_tag = "s1";
+  populate_tree(f2, shared.site_tree(sa), spec, 4);
+  spec.site_tag = "s2";
+  populate_tree(f2, shared.site_tree(sb), spec, 4);
+  NAMECOH_CHECK(f2.create_file_at(shared.shared_tree(), "lib/c", "c").is_ok(),
+                "");
+  shared.finalize();
+  CoherenceAnalyzer an2(g2);
+  // Mixed probe set: local names + vice names.
+  auto sg_probes = absolutize(probes_from_dir(g2, shared.site_tree(sa)));
+  double shared_coherence =
+      an2.degree(shared.make_site_context(sa), shared.make_site_context(sb),
+                 sg_probes)
+          .strict.fraction();
+
+  EXPECT_EQ(newcastle_coherence, 0.0);
+  EXPECT_GT(shared_coherence, 0.0);  // the /vice subset is coherent
+  EXPECT_LT(shared_coherence, 1.0);  // the local names are not
+}
+
+// F6 in miniature over a *distributed* layout: document on a shared tree,
+// read from two client sites.
+TEST(Integration, SharedDocumentCoherentViaAlgolRule) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SharedGraphScheme scheme(fs);
+  SiteId s1 = scheme.add_site("c1");
+  SiteId s2 = scheme.add_site("c2");
+  scheme.finalize();
+  Document doc = make_document(fs, scheme.shared_tree(), Name("book"),
+                               DocSpec{});
+  ASSERT_TRUE(fs.is_file(doc.root_file));
+  DocumentAssembler assembler(graph);
+
+  // Each site opens the document through its own /vice attachment.
+  auto open_from = [&](SiteId site) {
+    Context ctx = FileSystem::make_process_context(scheme.site_root(site),
+                                                   scheme.site_root(site));
+    Resolution res = fs.resolve_path(ctx, "/vice/book/book.tex");
+    NAMECOH_CHECK(res.ok(), "open failed");
+    AssembleOptions algol;
+    algol.rule = EmbedRule::kAlgolScope;
+    return assembler.assemble(res.entity, res.trail.back(), algol);
+  };
+  DocumentMeaning m1 = open_from(s1);
+  DocumentMeaning m2 = open_from(s2);
+  EXPECT_TRUE(m1.fully_resolved());
+  EXPECT_TRUE(m1.same_meaning(m2));  // coherent structured object
+}
+
+// E2 in miniature: the remote-execution policy trade-off measured.
+TEST(Integration, RemoteExecPolicyTradeoff) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  Simulator sim;
+  Internetwork net;
+  Transport tp(sim, net);
+  ProcessManager pm(graph, fs, net, tp);
+  NetworkId n = net.add_network("lan");
+  MachineId m1 = net.add_machine(n, "m1");
+  MachineId m2 = net.add_machine(n, "m2");
+  EntityId r1 = fs.make_root("m1");
+  EntityId r2 = fs.make_root("m2");
+  populate_unix_skeleton(fs, r1, "m1");
+  populate_unix_skeleton(fs, r2, "m2");
+  ASSERT_TRUE(fs.create_file_at(r1, "job/input.dat", "payload").is_ok());
+  ProcessId parent = pm.spawn(m1, "parent", r1, r1);
+
+  struct Outcome {
+    bool param_coherent;
+    bool local_access;
+  };
+  auto measure = [&](RemoteExecPolicy policy) {
+    auto child = pm.remote_exec(parent, m2, "child", policy, r2,
+                                Name("exec-site"));
+    NAMECOH_CHECK(child.is_ok(), "remote_exec failed");
+    Resolution parent_view = pm.resolve_internal(parent, "/job/input.dat");
+    Resolution child_view =
+        pm.resolve_internal(child.value(), "/job/input.dat");
+    bool param = parent_view.same_entity(child_view);
+    // Local access: can the child reach m2's own passwd file at all?
+    bool local = false;
+    for (const char* path :
+         {"/etc/passwd", "/exec-site/etc/passwd"}) {
+      Resolution res = pm.resolve_internal(child.value(), path);
+      if (res.ok() && graph.data(res.entity) == "users of m2") local = true;
+    }
+    return Outcome{param, local};
+  };
+
+  Outcome invoker = measure(RemoteExecPolicy::kInvokerRoot);
+  EXPECT_TRUE(invoker.param_coherent);
+  EXPECT_FALSE(invoker.local_access);
+
+  Outcome executor = measure(RemoteExecPolicy::kExecutorRoot);
+  EXPECT_FALSE(executor.param_coherent);
+  EXPECT_TRUE(executor.local_access);
+
+  Outcome private_view = measure(RemoteExecPolicy::kPrivateAttach);
+  EXPECT_TRUE(private_view.param_coherent);
+  EXPECT_TRUE(private_view.local_access);
+}
+
+// The full coherent composite (§6): R(a) internally, R(sender) for
+// messages, R(file) for embedded names — all three sources coherent at
+// once in a 2-machine system without global names.
+TEST(Integration, CoherentPerSourceComposite) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  Simulator sim;
+  Internetwork net;
+  Transport tp(sim, net);
+  ProcessManager pm(graph, fs, net, tp);
+  NetworkId n = net.add_network("lan");
+  MachineId m1 = net.add_machine(n, "m1");
+  MachineId m2 = net.add_machine(n, "m2");
+  EntityId r1 = fs.make_root("m1");
+  EntityId r2 = fs.make_root("m2");
+  ASSERT_TRUE(fs.create_file_at(r1, "data/file", "F").is_ok());
+  ASSERT_TRUE(fs.create_file_at(r2, "data/file", "WRONG").is_ok());
+  ProcessId p1 = pm.spawn(m1, "p1", r1, r1);
+  ProcessId p2 = pm.spawn(m2, "p2", r2, r2);
+
+  // Exchange: p1 sends "/data/file" to p2.
+  ASSERT_TRUE(pm.send_name_to(p1, p2, "/data/file").is_ok());
+  pm.settle();
+  ASSERT_EQ(pm.received_names().size(), 1u);
+  auto rule = make_coherent_per_source_rule();
+  Resolution received = pm.resolve_received(pm.received_names()[0], *rule);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(graph.data(received.entity), "F");  // the sender's file
+
+  // Embedded: a file on m1 embeds "data/file"; p2 reads it through a
+  // cross-machine link with the object rule in force.
+  auto doc = fs.create_file_at(r1, "doc/readme", "see: ");
+  ASSERT_TRUE(doc.is_ok());
+  graph.add_embedded_name(doc.value(), CompoundName::relative("data/file"));
+  // Algol-scope resolution of the embedded name from its containing dir.
+  EmbeddedNameResolver resolver(graph);
+  Context ctx1 = FileSystem::make_process_context(r1, r1);
+  EntityId doc_dir = fs.resolve_path(ctx1, "/doc").entity;
+  Resolution embedded = resolver.resolve_algol(
+      doc_dir, graph.embedded_names(doc.value())[0]);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ(graph.data(embedded.entity), "F");
+}
+
+}  // namespace
+}  // namespace namecoh

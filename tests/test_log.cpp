@@ -1,0 +1,103 @@
+// Tests for the logger: levels, sinks, scoped levels, macro laziness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace namecoh {
+namespace {
+
+struct CapturedLog {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view message) {
+          captured_.lines.emplace_back(level, std::string(message));
+        });
+    previous_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().reset_sink();
+    Logger::instance().set_level(previous_level_);
+  }
+
+  CapturedLog captured_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  NAMECOH_DEBUG("hidden");
+  NAMECOH_INFO("hidden too");
+  NAMECOH_WARN("visible");
+  NAMECOH_ERROR("also visible");
+  ASSERT_EQ(captured_.lines.size(), 2u);
+  EXPECT_EQ(captured_.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_.lines[0].second, "visible");
+  EXPECT_EQ(captured_.lines[1].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  NAMECOH_ERROR("nope");
+  EXPECT_TRUE(captured_.lines.empty());
+}
+
+TEST_F(LogTest, MessageStreamsCompose) {
+  Logger::instance().set_level(LogLevel::kTrace);
+  int x = 42;
+  NAMECOH_TRACE("value=" << x << "!");
+  ASSERT_EQ(captured_.lines.size(), 1u);
+  EXPECT_EQ(captured_.lines[0].second, "value=42!");
+}
+
+TEST_F(LogTest, DisabledLevelsDoNotEvaluate) {
+  // The macro must not evaluate its expression when filtered out.
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  NAMECOH_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+  NAMECOH_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, ScopedLevelRestores) {
+  Logger::instance().set_level(LogLevel::kError);
+  {
+    ScopedLogLevel scoped(LogLevel::kTrace);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::kTrace);
+    NAMECOH_DEBUG("inside");
+  }
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+  NAMECOH_DEBUG("outside");
+  ASSERT_EQ(captured_.lines.size(), 1u);
+  EXPECT_EQ(captured_.lines[0].second, "inside");
+}
+
+TEST_F(LogTest, EnabledPredicate) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST(LogNames, Stable) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,214 @@
+// Model conformance: the production resolver vs a literal transliteration
+// of the paper's §2 definition
+//
+//   c(n1 … nk) = c(n1)                            when k == 1
+//   c(n1 … nk) = σ(c(n1))(n2 … nk)                when σ(c(n1)) ∈ C
+//              = ⊥E                               otherwise
+//
+// executed recursively, on randomized graphs (including cycles, shared
+// sub-structure, and bindings to every entity kind). Also includes the
+// churn workload's invariants as longer-running "soak" checks.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/resolve.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+
+namespace namecoh {
+namespace {
+
+// Literal recursive reference implementation of the paper's equation.
+// Returns ⊥E (invalid id) on any failure; `fuel` bounds recursion on
+// cyclic graphs the same way ResolveOptions::max_steps bounds the
+// production resolver.
+EntityId reference_resolve(const NamingGraph& graph, const Context& c,
+                           std::span<const Name> name, std::size_t fuel) {
+  if (name.empty() || fuel == 0) return EntityId::invalid();
+  EntityId first = c(name.front());              // c(n1)
+  if (!first.valid()) return EntityId::invalid();  // unbound: ⊥E
+  if (name.size() == 1) return first;
+  if (!graph.is_context_object(first)) return EntityId::invalid();
+  return reference_resolve(graph, graph.context(first), name.subspan(1),
+                           fuel - 1);  // σ(c(n1))(n2…nk)
+}
+
+// Random graph with arbitrary structure: all three entity kinds, random
+// bindings from random contexts (cycles welcome).
+struct ArbitraryGraph {
+  NamingGraph graph;
+  std::vector<EntityId> contexts;
+  std::vector<Name> vocabulary;
+
+  explicit ArbitraryGraph(std::uint64_t seed) {
+    Rng rng(seed);
+    std::size_t n_ctx = 3 + rng.next_below(8);
+    std::size_t n_data = 1 + rng.next_below(5);
+    std::size_t n_act = rng.next_below(3);
+    std::vector<EntityId> all;
+    for (std::size_t i = 0; i < n_ctx; ++i) {
+      contexts.push_back(graph.add_context_object("c" + std::to_string(i)));
+      all.push_back(contexts.back());
+    }
+    for (std::size_t i = 0; i < n_data; ++i) {
+      all.push_back(graph.add_data_object("d" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < n_act; ++i) {
+      all.push_back(graph.add_activity("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < 6; ++i) {
+      vocabulary.emplace_back("n" + std::to_string(i));
+    }
+    std::size_t n_bindings = 5 + rng.next_below(25);
+    for (std::size_t i = 0; i < n_bindings; ++i) {
+      EntityId from = rng.pick(contexts);
+      EntityId to = rng.pick(all);
+      const Name& name = rng.pick(vocabulary);
+      NAMECOH_CHECK(graph.bind(from, name, to).is_ok(), "bind");
+    }
+  }
+
+  CompoundName random_name(Rng& rng, std::size_t max_len = 5) {
+    std::size_t len = 1 + rng.next_below(max_len);
+    std::vector<Name> parts;
+    for (std::size_t i = 0; i < len; ++i) {
+      parts.push_back(rng.pick(vocabulary));
+    }
+    return CompoundName(std::move(parts));
+  }
+};
+
+class ModelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelSweep, ResolverMatchesPaperEquation) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  ArbitraryGraph world(seed);
+  Rng rng(seed * 977 + 5);
+  const std::size_t kFuel = 64;
+  for (int trial = 0; trial < 200; ++trial) {
+    EntityId start = rng.pick(world.contexts);
+    CompoundName name = world.random_name(rng);
+    ResolveOptions options;
+    options.max_steps = kFuel;
+    Resolution production = resolve_from(world.graph, start, name, options);
+    EntityId reference = reference_resolve(
+        world.graph, world.graph.context(start), name.components(), kFuel);
+    if (production.ok()) {
+      EXPECT_EQ(production.entity, reference)
+          << "seed=" << seed << " name=" << name.to_path();
+    } else {
+      EXPECT_FALSE(reference.valid())
+          << "seed=" << seed << " name=" << name.to_path()
+          << " production failed (" << production.status
+          << ") but reference resolved";
+    }
+  }
+}
+
+TEST_P(ModelSweep, ResolveFromContextValueAgrees) {
+  // The explicit-context entry point computes the same function.
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  ArbitraryGraph world(seed);
+  Rng rng(seed * 31 + 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    EntityId start = rng.pick(world.contexts);
+    CompoundName name = world.random_name(rng);
+    Resolution via_object = resolve_from(world.graph, start, name);
+    Resolution via_value =
+        resolve(world.graph, world.graph.context(start), name);
+    EXPECT_EQ(via_object.ok(), via_value.ok());
+    if (via_object.ok()) {
+      EXPECT_EQ(via_object.entity, via_value.entity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelSweep, ::testing::Range(1, 26));
+
+// --- Churn soak checks -----------------------------------------------------
+
+TEST(ChurnSoak, RemapOnNoChurnIsPerfect) {
+  Simulator sim;
+  Internetwork net;
+  Transport transport(sim, net);
+  NetworkId n = net.add_network("n");
+  std::vector<MachineId> machines;
+  std::vector<EndpointId> processes;
+  for (int m = 0; m < 3; ++m) {
+    machines.push_back(net.add_machine(n, "m"));
+    for (int p = 0; p < 3; ++p) {
+      processes.push_back(net.add_endpoint(machines.back(), "p"));
+    }
+  }
+  ChurnSpec spec;
+  spec.duration = 20000;
+  spec.message_interval = 10;
+  spec.renumber_interval = 0;  // no churn
+  ChurnOutcome outcome =
+      run_churn(sim, net, transport, machines, processes, spec);
+  EXPECT_GT(outcome.deliveries, 1000u);
+  EXPECT_DOUBLE_EQ(outcome.pid_valid.fraction(), 1.0);
+  EXPECT_EQ(outcome.send_failures, 0u);
+  EXPECT_EQ(outcome.reconfigurations, 0u);
+}
+
+TEST(ChurnSoak, RemapDominatesNoRemapUnderChurn) {
+  auto run = [](bool remap) {
+    Simulator sim;
+    Internetwork net;
+    TransportConfig config;
+    config.remap_embedded_pids = remap;
+    Transport transport(sim, net, config);
+    NetworkId n = net.add_network("n");
+    std::vector<MachineId> machines;
+    std::vector<EndpointId> processes;
+    for (int m = 0; m < 3; ++m) {
+      machines.push_back(net.add_machine(n, "m"));
+      for (int p = 0; p < 3; ++p) {
+        processes.push_back(net.add_endpoint(machines.back(), "p"));
+      }
+    }
+    ChurnSpec spec;
+    spec.duration = 30000;
+    spec.message_interval = 15;
+    spec.renumber_interval = 800;
+    spec.seed = 5;
+    return run_churn(sim, net, transport, machines, processes, spec);
+  };
+  ChurnOutcome with_remap = run(true);
+  ChurnOutcome without = run(false);
+  EXPECT_GT(with_remap.pid_valid.fraction(), without.pid_valid.fraction());
+  EXPECT_LT(with_remap.pid_valid.fraction(), 1.0);  // staleness remains
+  EXPECT_GT(with_remap.reconfigurations, 10u);
+}
+
+TEST(ChurnSoak, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    Internetwork net;
+    Transport transport(sim, net);
+    NetworkId n = net.add_network("n");
+    std::vector<MachineId> machines{net.add_machine(n, "m0"),
+                                    net.add_machine(n, "m1")};
+    std::vector<EndpointId> processes;
+    for (MachineId m : machines) {
+      for (int p = 0; p < 2; ++p) {
+        processes.push_back(net.add_endpoint(m, "p"));
+      }
+    }
+    ChurnSpec spec;
+    spec.duration = 10000;
+    spec.renumber_interval = 300;
+    spec.seed = 77;
+    return run_churn(sim, net, transport, machines, processes, spec);
+  };
+  ChurnOutcome a = run();
+  ChurnOutcome b = run();
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.pid_valid.successes(), b.pid_valid.successes());
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,209 @@
+// Tests for Name and CompoundName (§2 N and N+), path syntax conventions.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/name.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Name, ValidNames) {
+  EXPECT_TRUE(Name::is_valid("a"));
+  EXPECT_TRUE(Name::is_valid("passwd"));
+  EXPECT_TRUE(Name::is_valid("."));
+  EXPECT_TRUE(Name::is_valid(".."));
+  EXPECT_TRUE(Name::is_valid("/"));  // reserved root binding
+  EXPECT_TRUE(Name::is_valid("..."));  // DCE global directory name
+  EXPECT_TRUE(Name::is_valid(".:"));   // DCE cell name
+  EXPECT_TRUE(Name::is_valid("with space"));
+}
+
+TEST(Name, InvalidNames) {
+  EXPECT_FALSE(Name::is_valid(""));
+  EXPECT_FALSE(Name::is_valid("a/b"));
+  EXPECT_FALSE(Name::is_valid("/a"));
+  EXPECT_FALSE(Name::is_valid(std::string("a\0b", 3)));
+}
+
+TEST(Name, ConstructorThrowsOnInvalid) {
+  EXPECT_THROW(Name("a/b"), PreconditionError);
+  EXPECT_THROW(Name(""), PreconditionError);
+  EXPECT_NO_THROW(Name("ok"));
+}
+
+TEST(Name, MakeReturnsError) {
+  auto bad = Name::make("a/b");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  auto good = Name::make("fine");
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(good.value().text(), "fine");
+}
+
+TEST(Name, Classification) {
+  EXPECT_TRUE(Name("/").is_root());
+  EXPECT_TRUE(Name(".").is_cwd());
+  EXPECT_TRUE(Name("..").is_parent());
+  EXPECT_FALSE(Name("x").is_root());
+}
+
+TEST(Name, Ordering) {
+  EXPECT_LT(Name("a"), Name("b"));
+  EXPECT_EQ(Name("a"), Name("a"));
+}
+
+TEST(CompoundName, ParseAbsolute) {
+  CompoundName n = CompoundName::path("/a/b");
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(n.at(0).is_root());
+  EXPECT_EQ(n.at(1).text(), "a");
+  EXPECT_EQ(n.at(2).text(), "b");
+  EXPECT_TRUE(n.is_absolute());
+}
+
+TEST(CompoundName, ParseRelativeGetsCwdPrefix) {
+  CompoundName n = CompoundName::path("a/b");
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(n.at(0).is_cwd());
+  EXPECT_FALSE(n.is_absolute());
+}
+
+TEST(CompoundName, ParseRootAlone) {
+  CompoundName n = CompoundName::path("/");
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_TRUE(n.at(0).is_root());
+}
+
+TEST(CompoundName, ParseDotAlone) {
+  CompoundName n = CompoundName::path(".");
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_TRUE(n.at(0).is_cwd());
+}
+
+TEST(CompoundName, ParseDotDot) {
+  CompoundName n = CompoundName::path("../x");
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(n.at(0).is_cwd());
+  EXPECT_TRUE(n.at(1).is_parent());
+  EXPECT_EQ(n.at(2).text(), "x");
+}
+
+TEST(CompoundName, ParseNewcastleDotDotAboveRoot) {
+  CompoundName n = CompoundName::path("/../m2/x");
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_TRUE(n.at(0).is_root());
+  EXPECT_TRUE(n.at(1).is_parent());
+  EXPECT_EQ(n.at(2).text(), "m2");
+}
+
+TEST(CompoundName, ParseErrors) {
+  EXPECT_FALSE(CompoundName::parse_path("").is_ok());
+  EXPECT_FALSE(CompoundName::parse_path("a//b").is_ok());
+  EXPECT_FALSE(CompoundName::parse_path("/a/").is_ok());
+  EXPECT_THROW(CompoundName::path(""), PreconditionError);
+}
+
+TEST(CompoundName, ParseRelativeNoDotPrefix) {
+  CompoundName n = CompoundName::relative("a/p");
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.at(0).text(), "a");
+  EXPECT_EQ(n.at(1).text(), "p");
+}
+
+TEST(CompoundName, ParseRelativeRejectsAbsolute) {
+  EXPECT_FALSE(CompoundName::parse_relative("/a").is_ok());
+  EXPECT_FALSE(CompoundName::parse_relative("").is_ok());
+  EXPECT_FALSE(CompoundName::parse_relative("a//b").is_ok());
+}
+
+TEST(CompoundName, ToPathRoundTrip) {
+  for (const char* path : {"/a/b", "/", "a/b", "/bin/cc", "/../m1/x",
+                           "../up", "home/me/notes.txt"}) {
+    EXPECT_EQ(CompoundName::path(path).to_path(), path) << path;
+  }
+  // "." is idempotent too.
+  EXPECT_EQ(CompoundName::path(".").to_path(), ".");
+}
+
+TEST(CompoundName, RestAndParent) {
+  CompoundName n = CompoundName::path("/a/b");
+  EXPECT_EQ(n.rest().to_path(), "a/b");  // ⟨a,b⟩ renders as "a/b"
+  EXPECT_EQ(n.parent().to_path(), "/a");
+  CompoundName single = CompoundName::path("/");
+  EXPECT_THROW(single.rest(), PreconditionError);
+  EXPECT_THROW(single.parent(), PreconditionError);
+}
+
+TEST(CompoundName, AppendAndChild) {
+  CompoundName base = CompoundName::path("/a");
+  CompoundName suffix = CompoundName::relative("b/c");
+  EXPECT_EQ(base.append(suffix).to_path(), "/a/b/c");
+  EXPECT_EQ(base.child(Name("z")).to_path(), "/a/z");
+}
+
+TEST(CompoundName, HasPrefix) {
+  CompoundName n = CompoundName::path("/vice/usr/lib");
+  EXPECT_TRUE(n.has_prefix(CompoundName::path("/vice")));
+  EXPECT_TRUE(n.has_prefix(n));
+  EXPECT_FALSE(n.has_prefix(CompoundName::path("/usr")));
+  EXPECT_FALSE(CompoundName::path("/vice").has_prefix(n));
+}
+
+TEST(CompoundName, RebasePrefixMapping) {
+  // §7: /users/ann in org2, referred from org1 as /org2/users/ann.
+  CompoundName local = CompoundName::path("/users/ann");
+  auto mapped = local.rebase(CompoundName::path("/users"),
+                             CompoundName::path("/org2/users"));
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(mapped.value().to_path(), "/org2/users/ann");
+}
+
+TEST(CompoundName, RebaseNonPrefixFails) {
+  CompoundName n = CompoundName::path("/a/b");
+  EXPECT_FALSE(
+      n.rebase(CompoundName::path("/x"), CompoundName::path("/y")).is_ok());
+}
+
+TEST(CompoundName, OrderingAndEquality) {
+  EXPECT_EQ(CompoundName::path("/a"), CompoundName::path("/a"));
+  EXPECT_NE(CompoundName::path("/a"), CompoundName::path("/b"));
+  EXPECT_LT(CompoundName::path("/a"), CompoundName::path("/a/b"));
+}
+
+TEST(CompoundName, HashDistinguishes) {
+  std::unordered_set<CompoundName> set;
+  set.insert(CompoundName::path("/a/b"));
+  set.insert(CompoundName::path("/a/c"));
+  set.insert(CompoundName::path("a/b"));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(CompoundName::path("/a/b")));
+}
+
+TEST(CompoundName, EmptyVectorThrows) {
+  EXPECT_THROW(CompoundName(std::vector<Name>{}), PreconditionError);
+}
+
+// Property sweep: parse(to_path(x)) == x for machine-generated paths.
+class PathRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathRoundTrip, ParseFormatIdempotent) {
+  int seed = GetParam();
+  // Generate a pseudo-random path from the seed (deterministic).
+  std::string path = (seed % 2 == 0) ? "/" : "";
+  int parts = 1 + seed % 4;
+  for (int i = 0; i < parts; ++i) {
+    if (i > 0 || path == "/") {
+      if (path.back() != '/') path += '/';
+    }
+    path += "n" + std::to_string((seed * 31 + i * 7) % 100);
+  }
+  CompoundName parsed = CompoundName::path(path);
+  EXPECT_EQ(parsed.to_path(), path);
+  EXPECT_EQ(CompoundName::path(parsed.to_path()), parsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PathRoundTrip, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,282 @@
+// Tests for the distributed name service: authority (HomeMap), server-side
+// walking, referrals (with transport-rebased server pids), the client
+// resolver, and the TTL cache including its staleness incoherence.
+#include <gtest/gtest.h>
+
+#include "ns/name_service.hpp"
+#include "fs/file_system.hpp"
+
+namespace namecoh {
+namespace {
+
+class NameServiceTest : public ::testing::Test {
+ protected:
+  NameServiceTest()
+      : fs_(graph_), transport_(sim_, net_),
+        service_(graph_, net_, transport_, homes_) {
+    NetworkId lan = net_.add_network("lan");
+    m1_ = net_.add_machine(lan, "m1");
+    m2_ = net_.add_machine(lan, "m2");
+    m3_ = net_.add_machine(lan, "m3");
+    // m1 hosts /local …; m2 hosts a shared tree attached as /shared; the
+    // attach point lives on m1, the shared contents are homed on m2.
+    root_ = fs_.make_root("m1-root");
+    shared_ = fs_.make_root("shared");
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(fs_.create_file_at(root_, "local/data.txt", "local").is_ok());
+    ASSERT_TRUE(
+        fs_.create_file_at(shared_, "proj/readme", "shared readme").is_ok());
+    ASSERT_TRUE(fs_.attach(root_, Name("shared"), shared_).is_ok());
+    homes_.set_home_subtree(graph_, shared_, m2_);
+    homes_.set_home_subtree(graph_, root_, m1_);
+    server1_ = service_.add_server(m1_);
+    server2_ = service_.add_server(m2_);
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  HomeMap homes_;
+  NameService service_;
+  MachineId m1_, m2_, m3_;
+  EntityId root_, shared_;
+  EndpointId server1_, server2_;
+};
+
+TEST_F(NameServiceTest, HomeMapSubtreeAssignment) {
+  // Every directory under root_ is homed on m1 except the shared subtree.
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId local_dir = fs_.resolve_path(ctx, "/local").entity;
+  EntityId proj_dir = fs_.resolve_path(ctx, "/shared/proj").entity;
+  EXPECT_EQ(homes_.home_of(root_).value(), m1_);
+  EXPECT_EQ(homes_.home_of(local_dir).value(), m1_);
+  EXPECT_EQ(homes_.home_of(shared_).value(), m2_);
+  EXPECT_EQ(homes_.home_of(proj_dir).value(), m2_);
+  EXPECT_FALSE(homes_.home_of(EntityId(9999)).is_ok());
+}
+
+TEST_F(NameServiceTest, HomeMapDoesNotOverrideForeignAuthority) {
+  // root_ was assigned after shared_; the shared subtree kept m2.
+  EXPECT_EQ(homes_.home_of(shared_).value(), m2_);
+  EXPECT_TRUE(homes_.has_home(root_));
+  EXPECT_GT(homes_.size(), 2u);
+}
+
+TEST_F(NameServiceTest, LocalResolutionNoReferral) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result = client.resolve(root_, CompoundName::relative("local/data.txt"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "local");
+  EXPECT_EQ(client.stats().referrals_followed, 0u);
+  EXPECT_EQ(client.stats().messages_sent, 1u);
+  EXPECT_EQ(service_.stats().answers, 1u);
+}
+
+TEST_F(NameServiceTest, CrossMachineResolutionViaReferral) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result =
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "shared readme");
+  // m1's server walked "shared", hit the m2-homed context, referred; the
+  // client followed to m2's server.
+  EXPECT_EQ(client.stats().referrals_followed, 1u);
+  EXPECT_EQ(client.stats().messages_sent, 2u);
+  EXPECT_EQ(service_.stats().referrals, 1u);
+  EXPECT_EQ(service_.stats().answers, 1u);
+}
+
+TEST_F(NameServiceTest, ReferralFromRemoteClientMachine) {
+  // A client on m3 (no authoritative data) still resolves: ... but m3 has
+  // no server, so the first hop fails cleanly.
+  ResolverClient orphan(graph_, net_, transport_, sim_, service_, m3_, "o");
+  auto res = orphan.resolve(root_, CompoundName::relative("local/data.txt"));
+  EXPECT_FALSE(res.is_ok());
+  EXPECT_EQ(res.code(), StatusCode::kUnreachable);
+  // Give m3 a server: now its server refers immediately to m1.
+  service_.add_server(m3_);
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m3_, "c");
+  auto result =
+      client.resolve(root_, CompoundName::relative("local/data.txt"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "local");
+  EXPECT_EQ(client.stats().referrals_followed, 1u);
+}
+
+TEST_F(NameServiceTest, UnboundNameYieldsError) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result = client.resolve(root_, CompoundName::relative("ghost"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+  EXPECT_EQ(service_.stats().failures, 1u);
+}
+
+TEST_F(NameServiceTest, TraversalThroughFileYieldsError) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result =
+      client.resolve(root_, CompoundName::relative("local/data.txt/deeper"));
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST_F(NameServiceTest, AbsoluteNamesRejectedClientSide) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result = client.resolve(root_, CompoundName::path("/local"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.stats().messages_sent, 0u);
+}
+
+TEST_F(NameServiceTest, AgreesWithLocalResolver) {
+  // Remote resolution must compute the same function as the in-memory
+  // resolver — the distributed implementation changes cost, not meaning.
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  for (const char* path :
+       {"local", "local/data.txt", "shared", "shared/proj",
+        "shared/proj/readme"}) {
+    CompoundName name = CompoundName::relative(path);
+    Resolution local = resolve_from(graph_, root_, name);
+    auto remote = client.resolve(root_, name);
+    ASSERT_TRUE(local.ok());
+    ASSERT_TRUE(remote.is_ok()) << path;
+    EXPECT_EQ(remote.value(), local.entity) << path;
+  }
+}
+
+TEST_F(NameServiceTest, CacheHitSkipsNetwork) {
+  ResolverClientConfig config;
+  config.cache_ttl = 1000;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName name = CompoundName::relative("shared/proj/readme");
+  auto first = client.resolve(root_, name);
+  ASSERT_TRUE(first.is_ok());
+  std::uint64_t sent_before = client.stats().messages_sent;
+  auto second = client.resolve(root_, name);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), first.value());
+  EXPECT_EQ(client.stats().messages_sent, sent_before);  // no new traffic
+  EXPECT_EQ(client.stats().cache_hits, 1u);
+  EXPECT_EQ(client.cache_size(), 1u);
+}
+
+TEST_F(NameServiceTest, CacheExpiresByTtl) {
+  ResolverClientConfig config;
+  config.cache_ttl = 50;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName name = CompoundName::relative("local/data.txt");
+  ASSERT_TRUE(client.resolve(root_, name).is_ok());
+  sim_.run_until(sim_.now() + 100);  // let the TTL lapse
+  ASSERT_TRUE(client.resolve(root_, name).is_ok());
+  EXPECT_EQ(client.stats().cache_hits, 0u);
+  EXPECT_EQ(client.stats().cache_misses, 2u);
+}
+
+TEST_F(NameServiceTest, StaleCacheIsTemporalIncoherence) {
+  // The authority rebinds a name; a caching client keeps resolving it to
+  // the old entity until the TTL lapses — incoherence with the authority.
+  ResolverClientConfig config;
+  config.cache_ttl = 1000;
+  ResolverClient caching(graph_, net_, transport_, sim_, service_, m1_, "c",
+                         config);
+  ResolverClient fresh(graph_, net_, transport_, sim_, service_, m1_, "f");
+  CompoundName name = CompoundName::relative("local/data.txt");
+  auto before = caching.resolve(root_, name);
+  ASSERT_TRUE(before.is_ok());
+
+  // Rebind at the authority: replace the file.
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId local_dir = fs_.resolve_path(ctx, "/local").entity;
+  ASSERT_TRUE(fs_.unlink(local_dir, Name("data.txt")).is_ok());
+  ASSERT_TRUE(
+      fs_.create_file(local_dir, Name("data.txt"), "new contents").is_ok());
+
+  auto cached = caching.resolve(root_, name);
+  auto truth = fresh.resolve(root_, name);
+  ASSERT_TRUE(cached.is_ok());
+  ASSERT_TRUE(truth.is_ok());
+  EXPECT_NE(cached.value(), truth.value());  // stale ≠ authoritative
+  EXPECT_EQ(cached.value(), before.value());
+
+  // After expiry the client reconverges.
+  sim_.run_until(sim_.now() + 2000);
+  auto after = caching.resolve(root_, name);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(after.value(), truth.value());
+}
+
+TEST_F(NameServiceTest, ClearCache) {
+  ResolverClientConfig config;
+  config.cache_ttl = 1000;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("local")).is_ok());
+  EXPECT_EQ(client.cache_size(), 1u);
+  client.clear_cache();
+  EXPECT_EQ(client.cache_size(), 0u);
+}
+
+TEST_F(NameServiceTest, ResolutionLatencyAccumulatesOnSimClock) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  SimTime t0 = sim_.now();
+  ASSERT_TRUE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  SimTime local_cost = sim_.now() - t0;
+  t0 = sim_.now();
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"))
+          .is_ok());
+  SimTime remote_cost = sim_.now() - t0;
+  EXPECT_GT(local_cost, 0u);
+  EXPECT_GT(remote_cost, local_cost);  // referral adds a round trip
+}
+
+TEST_F(NameServiceTest, DuplicateServerThrows) {
+  EXPECT_THROW(service_.add_server(m1_), PreconditionError);
+}
+
+TEST_F(NameServiceTest, ServerOnUnknownMachine) {
+  EXPECT_FALSE(service_.server_on(m3_).is_ok());
+}
+
+TEST_F(NameServiceTest, RetriesSurviveLossyNetwork) {
+  // 40% drop probability; with retries the resolution still completes.
+  TransportConfig lossy;
+  lossy.drop_probability = 0.4;
+  Transport drop_transport(sim_, net_, lossy, /*seed=*/424242);
+  NameService lossy_service(graph_, net_, drop_transport, homes_);
+  lossy_service.add_server(m1_);
+  lossy_service.add_server(m2_);
+  ResolverClientConfig config;
+  config.retries = 16;
+  ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
+                        m1_, "c", config);
+  auto result =
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "shared readme");
+  // Loss actually happened: more messages than the loss-free 2.
+  EXPECT_GT(client.stats().messages_sent, 2u);
+}
+
+TEST_F(NameServiceTest, LostMessagesSurfaceAsUnreachable) {
+  // With 100% drop, the request never arrives and the client reports the
+  // loss instead of hanging.
+  TransportConfig lossy;
+  lossy.drop_probability = 1.0;
+  Transport drop_transport(sim_, net_, lossy);
+  NameService lossy_service(graph_, net_, drop_transport, homes_);
+  lossy_service.add_server(m1_);
+  ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
+                        m1_, "c");
+  auto result = client.resolve(root_, CompoundName::relative("local"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kUnreachable);
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,165 @@
+// Randomized message-level properties of the net/os layers: the R(sender)
+// remap invariant, reply_to usability, registry correctness under random
+// topologies, and delivery determinism.
+#include <gtest/gtest.h>
+
+#include "os/process_manager.hpp"
+#include "os/service_registry.hpp"
+#include "util/rng.hpp"
+
+namespace namecoh {
+namespace {
+
+// A random topology: 1-3 networks, 1-4 machines each, 1-4 endpoints per
+// machine.
+struct RandomNet {
+  Simulator sim;
+  Internetwork net;
+  Transport transport{sim, net};
+  std::vector<MachineId> machines;
+  std::vector<EndpointId> endpoints;
+
+  explicit RandomNet(std::uint64_t seed) {
+    Rng rng(seed);
+    std::size_t n_nets = 1 + rng.next_below(3);
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      NetworkId network = net.add_network("n" + std::to_string(n));
+      std::size_t n_machines = 1 + rng.next_below(4);
+      for (std::size_t m = 0; m < n_machines; ++m) {
+        machines.push_back(net.add_machine(network, "m"));
+        std::size_t n_eps = 1 + rng.next_below(4);
+        for (std::size_t e = 0; e < n_eps; ++e) {
+          endpoints.push_back(net.add_endpoint(machines.back(), "p"));
+        }
+      }
+    }
+  }
+};
+
+class NetSeedSweep : public ::testing::TestWithParam<int> {};
+
+// Property: for ANY (sender, receiver, subject) triple, a pid embedded at
+// minimal qualification arrives denoting the subject — the R(sender)
+// remap is universally correct.
+TEST_P(NetSeedSweep, RemapInvariant) {
+  RandomNet w(static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    EndpointId sender = rng.pick(w.endpoints);
+    EndpointId receiver = rng.pick(w.endpoints);
+    EndpointId subject = rng.pick(w.endpoints);
+    Location sender_loc = w.net.location_of(sender).value();
+    Location receiver_loc = w.net.location_of(receiver).value();
+    Location subject_loc = w.net.location_of(subject).value();
+
+    EndpointId resolved = EndpointId::invalid();
+    w.transport.set_handler(receiver,
+                            [&](EndpointId self, const Message& m) {
+                              auto r = w.transport.resolve_pid(
+                                  self, m.payload.pid_at(0));
+                              if (r.is_ok()) resolved = r.value();
+                            });
+    Message msg;
+    msg.payload.add_pid(relativize(subject_loc, sender_loc));
+    ASSERT_TRUE(w.transport
+                    .send(sender, relativize(receiver_loc, sender_loc),
+                          std::move(msg))
+                    .is_ok());
+    w.sim.run();
+    EXPECT_EQ(resolved, subject)
+        << "sender=" << sender_loc << " receiver=" << receiver_loc
+        << " subject=" << subject_loc;
+    w.transport.clear_handler(receiver);
+  }
+}
+
+// Property: reply_to always lets the receiver answer the sender, for any
+// pair, including self-sends.
+TEST_P(NetSeedSweep, ReplyToAlwaysAnswers) {
+  RandomNet w(static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    EndpointId a = rng.pick(w.endpoints);
+    EndpointId b = rng.pick(w.endpoints);
+    bool replied = false;
+    w.transport.set_handler(b, [&](EndpointId self, const Message& m) {
+      if (m.type == 1) {
+        Message reply;
+        reply.type = 2;
+        ASSERT_TRUE(
+            w.transport.send(self, m.reply_to, std::move(reply)).is_ok());
+      }
+    });
+    w.transport.set_handler(a, [&](EndpointId, const Message& m) {
+      if (m.type == 2) replied = true;
+    });
+    Message msg;
+    msg.type = 1;
+    Location a_loc = w.net.location_of(a).value();
+    Location b_loc = w.net.location_of(b).value();
+    ASSERT_TRUE(
+        w.transport.send(a, relativize(b_loc, a_loc), std::move(msg))
+            .is_ok());
+    w.sim.run();
+    if (a != b) {
+      EXPECT_TRUE(replied);
+    }
+    w.transport.clear_handler(a);
+    w.transport.clear_handler(b);
+  }
+}
+
+// Property: the registry round trip (announce + locate) denotes the
+// provider for every (provider, requester) pair in a random topology.
+TEST_P(NetSeedSweep, RegistryRoundTripUniversal) {
+  RandomNet w(static_cast<std::uint64_t>(GetParam()));
+  ServiceRegistry registry(w.net, w.transport, w.machines[0]);
+  RegistryClient client(w.net, w.transport, w.sim, registry);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    EndpointId provider = rng.pick(w.endpoints);
+    std::string service = "svc" + std::to_string(trial);
+    ASSERT_TRUE(client.announce(provider, service, provider).is_ok());
+    w.sim.run();
+    EndpointId requester = rng.pick(w.endpoints);
+    auto pid = client.locate(requester, service);
+    ASSERT_TRUE(pid.is_ok());
+    EXPECT_EQ(w.transport.resolve_pid(requester, pid.value()).value(),
+              provider);
+  }
+}
+
+// Property: two identical runs deliver identical traces (determinism of
+// the whole messaging stack).
+TEST_P(NetSeedSweep, DeliveryDeterminism) {
+  auto run_once = [&](std::uint64_t seed) {
+    RandomNet w(seed);
+    Rng rng(seed ^ 0xabcdef);
+    std::vector<std::string> log;
+    for (EndpointId ep : w.endpoints) {
+      w.transport.set_handler(ep, [&, ep](EndpointId, const Message& m) {
+        log.push_back(std::to_string(ep.value()) + ":" +
+                      std::to_string(m.type) + "@" +
+                      std::to_string(w.sim.now()));
+      });
+    }
+    for (int i = 0; i < 25; ++i) {
+      EndpointId from = rng.pick(w.endpoints);
+      EndpointId to = rng.pick(w.endpoints);
+      Message msg;
+      msg.type = static_cast<std::uint32_t>(i);
+      Location f = w.net.location_of(from).value();
+      Location t = w.net.location_of(to).value();
+      (void)w.transport.send(from, relativize(t, f), std::move(msg));
+    }
+    w.sim.run();
+    return log;
+  };
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  EXPECT_EQ(run_once(seed), run_once(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetSeedSweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,280 @@
+// Tests for the process layer: spawn/fork context inheritance, per-process
+// attachments, name & pid exchange through the transport, remote execution
+// policies (§5.1, §6 II).
+#include <gtest/gtest.h>
+
+#include "os/process_manager.hpp"
+
+namespace namecoh {
+namespace {
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest()
+      : fs_(graph_), transport_(sim_, net_), pm_(graph_, fs_, net_, transport_) {
+    network_ = net_.add_network("lan");
+    m1_ = net_.add_machine(network_, "m1");
+    m2_ = net_.add_machine(network_, "m2");
+    root1_ = fs_.make_root("m1-root");
+    root2_ = fs_.make_root("m2-root");
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(fs_.create_file_at(root1_, "etc/passwd", "m1 users").is_ok());
+    ASSERT_TRUE(fs_.create_file_at(root1_, "data/in.txt", "input").is_ok());
+    ASSERT_TRUE(fs_.create_file_at(root2_, "etc/passwd", "m2 users").is_ok());
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  ProcessManager pm_;
+  NetworkId network_;
+  MachineId m1_, m2_;
+  EntityId root1_, root2_;
+};
+
+TEST_F(ProcessTest, SpawnWiresEverything) {
+  ProcessId p = pm_.spawn(m1_, "p", root1_, root1_);
+  EXPECT_TRUE(pm_.alive(p));
+  EXPECT_EQ(pm_.process_count(), 1u);
+  const ProcessInfo& info = pm_.info(p);
+  EXPECT_TRUE(graph_.is_activity(info.activity));
+  EXPECT_TRUE(graph_.is_context_object(info.context_object));
+  EXPECT_TRUE(net_.has_endpoint(info.endpoint));
+  EXPECT_EQ(pm_.by_endpoint(info.endpoint).value(), p);
+  EXPECT_EQ(pm_.root_of(p).value(), root1_);
+  EXPECT_EQ(pm_.cwd_of(p).value(), root1_);
+  // The closure table knows R(p).
+  EXPECT_EQ(pm_.closures().activity_context(info.activity).value(),
+            info.context_object);
+}
+
+TEST_F(ProcessTest, ResolveInternal) {
+  ProcessId p = pm_.spawn(m1_, "p", root1_, root1_);
+  Resolution res = pm_.resolve_internal(p, "/etc/passwd");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "m1 users");
+  EXPECT_FALSE(pm_.resolve_internal(p, "/nope").ok());
+  EXPECT_FALSE(pm_.resolve_internal(p, "").ok());
+}
+
+TEST_F(ProcessTest, SetRootAndCwd) {
+  ProcessId p = pm_.spawn(m1_, "p", root1_, root1_);
+  ASSERT_TRUE(pm_.set_root(p, root2_).is_ok());
+  Resolution res = pm_.resolve_internal(p, "/etc/passwd");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "m2 users");
+  EntityId etc1 = pm_.resolve_internal(p, "/etc").entity;
+  ASSERT_TRUE(pm_.set_cwd(p, etc1).is_ok());
+  EXPECT_EQ(pm_.resolve_internal(p, "passwd").entity,
+            pm_.resolve_internal(p, "/etc/passwd").entity);
+  // Non-directories rejected.
+  EntityId file = pm_.resolve_internal(p, "/etc/passwd").entity;
+  EXPECT_FALSE(pm_.set_root(p, file).is_ok());
+  EXPECT_FALSE(pm_.set_cwd(p, file).is_ok());
+}
+
+TEST_F(ProcessTest, ForkInheritsContextByCopy) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  ProcessId child = pm_.fork_child(parent, "child");
+  EXPECT_EQ(pm_.info(child).parent, parent);
+  EXPECT_EQ(pm_.info(child).machine, m1_);
+  // Coherent now: same meaning for every name (§5.1).
+  EXPECT_EQ(pm_.resolve_internal(parent, "/etc/passwd").entity,
+            pm_.resolve_internal(child, "/etc/passwd").entity);
+  // Divergence after the child changes its root: the copy is independent.
+  ASSERT_TRUE(pm_.set_root(child, root2_).is_ok());
+  EXPECT_NE(pm_.resolve_internal(parent, "/etc/passwd").entity,
+            pm_.resolve_internal(child, "/etc/passwd").entity);
+  EXPECT_EQ(pm_.root_of(parent).value(), root1_);
+}
+
+TEST_F(ProcessTest, AttachInContextAddsPerProcessName) {
+  ProcessId p = pm_.spawn(m1_, "p", root1_, root1_);
+  ASSERT_TRUE(pm_.attach_in_context(p, Name("remote"), root2_).is_ok());
+  Resolution res = pm_.resolve_internal(p, "remote/etc/passwd");
+  // "remote/…" is relative, so it goes through "." = root1; attach put the
+  // binding in the process context, not in root1. Resolve accordingly:
+  EXPECT_FALSE(res.ok());
+  // The attachment is visible as a bare first component via the process
+  // context itself — exactly how Plan 9 exposes per-process names.
+  Resolution direct =
+      resolve(graph_, graph_.context(pm_.info(p).context_object),
+              CompoundName::relative("remote/etc/passwd"));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(graph_.data(direct.entity), "m2 users");
+  // Duplicate attach fails.
+  EXPECT_EQ(pm_.attach_in_context(p, Name("remote"), root2_).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProcessTest, SendNameLandsInInbox) {
+  ProcessId sender = pm_.spawn(m1_, "sender", root1_, root1_);
+  ProcessId receiver = pm_.spawn(m2_, "receiver", root2_, root2_);
+  ASSERT_TRUE(pm_.send_name_to(sender, receiver, "/etc/passwd").is_ok());
+  pm_.settle();
+  ASSERT_EQ(pm_.received_names().size(), 1u);
+  const ReceivedName& rn = pm_.received_names()[0];
+  EXPECT_EQ(rn.receiver, receiver);
+  EXPECT_EQ(rn.sender, sender);
+  EXPECT_EQ(rn.path, "/etc/passwd");
+  EXPECT_GT(rn.at, 0u);
+}
+
+TEST_F(ProcessTest, ResolveReceivedUnderRules) {
+  // The heart of Fig. 2: the same exchanged name, two rules, two meanings.
+  ProcessId sender = pm_.spawn(m1_, "sender", root1_, root1_);
+  ProcessId receiver = pm_.spawn(m2_, "receiver", root2_, root2_);
+  ASSERT_TRUE(pm_.send_name_to(sender, receiver, "/etc/passwd").is_ok());
+  pm_.settle();
+  ASSERT_EQ(pm_.received_names().size(), 1u);
+  const ReceivedName& rn = pm_.received_names()[0];
+
+  Resolution as_receiver = pm_.resolve_received(rn, ByReceiverRule{});
+  ASSERT_TRUE(as_receiver.ok());
+  EXPECT_EQ(graph_.data(as_receiver.entity), "m2 users");  // wrong file!
+
+  Resolution as_sender = pm_.resolve_received(rn, BySenderRule{});
+  ASSERT_TRUE(as_sender.ok());
+  EXPECT_EQ(graph_.data(as_sender.entity), "m1 users");  // sender's meaning
+
+  // R(sender) restores coherence with what the sender meant.
+  EXPECT_TRUE(
+      as_sender.same_entity(pm_.resolve_internal(sender, "/etc/passwd")));
+}
+
+TEST_F(ProcessTest, SendPidOfRemapsInFlight) {
+  ProcessId a = pm_.spawn(m1_, "a", root1_, root1_);
+  ProcessId b = pm_.spawn(m1_, "b", root1_, root1_);
+  ProcessId c = pm_.spawn(m2_, "c", root2_, root2_);
+  // a sends b's pid to c across machines.
+  ASSERT_TRUE(pm_.send_pid_of(a, c, b).is_ok());
+  pm_.settle();
+  ASSERT_EQ(pm_.received_pids().size(), 1u);
+  const ReceivedPid& rp = pm_.received_pids()[0];
+  EXPECT_EQ(rp.receiver, c);
+  EXPECT_EQ(rp.sender, a);
+  // The received pid denotes b in c's context.
+  EXPECT_EQ(pm_.resolve_received_pid(rp).value(), b);
+}
+
+TEST_F(ProcessTest, SendPidWithoutRemapIncoherent) {
+  transport_.set_remap_embedded_pids(false);
+  ProcessId a = pm_.spawn(m1_, "a", root1_, root1_);
+  ProcessId b = pm_.spawn(m1_, "b", root1_, root1_);
+  ProcessId c = pm_.spawn(m2_, "c", root2_, root2_);
+  ProcessId c2 = pm_.spawn(m2_, "c2", root2_, root2_);
+  (void)c2;
+  ASSERT_TRUE(pm_.send_pid_of(a, c, b).is_ok());
+  pm_.settle();
+  ASSERT_EQ(pm_.received_pids().size(), 1u);
+  auto resolved = pm_.resolve_received_pid(pm_.received_pids()[0]);
+  // The verbatim (0,0,l_b) pid denotes some process on *m2* — not b.
+  EXPECT_TRUE(!resolved.is_ok() || resolved.value() != b);
+}
+
+TEST_F(ProcessTest, KillRemovesEndpointAndRefusesUse) {
+  ProcessId p = pm_.spawn(m1_, "p", root1_, root1_);
+  ASSERT_TRUE(pm_.kill(p).is_ok());
+  EXPECT_FALSE(pm_.alive(p));
+  EXPECT_EQ(pm_.process_count(), 0u);
+  EXPECT_FALSE(pm_.kill(p).is_ok());
+  EXPECT_FALSE(pm_.send_name_to(p, p, "/x").is_ok());
+  EXPECT_FALSE(pm_.location_of(p).is_ok());
+}
+
+TEST_F(ProcessTest, RemoteExecInvokerRoot) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  auto child = pm_.remote_exec(parent, m2_, "child",
+                               RemoteExecPolicy::kInvokerRoot, root2_);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(pm_.info(child.value()).machine, m2_);
+  // Parameters stay coherent: same meaning of the passed name.
+  EXPECT_EQ(pm_.resolve_internal(child.value(), "/data/in.txt").entity,
+            pm_.resolve_internal(parent, "/data/in.txt").entity);
+  // But the executor's local files are invisible under their local names:
+  // /etc/passwd is m1's, not m2's.
+  EXPECT_EQ(graph_.data(
+                pm_.resolve_internal(child.value(), "/etc/passwd").entity),
+            "m1 users");
+}
+
+TEST_F(ProcessTest, RemoteExecExecutorRoot) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  auto child = pm_.remote_exec(parent, m2_, "child",
+                               RemoteExecPolicy::kExecutorRoot, root2_);
+  ASSERT_TRUE(child.is_ok());
+  // Local access works…
+  EXPECT_EQ(graph_.data(
+                pm_.resolve_internal(child.value(), "/etc/passwd").entity),
+            "m2 users");
+  // …but the parent's parameter name resolves to nothing (or the wrong
+  // thing): /data/in.txt only exists on m1.
+  EXPECT_FALSE(pm_.resolve_internal(child.value(), "/data/in.txt").ok());
+}
+
+TEST_F(ProcessTest, RemoteExecPrivateAttachGivesBoth) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  auto child = pm_.remote_exec(parent, m2_, "child",
+                               RemoteExecPolicy::kPrivateAttach, root2_,
+                               Name("m2local"));
+  ASSERT_TRUE(child.is_ok());
+  // Parameter coherence: the parent's names mean the same.
+  EXPECT_EQ(pm_.resolve_internal(child.value(), "/data/in.txt").entity,
+            pm_.resolve_internal(parent, "/data/in.txt").entity);
+  // And the executor's tree is reachable under the fresh attachment.
+  EXPECT_EQ(graph_.data(pm_.resolve_internal(child.value(),
+                                             "/m2local/etc/passwd")
+                            .entity),
+            "m2 users");
+}
+
+TEST_F(ProcessTest, RemoteExecPrivateAttachNameCollisionFails) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  // "etc" collides with a parent-root entry.
+  auto child = pm_.remote_exec(parent, m2_, "child",
+                               RemoteExecPolicy::kPrivateAttach, root2_,
+                               Name("etc"));
+  EXPECT_FALSE(child.is_ok());
+  EXPECT_EQ(child.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProcessTest, RemoteExecValidation) {
+  ProcessId parent = pm_.spawn(m1_, "parent", root1_, root1_);
+  EntityId file = pm_.resolve_internal(parent, "/etc/passwd").entity;
+  EXPECT_FALSE(pm_.remote_exec(parent, m2_, "x",
+                               RemoteExecPolicy::kExecutorRoot, file)
+                   .is_ok());
+  ASSERT_TRUE(pm_.kill(parent).is_ok());
+  EXPECT_FALSE(pm_.remote_exec(parent, m2_, "x",
+                               RemoteExecPolicy::kInvokerRoot, root2_)
+                   .is_ok());
+}
+
+TEST_F(ProcessTest, ClearInboxes) {
+  ProcessId a = pm_.spawn(m1_, "a", root1_, root1_);
+  ProcessId b = pm_.spawn(m1_, "b", root1_, root1_);
+  ASSERT_TRUE(pm_.send_name_to(a, b, "/x").is_ok());
+  ASSERT_TRUE(pm_.send_pid_of(a, b, a).is_ok());
+  pm_.settle();
+  EXPECT_FALSE(pm_.received_names().empty());
+  EXPECT_FALSE(pm_.received_pids().empty());
+  pm_.clear_inboxes();
+  EXPECT_TRUE(pm_.received_names().empty());
+  EXPECT_TRUE(pm_.received_pids().empty());
+}
+
+TEST_F(ProcessTest, PolicyNames) {
+  EXPECT_EQ(remote_exec_policy_name(RemoteExecPolicy::kInvokerRoot),
+            "invoker-root");
+  EXPECT_EQ(remote_exec_policy_name(RemoteExecPolicy::kExecutorRoot),
+            "executor-root");
+  EXPECT_EQ(remote_exec_policy_name(RemoteExecPolicy::kPrivateAttach),
+            "private-attach");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,158 @@
+// Tests for program images (multi-file executables with embedded names)
+// and exec-by-name.
+#include <gtest/gtest.h>
+
+#include "os/program.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  ProgramTest()
+      : fs_(graph_), transport_(sim_, net_),
+        pm_(graph_, fs_, net_, transport_) {
+    NetworkId lan = net_.add_network("lan");
+    m1_ = net_.add_machine(lan, "m1");
+    m2_ = net_.add_machine(lan, "m2");
+    root_ = fs_.make_root("m1-root");
+  }
+
+  void SetUp() override {
+    // /opt/app: image + segments, some shared via the app's lib dir.
+    auto app_dir = fs_.mkdir_p(root_, "opt/app");
+    ASSERT_TRUE(app_dir.is_ok());
+    app_dir_ = app_dir.value();
+    ASSERT_TRUE(
+        fs_.create_file_at(app_dir_, "lib/rt.o", "[runtime]").is_ok());
+    ASSERT_TRUE(
+        fs_.create_file_at(app_dir_, "data/table.bin", "[data]").is_ok());
+    auto image = make_program(fs_, app_dir_, Name("app"), "[entry]",
+                              {"lib/rt.o", "data/table.bin"});
+    ASSERT_TRUE(image.is_ok());
+    image_ = image.value();
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  ProcessManager pm_;
+  MachineId m1_, m2_;
+  EntityId root_, app_dir_, image_;
+};
+
+TEST_F(ProgramTest, MakeProgramEmbedsSegments) {
+  EXPECT_EQ(graph_.embedded_names(image_).size(), 2u);
+  EXPECT_EQ(graph_.data(image_), "[entry]");
+  EXPECT_FALSE(
+      make_program(fs_, app_dir_, Name("bad"), "", {"/absolute"}).is_ok());
+}
+
+TEST_F(ProgramTest, LoadResolvesAllSegments) {
+  ProgramLoader loader(graph_);
+  LoadedProgram program = loader.load(image_, app_dir_);
+  EXPECT_TRUE(program.complete());
+  EXPECT_EQ(program.segments.size(), 3u);  // image + 2 segments
+  EXPECT_EQ(program.text, "[entry][runtime][data]");
+}
+
+TEST_F(ProgramTest, LoadSurvivesRelocation) {
+  // Move the whole app to another directory: R(file) still finds the
+  // segments.
+  auto dest = fs_.mkdir_p(root_, "srv");
+  ASSERT_TRUE(dest.is_ok());
+  ASSERT_TRUE(
+      fs_.move_entry(fs_.resolve_path(
+                             FileSystem::make_process_context(root_, root_),
+                             "/opt")
+                         .entity,
+                     Name("app"), dest.value(), Name("app")).is_ok());
+  ProgramLoader loader(graph_);
+  LoadedProgram program = loader.load(image_, app_dir_);
+  EXPECT_TRUE(program.complete());
+  EXPECT_EQ(program.text, "[entry][runtime][data]");
+}
+
+TEST_F(ProgramTest, LoadInWrongContextFails) {
+  // R(activity) from a reader whose cwd is not the app dir: segments miss.
+  ProgramLoader loader(graph_);
+  Context reader = FileSystem::make_process_context(root_, root_);
+  LoadedProgram program = loader.load_in_context(image_, reader);
+  EXPECT_FALSE(program.complete());
+  // With cwd = app dir it works.
+  Context good_reader = FileSystem::make_process_context(root_, app_dir_);
+  LoadedProgram good = loader.load_in_context(image_, good_reader);
+  EXPECT_TRUE(good.complete());
+}
+
+TEST_F(ProgramTest, ExecByNameSpawnsChild) {
+  ProcessId parent = pm_.spawn(m1_, "shell", root_, root_);
+  auto child = exec_program(pm_, parent, m2_, "/opt/app/app");
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_TRUE(pm_.alive(child.value()));
+  EXPECT_EQ(pm_.info(child.value()).machine, m2_);
+  EXPECT_EQ(pm_.info(child.value()).label, "app");
+  // Child inherited the parent's root.
+  EXPECT_EQ(pm_.root_of(child.value()).value(), root_);
+}
+
+TEST_F(ProgramTest, ExecFailsOnIncompleteProgram) {
+  // Remove a segment: exec must refuse to spawn.
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId lib = fs_.resolve_path(ctx, "/opt/app/lib").entity;
+  ASSERT_TRUE(fs_.unlink(lib, Name("rt.o")).is_ok());
+  ProcessId parent = pm_.spawn(m1_, "shell", root_, root_);
+  auto child = exec_program(pm_, parent, m2_, "/opt/app/app");
+  EXPECT_FALSE(child.is_ok());
+  EXPECT_EQ(child.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pm_.process_count(), 1u);  // nothing spawned
+}
+
+TEST_F(ProgramTest, ExecPassesArgvAsNames) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "job/in.dat", "payload").is_ok());
+  ProcessId parent = pm_.spawn(m1_, "shell", root_, root_);
+  auto child = exec_program(pm_, parent, m2_, "/opt/app/app",
+                            {"/job/in.dat", "/opt/app/lib/rt.o"});
+  ASSERT_TRUE(child.is_ok());
+  // Args are in the child's inbox, in order, and resolve coherently even
+  // under R(receiver) because the child inherited the parent's context.
+  ASSERT_EQ(pm_.received_names().size(), 2u);
+  EXPECT_EQ(pm_.received_names()[0].path, "/job/in.dat");
+  EXPECT_EQ(pm_.received_names()[1].path, "/opt/app/lib/rt.o");
+  for (const ReceivedName& arg : pm_.received_names()) {
+    EXPECT_EQ(arg.receiver, child.value());
+    EXPECT_EQ(arg.sender, parent);
+    Resolution got = pm_.resolve_received(arg, ByReceiverRule{});
+    Resolution meant = pm_.resolve_internal(parent, arg.path);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got.same_entity(meant));
+  }
+}
+
+TEST_F(ProgramTest, ExecValidation) {
+  ProcessId parent = pm_.spawn(m1_, "shell", root_, root_);
+  EXPECT_FALSE(exec_program(pm_, parent, m2_, "/no/such/thing").is_ok());
+  // Not a file.
+  EXPECT_EQ(exec_program(pm_, parent, m2_, "/opt/app").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProgramTest, SharedLibraryViaScopeSearch) {
+  // A segment that lives above the app dir ("site-wide library"): the
+  // Algol search climbs to find it.
+  ASSERT_TRUE(fs_.create_file_at(root_, "opt/libc.o", "[libc]").is_ok());
+  auto image = make_program(fs_, app_dir_, Name("app2"), "[e2]",
+                            {"libc.o"});
+  ASSERT_TRUE(image.is_ok());
+  ProgramLoader loader(graph_);
+  LoadedProgram program = loader.load(image.value(), app_dir_);
+  // "libc.o" not in /opt/app; found at /opt (parent scope).
+  EXPECT_TRUE(program.complete());
+  EXPECT_EQ(program.text, "[e2][libc]");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,205 @@
+// Tests for the repair advisor: it must rediscover the paper's own mapping
+// rules on the paper's own topologies.
+#include <gtest/gtest.h>
+
+#include "coherence/repair.hpp"
+#include "schemes/crosslink.hpp"
+#include "schemes/newcastle.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Repair, DiscoversNewcastleMappingRule) {
+  // On a Newcastle system the advisor should find "/" → "/../m1" as the
+  // rule repairing m1-names for a process on m2.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  NewcastleScheme scheme(fs);
+  SiteId m1 = scheme.add_site("m1");
+  SiteId m2 = scheme.add_site("m2");
+  TreeSpec spec;
+  spec.site_tag = "s1";
+  populate_tree(fs, scheme.site_tree(m1), spec, 3);
+  spec.site_tag = "s2";
+  populate_tree(fs, scheme.site_tree(m2), spec, 3);
+  scheme.finalize();
+
+  RepairAdvisor advisor(graph);
+  EntityId ctx1 = scheme.make_site_context(m1);
+  EntityId ctx2 = scheme.make_site_context(m2);
+  auto probes = absolutize(probes_from_dir(graph, scheme.site_tree(m1)));
+  RepairReport report = advisor.suggest(ctx1, ctx2, probes);
+
+  EXPECT_EQ(report.probes, probes.size());
+  EXPECT_EQ(report.incoherent, probes.size());  // Newcastle: nothing shared
+  ASSERT_FALSE(report.suggestions.empty());
+  const MappingSuggestion& best = report.suggestions.front();
+  EXPECT_EQ(best.from_prefix, CompoundName::path("/"));
+  EXPECT_EQ(best.to_prefix.to_path(), "/../m1");
+  // The rule repairs every incoherent probe.
+  EXPECT_EQ(best.repaired, report.incoherent);
+  EXPECT_EQ(report.repairable, report.incoherent);
+}
+
+TEST(Repair, DiscoversCrossLinkPrefix) {
+  // On a federation with a cross-link, the advisor should find
+  // "/" → "/org1" (org1's names as seen from org2 via the link).
+  NamingGraph graph;
+  FileSystem fs(graph);
+  CrossLinkScheme scheme(fs);
+  SiteId org1 = scheme.add_site("org1");
+  SiteId org2 = scheme.add_site("org2");
+  ASSERT_TRUE(
+      fs.create_file_at(scheme.site_tree(org1), "users/ann/f", "a").is_ok());
+  ASSERT_TRUE(
+      fs.create_file_at(scheme.site_tree(org1), "projects/p/x", "p").is_ok());
+  scheme.finalize();
+  ASSERT_TRUE(scheme.add_cross_link(org2, Name("org1"), org1).is_ok());
+
+  RepairAdvisor advisor(graph);
+  EntityId c1 = scheme.make_site_context(org1);
+  EntityId c2 = scheme.make_site_context(org2);
+  auto probes = absolutize(probes_from_dir(graph, scheme.site_tree(org1)));
+  RepairOptions options;
+  options.allow_dot_names = false;  // federations have no super-root
+  RepairReport report = advisor.suggest(c1, c2, probes, options);
+
+  ASSERT_FALSE(report.suggestions.empty());
+  const MappingSuggestion& best = report.suggestions.front();
+  EXPECT_EQ(best.from_prefix, CompoundName::path("/"));
+  EXPECT_EQ(best.to_prefix.to_path(), "/org1");
+  EXPECT_EQ(best.repaired, report.incoherent);
+}
+
+TEST(Repair, NoLinkMeansNoSuggestions) {
+  // Without any path from B to A's entities, nothing is repairable.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  CrossLinkScheme scheme(fs);
+  SiteId org1 = scheme.add_site("org1");
+  SiteId org2 = scheme.add_site("org2");
+  ASSERT_TRUE(fs.create_file_at(scheme.site_tree(org1), "f", "x").is_ok());
+  scheme.finalize();
+  RepairAdvisor advisor(graph);
+  auto probes = absolutize(probes_from_dir(graph, scheme.site_tree(org1)));
+  RepairReport report = advisor.suggest(scheme.make_site_context(org1),
+                                        scheme.make_site_context(org2),
+                                        probes);
+  EXPECT_GT(report.incoherent, 0u);
+  EXPECT_EQ(report.repairable, 0u);
+  EXPECT_TRUE(report.suggestions.empty());
+}
+
+TEST(Repair, CoherentProbesNeedNoRepair) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId shared = fs.make_root("shared");
+  ASSERT_TRUE(fs.create_file_at(shared, "a/b", "x").is_ok());
+  EntityId ctx1 = graph.add_context_object("c1");
+  graph.context(ctx1) = FileSystem::make_process_context(shared, shared);
+  EntityId ctx2 = graph.add_context_object("c2");
+  graph.context(ctx2) = FileSystem::make_process_context(shared, shared);
+  RepairAdvisor advisor(graph);
+  auto probes = absolutize(probes_from_dir(graph, shared));
+  RepairReport report = advisor.suggest(ctx1, ctx2, probes);
+  EXPECT_EQ(report.incoherent, 0u);
+  EXPECT_TRUE(report.suggestions.empty());
+}
+
+TEST(Repair, ConflictsCounted) {
+  // Same name bound to different entities on both sides → kDifferent.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId r1 = fs.make_root("r1");
+  EntityId r2 = fs.make_root("r2");
+  ASSERT_TRUE(fs.create_file_at(r1, "etc/passwd", "1").is_ok());
+  ASSERT_TRUE(fs.create_file_at(r2, "etc/passwd", "2").is_ok());
+  EntityId c1 = graph.add_context_object("c1");
+  graph.context(c1) = FileSystem::make_process_context(r1, r1);
+  EntityId c2 = graph.add_context_object("c2");
+  graph.context(c2) = FileSystem::make_process_context(r2, r2);
+  RepairAdvisor advisor(graph);
+  std::vector<CompoundName> probes = {CompoundName::path("/etc/passwd")};
+  RepairReport report = advisor.suggest(c1, c2, probes);
+  EXPECT_EQ(report.incoherent, 1u);
+  EXPECT_EQ(report.conflicts, 1u);
+}
+
+TEST(Repair, WeakModeAcceptsReplicaRepairs) {
+  // A repair that lands on a replica counts under kWeak, not kStrict.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId r1 = fs.make_root("r1");
+  EntityId r2 = fs.make_root("r2");
+  auto orig = fs.create_file_at(r1, "bin/cc", "cc");
+  ASSERT_TRUE(orig.is_ok());
+  auto bin2 = fs.mkdir_p(r2, "tools");
+  ASSERT_TRUE(bin2.is_ok());
+  auto replica = fs.replicate_file(orig.value(), bin2.value(), Name("cc"));
+  ASSERT_TRUE(replica.is_ok());
+  EntityId c1 = graph.add_context_object("c1");
+  graph.context(c1) = FileSystem::make_process_context(r1, r1);
+  EntityId c2 = graph.add_context_object("c2");
+  graph.context(c2) = FileSystem::make_process_context(r2, r2);
+  RepairAdvisor advisor(graph);
+  std::vector<CompoundName> probes = {CompoundName::path("/bin/cc")};
+
+  RepairOptions weak;
+  weak.mode = CoherenceMode::kWeak;
+  RepairReport report = advisor.suggest(c1, c2, probes, weak);
+  ASSERT_FALSE(report.suggestions.empty());
+  // "/bin/cc" on side A maps to "/tools/cc" on side B — a replica, which
+  // weak mode accepts.
+  EXPECT_EQ(report.suggestions.front().repaired, 1u);
+
+  RepairOptions strict;
+  strict.mode = CoherenceMode::kStrict;
+  RepairReport strict_report = advisor.suggest(c1, c2, probes, strict);
+  EXPECT_EQ(strict_report.repairable, 0u);
+}
+
+TEST(Repair, ApplyRebasesNames) {
+  MappingSuggestion rule(CompoundName::path("/users"),
+                         CompoundName::path("/org2/users"));
+  auto mapped =
+      RepairAdvisor::apply(rule, CompoundName::path("/users/ann/notes"));
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(mapped.value().to_path(), "/org2/users/ann/notes");
+  EXPECT_FALSE(
+      RepairAdvisor::apply(rule, CompoundName::path("/other")).is_ok());
+}
+
+TEST(Repair, SuggestionLimitHonored) {
+  // Many disjoint one-off mappings: cap kicks in.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId r1 = fs.make_root("r1");
+  EntityId r2 = fs.make_root("r2");
+  std::vector<CompoundName> probes;
+  for (int i = 0; i < 8; ++i) {
+    std::string leaf = "f" + std::to_string(i);
+    auto f = fs.create_file_at(r1, "d" + std::to_string(i) + "/" + leaf,
+                               "x");
+    ASSERT_TRUE(f.is_ok());
+    // Give r2 a differently named route to the same entity.
+    auto alt = fs.mkdir_p(r2, "alt" + std::to_string(i));
+    ASSERT_TRUE(alt.is_ok());
+    ASSERT_TRUE(fs.link(alt.value(), Name(leaf), f.value()).is_ok());
+    probes.push_back(
+        CompoundName::path("/d" + std::to_string(i) + "/" + leaf));
+  }
+  EntityId c1 = graph.add_context_object("c1");
+  graph.context(c1) = FileSystem::make_process_context(r1, r1);
+  EntityId c2 = graph.add_context_object("c2");
+  graph.context(c2) = FileSystem::make_process_context(r2, r2);
+  RepairAdvisor advisor(graph);
+  RepairOptions options;
+  options.max_suggestions = 3;
+  RepairReport report = advisor.suggest(c1, c2, probes, options);
+  EXPECT_LE(report.suggestions.size(), 3u);
+  EXPECT_EQ(report.repairable, 8u);
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,177 @@
+// Tests for compound-name resolution — the paper's recursive definition
+//   c(n1…nk) = σ(c(n1))(n2…nk)  when σ(c(n1)) ∈ C, else ⊥E.
+#include <gtest/gtest.h>
+
+#include "core/resolve.hpp"
+
+namespace namecoh {
+namespace {
+
+// Fixture: a small graph   root --a--> da --b--> db --f--> file
+//                          root --x--> file2
+class ResolveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = g_.add_context_object("root");
+    da_ = g_.add_context_object("da");
+    db_ = g_.add_context_object("db");
+    file_ = g_.add_data_object("file", "payload");
+    file2_ = g_.add_data_object("file2");
+    act_ = g_.add_activity("proc");
+    ASSERT_TRUE(g_.bind(root_, Name("a"), da_).is_ok());
+    ASSERT_TRUE(g_.bind(da_, Name("b"), db_).is_ok());
+    ASSERT_TRUE(g_.bind(db_, Name("f"), file_).is_ok());
+    ASSERT_TRUE(g_.bind(root_, Name("x"), file2_).is_ok());
+    ASSERT_TRUE(g_.bind(root_, Name("p"), act_).is_ok());
+  }
+
+  NamingGraph g_;
+  EntityId root_, da_, db_, file_, file2_, act_;
+};
+
+TEST_F(ResolveTest, SingleComponent) {
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("a"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, da_);
+  EXPECT_EQ(res.steps, 1u);
+}
+
+TEST_F(ResolveTest, MultiComponentTraversal) {
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("a/b/f"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, file_);
+  EXPECT_EQ(res.steps, 3u);
+  // Trail records the context objects traversed: root, da, db.
+  ASSERT_EQ(res.trail.size(), 3u);
+  EXPECT_EQ(res.trail[0], root_);
+  EXPECT_EQ(res.trail[1], da_);
+  EXPECT_EQ(res.trail[2], db_);
+}
+
+TEST_F(ResolveTest, LastComponentMayBeAnyEntity) {
+  // Data object as final step: fine.
+  EXPECT_TRUE(resolve_from(g_, root_, CompoundName::relative("x")).ok());
+  // Activity as final step: also fine (activities are entities).
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("p"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, act_);
+}
+
+TEST_F(ResolveTest, UnboundNameIsNotFound) {
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("ghost"));
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(res.entity.valid());
+}
+
+TEST_F(ResolveTest, UnboundMidPathIsNotFound) {
+  Resolution res =
+      resolve_from(g_, root_, CompoundName::relative("a/ghost/f"));
+  EXPECT_EQ(res.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(res.steps, 2u);
+}
+
+TEST_F(ResolveTest, TraversalThroughNonContextFails) {
+  // "x" is a data object: σ(c(x)) ∉ C, so "x/anything" is ⊥E.
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("x/y"));
+  EXPECT_EQ(res.status.code(), StatusCode::kNotAContext);
+}
+
+TEST_F(ResolveTest, TraversalThroughActivityFails) {
+  Resolution res = resolve_from(g_, root_, CompoundName::relative("p/y"));
+  EXPECT_EQ(res.status.code(), StatusCode::kNotAContext);
+}
+
+TEST_F(ResolveTest, StartMustBeContext) {
+  Resolution res = resolve_from(g_, file_, CompoundName::relative("a"));
+  EXPECT_EQ(res.status.code(), StatusCode::kNotAContext);
+}
+
+TEST_F(ResolveTest, ResolveFromExplicitContextValue) {
+  Context ctx;
+  ctx.bind(Name("r"), root_);
+  Resolution res = resolve(g_, ctx, CompoundName::relative("r/a/b"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, db_);
+  // With an explicit context value there is no initial context object on
+  // the trail; the first trail entry is root_ (after consuming "r").
+  ASSERT_GE(res.trail.size(), 1u);
+  EXPECT_EQ(res.trail[0], root_);
+}
+
+TEST_F(ResolveTest, CycleHitsDepthLimit) {
+  // loop: root -> l -> root (cycle via bindings).
+  EntityId loop = g_.add_context_object("loop");
+  ASSERT_TRUE(g_.bind(root_, Name("l"), loop).is_ok());
+  ASSERT_TRUE(g_.bind(loop, Name("l"), root_).is_ok());
+  // A long alternating compound name resolves fine below the limit …
+  std::vector<Name> names;
+  for (int i = 0; i < 10; ++i) names.emplace_back("l");
+  EXPECT_TRUE(resolve_from(g_, root_, CompoundName(names)).ok());
+  // … and trips DEPTH_EXCEEDED above it.
+  ResolveOptions opts;
+  opts.max_steps = 5;
+  Resolution res = resolve_from(g_, root_, CompoundName(names), opts);
+  EXPECT_EQ(res.status.code(), StatusCode::kDepthExceeded);
+}
+
+TEST_F(ResolveTest, SameEntityComparison) {
+  Resolution a = resolve_from(g_, root_, CompoundName::relative("a/b"));
+  Resolution b = resolve_from(g_, root_, CompoundName::relative("a/b"));
+  Resolution c = resolve_from(g_, root_, CompoundName::relative("x"));
+  Resolution bad = resolve_from(g_, root_, CompoundName::relative("nope"));
+  EXPECT_TRUE(a.same_entity(b));
+  EXPECT_FALSE(a.same_entity(c));
+  EXPECT_FALSE(a.same_entity(bad));
+  EXPECT_FALSE(bad.same_entity(bad));  // failures denote nothing
+}
+
+TEST_F(ResolveTest, DotAndDotDotAsOrdinaryBindings) {
+  // The resolver has no special cases: install the bindings and they work.
+  ASSERT_TRUE(g_.bind(da_, Name("."), da_).is_ok());
+  ASSERT_TRUE(g_.bind(da_, Name(".."), root_).is_ok());
+  Resolution res =
+      resolve_from(g_, root_, CompoundName::relative("a/./../a/b"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, db_);
+}
+
+TEST_F(ResolveTest, AliasesResolveToSameEntity) {
+  // Two names for one entity (hard link): resolution agrees.
+  ASSERT_TRUE(g_.bind(root_, Name("alias"), file_).is_ok());
+  Resolution direct = resolve_from(g_, root_, CompoundName::relative("a/b/f"));
+  Resolution alias = resolve_from(g_, root_, CompoundName::relative("alias"));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(direct.entity, alias.entity);
+}
+
+// Property sweep: resolution of a linear chain of depth d takes exactly d
+// steps and visits d contexts.
+class ChainDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepth, StepsEqualDepth) {
+  int depth = GetParam();
+  NamingGraph g;
+  EntityId root = g.add_context_object("root");
+  EntityId current = root;
+  std::vector<Name> names;
+  for (int i = 0; i < depth; ++i) {
+    EntityId next = g.add_context_object("d" + std::to_string(i));
+    Name name("c" + std::to_string(i));
+    ASSERT_TRUE(g.bind(current, name, next).is_ok());
+    names.push_back(name);
+    current = next;
+  }
+  Resolution res = resolve_from(g, root, CompoundName(names));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.entity, current);
+  EXPECT_EQ(res.steps, static_cast<std::size_t>(depth));
+  EXPECT_EQ(res.trail.size(), static_cast<std::size_t>(depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepth,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64, 200));
+
+}  // namespace
+}  // namespace namecoh

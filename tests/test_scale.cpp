@@ -1,0 +1,176 @@
+// Scale smoke tests: the library must stay linear-ish on graphs far larger
+// than the experiment fixtures. No wall-clock assertions (flaky); instead
+// the tests bound *work counters* that would explode under accidental
+// quadratic behaviour, and simply require completion. Includes a fuzz test
+// of the wire codec: arbitrary bytes must never crash the decoder.
+#include <gtest/gtest.h>
+
+#include "namecoh.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Scale, LargeTreeResolutionAndEnumeration) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("big");
+  TreeSpec spec;
+  spec.depth = 5;
+  spec.dirs_per_dir = 4;
+  spec.files_per_dir = 2;
+  spec.common_fraction = 1.0;
+  TreeStats stats = populate_tree(fs, root, spec, 1);
+  // 4 + 16 + 64 + 256 + 1024 = 1364 directories.
+  EXPECT_EQ(stats.directories, 1364u);
+  EXPECT_EQ(stats.files, 2u * 1365u);
+
+  EnumerateOptions options;
+  options.max_results = 100000;
+  auto names = enumerate_names(graph, root, options);
+  EXPECT_EQ(names.size(), stats.directories + stats.files);
+
+  // Deep resolution still costs exactly its length.
+  Context ctx = FileSystem::make_process_context(root, root);
+  Resolution res = fs.resolve_path(ctx, "/bin/d1_0/d2_0/d3_0/d4_0/README");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.steps, 7u);
+}
+
+TEST(Scale, PairwiseCoherenceOverThousandsOfProbes) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId r1 = fs.make_root("a");
+  EntityId r2 = fs.make_root("b");
+  TreeSpec spec;
+  spec.depth = 4;
+  spec.dirs_per_dir = 3;
+  spec.files_per_dir = 3;
+  spec.common_fraction = 0.7;
+  spec.site_tag = "a";
+  populate_tree(fs, r1, spec, 2);
+  spec.site_tag = "b";
+  populate_tree(fs, r2, spec, 2);
+  // A shared subtree so the probe set has a genuinely coherent portion.
+  EntityId shared = fs.make_root("shared");
+  TreeSpec shared_spec;
+  shared_spec.depth = 3;
+  shared_spec.dirs_per_dir = 3;
+  shared_spec.files_per_dir = 3;
+  shared_spec.common_fraction = 1.0;
+  populate_tree(fs, shared, shared_spec, 9);
+  ASSERT_TRUE(fs.attach(r1, Name("shared"), shared).is_ok());
+  ASSERT_TRUE(fs.attach(r2, Name("shared"), shared).is_ok());
+  EntityId c1 = graph.add_context_object("c1");
+  graph.context(c1) = FileSystem::make_process_context(r1, r1);
+  EntityId c2 = graph.add_context_object("c2");
+  graph.context(c2) = FileSystem::make_process_context(r2, r2);
+  CoherenceAnalyzer analyzer(graph);
+  auto probes = absolutize(probes_from_dir(graph, r1, 8, 100000));
+  ASSERT_GT(probes.size(), 300u);
+  DegreeReport report = analyzer.degree(c1, c2, probes);
+  EXPECT_EQ(report.strict.trials(), probes.size());
+  // Mixed outcome sanity: some coherent (common positions), some not.
+  EXPECT_GT(report.strict.successes(), 0u);
+  EXPECT_LT(report.strict.successes(), report.strict.trials());
+}
+
+TEST(Scale, ManyProcessesManyMachines) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  Simulator sim;
+  Internetwork net;
+  Transport transport(sim, net);
+  ProcessManager pm(graph, fs, net, transport);
+  NetworkId n = net.add_network("n");
+  EntityId root = fs.make_root("shared-root");
+  NAMECOH_CHECK(fs.create_file_at(root, "f", "x").is_ok(), "");
+  std::vector<ProcessId> processes;
+  for (int m = 0; m < 20; ++m) {
+    MachineId machine = net.add_machine(n, "m" + std::to_string(m));
+    for (int p = 0; p < 10; ++p) {
+      processes.push_back(pm.spawn(machine, "p", root, root));
+    }
+  }
+  EXPECT_EQ(pm.process_count(), 200u);
+  // All-pairs would be 20k sends; a ring suffices to exercise the stack.
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    ASSERT_TRUE(pm.send_name_to(processes[i],
+                                processes[(i + 1) % processes.size()],
+                                "/f").is_ok());
+  }
+  pm.settle();
+  EXPECT_EQ(pm.received_names().size(), processes.size());
+  // Every received name is coherent (shared root).
+  for (const ReceivedName& rn : pm.received_names()) {
+    Resolution got = pm.resolve_received(rn, ByReceiverRule{});
+    ASSERT_TRUE(got.ok());
+  }
+}
+
+TEST(Scale, SimulatorHandlesManyEvents) {
+  Simulator sim;
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 50000; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i % 997), [&counter] { ++counter; });
+  }
+  EXPECT_EQ(sim.run(), 50000u);
+  EXPECT_EQ(counter, 50000u);
+}
+
+TEST(Fuzz, PayloadDecodeNeverCrashes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::size_t len = rng.next_below(64);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    auto decoded = Payload::decode(bytes);  // must not crash or hang
+    if (decoded.is_ok()) {
+      // If it decodes, it must re-encode to a decodable payload.
+      auto round = Payload::decode(decoded.value().encode());
+      EXPECT_TRUE(round.is_ok());
+      EXPECT_EQ(round.value(), decoded.value());
+    }
+  }
+}
+
+TEST(Fuzz, SnapshotImportNeverCrashes) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("r");
+  Rng rng(4052);
+  const char alphabet[] = "DFENR\t0123456789abcdef-\nv ";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = "namecoh-snapshot v1 0\n";
+    std::size_t len = rng.next_below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    auto result = import_snapshot(fs, root, Name("t" + std::to_string(trial)),
+                                  text);  // error or success, never crash
+    (void)result;
+  }
+  // The tree must still be structurally sound afterwards.
+  EXPECT_TRUE(fsck(graph, root).clean());
+}
+
+TEST(Fuzz, PathParserNeverCrashes) {
+  Rng rng(31337);
+  const char alphabet[] = "abc/.._-0 \t";
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string path;
+    std::size_t len = rng.next_below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      path += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    auto parsed = CompoundName::parse_path(path);
+    if (parsed.is_ok()) {
+      // Round-trip stability for anything accepted.
+      EXPECT_EQ(CompoundName::path(parsed.value().to_path()),
+                parsed.value());
+    }
+    (void)CompoundName::parse_relative(path);
+  }
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,458 @@
+// Tests for the §5 naming schemes. Each test asserts a *claim from the
+// paper's text* about the scheme's degree of coherence.
+#include <gtest/gtest.h>
+
+#include "coherence/coherence.hpp"
+#include "schemes/crosslink.hpp"
+#include "schemes/newcastle.hpp"
+#include "schemes/per_process.hpp"
+#include "schemes/shared_graph.hpp"
+#include "schemes/single_graph.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+// Populate both sites with the standard two-site fixture: identical common
+// structure, disjoint unique names.
+void populate_two_sites(FileSystem& fs, NamingScheme& scheme, SiteId s1,
+                        SiteId s2) {
+  TreeSpec spec;
+  spec.depth = 2;
+  spec.dirs_per_dir = 2;
+  spec.files_per_dir = 3;
+  spec.common_fraction = 0.6;
+  spec.site_tag = "s1";
+  populate_tree(fs, scheme.site_tree(s1), spec, /*seed=*/42);
+  spec.site_tag = "s2";
+  populate_tree(fs, scheme.site_tree(s2), spec, /*seed=*/42);
+}
+
+TEST(SingleGraph, AllAbsoluteNamesAreGlobal) {
+  // §5.1: root bound to the tree root for all processes → high coherence.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SingleGraphScheme scheme(fs);
+  SiteId s1 = scheme.add_site("m1");
+  SiteId s2 = scheme.add_site("m2");
+  populate_two_sites(fs, scheme, s1, s2);
+  scheme.finalize();
+
+  CoherenceAnalyzer analyzer(graph);
+  EntityId c1 = scheme.make_site_context(s1);
+  EntityId c2 = scheme.make_site_context(s2);
+  auto probes = absolutize(probes_from_dir(graph, scheme.global_root()));
+  ASSERT_GT(probes.size(), 10u);
+  DegreeReport report = analyzer.degree(c1, c2, probes);
+  EXPECT_DOUBLE_EQ(report.strict.fraction(), 1.0);
+}
+
+TEST(SingleGraph, SitesAreMountedUnderLabels) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SingleGraphScheme scheme(fs);
+  SiteId s1 = scheme.add_site("m1");
+  ASSERT_TRUE(fs.create_file_at(scheme.site_tree(s1), "f", "x").is_ok());
+  Context ctx = FileSystem::make_process_context(scheme.global_root(),
+                                                 scheme.global_root());
+  EXPECT_TRUE(fs.resolve_path(ctx, "/m1/f").ok());
+  // '..' climbs from the site tree to the global root (mount reparents).
+  EXPECT_EQ(fs.parent_of(scheme.site_tree(s1)).value(),
+            scheme.global_root());
+}
+
+class NewcastleTest : public ::testing::Test {
+ protected:
+  NewcastleTest() : fs_(graph_), scheme_(fs_) {
+    s1_ = scheme_.add_site("m1");
+    s2_ = scheme_.add_site("m2");
+    s3_ = scheme_.add_site("m3");
+    populate_two_sites(fs_, scheme_, s1_, s2_);
+    TreeSpec spec;
+    spec.site_tag = "s3";
+    populate_tree(fs_, scheme_.site_tree(s3_), spec, 42);
+    scheme_.finalize();
+  }
+  NamingGraph graph_;
+  FileSystem fs_;
+  NewcastleScheme scheme_;
+  SiteId s1_, s2_, s3_;
+};
+
+TEST_F(NewcastleTest, SameMachineProcessesCoherent) {
+  // "Only processes that have the same binding for the root directory have
+  // coherence for names starting with '/'".
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId a = scheme_.make_site_context(s1_);
+  EntityId b = scheme_.make_site_context(s1_);
+  auto probes = absolutize(probes_from_dir(graph_, scheme_.site_tree(s1_)));
+  EXPECT_DOUBLE_EQ(analyzer.degree(a, b, probes).strict.fraction(), 1.0);
+}
+
+TEST_F(NewcastleTest, CrossMachineIncoherent) {
+  // "There is incoherence across machine boundaries."
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId a = scheme_.make_site_context(s1_);
+  EntityId b = scheme_.make_site_context(s2_);
+  auto probes = absolutize(probes_from_dir(graph_, scheme_.site_tree(s1_)));
+  DegreeReport report = analyzer.degree(a, b, probes);
+  // No common reference at all for '/' names: nothing is coherent.
+  EXPECT_DOUBLE_EQ(report.strict.fraction(), 0.0);
+  // And the failure mode is a mix of silently-different and unresolved.
+  EXPECT_GT(report.verdicts.get("different"), 0u);
+  EXPECT_GT(report.verdicts.get("one-unresolved"), 0u);
+}
+
+TEST_F(NewcastleTest, DotDotAboveRootReachesOtherMachines) {
+  ASSERT_TRUE(
+      fs_.create_file_at(scheme_.site_tree(s2_), "special", "on m2").is_ok());
+  Context on_m1 = FileSystem::make_process_context(scheme_.site_root(s1_),
+                                                   scheme_.site_root(s1_));
+  Resolution res = fs_.resolve_path(on_m1, "/../m2/special");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "on m2");
+}
+
+TEST_F(NewcastleTest, MapPathRestoresCommonReference) {
+  // The §5.1 "simple rule to map names across machines".
+  ASSERT_TRUE(
+      fs_.create_file_at(scheme_.site_tree(s1_), "proj/data", "D").is_ok());
+  auto mapped = scheme_.map_path(s1_, s2_, "/proj/data");
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(mapped.value(), "/../m1/proj/data");
+  Context on_m1 = FileSystem::make_process_context(scheme_.site_root(s1_),
+                                                   scheme_.site_root(s1_));
+  Context on_m2 = FileSystem::make_process_context(scheme_.site_root(s2_),
+                                                   scheme_.site_root(s2_));
+  Resolution direct = fs_.resolve_path(on_m1, "/proj/data");
+  Resolution via_map = fs_.resolve_path(on_m2, mapped.value());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_map.ok());
+  EXPECT_EQ(direct.entity, via_map.entity);
+}
+
+TEST_F(NewcastleTest, MapPathIdentityAndErrors) {
+  EXPECT_EQ(scheme_.map_path(s1_, s1_, "/x").value(), "/x");
+  EXPECT_EQ(scheme_.map_path(s1_, s2_, "/").value(), "/../m1");
+  EXPECT_FALSE(scheme_.map_path(s1_, s2_, "relative").is_ok());
+  NamingGraph g2;
+  FileSystem f2(g2);
+  NewcastleScheme unfinalized(f2);
+  SiteId a = unfinalized.add_site("a");
+  SiteId b = unfinalized.add_site("b");
+  EXPECT_EQ(unfinalized.map_path(a, b, "/x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NewcastleTest, NoGlobalNamesDespiteSingleTree) {
+  // "a shared naming tree does not imply that names are global".
+  CoherenceAnalyzer analyzer(graph_);
+  std::vector<EntityId> contexts = {scheme_.make_site_context(s1_),
+                                    scheme_.make_site_context(s2_),
+                                    scheme_.make_site_context(s3_)};
+  auto probes = absolutize(probes_from_dir(graph_, scheme_.site_tree(s1_)));
+  FractionCounter global = analyzer.global_fraction(
+      contexts, probes, CoherenceMode::kStrict);
+  EXPECT_DOUBLE_EQ(global.fraction(), 0.0);
+}
+
+class SharedGraphTest : public ::testing::Test {
+ protected:
+  SharedGraphTest() : fs_(graph_), scheme_(fs_) {
+    s1_ = scheme_.add_site("c1");
+    s2_ = scheme_.add_site("c2");
+    populate_two_sites(fs_, scheme_, s1_, s2_);
+    // Shared subtree content.
+    NAMECOH_CHECK(
+        fs_.create_file_at(scheme_.shared_tree(), "usr/shared.txt", "s")
+            .is_ok(),
+        "");
+    NAMECOH_CHECK(
+        fs_.create_file_at(scheme_.shared_tree(), "projects/p1/main.c", "m")
+            .is_ok(),
+        "");
+    // Replicated commands.
+    NAMECOH_CHECK(scheme_.replicate_everywhere("rbin/cc", "cc").is_ok(), "");
+    scheme_.finalize();
+  }
+  NamingGraph graph_;
+  FileSystem fs_;
+  SharedGraphScheme scheme_;
+  SiteId s1_, s2_;
+};
+
+TEST_F(SharedGraphTest, ViceNamesAreGlobal) {
+  // §5.2: "Only files in the shared naming graph have global names: these
+  // are names prefixed with /vice."
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId c1 = scheme_.make_site_context(s1_);
+  EntityId c2 = scheme_.make_site_context(s2_);
+  auto shared_probes = probes_from_dir(graph_, scheme_.shared_tree());
+  // Prefix each with /vice.
+  std::vector<CompoundName> vice_probes;
+  for (const auto& p : shared_probes) {
+    vice_probes.push_back(
+        CompoundName::path("/vice").append(p));
+  }
+  DegreeReport report = analyzer.degree(c1, c2, vice_probes);
+  ASSERT_GT(report.strict.trials(), 0u);
+  EXPECT_DOUBLE_EQ(report.strict.fraction(), 1.0);
+}
+
+TEST_F(SharedGraphTest, LocalNamesIncoherentAcrossClients) {
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId c1 = scheme_.make_site_context(s1_);
+  EntityId c2 = scheme_.make_site_context(s2_);
+  // Probe only the sites' local trees (exclude the vice attachment).
+  std::vector<CompoundName> local;
+  for (const auto& p :
+       absolutize(probes_from_dir(graph_, scheme_.site_tree(s1_)))) {
+    if (!p.has_prefix(CompoundName::path("/vice")) &&
+        !p.has_prefix(CompoundName::path("/rbin"))) {
+      local.push_back(p);
+    }
+  }
+  ASSERT_GT(local.size(), 5u);
+  DegreeReport report = analyzer.degree(c1, c2, local);
+  EXPECT_LT(report.strict.fraction(), 1.0);
+  EXPECT_EQ(report.strict.successes(), 0u);
+}
+
+TEST_F(SharedGraphTest, ReplicatedCommandsWeaklyCoherent) {
+  // §5.2: "There is also coherence for the names of replicated commands
+  // and libraries" — weak coherence, to be precise.
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId c1 = scheme_.make_site_context(s1_);
+  EntityId c2 = scheme_.make_site_context(s2_);
+  CompoundName cc = CompoundName::path("/rbin/cc");
+  EXPECT_EQ(analyzer.probe(c1, c2, cc), ProbeVerdict::kWeakReplicas);
+  EXPECT_FALSE(analyzer.coherent_for(c1, c2, cc, CoherenceMode::kStrict));
+  EXPECT_TRUE(analyzer.coherent_for(c1, c2, cc, CoherenceMode::kWeak));
+}
+
+TEST_F(SharedGraphTest, DceCellsCoherentWithinCellOnly) {
+  // §5.2 DCE: cells under "/.:" — incoherence for cell-relative names
+  // across cells, coherence within a cell.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SharedGraphConfig config;
+  config.shared_name = Name("...");
+  config.cell_name = Name(".:");
+  SharedGraphScheme dce(fs, config);
+  SiteId a1 = dce.add_site("orgA-1");
+  SiteId a2 = dce.add_site("orgA-2");
+  SiteId b1 = dce.add_site("orgB-1");
+  ASSERT_TRUE(dce.assign_cell(a1, Name("orgA")).is_ok());
+  ASSERT_TRUE(dce.assign_cell(a2, Name("orgA")).is_ok());
+  ASSERT_TRUE(dce.assign_cell(b1, Name("orgB")).is_ok());
+  // Cell content.
+  ASSERT_TRUE(fs.create_file_at(dce.shared_tree(), "orgA/db", "A db").is_ok());
+  ASSERT_TRUE(fs.create_file_at(dce.shared_tree(), "orgB/db", "B db").is_ok());
+
+  CoherenceAnalyzer analyzer(graph);
+  EntityId ca1 = dce.make_site_context(a1);
+  EntityId ca2 = dce.make_site_context(a2);
+  EntityId cb1 = dce.make_site_context(b1);
+  // Cell-relative name: "/.:/db".
+  CompoundName cell_db({Name("/"), Name(".:"), Name("db")});
+  EXPECT_EQ(analyzer.probe(ca1, ca2, cell_db), ProbeVerdict::kSameEntity);
+  EXPECT_EQ(analyzer.probe(ca1, cb1, cell_db), ProbeVerdict::kDifferent);
+  // Fully qualified "/.../orgA/db" is global.
+  CompoundName full({Name("/"), Name("..."), Name("orgA"), Name("db")});
+  EXPECT_EQ(analyzer.probe(ca1, cb1, full), ProbeVerdict::kSameEntity);
+}
+
+TEST(DceCells, SingleCellPerMachineIsNotSufficient) {
+  // §5.2: "An organization can have several cells, but a machine is
+  // allowed to know of only one local cell. A single local context such as
+  // the cell is not going to be sufficient; it is useful to be able to use
+  // names relative to several local contexts."
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SharedGraphConfig config;
+  config.shared_name = Name("...");
+  config.cell_name = Name(".:");
+  SharedGraphScheme dce(fs, config);
+  SiteId site = dce.add_site("dev-box");
+  ASSERT_TRUE(dce.assign_cell(site, Name("engineering")).is_ok());
+  // The machine cannot get a second cell binding: the DCE limitation.
+  EXPECT_EQ(dce.assign_cell(site, Name("sales")).code(),
+            StatusCode::kAlreadyExists);
+  dce.finalize();
+  Context shared_ctx = FileSystem::make_process_context(dce.shared_tree(),
+                                                        dce.shared_tree());
+  ASSERT_TRUE(
+      fs.create_file_at(dce.shared_tree(), "engineering/specs", "S").is_ok());
+  ASSERT_TRUE(
+      fs.create_file_at(dce.shared_tree(), "sales/forecast", "F").is_ok());
+
+  // The paper's remedy: attach several local contexts per *process*
+  // (division, department, project), which our process contexts support
+  // directly — a per-process closure fix the machine-level cell cannot do.
+  EntityId process_ctx = graph.add_context_object("multi-cell-process");
+  graph.context(process_ctx) =
+      FileSystem::make_process_context(dce.site_root(site),
+                                       dce.site_root(site));
+  EntityId eng = fs.resolve_path(shared_ctx, "/engineering").entity;
+  EntityId sales = fs.resolve_path(shared_ctx, "/sales").entity;
+  graph.context(process_ctx).bind(Name("eng:"), eng);
+  graph.context(process_ctx).bind(Name("sales:"), sales);
+  Resolution specs = resolve(graph, graph.context(process_ctx),
+                             CompoundName({Name("eng:"), Name("specs")}));
+  Resolution forecast =
+      resolve(graph, graph.context(process_ctx),
+              CompoundName({Name("sales:"), Name("forecast")}));
+  ASSERT_TRUE(specs.ok());
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(graph.data(specs.entity), "S");
+  EXPECT_EQ(graph.data(forecast.entity), "F");
+}
+
+TEST_F(SharedGraphTest, AssignCellRequiresConfiguration) {
+  EXPECT_EQ(scheme_.assign_cell(s1_, Name("org")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class CrossLinkTest : public ::testing::Test {
+ protected:
+  CrossLinkTest() : fs_(graph_), scheme_(fs_) {
+    org1_ = scheme_.add_site("org1");
+    org2_ = scheme_.add_site("org2");
+    NAMECOH_CHECK(
+        fs_.create_file_at(scheme_.site_tree(org1_), "users/ann/f", "ann")
+            .is_ok(), "");
+    NAMECOH_CHECK(
+        fs_.create_file_at(scheme_.site_tree(org2_), "users/bob/f", "bob")
+            .is_ok(), "");
+    scheme_.finalize();
+  }
+  NamingGraph graph_;
+  FileSystem fs_;
+  CrossLinkScheme scheme_;
+  SiteId org1_, org2_;
+};
+
+TEST_F(CrossLinkTest, LinkGivesAccessWithoutGlobalNames) {
+  ASSERT_TRUE(scheme_.add_cross_link(org1_, Name("org2"), org2_).is_ok());
+  Context on1 = FileSystem::make_process_context(scheme_.site_root(org1_),
+                                                 scheme_.site_root(org1_));
+  // org1 can reach org2's user files via the link…
+  Resolution res = fs_.resolve_path(on1, "/org2/users/bob/f");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "bob");
+  // …but the *same name* "/users/bob/f" means different things: §5.3
+  // "There are no global names between systems".
+  CoherenceAnalyzer analyzer(graph_);
+  EntityId c1 = scheme_.make_site_context(org1_);
+  EntityId c2 = scheme_.make_site_context(org2_);
+  EXPECT_NE(analyzer.probe(c1, c2, CompoundName::path("/users/bob/f")),
+            ProbeVerdict::kSameEntity);
+}
+
+TEST_F(CrossLinkTest, PrefixMappingRestoresReference) {
+  // §7: humans map /users/... to /org2/users/... across the boundary.
+  ASSERT_TRUE(scheme_.add_cross_link(org1_, Name("org2"), org2_).is_ok());
+  auto mapped = CrossLinkScheme::map_with_prefix(Name("org2"),
+                                                 "/users/bob/f");
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(mapped.value(), "/org2/users/bob/f");
+  Context on1 = FileSystem::make_process_context(scheme_.site_root(org1_),
+                                                 scheme_.site_root(org1_));
+  Context on2 = FileSystem::make_process_context(scheme_.site_root(org2_),
+                                                 scheme_.site_root(org2_));
+  EXPECT_EQ(fs_.resolve_path(on1, mapped.value()).entity,
+            fs_.resolve_path(on2, "/users/bob/f").entity);
+  EXPECT_FALSE(
+      CrossLinkScheme::map_with_prefix(Name("x"), "relative").is_ok());
+}
+
+TEST_F(CrossLinkTest, DeepCrossLink) {
+  ASSERT_TRUE(scheme_.add_cross_link_to(org1_, Name("bobhome"), org2_,
+                                        "users/bob").is_ok());
+  Context on1 = FileSystem::make_process_context(scheme_.site_root(org1_),
+                                                 scheme_.site_root(org1_));
+  Resolution res = fs_.resolve_path(on1, "/bobhome/f");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(graph_.data(res.entity), "bob");
+  // Linking a file works too.
+  ASSERT_TRUE(scheme_.add_cross_link_to(org1_, Name("bobf"), org2_,
+                                        "users/bob/f").is_ok());
+  EXPECT_EQ(fs_.resolve_path(on1, "/bobf").entity, res.entity);
+  // Bad remote path fails.
+  EXPECT_FALSE(scheme_.add_cross_link_to(org1_, Name("nope"), org2_,
+                                         "no/such/path").is_ok());
+}
+
+TEST(PerProcess, SameViewFullCoherenceAnywhere) {
+  // §6 II: two processes (anywhere) with the same attachments have
+  // coherence for all names through them.
+  NamingGraph graph;
+  FileSystem fs(graph);
+  PerProcessScheme scheme(fs);
+  SiteId s1 = scheme.add_site("m1");
+  SiteId s2 = scheme.add_site("m2");
+  TreeSpec spec;
+  spec.site_tag = "s1";
+  populate_tree(fs, scheme.site_tree(s1), spec, 7);
+  spec.site_tag = "s2";
+  populate_tree(fs, scheme.site_tree(s2), spec, 7);
+  scheme.finalize();
+
+  EntityId view_a = scheme.make_view_of_sites({s1, s2});
+  EntityId view_b = scheme.make_view_of_sites({s1, s2});
+  EntityId ctx_a = graph.add_context_object("pa");
+  graph.context(ctx_a) = FileSystem::make_process_context(view_a, view_a);
+  EntityId ctx_b = graph.add_context_object("pb");
+  graph.context(ctx_b) = FileSystem::make_process_context(view_b, view_b);
+
+  CoherenceAnalyzer analyzer(graph);
+  auto probes = absolutize(probes_from_dir(graph, view_a));
+  ASSERT_GT(probes.size(), 10u);
+  EXPECT_DOUBLE_EQ(analyzer.degree(ctx_a, ctx_b, probes).strict.fraction(),
+                   1.0);
+}
+
+TEST(PerProcess, DifferentViewsDiverge) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  PerProcessScheme scheme(fs);
+  SiteId s1 = scheme.add_site("m1");
+  SiteId s2 = scheme.add_site("m2");
+  ASSERT_TRUE(fs.create_file_at(scheme.site_tree(s1), "f", "1").is_ok());
+  ASSERT_TRUE(fs.create_file_at(scheme.site_tree(s2), "f", "2").is_ok());
+  scheme.finalize();
+  // View a sees m1 under "work"; view b sees m2 under "work".
+  EntityId va = scheme.make_view({{Name("work"), scheme.site_tree(s1)}});
+  EntityId vb = scheme.make_view({{Name("work"), scheme.site_tree(s2)}});
+  CoherenceAnalyzer analyzer(graph);
+  EXPECT_EQ(analyzer.probe(va, vb, CompoundName::relative("work/f")),
+            ProbeVerdict::kDifferent);
+  // Default views expose each site under its own label.
+  EXPECT_TRUE(resolve_from(graph, scheme.site_root(s1),
+                           CompoundName::relative("m1/f"))
+                  .ok());
+}
+
+TEST(SchemeBase, AddSiteAfterFinalizeThrows) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  NewcastleScheme scheme(fs);
+  scheme.add_site("m1");
+  scheme.finalize();
+  EXPECT_THROW(scheme.add_site("m2"), PreconditionError);
+  EXPECT_EQ(scheme.site_count(), 1u);
+}
+
+TEST(SchemeBase, SchemeNames) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EXPECT_EQ(SingleGraphScheme(fs).scheme_name(), "single-graph (Locus/V)");
+  EXPECT_EQ(NewcastleScheme(fs).scheme_name(), "newcastle-connection");
+  EXPECT_EQ(SharedGraphScheme(fs).scheme_name(), "shared-graph (Andrew/DCE)");
+  EXPECT_EQ(CrossLinkScheme(fs).scheme_name(), "cross-links (federated)");
+  EXPECT_EQ(PerProcessScheme(fs).scheme_name(),
+            "per-process views (Plan 9/Port)");
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,158 @@
+// Tests for the service registry: double pid rebase (provider → registry →
+// requester), coherence of service names across machines/networks, and the
+// failure mode with the R(sender) remap disabled.
+#include <gtest/gtest.h>
+
+#include "os/service_registry.hpp"
+
+namespace namecoh {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : transport_(sim_, net_) {
+    NetworkId n1 = net_.add_network("n1");
+    NetworkId n2 = net_.add_network("n2");
+    m1_ = net_.add_machine(n1, "m1");
+    m2_ = net_.add_machine(n1, "m2");
+    m3_ = net_.add_machine(n2, "m3");
+    registry_ = std::make_unique<ServiceRegistry>(net_, transport_, m1_);
+    client_ = std::make_unique<RegistryClient>(net_, transport_, sim_,
+                                               *registry_);
+    provider_ = net_.add_endpoint(m2_, "printer-daemon");
+  }
+
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  MachineId m1_, m2_, m3_;
+  std::unique_ptr<ServiceRegistry> registry_;
+  std::unique_ptr<RegistryClient> client_;
+  EndpointId provider_;
+};
+
+TEST_F(RegistryTest, RegisterStoresRebasedPid) {
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  EXPECT_EQ(registry_->stats().registers, 1u);
+  EXPECT_EQ(registry_->size(), 1u);
+  // The stored pid must denote the provider in the *registry's* context.
+  auto stored = registry_->stored_pid("printer");
+  ASSERT_TRUE(stored.has_value());
+  auto denoted = transport_.resolve_pid(registry_->endpoint(), *stored);
+  ASSERT_TRUE(denoted.is_ok());
+  EXPECT_EQ(denoted.value(), provider_);
+}
+
+TEST_F(RegistryTest, LookupFromEveryDistanceDenotesProvider) {
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  // Requesters on the registry's machine, the provider's machine, a third
+  // machine in another network.
+  for (MachineId m : {m1_, m2_, m3_}) {
+    EndpointId requester = net_.add_endpoint(m, "requester");
+    auto pid = client_->locate(requester, "printer");
+    ASSERT_TRUE(pid.is_ok()) << net_.machine_label(m);
+    auto denoted = transport_.resolve_pid(requester, pid.value());
+    ASSERT_TRUE(denoted.is_ok());
+    EXPECT_EQ(denoted.value(), provider_) << net_.machine_label(m);
+  }
+  EXPECT_EQ(registry_->stats().hits, 3u);
+}
+
+TEST_F(RegistryTest, LookupUnknownServiceMisses) {
+  EndpointId requester = net_.add_endpoint(m1_, "requester");
+  auto pid = client_->locate(requester, "no-such-service");
+  EXPECT_FALSE(pid.is_ok());
+  EXPECT_EQ(pid.code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_->stats().misses, 1u);
+}
+
+TEST_F(RegistryTest, UnregisterRemoves) {
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  ASSERT_TRUE(client_->withdraw(provider_, "printer").is_ok());
+  sim_.run();
+  EXPECT_EQ(registry_->size(), 0u);
+  EndpointId requester = net_.add_endpoint(m1_, "requester");
+  EXPECT_FALSE(client_->locate(requester, "printer").is_ok());
+}
+
+TEST_F(RegistryTest, ThirdPartyRegistration) {
+  // An admin process on m3 registers the provider on m2: the pid it sends
+  // is fully qualified from its vantage point, and still arrives meaning
+  // the provider.
+  EndpointId admin = net_.add_endpoint(m3_, "admin");
+  ASSERT_TRUE(client_->announce(admin, "printer", provider_).is_ok());
+  sim_.run();
+  EndpointId requester = net_.add_endpoint(m2_, "requester");
+  auto pid = client_->locate(requester, "printer");
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(transport_.resolve_pid(requester, pid.value()).value(),
+            provider_);
+}
+
+TEST_F(RegistryTest, SurvivesProviderMachineRenumbering) {
+  // The stored pid is (0,m,l) or (n,m,l) in the registry's context; if the
+  // provider's machine is renumbered the stored pid goes stale — the §6
+  // failure — until the provider re-registers.
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  ASSERT_TRUE(net_.renumber_machine(m2_).is_ok());
+  EndpointId requester = net_.add_endpoint(m1_, "requester");
+  auto stale = client_->locate(requester, "printer");
+  // The lookup succeeds (the table still has an entry) but the pid no
+  // longer denotes anything.
+  if (stale.is_ok()) {
+    EXPECT_FALSE(transport_.resolve_pid(requester, stale.value()).is_ok());
+  }
+  // Re-registration repairs it.
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  auto fresh = client_->locate(requester, "printer");
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_EQ(transport_.resolve_pid(requester, fresh.value()).value(),
+            provider_);
+}
+
+TEST_F(RegistryTest, WithoutRemapLookupsLie) {
+  // Disable the R(sender) remap: the registry stores the provider's pid
+  // verbatim — (0,0,l) in the provider's context — which in the registry's
+  // context means a process on the *registry's* machine.
+  transport_.set_remap_embedded_pids(false);
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  EndpointId requester = net_.add_endpoint(m3_, "requester");
+  auto pid = client_->locate(requester, "printer");
+  if (pid.is_ok()) {
+    auto denoted = transport_.resolve_pid(requester, pid.value());
+    EXPECT_TRUE(!denoted.is_ok() || denoted.value() != provider_);
+  }
+}
+
+TEST_F(RegistryTest, ReRegistrationOverwrites) {
+  EndpointId provider2 = net_.add_endpoint(m3_, "printer-v2");
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  ASSERT_TRUE(client_->announce(provider2, "printer", provider2).is_ok());
+  sim_.run();
+  EndpointId requester = net_.add_endpoint(m1_, "requester");
+  auto pid = client_->locate(requester, "printer");
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(transport_.resolve_pid(requester, pid.value()).value(),
+            provider2);
+}
+
+TEST_F(RegistryTest, HelperEndpointsAreCleanedUp) {
+  ASSERT_TRUE(client_->announce(provider_, "printer", provider_).is_ok());
+  sim_.run();
+  std::size_t before = net_.endpoint_count();
+  EndpointId requester = net_.add_endpoint(m1_, "requester");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client_->locate(requester, "printer").is_ok());
+  }
+  EXPECT_EQ(net_.endpoint_count(), before + 1);  // only `requester` remains
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,191 @@
+// Tests for the discrete-event simulator: ordering, determinism,
+// cancellation, run_until semantics, and the Trace helper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, FiresInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_in(5, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10}));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_at(10, std::function<void()>{}),
+               PreconditionError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // idempotent: already cancelled
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule_at(1, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(EventId::invalid()));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(100), 0u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunMaxEventsBudget) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i + 1, [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 4u);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.schedule_at(5, [] {});
+  sim.run(1);
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, StaleEventIdAfterResetCannotCancelNewEvents) {
+  Simulator sim;
+  EventId old_id = sim.schedule_at(10, [] {});
+  sim.reset();
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(old_id));  // ids are never reused
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Trace, RecordsAndFilters) {
+  Trace trace;
+  trace.record(1, "send", "a->b");
+  trace.record(2, "recv", "b");
+  trace.record(3, "send", "b->a");
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.count("send"), 2u);
+  EXPECT_EQ(trace.count("recv"), 1u);
+  EXPECT_EQ(trace.count("nope"), 0u);
+  auto sends = trace.filter("send");
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[1].detail, "b->a");
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace trace;
+  trace.set_enabled(false);
+  trace.record(1, "x", "y");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+// Property: N events at random distinct times fire in sorted order.
+class SimOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimOrdering, AlwaysSorted) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  // Deterministic pseudo-random times from the seed parameter.
+  std::uint64_t x = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+  for (int i = 0; i < 50; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    SimTime t = x % 1000;
+    sim.schedule_at(t, [&fire_times, &sim] { fire_times.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+  EXPECT_EQ(fire_times.size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimOrdering, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace namecoh

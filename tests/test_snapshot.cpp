@@ -1,0 +1,218 @@
+// Tests for subtree snapshots: export/import round trips across graphs,
+// boundary cutting, embedded-name preservation, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "embed/embedded.hpp"
+#include "fs/snapshot.hpp"
+#include "workload/doc_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : fs_(graph_) { root_ = fs_.make_root("origin"); }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  EntityId root_;
+};
+
+TEST_F(SnapshotTest, RoundTripWithinSameGraph) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "doc/a.txt", "alpha").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "doc/sub/b.txt", "beta").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId doc = fs_.resolve_path(ctx, "/doc").entity;
+
+  auto snapshot = export_subtree(graph_, doc);
+  ASSERT_TRUE(snapshot.is_ok());
+  auto report = import_snapshot(fs_, root_, Name("doc2"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().files, 2u);
+  EXPECT_EQ(report.value().directories, 2u);  // doc + sub
+
+  Resolution a = fs_.resolve_path(ctx, "/doc2/a.txt");
+  Resolution b = fs_.resolve_path(ctx, "/doc2/sub/b.txt");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(graph_.data(a.entity), "alpha");
+  EXPECT_EQ(graph_.data(b.entity), "beta");
+  // Fresh entities, not aliases.
+  EXPECT_NE(a.entity, fs_.resolve_path(ctx, "/doc/a.txt").entity);
+}
+
+TEST_F(SnapshotTest, RoundTripAcrossGraphs) {
+  // The §5.3 scenario: the subtree travels to another autonomous system as
+  // bytes.
+  ASSERT_TRUE(fs_.create_file_at(root_, "pkg/bin/tool", "#!tool").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId pkg = fs_.resolve_path(ctx, "/pkg").entity;
+  auto snapshot = export_subtree(graph_, pkg);
+  ASSERT_TRUE(snapshot.is_ok());
+
+  NamingGraph other_graph;
+  FileSystem other_fs(other_graph);
+  EntityId other_root = other_fs.make_root("elsewhere");
+  auto report =
+      import_snapshot(other_fs, other_root, Name("pkg"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  Context other_ctx =
+      FileSystem::make_process_context(other_root, other_root);
+  Resolution tool = other_fs.resolve_path(other_ctx, "/pkg/bin/tool");
+  ASSERT_TRUE(tool.ok());
+  EXPECT_EQ(other_graph.data(tool.entity), "#!tool");
+  // '..' of the imported root points into the destination.
+  EXPECT_EQ(other_fs.parent_of(report.value().root).value(), other_root);
+}
+
+TEST_F(SnapshotTest, PreservesEmbeddedNamesAndMeaning) {
+  Document doc = make_document(fs_, root_, Name("book"), DocSpec{});
+  auto snapshot = export_subtree(graph_, doc.subtree);
+  ASSERT_TRUE(snapshot.is_ok());
+
+  NamingGraph other_graph;
+  FileSystem other_fs(other_graph);
+  EntityId other_root = other_fs.make_root("colleague");
+  auto report =
+      import_snapshot(other_fs, other_root, Name("book"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().embedded_names, doc.refs);
+
+  // The imported document assembles fully under R(file): Fig. 6 holds
+  // across the administrative boundary.
+  Context other_ctx =
+      FileSystem::make_process_context(other_root, other_root);
+  Resolution opened = other_fs.resolve_path(other_ctx, "/book/book.tex");
+  ASSERT_TRUE(opened.ok());
+  DocumentAssembler assembler(other_graph);
+  AssembleOptions algol;
+  algol.rule = EmbedRule::kAlgolScope;
+  DocumentMeaning meaning =
+      assembler.assemble(opened.entity, opened.trail.back(), algol);
+  EXPECT_TRUE(meaning.fully_resolved());
+  EXPECT_EQ(meaning.refs.size(), doc.refs);
+}
+
+TEST_F(SnapshotTest, PreservesInternalSharingAndCycles) {
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  auto shared = fs_.create_file(dir.value(), Name("shared"), "s");
+  ASSERT_TRUE(shared.is_ok());
+  ASSERT_TRUE(fs_.link(dir.value(), Name("alias"), shared.value()).is_ok());
+  auto inner = fs_.mkdir(dir.value(), Name("inner"));
+  ASSERT_TRUE(inner.is_ok());
+  ASSERT_TRUE(fs_.link(inner.value(), Name("back"), dir.value()).is_ok());
+
+  auto snapshot = export_subtree(graph_, dir.value());
+  ASSERT_TRUE(snapshot.is_ok());
+  auto report = import_snapshot(fs_, root_, Name("d2"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EXPECT_EQ(fs_.resolve_path(ctx, "/d2/shared").entity,
+            fs_.resolve_path(ctx, "/d2/alias").entity);
+  EXPECT_EQ(fs_.resolve_path(ctx, "/d2/inner/back").entity,
+            report.value().root);
+}
+
+TEST_F(SnapshotTest, BoundaryCutsSharedAttachments) {
+  // A site tree with a shared tree attached must not drag the shared tree
+  // along in its snapshot.
+  EntityId shared_tree = fs_.make_root("vice");
+  ASSERT_TRUE(fs_.create_file_at(shared_tree, "huge", "…").is_ok());
+  ASSERT_TRUE(fs_.attach(root_, Name("vice"), shared_tree).is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "mine", "local").is_ok());
+
+  auto snapshot = export_subtree(graph_, root_, {shared_tree});
+  ASSERT_TRUE(snapshot.is_ok());
+  EXPECT_EQ(snapshot.value().find("huge"), std::string::npos);
+
+  NamingGraph other_graph;
+  FileSystem other_fs(other_graph);
+  EntityId other_root = other_fs.make_root("dst");
+  auto report =
+      import_snapshot(other_fs, other_root, Name("site"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().external_refs_cut, 1u);
+  Context ctx = FileSystem::make_process_context(other_root, other_root);
+  EXPECT_TRUE(other_fs.resolve_path(ctx, "/site/mine").ok());
+  EXPECT_FALSE(other_fs.resolve_path(ctx, "/site/vice").ok());
+}
+
+TEST_F(SnapshotTest, ActivitiesNeverTravel) {
+  EntityId proc = graph_.add_activity("daemon");
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  ASSERT_TRUE(graph_.bind(dir.value(), Name("daemon"), proc).is_ok());
+  auto snapshot = export_subtree(graph_, dir.value());
+  ASSERT_TRUE(snapshot.is_ok());
+  auto report = import_snapshot(fs_, root_, Name("d2"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().external_refs_cut, 1u);
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EXPECT_FALSE(fs_.resolve_path(ctx, "/d2/daemon").ok());
+}
+
+TEST_F(SnapshotTest, BinaryContentSurvives) {
+  std::string payload("\0\x01\xff\ttab\nnewline", 15);
+  auto dir = fs_.mkdir(root_, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  ASSERT_TRUE(fs_.create_file(dir.value(), Name("bin"), payload).is_ok());
+  auto snapshot = export_subtree(graph_, dir.value());
+  ASSERT_TRUE(snapshot.is_ok());
+  auto report = import_snapshot(fs_, root_, Name("d2"), snapshot.value());
+  ASSERT_TRUE(report.is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EXPECT_EQ(graph_.data(fs_.resolve_path(ctx, "/d2/bin").entity), payload);
+}
+
+TEST_F(SnapshotTest, ExportValidation) {
+  EntityId file = graph_.add_data_object("f");
+  EXPECT_FALSE(export_subtree(graph_, file).is_ok());
+  EXPECT_FALSE(export_subtree(graph_, root_, {root_}).is_ok());
+}
+
+TEST_F(SnapshotTest, ImportValidation) {
+  EXPECT_FALSE(import_snapshot(fs_, root_, Name("x"), "garbage").is_ok());
+  EXPECT_FALSE(
+      import_snapshot(fs_, root_, Name("x"), "namecoh-snapshot v1 0\n")
+          .is_ok());  // no root record
+  // Name collision.
+  ASSERT_TRUE(fs_.mkdir(root_, Name("taken")).is_ok());
+  auto dir = fs_.mkdir(root_, Name("src"));
+  ASSERT_TRUE(dir.is_ok());
+  auto snapshot = export_subtree(graph_, dir.value());
+  ASSERT_TRUE(snapshot.is_ok());
+  EXPECT_EQ(
+      import_snapshot(fs_, root_, Name("taken"), snapshot.value()).code(),
+      StatusCode::kAlreadyExists);
+  // Destination must be a directory.
+  EntityId file = graph_.add_data_object("f");
+  EXPECT_EQ(import_snapshot(fs_, file, Name("x"), snapshot.value()).code(),
+            StatusCode::kNotAContext);
+}
+
+TEST_F(SnapshotTest, MalformedRecordsRejected) {
+  for (const char* bad : {
+           "namecoh-snapshot v1 0\nD\t0\n",            // missing label
+           "namecoh-snapshot v1 0\nQ\t0\tzz\nR\t0\n",  // unknown kind
+           "namecoh-snapshot v1 0\nD\t0\t-\nE\t0\tzz\t5\nR\t0\n",  // bad idx
+           "namecoh-snapshot v1 0\nF\t0\t-\tzzz\nR\t0\n",  // odd hex
+       }) {
+    EXPECT_FALSE(import_snapshot(fs_, root_, Name("x"), bad).is_ok()) << bad;
+  }
+}
+
+TEST_F(SnapshotTest, SnapshotIsDeterministic) {
+  ASSERT_TRUE(fs_.create_file_at(root_, "d/a", "1").is_ok());
+  ASSERT_TRUE(fs_.create_file_at(root_, "d/b", "2").is_ok());
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId dir = fs_.resolve_path(ctx, "/d").entity;
+  auto s1 = export_subtree(graph_, dir);
+  auto s2 = export_subtree(graph_, dir);
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  EXPECT_EQ(s1.value(), s2.value());
+}
+
+}  // namespace
+}  // namespace namecoh

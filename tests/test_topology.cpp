@@ -1,0 +1,227 @@
+// Tests for the internetwork: address allocation, lookups, renumbering
+// semantics (identity vs address), address reuse.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace namecoh {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net1_ = net_.add_network("net1");
+    net2_ = net_.add_network("net2");
+    m1_ = net_.add_machine(net1_, "m1");
+    m2_ = net_.add_machine(net1_, "m2");
+    m3_ = net_.add_machine(net2_, "m3");
+    p1_ = net_.add_endpoint(m1_, "p1");
+    p2_ = net_.add_endpoint(m1_, "p2");
+    p3_ = net_.add_endpoint(m2_, "p3");
+    p4_ = net_.add_endpoint(m3_, "p4");
+  }
+
+  Internetwork net_;
+  NetworkId net1_, net2_;
+  MachineId m1_, m2_, m3_;
+  EndpointId p1_, p2_, p3_, p4_;
+};
+
+TEST_F(TopologyTest, CountsAndLabels) {
+  EXPECT_EQ(net_.network_count(), 2u);
+  EXPECT_EQ(net_.machine_count(), 3u);
+  EXPECT_EQ(net_.endpoint_count(), 4u);
+  EXPECT_EQ(net_.network_label(net1_), "net1");
+  EXPECT_EQ(net_.machine_label(m2_), "m2");
+  EXPECT_EQ(net_.endpoint_label(p4_), "p4");
+}
+
+TEST_F(TopologyTest, AddressesAreAssignedDensely) {
+  Location l1 = net_.location_of(p1_).value();
+  Location l2 = net_.location_of(p2_).value();
+  Location l3 = net_.location_of(p3_).value();
+  Location l4 = net_.location_of(p4_).value();
+  // Same machine: same (naddr, maddr), distinct laddrs.
+  EXPECT_TRUE(l1.same_machine(l2));
+  EXPECT_NE(l1.laddr, l2.laddr);
+  // Same network, different machines.
+  EXPECT_TRUE(l1.same_network(l3));
+  EXPECT_FALSE(l1.same_machine(l3));
+  // Different network.
+  EXPECT_FALSE(l1.same_network(l4));
+  // All fields >= 1 (0 is reserved for "unqualified").
+  for (Location l : {l1, l2, l3, l4}) {
+    EXPECT_GE(l.naddr, 1u);
+    EXPECT_GE(l.maddr, 1u);
+    EXPECT_GE(l.laddr, 1u);
+  }
+}
+
+TEST_F(TopologyTest, EndpointAtInvertsLocationOf) {
+  for (EndpointId ep : {p1_, p2_, p3_, p4_}) {
+    Location loc = net_.location_of(ep).value();
+    auto back = net_.endpoint_at(loc);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), ep);
+  }
+}
+
+TEST_F(TopologyTest, EndpointAtUnknownLocationIsUnreachable) {
+  EXPECT_EQ(net_.endpoint_at(Location{99, 99, 99}).code(),
+            StatusCode::kUnreachable);
+}
+
+TEST_F(TopologyTest, StructureQueries) {
+  EXPECT_EQ(net_.machine_of(p1_).value(), m1_);
+  EXPECT_EQ(net_.network_of(m1_).value(), net1_);
+  EXPECT_EQ(net_.endpoints_on(m1_).size(), 2u);
+  EXPECT_EQ(net_.machines_in(net1_).size(), 2u);
+  EXPECT_EQ(net_.networks().size(), 2u);
+  EXPECT_EQ(net_.endpoints().size(), 4u);
+}
+
+TEST_F(TopologyTest, RemoveEndpoint) {
+  Location old_loc = net_.location_of(p2_).value();
+  ASSERT_TRUE(net_.remove_endpoint(p2_).is_ok());
+  EXPECT_FALSE(net_.has_endpoint(p2_));
+  EXPECT_EQ(net_.endpoint_count(), 3u);
+  EXPECT_FALSE(net_.location_of(p2_).is_ok());
+  EXPECT_FALSE(net_.endpoint_at(old_loc).is_ok());
+  EXPECT_FALSE(net_.remove_endpoint(p2_).is_ok());  // already gone
+}
+
+TEST_F(TopologyTest, RenumberMachineChangesAddressKeepsIdentity) {
+  Location before = net_.location_of(p1_).value();
+  ASSERT_TRUE(net_.renumber_machine(m1_).is_ok());
+  Location after = net_.location_of(p1_).value();
+  EXPECT_NE(before.maddr, after.maddr);
+  EXPECT_EQ(before.naddr, after.naddr);   // network unchanged
+  EXPECT_EQ(before.laddr, after.laddr);   // local addr unchanged
+  // The old address is dead; the new one finds the endpoint.
+  EXPECT_FALSE(net_.endpoint_at(before).is_ok());
+  EXPECT_EQ(net_.endpoint_at(after).value(), p1_);
+  // Sibling process moved with the machine.
+  EXPECT_EQ(net_.location_of(p2_).value().maddr, after.maddr);
+  EXPECT_EQ(net_.reconfigurations(), 1u);
+}
+
+TEST_F(TopologyTest, RenumberNetworkChangesAllMachines) {
+  Location p1_before = net_.location_of(p1_).value();
+  Location p3_before = net_.location_of(p3_).value();
+  Location p4_before = net_.location_of(p4_).value();
+  ASSERT_TRUE(net_.renumber_network(net1_).is_ok());
+  Location p1_after = net_.location_of(p1_).value();
+  Location p3_after = net_.location_of(p3_).value();
+  EXPECT_NE(p1_before.naddr, p1_after.naddr);
+  EXPECT_EQ(p1_after.naddr, p3_after.naddr);
+  EXPECT_EQ(p1_before.maddr, p1_after.maddr);  // maddr survives
+  EXPECT_EQ(p3_before.maddr, p3_after.maddr);
+  // net2 untouched.
+  EXPECT_EQ(net_.location_of(p4_).value(), p4_before);
+}
+
+TEST_F(TopologyTest, MoveMachineToOtherNetwork) {
+  ASSERT_TRUE(net_.move_machine(m2_, net2_).is_ok());
+  EXPECT_EQ(net_.network_of(m2_).value(), net2_);
+  Location p3_loc = net_.location_of(p3_).value();
+  EXPECT_EQ(p3_loc.naddr, net_.naddr_of(net2_).value());
+  EXPECT_EQ(net_.machines_in(net1_).size(), 1u);
+  EXPECT_EQ(net_.machines_in(net2_).size(), 2u);
+  EXPECT_EQ(net_.endpoint_at(p3_loc).value(), p3_);
+}
+
+TEST_F(TopologyTest, NoAddressReuseByDefault) {
+  Location before = net_.location_of(p1_).value();
+  ASSERT_TRUE(net_.renumber_machine(m1_).is_ok());
+  // A new machine gets a *fresh* maddr, never the vacated one.
+  MachineId m_new = net_.add_machine(net1_, "m-new");
+  EXPECT_NE(net_.maddr_of(m_new).value(), before.maddr);
+}
+
+TEST_F(TopologyTest, AddressReuseCanResurrectStaleAddresses) {
+  net_.set_address_reuse(true);
+  Location before = net_.location_of(p1_).value();
+  ASSERT_TRUE(net_.renumber_machine(m1_).is_ok());
+  MachineId m_new = net_.add_machine(net1_, "imposter-machine");
+  EXPECT_EQ(net_.maddr_of(m_new).value(), before.maddr);
+  EndpointId imposter = net_.add_endpoint(m_new, "imposter");
+  // The imposter now answers at p1's pre-renumbering address: the
+  // dangerous case for stale fully-qualified pids.
+  EXPECT_EQ(net_.endpoint_at(before).value(), imposter);
+}
+
+TEST_F(TopologyTest, LocalAddressReuseMisdirectsStalePids) {
+  // The §6 danger at the *local* level: an endpoint dies, its laddr is
+  // reused, and a stored (0,0,l) pid on the same machine silently denotes
+  // the newcomer.
+  net_.set_address_reuse(true);
+  Location p1_loc = net_.location_of(p1_).value();
+  ASSERT_TRUE(net_.remove_endpoint(p1_).is_ok());
+  EndpointId newcomer = net_.add_endpoint(m1_, "newcomer");
+  EXPECT_EQ(net_.location_of(newcomer).value(), p1_loc);
+  EXPECT_EQ(net_.endpoint_at(p1_loc).value(), newcomer);
+}
+
+TEST_F(TopologyTest, NoLaddrReuseByDefault) {
+  Location p1_loc = net_.location_of(p1_).value();
+  ASSERT_TRUE(net_.remove_endpoint(p1_).is_ok());
+  EndpointId newcomer = net_.add_endpoint(m1_, "newcomer");
+  EXPECT_NE(net_.location_of(newcomer).value().laddr, p1_loc.laddr);
+  EXPECT_FALSE(net_.endpoint_at(p1_loc).is_ok());
+}
+
+TEST_F(TopologyTest, ErrorsOnUnknownIds) {
+  EXPECT_FALSE(net_.location_of(EndpointId(99)).is_ok());
+  EXPECT_FALSE(net_.machine_of(EndpointId(99)).is_ok());
+  EXPECT_FALSE(net_.network_of(MachineId(99)).is_ok());
+  EXPECT_FALSE(net_.renumber_machine(MachineId(99)).is_ok());
+  EXPECT_FALSE(net_.renumber_network(NetworkId(99)).is_ok());
+  EXPECT_FALSE(net_.move_machine(MachineId(99), net1_).is_ok());
+  EXPECT_FALSE(net_.move_machine(m1_, NetworkId(99)).is_ok());
+  EXPECT_THROW(net_.add_machine(NetworkId(99), "x"), PreconditionError);
+  EXPECT_THROW(net_.add_endpoint(MachineId(99), "x"), PreconditionError);
+}
+
+TEST_F(TopologyTest, LaddrsUniquePerMachineAcrossMachines) {
+  // Two machines can have the same laddr values — only the triple is
+  // unique.
+  Location l1 = net_.location_of(p1_).value();
+  Location l3 = net_.location_of(p3_).value();
+  EXPECT_EQ(l1.laddr, l3.laddr);  // both are the first endpoint: laddr 1
+  EXPECT_NE(l1, l3);
+}
+
+// Renumber sweep: after k renumberings, location_of/endpoint_at stay
+// mutually consistent for every endpoint.
+class RenumberSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RenumberSweep, IndexStaysConsistent) {
+  Internetwork net;
+  NetworkId n = net.add_network("n");
+  std::vector<MachineId> machines;
+  std::vector<EndpointId> endpoints;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back(net.add_machine(n, "m" + std::to_string(i)));
+    for (int j = 0; j < 3; ++j) {
+      endpoints.push_back(
+          net.add_endpoint(machines.back(), "p" + std::to_string(j)));
+    }
+  }
+  int rounds = GetParam();
+  for (int k = 0; k < rounds; ++k) {
+    ASSERT_TRUE(net.renumber_machine(machines[k % 4]).is_ok());
+    if (k % 3 == 0) {
+      ASSERT_TRUE(net.renumber_network(n).is_ok());
+    }
+    for (EndpointId ep : endpoints) {
+      Location loc = net.location_of(ep).value();
+      EXPECT_EQ(net.endpoint_at(loc).value(), ep);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, RenumberSweep,
+                         ::testing::Values(1, 2, 5, 10, 25));
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,172 @@
+// Tests for union directories (Plan 9-style merged views) and fsck.
+#include <gtest/gtest.h>
+
+#include "coherence/coherence.hpp"
+#include "fs/fsck.hpp"
+#include "fs/union_dir.hpp"
+
+namespace namecoh {
+namespace {
+
+class UnionTest : public ::testing::Test {
+ protected:
+  UnionTest() : fs_(graph_), unions_(fs_) {
+    local_ = fs_.make_root("localbin");
+    system_ = fs_.make_root("sysbin");
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(fs_.create_file(local_, Name("cc"), "local cc").is_ok());
+    ASSERT_TRUE(fs_.create_file(local_, Name("mytool"), "mine").is_ok());
+    ASSERT_TRUE(fs_.create_file(system_, Name("cc"), "system cc").is_ok());
+    ASSERT_TRUE(fs_.create_file(system_, Name("ls"), "system ls").is_ok());
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  UnionViews unions_;
+  EntityId local_, system_;
+};
+
+TEST_F(UnionTest, MergeWithPrecedence) {
+  auto view = unions_.create("bin", {local_, system_});
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_TRUE(unions_.is_union(view.value()));
+  // Earlier member shadows: "cc" is the local one.
+  Resolution cc = resolve_from(graph_, view.value(),
+                               CompoundName::relative("cc"));
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(graph_.data(cc.entity), "local cc");
+  // Names unique to either member are visible.
+  EXPECT_TRUE(resolve_from(graph_, view.value(),
+                           CompoundName::relative("mytool")).ok());
+  EXPECT_TRUE(resolve_from(graph_, view.value(),
+                           CompoundName::relative("ls")).ok());
+}
+
+TEST_F(UnionTest, PrecedenceOrderMatters) {
+  auto view = unions_.create("bin", {system_, local_});
+  ASSERT_TRUE(view.is_ok());
+  Resolution cc = resolve_from(graph_, view.value(),
+                               CompoundName::relative("cc"));
+  EXPECT_EQ(graph_.data(cc.entity), "system cc");
+}
+
+TEST_F(UnionTest, StaleUntilRefresh) {
+  auto view = unions_.create("bin", {local_, system_});
+  ASSERT_TRUE(view.is_ok());
+  ASSERT_TRUE(fs_.create_file(system_, Name("newtool"), "new").is_ok());
+  // Materialized view doesn't see it yet …
+  EXPECT_FALSE(resolve_from(graph_, view.value(),
+                            CompoundName::relative("newtool")).ok());
+  // … until refreshed.
+  ASSERT_TRUE(unions_.refresh(view.value()).is_ok());
+  EXPECT_TRUE(resolve_from(graph_, view.value(),
+                           CompoundName::relative("newtool")).ok());
+}
+
+TEST_F(UnionTest, RefreshAllAndSetMembers) {
+  auto v1 = unions_.create("v1", {local_});
+  auto v2 = unions_.create("v2", {system_});
+  ASSERT_TRUE(v1.is_ok());
+  ASSERT_TRUE(v2.is_ok());
+  ASSERT_TRUE(fs_.create_file(local_, Name("late"), "x").is_ok());
+  ASSERT_TRUE(unions_.refresh_all().is_ok());
+  EXPECT_TRUE(resolve_from(graph_, v1.value(),
+                           CompoundName::relative("late")).ok());
+  // Membership change swaps the view's contents.
+  ASSERT_TRUE(unions_.set_members(v1.value(), {system_}).is_ok());
+  EXPECT_FALSE(resolve_from(graph_, v1.value(),
+                            CompoundName::relative("mytool")).ok());
+  EXPECT_TRUE(resolve_from(graph_, v1.value(),
+                           CompoundName::relative("ls")).ok());
+  EXPECT_EQ(unions_.members_of(v1.value()).value(),
+            std::vector<EntityId>{system_});
+}
+
+TEST_F(UnionTest, Validation) {
+  EntityId file = graph_.add_data_object("f");
+  EXPECT_FALSE(unions_.create("bad", {file}).is_ok());
+  EXPECT_FALSE(unions_.refresh(local_).is_ok());       // not a union
+  EXPECT_FALSE(unions_.members_of(local_).is_ok());
+  EXPECT_FALSE(unions_.set_members(local_, {system_}).is_ok());
+}
+
+TEST_F(UnionTest, IdenticalUnionsAreCoherent) {
+  // Two processes anywhere, same member list ⇒ coherent view (§6 II).
+  auto va = unions_.create("bin-a", {local_, system_});
+  auto vb = unions_.create("bin-b", {local_, system_});
+  ASSERT_TRUE(va.is_ok());
+  ASSERT_TRUE(vb.is_ok());
+  CoherenceAnalyzer analyzer(graph_);
+  auto probes = probes_from_dir(graph_, va.value());
+  ASSERT_FALSE(probes.empty());
+  DegreeReport report = analyzer.degree(va.value(), vb.value(), probes);
+  EXPECT_DOUBLE_EQ(report.strict.fraction(), 1.0);
+}
+
+TEST(Fsck, CleanTreeReports) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("r");
+  ASSERT_TRUE(fs.create_file_at(root, "a/b/c.txt", "x").is_ok());
+  ASSERT_TRUE(fs.create_file_at(root, "a/d.txt", "y").is_ok());
+  FsckReport report = fsck(graph, root);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.directories, 3u);  // r, a, a/b
+  EXPECT_EQ(report.files, 2u);
+  EXPECT_GT(report.bindings, 4u);
+}
+
+TEST(Fsck, DetectsBrokenDotBindings) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("r");
+  auto dir = fs.mkdir(root, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  // Sabotage: "." pointing elsewhere, missing "..".
+  graph.context(dir.value()).bind(Name("."), root);
+  ASSERT_TRUE(graph.unbind(dir.value(), Name("..")).is_ok());
+  FsckReport report = fsck(graph, root);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.issues.size(), 2u);
+}
+
+TEST(Fsck, DetectsParentBindingToFile) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  EntityId root = fs.make_root("r");
+  auto dir = fs.mkdir(root, Name("d"));
+  ASSERT_TRUE(dir.is_ok());
+  EntityId file = graph.add_data_object("f");
+  graph.context(dir.value()).bind(Name(".."), file);
+  FsckReport report = fsck(graph, root);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].find("non-directory"), std::string::npos);
+}
+
+TEST(Fsck, NonDirectoryRoot) {
+  NamingGraph graph;
+  EntityId file = graph.add_data_object("f");
+  FsckReport report = fsck(graph, file);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Fsck, HandlesCyclesAndUnions) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  UnionViews unions(fs);
+  EntityId root = fs.make_root("r");
+  auto a = fs.mkdir(root, Name("a"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(fs.link(a.value(), Name("up"), root).is_ok());
+  auto view = unions.create("view", {root, a.value()});
+  ASSERT_TRUE(view.is_ok());
+  ASSERT_TRUE(fs.attach(root, Name("merged"), view.value()).is_ok());
+  FsckReport report = fsck(graph, root);
+  EXPECT_TRUE(report.clean())
+      << (report.issues.empty() ? std::string() : report.issues.front());
+}
+
+}  // namespace
+}  // namespace namecoh

@@ -1,0 +1,174 @@
+// Tests for the workload generators: determinism, the cross-site common/
+// unique name contract, the Unix skeleton, document generation, sampling.
+#include <gtest/gtest.h>
+
+#include "coherence/coherence.hpp"
+#include "workload/doc_gen.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace namecoh {
+namespace {
+
+TEST(TreeGen, DeterministicInSeed) {
+  NamingGraph g1, g2;
+  FileSystem f1(g1), f2(g2);
+  EntityId r1 = f1.make_root("r");
+  EntityId r2 = f2.make_root("r");
+  TreeSpec spec;
+  TreeStats s1 = populate_tree(f1, r1, spec, 99);
+  TreeStats s2 = populate_tree(f2, r2, spec, 99);
+  EXPECT_EQ(s1.directories, s2.directories);
+  EXPECT_EQ(s1.files, s2.files);
+  auto p1 = probes_from_dir(g1, r1);
+  auto p2 = probes_from_dir(g2, r2);
+  EXPECT_EQ(p1, p2);  // identical name sets
+}
+
+TEST(TreeGen, DifferentSeedsDiffer) {
+  NamingGraph g1, g2;
+  FileSystem f1(g1), f2(g2);
+  EntityId r1 = f1.make_root("r");
+  EntityId r2 = f2.make_root("r");
+  TreeSpec spec;
+  populate_tree(f1, r1, spec, 1);
+  populate_tree(f2, r2, spec, 2);
+  EXPECT_NE(probes_from_dir(g1, r1), probes_from_dir(g2, r2));
+}
+
+TEST(TreeGen, SiteTagsSplitCommonAndUnique) {
+  // Same seed, different tags: common names identical on both sites,
+  // unique names tagged and disjoint.
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId r1 = fs.make_root("s1");
+  EntityId r2 = fs.make_root("s2");
+  TreeSpec spec;
+  spec.common_fraction = 0.5;
+  spec.site_tag = "s1";
+  populate_tree(fs, r1, spec, 7);
+  spec.site_tag = "s2";
+  populate_tree(fs, r2, spec, 7);
+  auto p1 = probes_from_dir(g, r1);
+  auto p2 = probes_from_dir(g, r2);
+  std::unordered_set<CompoundName> set2(p2.begin(), p2.end());
+  std::size_t common = 0, unique = 0;
+  for (const auto& name : p1) {
+    if (set2.contains(name)) {
+      ++common;
+    } else {
+      ++unique;
+      // A unique name carries the site tag in at least one component (a
+      // tagged directory makes every path through it site-unique).
+      bool tagged = false;
+      for (const Name& part : name.components()) {
+        if (part.text().find(".s1") != std::string::npos) tagged = true;
+      }
+      EXPECT_TRUE(tagged) << name.to_path();
+    }
+  }
+  EXPECT_GT(common, 0u);
+  EXPECT_GT(unique, 0u);
+}
+
+TEST(TreeGen, CommonFractionExtremes) {
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId r1 = fs.make_root("s1");
+  EntityId r2 = fs.make_root("s2");
+  TreeSpec spec;
+  spec.common_fraction = 1.0;  // everything common
+  spec.site_tag = "s1";
+  populate_tree(fs, r1, spec, 3);
+  spec.site_tag = "s2";
+  populate_tree(fs, r2, spec, 3);
+  EXPECT_EQ(probes_from_dir(g, r1), probes_from_dir(g, r2));
+
+  EntityId r3 = fs.make_root("s3");
+  EntityId r4 = fs.make_root("s4");
+  spec.common_fraction = 0.0;  // nothing common
+  spec.site_tag = "s3";
+  populate_tree(fs, r3, spec, 3);
+  spec.site_tag = "s4";
+  populate_tree(fs, r4, spec, 3);
+  auto p3 = probes_from_dir(g, r3);
+  std::unordered_set<CompoundName> set4;
+  for (const auto& n : probes_from_dir(g, r4)) set4.insert(n);
+  for (const auto& n : p3) EXPECT_FALSE(set4.contains(n));
+}
+
+TEST(TreeGen, StatsMatchSpec) {
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId root = fs.make_root("r");
+  TreeSpec spec;
+  spec.depth = 2;
+  spec.dirs_per_dir = 2;
+  spec.files_per_dir = 3;
+  TreeStats stats = populate_tree(fs, root, spec, 5);
+  // Dirs: 2 + 4 = 6; files: 3 per dir × (1 + 2 + 4) dirs = 21.
+  EXPECT_EQ(stats.directories, 6u);
+  EXPECT_EQ(stats.files, 21u);
+}
+
+TEST(TreeGen, UnixSkeletonHasCanonicalPaths) {
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId root = fs.make_root("m1");
+  TreeStats stats = populate_unix_skeleton(fs, root, "m1");
+  EXPECT_GT(stats.files, 5u);
+  Context ctx = FileSystem::make_process_context(root, root);
+  for (const char* path : {"/bin/sh", "/etc/passwd", "/usr/lib/libc.a",
+                           "/home/m1/notes.txt"}) {
+    EXPECT_TRUE(fs.resolve_path(ctx, path).ok()) << path;
+  }
+  // Content mentions the site.
+  Resolution sh = fs.resolve_path(ctx, "/bin/sh");
+  EXPECT_NE(g.data(sh.entity).find("m1"), std::string::npos);
+}
+
+TEST(TreeGen, SampleProbesZipfSkewed) {
+  Rng rng(11);
+  std::vector<CompoundName> all;
+  for (int i = 0; i < 50; ++i) {
+    all.push_back(CompoundName::path("/f" + std::to_string(i)));
+  }
+  auto sample = sample_probes(rng, all, 2000, 1.2);
+  EXPECT_EQ(sample.size(), 2000u);
+  std::size_t first = 0, last = 0;
+  for (const auto& s : sample) {
+    if (s == all.front()) ++first;
+    if (s == all.back()) ++last;
+  }
+  EXPECT_GT(first, last);
+  EXPECT_TRUE(sample_probes(rng, {}, 10).empty());
+}
+
+TEST(DocGen, CountsMatchSpec) {
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId root = fs.make_root("r");
+  DocSpec spec;
+  spec.chapters = 2;
+  spec.sections_per_chapter = 3;
+  spec.shared_refs_per_section = 2;
+  Document doc = make_document(fs, root, Name("d"), spec);
+  // Files: book.tex + style.sty + 2 chapters + 6 sections = 10.
+  EXPECT_EQ(doc.files, 10u);
+  // Refs: 1 (root style) + 2 (chapter includes) + 6 (section includes)
+  //       + 6×2 (shared refs) = 21.
+  EXPECT_EQ(doc.refs, 21u);
+  EXPECT_TRUE(fs.is_dir(doc.subtree));
+  EXPECT_TRUE(fs.is_file(doc.root_file));
+}
+
+TEST(DocGen, DuplicateNameFails) {
+  NamingGraph g;
+  FileSystem fs(g);
+  EntityId root = fs.make_root("r");
+  make_document(fs, root, Name("d"), DocSpec{});
+  EXPECT_THROW(make_document(fs, root, Name("d"), DocSpec{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace namecoh
