@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build the whole tree with ASan + UBSan and run the test suite under it.
+#
+# Usage: scripts/run_sanitizers.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -S . -DNAMECOH_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)"
+
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

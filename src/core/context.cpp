@@ -9,11 +9,18 @@ namespace namecoh {
 void Context::bind(const Name& name, EntityId entity) {
   NAMECOH_CHECK(entity.valid(), "cannot bind '" + name.text() +
                                     "' to the undefined entity; use unbind");
-  bindings_[name] = entity;
+  auto [it, inserted] = bindings_.try_emplace(name, entity);
+  if (!inserted) {
+    if (it->second == entity) return;  // same function: epoch unchanged
+    it->second = entity;
+  }
+  ++version_;
 }
 
 bool Context::unbind(const Name& name) {
-  return bindings_.erase(name) > 0;
+  if (bindings_.erase(name) == 0) return false;
+  ++version_;
+  return true;
 }
 
 EntityId Context::operator()(const Name& name) const {
@@ -33,7 +40,7 @@ bool Context::contains(const Name& name) const {
 
 void Context::overlay(const Context& other) {
   for (const auto& [name, entity] : other.bindings_) {
-    bindings_[name] = entity;
+    bind(name, entity);  // through bind() so the version counter advances
   }
 }
 

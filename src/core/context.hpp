@@ -3,6 +3,7 @@
 // here as EntityId::invalid().
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -41,6 +42,12 @@ class Context {
     return bindings_;
   }
 
+  /// Monotone rebind counter: bumped by every bind/unbind that actually
+  /// changes the function (a rebind to the same entity is a no-op). The
+  /// name service exports it as the context's rebind *epoch*, which clients
+  /// use to invalidate cached resolutions (temporal coherence, §5).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   /// Copy every binding of `other` into this context, overwriting
   /// collisions. Used for context inheritance (parent → child, §5.1) and
   /// for per-process view construction (§6 II).
@@ -50,7 +57,11 @@ class Context {
   /// (both-unbound counts as agreement on ⊥E).
   [[nodiscard]] bool agrees_on(const Context& other, const Name& name) const;
 
-  friend bool operator==(const Context& a, const Context& b) = default;
+  /// Equality is extensional: two contexts are equal iff they are the same
+  /// function, regardless of how many rebinds produced them.
+  friend bool operator==(const Context& a, const Context& b) {
+    return a.bindings_ == b.bindings_;
+  }
 
   /// Debug rendering "{a -> #1, b -> #2}".
   [[nodiscard]] std::string to_string() const;
@@ -58,6 +69,7 @@ class Context {
 
  private:
   std::map<Name, EntityId> bindings_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace namecoh

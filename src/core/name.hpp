@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/status.hpp"
 
 namespace namecoh {
@@ -155,8 +156,7 @@ struct std::hash<namecoh::CompoundName> {
   std::size_t operator()(const namecoh::CompoundName& n) const noexcept {
     std::size_t h = 0xcbf29ce484222325ULL;
     for (const auto& part : n.components()) {
-      h ^= std::hash<namecoh::Name>{}(part);
-      h *= 0x100000001b3ULL;
+      namecoh::hash_combine(h, part);
     }
     return h;
   }

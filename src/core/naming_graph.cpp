@@ -153,6 +153,10 @@ Result<EntityId> NamingGraph::lookup(EntityId ctx, const Name& name) const {
   return *found;
 }
 
+std::uint64_t NamingGraph::rebind_epoch(EntityId id) const {
+  return context(id).version();
+}
+
 const std::string& NamingGraph::data(EntityId id) const {
   const Record& rec = record(id);
   NAMECOH_CHECK(rec.kind == EntityKind::kDataObject,

@@ -67,6 +67,12 @@ class NamingGraph {
   /// Single-step lookup; kNotFound when unbound (the paper's ⊥E).
   [[nodiscard]] Result<EntityId> lookup(EntityId ctx, const Name& name) const;
 
+  /// Rebind epoch of a context object: a monotone counter bumped by every
+  /// effective bind/unbind, however performed (graph API or direct Context
+  /// mutation). The name service stamps answers with it so caching clients
+  /// can detect superseded bindings. Precondition: is_context_object(id).
+  [[nodiscard]] std::uint64_t rebind_epoch(EntityId id) const;
+
   // --- Data-object state ---------------------------------------------------
 
   /// Precondition: is_data_object(id).

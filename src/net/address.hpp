@@ -25,6 +25,7 @@
 #include <ostream>
 #include <string>
 
+#include "util/hash.hpp"
 #include "util/status.hpp"
 
 namespace namecoh {
@@ -109,12 +110,11 @@ Result<Pid> rebase(const Pid& pid, const Location& sender,
 template <>
 struct std::hash<namecoh::Location> {
   std::size_t operator()(const namecoh::Location& loc) const noexcept {
-    std::uint64_t x = (std::uint64_t(loc.naddr) << 40) ^
-                      (std::uint64_t(loc.maddr) << 20) ^ loc.laddr;
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return static_cast<std::size_t>(x);
+    std::size_t h = 0;
+    namecoh::hash_combine(h, loc.naddr);
+    namecoh::hash_combine(h, loc.maddr);
+    namecoh::hash_combine(h, loc.laddr);
+    return h;
   }
 };
 

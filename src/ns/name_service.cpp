@@ -1,6 +1,6 @@
 #include "ns/name_service.hpp"
 
-#include <deque>
+#include <algorithm>
 
 #include "util/strings.hpp"
 
@@ -27,8 +27,12 @@ void HomeMap::set_home_subtree(const NamingGraph& graph, EntityId root,
                                MachineId machine) {
   NAMECOH_CHECK(graph.is_context_object(root),
                 "set_home_subtree: root is not a context object");
+  // The root is always re-homed, per the contract; a silent no-op when it
+  // already belonged to another machine would leave the caller with a
+  // partitioned HomeMap and no error. Descendants with a foreign home are
+  // left alone (shared subtrees keep their authority).
+  homes_.insert_or_assign(root, machine);
   std::deque<EntityId> frontier{root};
-  homes_.try_emplace(root, machine);
   while (!frontier.empty()) {
     EntityId ctx = frontier.front();
     frontier.pop_front();
@@ -77,35 +81,67 @@ Result<EndpointId> NameService::server_on(MachineId machine) const {
   return it->second;
 }
 
+bool NameService::note_duplicate(std::uint64_t corr) {
+  if (!recent_corr_.insert(corr).second) return true;
+  recent_corr_order_.push_back(corr);
+  if (recent_corr_order_.size() > kDuplicateWindow) {
+    recent_corr_.erase(recent_corr_order_.front());
+    recent_corr_order_.pop_front();
+  }
+  return false;
+}
+
 void NameService::handle_request(EndpointId self, const Message& message) {
   if (message.type != NsWire::kResolveRequest ||
-      message.payload.size() < 2 ||
+      message.payload.size() < 3 ||
       message.payload.type_at(0) != FieldType::kU64 ||
-      message.payload.type_at(1) != FieldType::kName) {
+      message.payload.type_at(1) != FieldType::kU64 ||
+      message.payload.type_at(2) != FieldType::kName) {
     return;  // not ours / malformed
   }
-  ++stats_.requests;
-  EntityId ctx(message.payload.u64_at(0));
-  const std::string& path = message.payload.name_at(1);
+  const std::uint64_t corr = message.payload.u64_at(0);
+  EntityId ctx(message.payload.u64_at(1));
+  const std::string& path = message.payload.name_at(2);
 
-  // Reply layout (fixed): [disposition, entity, remaining, error,
-  // next-server pid]. The pid is in *this server's* context; the transport
-  // rebases it into the receiver's context in flight (R(sender)).
+  // At-most-once accounting: a retransmission (same correlation id within
+  // the window) is still answered — the original reply may have been lost —
+  // but must not count as a second resolution in the stats.
+  const bool duplicate = note_duplicate(corr);
+  if (duplicate) {
+    ++stats_.duplicates;
+  } else {
+    ++stats_.requests;
+  }
+  auto count = [&](std::uint64_t& counter) {
+    if (!duplicate) ++counter;
+  };
+
+  // Reply layout (fixed): [corr, disposition, entity, remaining, error,
+  // next-server pid, authority-ctx, epoch]. The pid is in *this server's*
+  // context; the transport rebases it into the receiver's context in
+  // flight (R(sender)). `authority` is the context whose bindings the
+  // reply depends on, stamped with its current rebind epoch.
   auto send_reply = [&](std::uint64_t disposition, EntityId entity,
                         std::string remaining, std::string error,
-                        Pid next_server) {
+                        Pid next_server, EntityId authority) {
     Message reply;
     reply.type = NsWire::kResolveReply;
+    reply.payload.add_u64(corr);
     reply.payload.add_u64(disposition);
-    reply.payload.add_u64(entity.valid() ? entity.value() : ~0ULL);
+    reply.payload.add_u64(entity.valid() ? entity.value() : NsWire::kNoEntity);
     reply.payload.add_name(std::move(remaining));
     reply.payload.add_string(std::move(error));
     reply.payload.add_pid(next_server);
+    const bool stamp =
+        authority.valid() && graph_.is_context_object(authority);
+    reply.payload.add_u64(stamp ? authority.value() : NsWire::kNoEntity);
+    reply.payload.add_u64(stamp ? graph_.rebind_epoch(authority) : 0);
     (void)transport_.send(self, message.reply_to, std::move(reply));
   };
-  auto send_error = [&](std::string error) {
-    ++stats_.failures;
-    send_reply(NsWire::kError, {}, "", std::move(error), Pid::self());
+  auto send_error = [&](std::string error, EntityId authority = {}) {
+    count(stats_.failures);
+    send_reply(NsWire::kError, {}, "", std::move(error), Pid::self(),
+               authority);
   };
 
   auto my_machine = net_.machine_of(self);
@@ -113,12 +149,31 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   auto my_loc = net_.location_of(self);
   if (!my_loc.is_ok()) return;
 
-  auto parsed = CompoundName::parse_relative(path);
-  if (!parsed.is_ok()) {
-    send_error(parsed.status().to_string());
+  std::optional<CompoundName> parsed;
+  std::span<const Name> components;
+  if (!path.empty()) {
+    auto result = CompoundName::parse_relative(path);
+    if (!result.is_ok()) {
+      send_error(result.status().to_string());
+      return;
+    }
+    parsed = std::move(result).value();
+    components = parsed->components();
+  }
+
+  // Zero components resolve to the start entity itself (the identity
+  // resolution). This case must answer explicitly: falling through the
+  // walk loop without a reply would strand the client through every retry
+  // and surface as a bogus "message lost" error.
+  if (components.empty()) {
+    if (!graph_.contains(ctx)) {
+      send_error("unknown start entity in empty-path request");
+      return;
+    }
+    count(stats_.answers);
+    send_reply(NsWire::kAnswer, ctx, "", "", Pid::self(), ctx);
     return;
   }
-  std::span<const Name> components = parsed.value().components();
 
   // Walk while the current context is homed here; refer onward otherwise.
   for (std::size_t i = 0; i < components.size(); ++i) {
@@ -142,24 +197,29 @@ void NameService::handle_request(EndpointId self, const Message& message) {
         send_error("authoritative server endpoint is dead");
         return;
       }
-      ++stats_.referrals;
+      count(stats_.referrals);
       send_reply(NsWire::kReferral, ctx,
                  encode_components(components.subspan(i)), "",
-                 relativize(next_loc.value(), my_loc.value()));
+                 relativize(next_loc.value(), my_loc.value()), ctx);
       return;
     }
     auto next = graph_.lookup(ctx, components[i]);
     if (!next.is_ok()) {
-      send_error(next.status().to_string());
+      // Stamp the context where the lookup failed so negative cache
+      // entries are invalidated when it is rebound.
+      send_error(next.status().to_string(), ctx);
       return;
     }
     if (i + 1 == components.size()) {
-      ++stats_.answers;
-      send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self());
+      count(stats_.answers);
+      send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self(), ctx);
       return;
     }
     ctx = next.value();
   }
+  // Defensive: every branch above replies. Never exit silently — silence
+  // costs the client its full retry budget.
+  send_error("internal: request fell through the resolution walk");
 }
 
 ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
@@ -174,24 +234,45 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
       service_(service),
       endpoint_(net.add_endpoint(machine, std::move(label))),
       config_(config) {
+  // Correlation ids are unique per client *and* per attempt: the endpoint
+  // id seeds the high bits so two clients never share an id space (the
+  // server's duplicate window is keyed by raw correlation id).
+  next_corr_ = ((endpoint_.value() + 1) << 32) | 1;
   transport_.set_handler(
       endpoint_, [this](EndpointId, const Message& message) {
         if (message.type != NsWire::kResolveReply ||
-            message.payload.size() < 5 ||
+            message.payload.size() < 8 ||
             message.payload.type_at(0) != FieldType::kU64 ||
             message.payload.type_at(1) != FieldType::kU64 ||
-            message.payload.type_at(2) != FieldType::kName ||
-            message.payload.type_at(3) != FieldType::kString ||
-            message.payload.type_at(4) != FieldType::kPid) {
+            message.payload.type_at(2) != FieldType::kU64 ||
+            message.payload.type_at(3) != FieldType::kName ||
+            message.payload.type_at(4) != FieldType::kString ||
+            message.payload.type_at(5) != FieldType::kPid ||
+            message.payload.type_at(6) != FieldType::kU64 ||
+            message.payload.type_at(7) != FieldType::kU64) {
           return;
         }
+        if (!awaiting_reply_ ||
+            message.payload.u64_at(0) != expected_corr_) {
+          // A delayed duplicate from an earlier attempt or referral hop
+          // (or a reply when nothing is outstanding). Accepting it would
+          // resolve the wrong question.
+          ++stats_.stale_replies_dropped;
+          return;
+        }
+        awaiting_reply_ = false;
         reply_received_ = true;
-        reply_disposition_ = message.payload.u64_at(0);
-        std::uint64_t raw = message.payload.u64_at(1);
-        reply_entity_ = raw == ~0ULL ? EntityId::invalid() : EntityId(raw);
-        reply_remaining_ = message.payload.name_at(2);
-        reply_error_ = message.payload.string_at(3);
-        reply_next_server_ = message.payload.pid_at(4);
+        reply_disposition_ = message.payload.u64_at(1);
+        std::uint64_t raw = message.payload.u64_at(2);
+        reply_entity_ =
+            raw == NsWire::kNoEntity ? EntityId::invalid() : EntityId(raw);
+        reply_remaining_ = message.payload.name_at(3);
+        reply_error_ = message.payload.string_at(4);
+        reply_next_server_ = message.payload.pid_at(5);
+        std::uint64_t auth = message.payload.u64_at(6);
+        reply_authority_ =
+            auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
+        reply_epoch_ = message.payload.u64_at(7);
       });
 }
 
@@ -200,26 +281,101 @@ ResolverClient::~ResolverClient() {
   (void)net_.remove_endpoint(endpoint_);
 }
 
+const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
+    const CacheKey& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  CacheEntry& entry = it->second;
+  // Expiry at the exact boundary counts: an entry stamped `expires == now`
+  // has lived its full TTL.
+  if (entry.expires <= sim_.now()) {
+    lru_.erase(entry.lru);
+    cache_.erase(it);
+    return nullptr;
+  }
+  if (config_.epoch_invalidation && entry.authority.valid()) {
+    auto seen = epochs_seen_.find(entry.authority);
+    if (seen != epochs_seen_.end() && seen->second > entry.epoch) {
+      ++stats_.stale_epoch_drops;
+      lru_.erase(entry.lru);
+      cache_.erase(it);
+      return nullptr;
+    }
+  }
+  lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
+  return &entry;
+}
+
+void ResolverClient::cache_insert(const CacheKey& key, CacheEntry entry) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    entry.lru = it->second.lru;
+    lru_.splice(lru_.begin(), lru_, entry.lru);
+    it->second = std::move(entry);
+    return;
+  }
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  cache_.emplace(key, std::move(entry));
+  if (config_.cache_capacity > 0 && cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResolverClient::note_epoch(EntityId authority, std::uint64_t epoch) {
+  if (!authority.valid()) return;
+  auto [it, inserted] = epochs_seen_.try_emplace(authority, epoch);
+  if (!inserted && it->second < epoch) it->second = epoch;
+}
+
 Status ResolverClient::round_trip(const Pid& server, EntityId start,
                                   const std::string& path) {
+  SimDuration timeout = std::max<SimDuration>(1, config_.request_timeout);
   for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
+    if (attempt > 0) ++stats_.backoff_retries;
     Message request;
     request.type = NsWire::kResolveRequest;
+    expected_corr_ = next_corr_++;
+    request.payload.add_u64(expected_corr_);
     request.payload.add_u64(start.value());
     request.payload.add_name(path);
     reply_received_ = false;
+    awaiting_reply_ = true;
     ++stats_.messages_sent;
     Status sent = transport_.send(endpoint_, server, request);
-    if (!sent.is_ok()) return sent;  // hard failure: no point retrying
-    // Drive the simulator until our reply lands (single outstanding
-    // request; other traffic may interleave but cannot consume our reply).
-    while (!reply_received_ && sim_.pending() > 0) {
+    if (!sent.is_ok()) {
+      awaiting_reply_ = false;
+      return sent;  // hard failure: no point retrying
+    }
+    // Drive the simulator up to this attempt's deadline; stop early when
+    // our reply lands. Events past the deadline stay queued — they belong
+    // to the future, and firing them would let a reply slower than the
+    // timeout still win. Delayed replies from earlier attempts carry old
+    // correlation ids and are dropped by the handler.
+    const SimTime deadline = sim_.now() + timeout;
+    while (!reply_received_) {
+      auto next = sim_.next_event_time();
+      if (!next || *next > deadline) break;
       sim_.run(1);
     }
     if (reply_received_) return Status::ok();
-    // Silence: the request or the reply was dropped. Try again.
+    // Silence: the request or the reply was lost (or is slower than the
+    // timeout). Let the rest of the window elapse on the shared clock,
+    // back off, and resend.
+    awaiting_reply_ = false;
+    ++stats_.timeouts;
+    sim_.run_until(deadline);
+    auto scaled = static_cast<SimDuration>(
+        static_cast<double>(timeout) *
+        std::max(1.0, config_.backoff_multiplier));
+    timeout = config_.max_timeout > 0 ? std::min(scaled, config_.max_timeout)
+                                      : scaled;
   }
-  return unreachable_error("no reply from name server (message lost)");
+  return unreachable_error("no reply from name server after " +
+                           std::to_string(config_.retries + 1) +
+                           " attempt(s) (message lost or too slow)");
 }
 
 Result<EntityId> ResolverClient::resolve(EntityId start,
@@ -234,14 +390,17 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
   std::string path = name.to_path();
 
   CacheKey key{start, path};
-  if (config_.cache_ttl > 0) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      if (it->second.expires > sim_.now()) {
-        ++stats_.cache_hits;
-        return it->second.entity;
+  const bool use_cache =
+      config_.cache_ttl > 0 || config_.negative_cache_ttl > 0;
+  if (use_cache) {
+    if (const CacheEntry* hit = cache_lookup(key)) {
+      if (hit->negative) {
+        ++stats_.negative_hits;
+        ++stats_.failures;
+        return not_found_error(hit->error);
       }
-      cache_.erase(it);
+      ++stats_.cache_hits;
+      return hit->entity;
     }
     ++stats_.cache_misses;
   }
@@ -273,15 +432,27 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
       ++stats_.failures;
       return rt;
     }
+    // Every reply carries the authoritative context's rebind epoch; track
+    // the high-water mark so superseded cache entries die on next lookup.
+    note_epoch(reply_authority_, reply_epoch_);
     switch (reply_disposition_) {
       case NsWire::kAnswer:
         if (config_.cache_ttl > 0) {
-          cache_[key] =
-              CacheEntry{reply_entity_, sim_.now() + config_.cache_ttl};
+          cache_insert(key, CacheEntry{reply_entity_,
+                                       sim_.now() + config_.cache_ttl,
+                                       reply_authority_, reply_epoch_,
+                                       /*negative=*/false, "", {}});
         }
         return reply_entity_;
       case NsWire::kError:
         ++stats_.failures;
+        if (config_.negative_cache_ttl > 0) {
+          cache_insert(key,
+                       CacheEntry{EntityId::invalid(),
+                                  sim_.now() + config_.negative_cache_ttl,
+                                  reply_authority_, reply_epoch_,
+                                  /*negative=*/true, reply_error_, {}});
+        }
         return not_found_error(reply_error_);
       case NsWire::kReferral:
         ++stats_.referrals_followed;

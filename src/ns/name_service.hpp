@@ -15,20 +15,31 @@
 //                      answer with either a result or a *referral* (next
 //                      authoritative machine + remaining path), the
 //                      iterative style of DNS;
-//   * ResolverClient — issues requests, follows referrals, and keeps an
-//                      optional TTL cache of (context, path) → entity.
+//   * ResolverClient — issues requests, follows referrals, retries lost
+//                      messages with a timed exponential backoff, and keeps
+//                      a bounded-LRU TTL cache of (context, path) → entity
+//                      with optional negative entries and epoch-based
+//                      invalidation.
 //
 // The cache is where naming meets time: a cached binding that outlives a
 // rebind makes the client resolve a name to an entity the authority no
-// longer means — *temporal* incoherence, measured by bench_ns_cache.
+// longer means — *temporal* incoherence, measured by bench_ns_cache. Every
+// answer is therefore stamped with the authoritative context's *rebind
+// epoch*; once a client learns (from any later reply) that the epoch moved
+// on, it drops the superseded entries, shrinking the incoherence window
+// from "TTL" to "time until the next contact with the authority".
 #pragma once
 
+#include <deque>
+#include <list>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/naming_graph.hpp"
 #include "core/resolve.hpp"
 #include "net/transport.hpp"
+#include "util/hash.hpp"
 
 namespace namecoh {
 
@@ -37,8 +48,10 @@ class HomeMap {
  public:
   void set_home(EntityId ctx, MachineId machine);
   /// Assign `root` and every directory reachable from it (tree edges) to
-  /// `machine`. Stops at directories that already have a different home,
-  /// so shared subtrees keep their own authority.
+  /// `machine`. The root itself is always (re-)homed on `machine`, even if
+  /// it previously had a different authority; the walk stops at
+  /// *descendant* directories that already have a different home, so
+  /// shared subtrees keep their own authority.
   void set_home_subtree(const NamingGraph& graph, EntityId root,
                         MachineId machine);
   [[nodiscard]] Result<MachineId> home_of(EntityId ctx) const;
@@ -50,13 +63,16 @@ class HomeMap {
 };
 
 struct NameServiceStats {
-  std::uint64_t requests = 0;    ///< server-side requests handled
+  std::uint64_t requests = 0;    ///< distinct server-side requests handled
   std::uint64_t answers = 0;     ///< final results returned
   std::uint64_t referrals = 0;   ///< referrals issued
   std::uint64_t failures = 0;    ///< resolution errors returned
+  std::uint64_t duplicates = 0;  ///< retransmissions (same correlation id);
+                                 ///< re-answered but not re-counted above
 };
 
-/// Wire protocol message types (Transport Message::type).
+/// Wire protocol message types and field conventions (Transport
+/// Message::type). See docs/PROTOCOLS.md for the full layouts.
 struct NsWire {
   static constexpr std::uint32_t kResolveRequest = 100;
   static constexpr std::uint32_t kResolveReply = 101;
@@ -64,6 +80,8 @@ struct NsWire {
   static constexpr std::uint64_t kAnswer = 0;
   static constexpr std::uint64_t kReferral = 1;
   static constexpr std::uint64_t kError = 2;
+  /// Sentinel for "no entity" in u64 entity fields on the wire.
+  static constexpr std::uint64_t kNoEntity = ~0ULL;
 };
 
 /// The server side: one endpoint per machine, walking names through
@@ -82,12 +100,20 @@ class NameService {
 
  private:
   void handle_request(EndpointId self, const Message& message);
+  /// Record `corr` in the bounded recently-seen window; true if it was
+  /// already there (i.e. this request is a retransmission).
+  bool note_duplicate(std::uint64_t corr);
+
+  /// How many correlation ids the duplicate-suppression window remembers.
+  static constexpr std::size_t kDuplicateWindow = 1024;
 
   const NamingGraph& graph_;
   Internetwork& net_;
   Transport& transport_;
   const HomeMap& homes_;
   std::unordered_map<MachineId, EndpointId> servers_;
+  std::unordered_set<std::uint64_t> recent_corr_;
+  std::deque<std::uint64_t> recent_corr_order_;  // FIFO eviction
   NameServiceStats stats_;
 };
 
@@ -98,17 +124,39 @@ struct ResolverClientStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t failures = 0;
+  std::uint64_t evictions = 0;          ///< LRU entries displaced on insert
+  std::uint64_t negative_hits = 0;      ///< cache hits on cached errors
+  std::uint64_t stale_epoch_drops = 0;  ///< entries dropped: epoch superseded
+  std::uint64_t timeouts = 0;           ///< per-hop waits that expired
+  std::uint64_t backoff_retries = 0;    ///< resends after a timeout
+  std::uint64_t stale_replies_dropped = 0;  ///< replies rejected by
+                                            ///< correlation-id mismatch
 };
 
 struct ResolverClientConfig {
-  /// Cache TTL in simulator ticks; 0 disables caching.
+  /// Positive-entry TTL in simulator ticks; 0 disables positive caching.
   SimDuration cache_ttl = 0;
+  /// TTL for cached *errors* (negative caching, DNS-style); usually much
+  /// shorter than cache_ttl. 0 disables negative caching.
+  SimDuration negative_cache_ttl = 0;
+  /// Maximum cached entries (positive + negative); the least recently used
+  /// entry is evicted on insert. 0 = unbounded (not recommended).
+  std::size_t cache_capacity = 1024;
+  /// Drop cached entries whose authoritative context has answered (any
+  /// later request) with a higher rebind epoch.
+  bool epoch_invalidation = true;
   /// Referral-chase limit (cycle guard).
   std::size_t max_referrals = 32;
-  /// Resend attempts per hop when a request or reply is lost (the
-  /// transport reports nothing; loss shows up as silence). 0 = fail on
-  /// first loss.
+  /// Resend attempts per hop after a timeout (the transport reports
+  /// nothing; loss shows up as silence). 0 = fail on first timeout.
   std::size_t retries = 0;
+  /// How long (simulated ticks) to wait for a reply before declaring the
+  /// hop lost. Must exceed the worst round trip of the topology.
+  SimDuration request_timeout = 5000;
+  /// Timeout multiplier applied after each loss (exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Upper bound for the backed-off timeout. 0 = uncapped.
+  SimDuration max_timeout = 60000;
 };
 
 /// The client side: a process endpoint that resolves names by talking to
@@ -132,7 +180,10 @@ class ResolverClient {
   [[nodiscard]] const ResolverClientStats& stats() const { return stats_; }
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
 
-  void clear_cache() { cache_.clear(); }
+  void clear_cache() {
+    cache_.clear();
+    lru_.clear();
+  }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
  private:
@@ -143,19 +194,33 @@ class ResolverClient {
   };
   struct CacheKeyHash {
     std::size_t operator()(const CacheKey& key) const {
-      return std::hash<EntityId>{}(key.start) ^
-             (std::hash<std::string>{}(key.path) << 1);
+      std::size_t seed = 0;
+      hash_combine(seed, key.start);
+      hash_combine(seed, key.path);
+      return seed;
     }
   };
   struct CacheEntry {
-    EntityId entity;
-    SimTime expires;
+    EntityId entity;         ///< positive entries: the answer
+    SimTime expires;         ///< entry is dead once now >= expires
+    EntityId authority;      ///< context whose bindings produced the reply
+    std::uint64_t epoch;     ///< authority's rebind epoch at answer time
+    bool negative;           ///< true: a cached resolution error
+    std::string error;       ///< negative entries: the server's message
+    std::list<CacheKey>::iterator lru;  ///< position in lru_
   };
 
-  /// One request/reply round; fills the reply_* fields via the handler.
-  /// The server is addressed by pid in this client's context.
+  /// One request/reply round with timeout + exponential-backoff resends;
+  /// fills the reply_* fields via the handler. The server is addressed by
+  /// pid in this client's context.
   Status round_trip(const Pid& server, EntityId start,
                     const std::string& path);
+
+  /// Cache plumbing: TTL + epoch validation + LRU touch on hit; bounded
+  /// insert with LRU eviction; high-water epoch bookkeeping.
+  const CacheEntry* cache_lookup(const CacheKey& key);
+  void cache_insert(const CacheKey& key, CacheEntry entry);
+  void note_epoch(EntityId authority, std::uint64_t epoch);
 
   const NamingGraph& graph_;
   Internetwork& net_;
@@ -166,9 +231,19 @@ class ResolverClient {
   ResolverClientConfig config_;
   ResolverClientStats stats_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  ///< front = most recently used
+  /// Highest rebind epoch seen per authoritative context; entries cached
+  /// under an older epoch are superseded.
+  std::unordered_map<EntityId, std::uint64_t> epochs_seen_;
 
   // In-flight state (single outstanding request; the resolver is
-  // synchronous).
+  // synchronous). A reply is accepted only while awaiting_reply_ and only
+  // when it echoes expected_corr_ — a delayed reply from an earlier
+  // attempt or an earlier referral hop can never be mis-taken for the
+  // current answer.
+  std::uint64_t next_corr_ = 1;
+  std::uint64_t expected_corr_ = 0;
+  bool awaiting_reply_ = false;
   bool reply_received_ = false;
   std::uint64_t reply_disposition_ = NsWire::kError;
   EntityId reply_entity_;
@@ -177,6 +252,8 @@ class ResolverClient {
   Pid reply_next_server_;  ///< referral: the next authoritative server,
                            ///< already rebased into this client's context
                            ///< by the transport's R(sender) remap
+  EntityId reply_authority_;        ///< context the answer depends on
+  std::uint64_t reply_epoch_ = 0;  ///< its rebind epoch at the server
 };
 
 }  // namespace namecoh

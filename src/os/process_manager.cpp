@@ -88,14 +88,18 @@ ProcessId ProcessManager::fork_child(ProcessId parent, std::string label) {
   NAMECOH_CHECK(p.alive, "fork from dead process");
   // Inherit by copying the parent's context bindings into a fresh context
   // object: coherent now, free to diverge later (§5.1).
-  EntityId root = graph_.context(p.context_object)(Name("/"));
-  EntityId cwd = graph_.context(p.context_object)(Name("."));
+  // Copy these out first: spawn() grows the process table, which can
+  // reallocate it and invalidate `p`.
+  const MachineId machine = p.machine;
+  const EntityId parent_ctx = p.context_object;
+  EntityId root = graph_.context(parent_ctx)(Name("/"));
+  EntityId cwd = graph_.context(parent_ctx)(Name("."));
   NAMECOH_CHECK(root.valid() && cwd.valid(),
                 "parent context missing '/' or '.'");
-  ProcessId child = spawn(p.machine, std::move(label), root, cwd);
+  ProcessId child = spawn(machine, std::move(label), root, cwd);
   // Copy any extra per-process attachments beyond "/" and ".".
   graph_.context(processes_[child.value()].context_object)
-      .overlay(graph_.context(p.context_object));
+      .overlay(graph_.context(parent_ctx));
   processes_[child.value()].parent = parent;
   return child;
 }

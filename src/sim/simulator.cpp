@@ -22,6 +22,14 @@ bool Simulator::cancel(EventId id) {
   return id.valid() && pending_.erase(id.value()) > 0;
 }
 
+std::optional<SimTime> Simulator::next_event_time() {
+  while (!queue_.empty() && !pending_.contains(queue_.top().id)) {
+    queue_.pop();  // cancelled; discard lazily, as fire_next() would
+  }
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
+}
+
 bool Simulator::fire_next() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -39,6 +40,12 @@ class Simulator {
     return events_processed_;
   }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  /// Timestamp of the earliest pending event, or nullopt when the queue is
+  /// empty. Lets callers wait with a deadline ("run events up to t, no
+  /// further") without firing anything. Non-const: prunes cancelled entries
+  /// lingering at the head of the queue.
+  [[nodiscard]] std::optional<SimTime> next_event_time();
 
   /// Schedule `action` to run at absolute time `at` (>= now).
   EventId schedule_at(SimTime at, std::function<void()> action);

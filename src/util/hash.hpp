@@ -1,0 +1,31 @@
+// Hash-combining helpers for composite map keys.
+//
+// Several modules key hash tables on composites: the resolver cache keys on
+// (context, path), locations on (network, machine, local) triples, compound
+// names on their component sequence. XOR-folding the per-field std::hash
+// values collides for systematically related keys — swapped fields, shifted
+// duplicates, common prefixes — so every composite key folds fields through
+// this boost-style mix instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace namecoh {
+
+/// Mix one already-hashed value into a seed (64-bit boost::hash_combine
+/// constant; the shifts smear high and low bits so nearby inputs diverge).
+[[nodiscard]] constexpr std::size_t hash_mix(std::size_t seed,
+                                             std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash `value` with std::hash and fold it into `seed`. Order-sensitive:
+/// combining (a, b) and (b, a) yields different seeds, unlike XOR.
+template <typename T>
+void hash_combine(std::size_t& seed, const T& value) {
+  seed = hash_mix(seed, std::hash<T>{}(value));
+}
+
+}  // namespace namecoh

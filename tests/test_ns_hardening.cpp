@@ -1,0 +1,467 @@
+// Hardening tests for the distributed name service: correlation-id
+// reply matching, duplicate-request suppression, the empty-path reply
+// guarantee, timed exponential-backoff retries, and the bounded
+// invalidation-aware resolver cache (LRU + negative entries + rebind
+// epochs).
+#include <gtest/gtest.h>
+
+#include "fs/file_system.hpp"
+#include "ns/name_service.hpp"
+
+namespace namecoh {
+namespace {
+
+class NsHardeningTest : public ::testing::Test {
+ protected:
+  NsHardeningTest()
+      : fs_(graph_), transport_(sim_, net_),
+        service_(graph_, net_, transport_, homes_) {
+    NetworkId lan = net_.add_network("lan");
+    m1_ = net_.add_machine(lan, "m1");
+    m2_ = net_.add_machine(lan, "m2");
+    m3_ = net_.add_machine(lan, "m3");
+    root_ = fs_.make_root("m1-root");
+    shared_ = fs_.make_root("shared");
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(fs_.create_file_at(root_, "local/data.txt", "local").is_ok());
+    ASSERT_TRUE(fs_.create_file_at(root_, "local/other.txt", "other").is_ok());
+    ASSERT_TRUE(
+        fs_.create_file_at(shared_, "proj/readme", "shared readme").is_ok());
+    ASSERT_TRUE(fs_.attach(root_, Name("shared"), shared_).is_ok());
+    homes_.set_home_subtree(graph_, shared_, m2_);
+    homes_.set_home_subtree(graph_, root_, m1_);
+    server1_ = service_.add_server(m1_);
+    server2_ = service_.add_server(m2_);
+  }
+
+  /// A bare endpoint that records every name-service reply it receives,
+  /// for crafting raw wire messages (retransmissions, stale replies,
+  /// malformed requests) that a well-behaved client would never send.
+  struct WireProbe {
+    WireProbe(Internetwork& net, Transport& transport, MachineId machine)
+        : net_(net), transport_(transport),
+          endpoint_(net.add_endpoint(machine, "probe")) {
+      transport_.set_handler(endpoint_,
+                             [this](EndpointId, const Message& message) {
+                               if (message.type == NsWire::kResolveReply) {
+                                 replies.push_back(message);
+                               }
+                             });
+    }
+    ~WireProbe() {
+      transport_.clear_handler(endpoint_);
+      (void)net_.remove_endpoint(endpoint_);
+    }
+
+    Pid pid_of(EndpointId target) const {
+      return relativize(net_.location_of(target).value(),
+                        net_.location_of(endpoint_).value());
+    }
+
+    Status send_request(EndpointId server, std::uint64_t corr, EntityId start,
+                        std::string path) {
+      Message request;
+      request.type = NsWire::kResolveRequest;
+      request.payload.add_u64(corr);
+      request.payload.add_u64(start.value());
+      request.payload.add_name(std::move(path));
+      return transport_.send(endpoint_, pid_of(server), std::move(request));
+    }
+
+    Internetwork& net_;
+    Transport& transport_;
+    EndpointId endpoint_;
+    std::vector<Message> replies;
+  };
+
+  EntityId rebind_local(const char* leaf, const char* contents) {
+    Context ctx = FileSystem::make_process_context(root_, root_);
+    EntityId local_dir = fs_.resolve_path(ctx, "/local").entity;
+    EXPECT_TRUE(fs_.unlink(local_dir, Name(leaf)).is_ok());
+    auto created = fs_.create_file(local_dir, Name(leaf), contents);
+    EXPECT_TRUE(created.is_ok());
+    return created.value();
+  }
+
+  NamingGraph graph_;
+  FileSystem fs_;
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  HomeMap homes_;
+  NameService service_;
+  MachineId m1_, m2_, m3_;
+  EntityId root_, shared_;
+  EndpointId server1_, server2_;
+};
+
+// --- Satellite: the zero-component request must get an explicit reply ------
+
+TEST_F(NsHardeningTest, EmptyPathRequestGetsExplicitAnswer) {
+  // A request whose path holds zero components used to fall through the
+  // walk loop without any reply, so the sender burned its entire retry
+  // budget and reported a bogus "message lost" error. It now answers
+  // explicitly (identity resolution) on the first and only attempt.
+  WireProbe probe(net_, transport_, m1_);
+  ASSERT_TRUE(probe.send_request(server1_, 777, root_, "").is_ok());
+  sim_.run();
+  ASSERT_EQ(probe.replies.size(), 1u);  // one request sufficed: no retries
+  const Payload& reply = probe.replies[0].payload;
+  EXPECT_EQ(reply.u64_at(0), 777u);                // correlation id echoed
+  EXPECT_EQ(reply.u64_at(1), NsWire::kAnswer);
+  EXPECT_EQ(reply.u64_at(2), root_.value());       // identity resolution
+  EXPECT_EQ(service_.stats().answers, 1u);
+}
+
+TEST_F(NsHardeningTest, EmptyPathOnUnknownEntityGetsExplicitError) {
+  WireProbe probe(net_, transport_, m1_);
+  ASSERT_TRUE(
+      probe.send_request(server1_, 778, EntityId(999999), "").is_ok());
+  sim_.run();
+  ASSERT_EQ(probe.replies.size(), 1u);
+  EXPECT_EQ(probe.replies[0].payload.u64_at(1), NsWire::kError);
+  EXPECT_EQ(service_.stats().failures, 1u);
+}
+
+TEST_F(NsHardeningTest, MalformedRequestIsIgnoredNotCrashed) {
+  // Old two-field layout (no correlation id): not a valid request anymore.
+  WireProbe probe(net_, transport_, m1_);
+  Message request;
+  request.type = NsWire::kResolveRequest;
+  request.payload.add_u64(root_.value());
+  request.payload.add_name("local");
+  ASSERT_TRUE(
+      transport_.send(probe.endpoint_, probe.pid_of(server1_), request)
+          .is_ok());
+  sim_.run();
+  EXPECT_TRUE(probe.replies.empty());
+  EXPECT_EQ(service_.stats().requests, 0u);
+}
+
+// --- Tentpole: duplicate requests answered but not double-counted ----------
+
+TEST_F(NsHardeningTest, DuplicateRequestAnsweredButCountedOnce) {
+  WireProbe probe(net_, transport_, m1_);
+  ASSERT_TRUE(probe.send_request(server1_, 42, root_, "local").is_ok());
+  ASSERT_TRUE(probe.send_request(server1_, 42, root_, "local").is_ok());
+  sim_.run();
+  // Both copies are answered — the first reply may have been lost, so the
+  // server must re-reply — but the stats see one resolution.
+  ASSERT_EQ(probe.replies.size(), 2u);
+  EXPECT_EQ(probe.replies[0].payload.u64_at(1), NsWire::kAnswer);
+  EXPECT_EQ(probe.replies[1].payload.u64_at(1), NsWire::kAnswer);
+  EXPECT_EQ(service_.stats().requests, 1u);
+  EXPECT_EQ(service_.stats().duplicates, 1u);
+  EXPECT_EQ(service_.stats().answers, 1u);
+}
+
+// --- Tentpole: correlation ids reject delayed/stale replies ----------------
+
+TEST_F(NsHardeningTest, StaleReplyRejectedByCorrelationId) {
+  // Queue a forged "answer" to the client before it even asks, claiming
+  // the name resolves to the shared tree. Pre-fix, the client's handler
+  // accepted any kResolveReply while waiting and would have returned the
+  // wrong entity; the correlation id now rejects it and the client waits
+  // for the genuine answer.
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  WireProbe probe(net_, transport_, m1_);
+  Message forged;
+  forged.type = NsWire::kResolveReply;
+  forged.payload.add_u64(12345);  // matches no outstanding attempt
+  forged.payload.add_u64(NsWire::kAnswer);
+  forged.payload.add_u64(shared_.value());  // the wrong entity
+  forged.payload.add_name("");
+  forged.payload.add_string("");
+  forged.payload.add_pid(Pid::self());
+  forged.payload.add_u64(NsWire::kNoEntity);
+  forged.payload.add_u64(0);
+  ASSERT_TRUE(
+      transport_.send(probe.endpoint_, probe.pid_of(client.endpoint()),
+                      std::move(forged))
+          .is_ok());
+
+  auto result = client.resolve(root_, CompoundName::relative("local/data.txt"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "local");  // not the forged entity
+  EXPECT_EQ(client.stats().stale_replies_dropped, 1u);
+}
+
+// --- Tentpole: per-hop timeout + exponential backoff -----------------------
+
+TEST_F(NsHardeningTest, TimeoutBackoffConsumesSimulatedTime) {
+  TransportConfig lossy;
+  lossy.drop_probability = 1.0;  // total blackout
+  Transport drop_transport(sim_, net_, lossy);
+  NameService lossy_service(graph_, net_, drop_transport, homes_);
+  lossy_service.add_server(m1_);
+  ResolverClientConfig config;
+  config.retries = 2;
+  config.request_timeout = 100;
+  config.backoff_multiplier = 2.0;
+  ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
+                        m1_, "c", config);
+  SimTime t0 = sim_.now();
+  auto result = client.resolve(root_, CompoundName::relative("local"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kUnreachable);
+  // Three attempts waited 100 + 200 + 400 ticks on the shared clock.
+  EXPECT_EQ(sim_.now() - t0, 700u);
+  EXPECT_EQ(client.stats().messages_sent, 3u);
+  EXPECT_EQ(client.stats().timeouts, 3u);
+  EXPECT_EQ(client.stats().backoff_retries, 2u);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST_F(NsHardeningTest, BackoffTimeoutRespectsCap) {
+  TransportConfig lossy;
+  lossy.drop_probability = 1.0;
+  Transport drop_transport(sim_, net_, lossy);
+  NameService lossy_service(graph_, net_, drop_transport, homes_);
+  lossy_service.add_server(m1_);
+  ResolverClientConfig config;
+  config.retries = 3;
+  config.request_timeout = 100;
+  config.backoff_multiplier = 2.0;
+  config.max_timeout = 150;
+  ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
+                        m1_, "c", config);
+  SimTime t0 = sim_.now();
+  EXPECT_FALSE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  // 100, then capped at 150 for the remaining three attempts.
+  EXPECT_EQ(sim_.now() - t0, 100u + 150u + 150u + 150u);
+}
+
+// --- Satellite: referral chains under loss ---------------------------------
+
+TEST_F(NsHardeningTest, ReferralChainSurvivesLossWithRetries) {
+  // Three-hop authority chain: root (m1) -> shared (m2) -> deep (m3), with
+  // a lossy transport. Each hop retries independently and the chain still
+  // completes end-to-end.
+  EntityId deep = fs_.make_root("deep");
+  ASSERT_TRUE(fs_.create_file_at(deep, "leaf", "deep leaf").is_ok());
+  ASSERT_TRUE(fs_.attach(shared_, Name("deep"), deep).is_ok());
+  homes_.set_home_subtree(graph_, deep, m3_);
+
+  TransportConfig lossy;
+  lossy.drop_probability = 0.4;
+  Transport drop_transport(sim_, net_, lossy, /*seed=*/424242);
+  NameService lossy_service(graph_, net_, drop_transport, homes_);
+  lossy_service.add_server(m1_);
+  lossy_service.add_server(m2_);
+  lossy_service.add_server(m3_);
+  ResolverClientConfig config;
+  config.retries = 16;
+  config.request_timeout = 500;
+  ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
+                        m1_, "c", config);
+  auto result =
+      client.resolve(root_, CompoundName::relative("shared/deep/leaf"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "deep leaf");
+  EXPECT_EQ(client.stats().referrals_followed, 2u);
+  // Loss actually happened: more sends than the loss-free 3, and every
+  // resend was preceded by a timeout.
+  EXPECT_GT(client.stats().messages_sent, 3u);
+  EXPECT_EQ(client.stats().backoff_retries,
+            client.stats().messages_sent - 3u);
+}
+
+// --- Satellite: cache expiry at the exact TTL boundary ---------------------
+
+TEST_F(NsHardeningTest, CacheExpiryAtExactBoundaryIsMiss) {
+  ResolverClientConfig config;
+  config.cache_ttl = 50;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName name = CompoundName::relative("local/data.txt");
+  ASSERT_TRUE(client.resolve(root_, name).is_ok());
+  SimTime stamped = sim_.now();  // entry expires at stamped + 50
+
+  sim_.run_until(stamped + 49);
+  ASSERT_TRUE(client.resolve(root_, name).is_ok());
+  EXPECT_EQ(client.stats().cache_hits, 1u);  // one tick early: still alive
+
+  sim_.run_until(stamped + 50);
+  ASSERT_TRUE(client.resolve(root_, name).is_ok());
+  EXPECT_EQ(client.stats().cache_hits, 1u);  // exactly at expiry: a miss
+  EXPECT_EQ(client.stats().cache_misses, 2u);
+}
+
+// --- Tentpole: bounded LRU cache -------------------------------------------
+
+TEST_F(NsHardeningTest, CacheNeverExceedsCapacityUnderChurn) {
+  ResolverClientConfig config;
+  config.cache_ttl = 1u << 30;
+  config.cache_capacity = 4;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  std::vector<CompoundName> names;
+  for (int i = 0; i < 16; ++i) {
+    std::string path = "local/churn" + std::to_string(i);
+    ASSERT_TRUE(fs_.create_file_at(root_, path, "x").is_ok());
+    names.push_back(CompoundName::relative(path));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& name : names) {
+      ASSERT_TRUE(client.resolve(root_, name).is_ok());
+      EXPECT_LE(client.cache_size(), config.cache_capacity);
+    }
+  }
+  // 16 distinct names round-robin through 4 slots: every insert past the
+  // first 4 evicts, and nothing ever hits.
+  EXPECT_EQ(client.stats().evictions, 48u - 4u);
+  EXPECT_EQ(client.stats().cache_hits, 0u);
+  EXPECT_EQ(client.stats().cache_misses, 48u);
+}
+
+TEST_F(NsHardeningTest, LruKeepsRecentlyUsedEntries) {
+  ResolverClientConfig config;
+  config.cache_ttl = 1u << 30;
+  config.cache_capacity = 2;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName a = CompoundName::relative("local/data.txt");
+  CompoundName b = CompoundName::relative("local/other.txt");
+  CompoundName c = CompoundName::relative("shared/proj/readme");
+  ASSERT_TRUE(client.resolve(root_, a).is_ok());  // cache: [a]
+  ASSERT_TRUE(client.resolve(root_, b).is_ok());  // cache: [b, a]
+  ASSERT_TRUE(client.resolve(root_, a).is_ok());  // hit; cache: [a, b]
+  ASSERT_TRUE(client.resolve(root_, c).is_ok());  // evicts b: [c, a]
+  EXPECT_EQ(client.stats().evictions, 1u);
+  std::uint64_t hits_before = client.stats().cache_hits;
+  ASSERT_TRUE(client.resolve(root_, a).is_ok());  // a survived (recently used)
+  EXPECT_EQ(client.stats().cache_hits, hits_before + 1);
+  ASSERT_TRUE(client.resolve(root_, b).is_ok());  // b was the LRU victim
+  EXPECT_EQ(client.stats().cache_misses, 4u);     // a, b, c, then b again
+}
+
+// --- Tentpole: negative caching --------------------------------------------
+
+TEST_F(NsHardeningTest, NegativeCacheServesRepeatedFailures) {
+  ResolverClientConfig config;
+  config.negative_cache_ttl = 300;  // positive caching stays off
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName ghost = CompoundName::relative("local/ghost");
+  auto first = client.resolve(root_, ghost);
+  EXPECT_FALSE(first.is_ok());
+  SimTime stamped = sim_.now();
+  std::uint64_t sent = client.stats().messages_sent;
+
+  auto second = client.resolve(root_, ghost);
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.stats().messages_sent, sent);  // served from the cache
+  EXPECT_EQ(client.stats().negative_hits, 1u);
+
+  sim_.run_until(stamped + 300);  // negative TTL lapses (boundary counts)
+  auto third = client.resolve(root_, ghost);
+  EXPECT_FALSE(third.is_ok());
+  EXPECT_GT(client.stats().messages_sent, sent);  // back to the network
+}
+
+// --- Tentpole: epoch-based invalidation ------------------------------------
+
+TEST_F(NsHardeningTest, EpochInvalidationDropsSupersededEntry) {
+  ResolverClientConfig config;
+  config.cache_ttl = 1u << 30;  // TTL alone would keep the stale lie forever
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName name = CompoundName::relative("local/data.txt");
+  auto before = client.resolve(root_, name);
+  ASSERT_TRUE(before.is_ok());
+
+  // The authority rebinds the name...
+  EntityId fresh = rebind_local("data.txt", "new contents");
+  // ...and the client hears about the directory's new epoch through an
+  // unrelated miss in the same directory.
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("local/other.txt"))
+          .is_ok());
+
+  auto after = client.resolve(root_, name);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(after.value(), fresh);             // reconverged with authority
+  EXPECT_NE(after.value(), before.value());
+  EXPECT_EQ(client.stats().stale_epoch_drops, 1u);
+}
+
+TEST_F(NsHardeningTest, TtlOnlyCachingKeepsServingStaleBinding) {
+  // Control for the test above: with invalidation off, the same sequence
+  // keeps resolving to the superseded entity — §5 temporal incoherence.
+  ResolverClientConfig config;
+  config.cache_ttl = 1u << 30;
+  config.epoch_invalidation = false;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName name = CompoundName::relative("local/data.txt");
+  auto before = client.resolve(root_, name);
+  ASSERT_TRUE(before.is_ok());
+  EntityId fresh = rebind_local("data.txt", "new contents");
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("local/other.txt"))
+          .is_ok());
+  auto after = client.resolve(root_, name);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_NE(after.value(), fresh);  // still the stale binding
+  EXPECT_EQ(after.value(), before.value());
+  EXPECT_EQ(client.stats().stale_epoch_drops, 0u);
+}
+
+TEST_F(NsHardeningTest, NegativeEntryInvalidatedWhenNameAppears) {
+  ResolverClientConfig config;
+  config.negative_cache_ttl = 1u << 30;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  CompoundName ghost = CompoundName::relative("local/ghost");
+  EXPECT_FALSE(client.resolve(root_, ghost).is_ok());  // cached "no"
+
+  // The name comes into existence; an unrelated lookup in the directory
+  // carries the new epoch, superseding the cached error.
+  ASSERT_TRUE(fs_.create_file_at(root_, "local/ghost", "now real").is_ok());
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("local/data.txt"))
+          .is_ok());
+  auto revived = client.resolve(root_, ghost);
+  ASSERT_TRUE(revived.is_ok());
+  EXPECT_EQ(graph_.data(revived.value()), "now real");
+  EXPECT_EQ(client.stats().stale_epoch_drops, 1u);
+}
+
+// --- Satellite: HomeMap::set_home_subtree re-homes the root ----------------
+
+TEST_F(NsHardeningTest, SetHomeSubtreeRehomesRoot) {
+  // Pre-fix this call silently no-opped when the root already had a
+  // different home, leaving the caller none the wiser.
+  ASSERT_EQ(homes_.home_of(shared_).value(), m2_);
+  homes_.set_home_subtree(graph_, shared_, m3_);
+  EXPECT_EQ(homes_.home_of(shared_).value(), m3_);
+  // Descendants that already had their own (now foreign) authority keep it.
+  Context ctx = FileSystem::make_process_context(root_, root_);
+  EntityId proj = fs_.resolve_path(ctx, "/shared/proj").entity;
+  EXPECT_EQ(homes_.home_of(proj).value(), m2_);
+}
+
+// --- Rebind epochs at the core layer ---------------------------------------
+
+TEST_F(NsHardeningTest, RebindEpochCountsEffectiveChangesOnly) {
+  EntityId dir = graph_.add_context_object("dir");
+  EntityId file = graph_.add_data_object("file");
+  EntityId other = graph_.add_data_object("other");
+  std::uint64_t e0 = graph_.rebind_epoch(dir);
+  ASSERT_TRUE(graph_.bind(dir, Name("x"), file).is_ok());
+  EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 1);
+  ASSERT_TRUE(graph_.bind(dir, Name("x"), file).is_ok());  // same function
+  EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 1);
+  ASSERT_TRUE(graph_.bind(dir, Name("x"), other).is_ok());  // real rebind
+  EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 2);
+  ASSERT_TRUE(graph_.unbind(dir, Name("x")).is_ok());
+  EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 3);
+  EXPECT_FALSE(graph_.unbind(dir, Name("x")).is_ok());  // no-op unbind
+  EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 3);
+}
+
+}  // namespace
+}  // namespace namecoh
