@@ -8,8 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -25,17 +27,45 @@ inline std::string frac(double value, int decimals = 3) {
   return format_fraction(value, decimals);
 }
 
-/// Standard main body: experiment first, then microbenchmarks.
-#define NAMECOH_BENCH_MAIN(experiment_fn)                       \
-  int main(int argc, char** argv) {                             \
-    experiment_fn();                                            \
-    ::benchmark::Initialize(&argc, argv);                       \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                 \
-    }                                                           \
-    ::benchmark::RunSpecifiedBenchmarks();                      \
-    ::benchmark::Shutdown();                                    \
-    return 0;                                                   \
+/// Machine-readable mode: `--json` suppresses the experiment tables and
+/// runs only the microbenchmarks with JSON output on stdout, so CI can
+/// redirect straight into a BENCH_*.json artifact
+/// (scripts/run_benchmarks.sh). Returns true if the flag was present, and
+/// rewrites argv to request benchmark's JSON formatter.
+inline bool consume_json_flag(int& argc, char** argv,
+                              std::vector<char*>& patched) {
+  static char format_flag[] = "--benchmark_format=json";
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      continue;
+    }
+    patched.push_back(argv[i]);
+  }
+  if (!json) return false;
+  patched.push_back(format_flag);
+  patched.push_back(nullptr);
+  argc = static_cast<int>(patched.size()) - 1;
+  return true;
+}
+
+/// Standard main body: experiment first, then microbenchmarks (unless
+/// --json asked for machine-readable microbenchmarks only).
+#define NAMECOH_BENCH_MAIN(experiment_fn)                            \
+  int main(int argc, char** argv) {                                  \
+    std::vector<char*> patched_args;                                 \
+    const bool json_only =                                           \
+        ::namecoh::bench::consume_json_flag(argc, argv, patched_args); \
+    char** args = json_only ? patched_args.data() : argv;            \
+    if (!json_only) experiment_fn();                                 \
+    ::benchmark::Initialize(&argc, args);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, args)) {      \
+      return 1;                                                      \
+    }                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    return 0;                                                        \
   }
 
 }  // namespace namecoh::bench

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the benchmark binaries in machine-readable mode and drop one
+# BENCH_<name>.json artifact per binary at the repo root (google-benchmark
+# JSON: context + per-benchmark real/cpu times and counters).
+#
+# Usage: scripts/run_benchmarks.sh [build-dir] [out-dir]
+# Defaults: build-dir=build, out-dir=repo root. Binaries are built first if
+# the build directory is already configured.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found; run cmake -B build -S . first" >&2
+  exit 1
+fi
+cmake --build "$build_dir" -j >/dev/null
+
+for bench in bench_core_resolution bench_ns_cache; do
+  bin="$build_dir/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin missing (benchmark target not built?)" >&2
+    exit 1
+  fi
+  out="$out_dir/BENCH_${bench#bench_}.json"
+  echo "running $bench -> $out" >&2
+  "$bin" --json > "$out"
+done

@@ -1,41 +1,56 @@
 #include "core/context.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/status.hpp"
 
 namespace namecoh {
 
+std::vector<Binding>::const_iterator Context::find_slot(
+    const Name& name) const {
+  return std::lower_bound(bindings_.begin(), bindings_.end(), name.id(),
+                          [](const Binding& b, NameId id) {
+                            return b.name.id() < id;
+                          });
+}
+
 void Context::bind(const Name& name, EntityId entity) {
   NAMECOH_CHECK(entity.valid(), "cannot bind '" + name.text() +
                                     "' to the undefined entity; use unbind");
-  auto [it, inserted] = bindings_.try_emplace(name, entity);
-  if (!inserted) {
-    if (it->second == entity) return;  // same function: epoch unchanged
-    it->second = entity;
+  auto it = bindings_.begin() + (find_slot(name) - bindings_.begin());
+  if (it != bindings_.end() && it->name == name) {
+    if (it->entity == entity) return;  // same function: epoch unchanged
+    it->entity = entity;
+  } else {
+    bindings_.insert(it, Binding{name, entity});
   }
   ++version_;
 }
 
 bool Context::unbind(const Name& name) {
-  if (bindings_.erase(name) == 0) return false;
+  auto it = find_slot(name);
+  if (it == bindings_.end() || it->name != name) return false;
+  bindings_.erase(it);
   ++version_;
   return true;
 }
 
 EntityId Context::operator()(const Name& name) const {
-  auto it = bindings_.find(name);
-  return it == bindings_.end() ? EntityId::invalid() : it->second;
+  auto it = find_slot(name);
+  return it == bindings_.end() || it->name != name ? EntityId::invalid()
+                                                   : it->entity;
 }
 
 std::optional<EntityId> Context::lookup(const Name& name) const {
-  auto it = bindings_.find(name);
-  if (it == bindings_.end()) return std::nullopt;
-  return it->second;
+  auto it = find_slot(name);
+  if (it == bindings_.end() || it->name != name) return std::nullopt;
+  return it->entity;
 }
 
 bool Context::contains(const Name& name) const {
-  return bindings_.contains(name);
+  auto it = find_slot(name);
+  return it != bindings_.end() && it->name == name;
 }
 
 void Context::overlay(const Context& other) {
@@ -55,9 +70,16 @@ std::string Context::to_string() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Context& c) {
+  // Render in text order: intern-id order is an accident of history and
+  // would make debug output depend on unrelated earlier code.
+  std::vector<Binding> sorted(c.bindings_.begin(), c.bindings_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Binding& a,
+                                             const Binding& b) {
+    return a.name < b.name;
+  });
   os << '{';
   bool first = true;
-  for (const auto& [name, entity] : c.bindings_) {
+  for (const auto& [name, entity] : sorted) {
     if (!first) os << ", ";
     first = false;
     os << name << " -> " << entity;

@@ -4,18 +4,38 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/entity.hpp"
 #include "core/name.hpp"
 
 namespace namecoh {
 
+/// One (name ↦ entity) pair of a context's finite support.
+struct Binding {
+  Name name;
+  EntityId entity;
+
+  friend bool operator==(const Binding& a, const Binding& b) {
+    return a.name == b.name && a.entity == b.entity;
+  }
+};
+
 /// A finite-support representation of a context function. Names outside the
-/// support resolve to ⊥E. Ordered so iteration (and equality) is stable.
+/// support resolve to ⊥E.
+///
+/// Storage is a flat vector sorted by name atom (NameId): lookups are a
+/// binary search over a contiguous array of 8-byte pairs, and equality is a
+/// memcmp-shaped scan — both considerably cheaper than the node-per-binding
+/// std::map this replaced. Iteration order is therefore *atom* order (intern
+/// history), which is stable within a process but not lexicographic; callers
+/// that need text order (directory listings, debug rendering) sort at the
+/// edge. Extensional equality is unaffected: two contexts binding the same
+/// names to the same entities hold identical sorted vectors.
 class Context {
  public:
   Context() = default;
@@ -37,9 +57,11 @@ class Context {
   [[nodiscard]] std::size_t size() const { return bindings_.size(); }
   [[nodiscard]] bool empty() const { return bindings_.empty(); }
 
-  /// Stable iteration over (name, entity) pairs.
-  [[nodiscard]] const std::map<Name, EntityId>& bindings() const {
-    return bindings_;
+  /// The support as a span of (name, entity) pairs, sorted by name atom.
+  /// Stable for a given binding set within a process; invalidated by
+  /// bind/unbind like any container view.
+  [[nodiscard]] std::span<const Binding> bindings() const {
+    return {bindings_.data(), bindings_.size()};
   }
 
   /// Monotone rebind counter: bumped by every bind/unbind that actually
@@ -58,17 +80,23 @@ class Context {
   [[nodiscard]] bool agrees_on(const Context& other, const Name& name) const;
 
   /// Equality is extensional: two contexts are equal iff they are the same
-  /// function, regardless of how many rebinds produced them.
+  /// function, regardless of how many rebinds produced them. The sorted
+  /// vector is a canonical form, so this is a single pairwise scan.
   friend bool operator==(const Context& a, const Context& b) {
     return a.bindings_ == b.bindings_;
   }
 
-  /// Debug rendering "{a -> #1, b -> #2}".
+  /// Debug rendering "{a -> #1, b -> #2}", sorted by name text so output
+  /// is human-stable regardless of intern order.
   [[nodiscard]] std::string to_string() const;
   friend std::ostream& operator<<(std::ostream& os, const Context& c);
 
  private:
-  std::map<Name, EntityId> bindings_;
+  // Iterator to the first binding with atom >= name's (lower bound).
+  [[nodiscard]] std::vector<Binding>::const_iterator find_slot(
+      const Name& name) const;
+
+  std::vector<Binding> bindings_;  // sorted by name.id(), unique
   std::uint64_t version_ = 0;
 };
 

@@ -1,0 +1,57 @@
+#include "core/interner.hpp"
+
+namespace namecoh {
+
+NameTable& NameTable::global() {
+  static NameTable table;
+  return table;
+}
+
+NameTable::NameTable() {
+  // Reserved atoms, in the fixed order promised by interner.hpp.
+  NAMECOH_CHECK(intern_unchecked("/") == kRootAtom, "interner bootstrap");
+  NAMECOH_CHECK(intern_unchecked(".") == kCwdAtom, "interner bootstrap");
+  NAMECOH_CHECK(intern_unchecked("..") == kParentAtom, "interner bootstrap");
+}
+
+bool NameTable::is_valid(std::string_view text) {
+  if (text.empty()) return false;
+  if (text == "/") return true;
+  return text.find('/') == std::string_view::npos &&
+         text.find('\0') == std::string_view::npos;
+}
+
+NameId NameTable::intern_unchecked(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const NameId id = static_cast<NameId>(texts_.size());
+  texts_.emplace_back(text);
+  ids_.emplace(std::string_view(texts_.back()), id);
+  return id;
+}
+
+NameId NameTable::intern(std::string_view text) {
+  NAMECOH_CHECK(is_valid(text), "invalid name: '" + std::string(text) + "'");
+  return intern_unchecked(text);
+}
+
+Result<NameId> NameTable::try_intern(std::string_view text) {
+  if (!is_valid(text)) {
+    return invalid_argument_error("invalid name: '" + std::string(text) +
+                                  "'");
+  }
+  return intern_unchecked(text);
+}
+
+std::optional<NameId> NameTable::find(std::string_view text) const {
+  auto it = ids_.find(text);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& NameTable::text(NameId id) const {
+  NAMECOH_CHECK(id < texts_.size(), "unknown name atom");
+  return texts_[id];
+}
+
+}  // namespace namecoh

@@ -1,0 +1,94 @@
+// The process-wide name interner (see docs/INTERNING.md).
+//
+// The paper's model never inspects the spelling of a name: resolution,
+// coherence, and the §5 schemes only ever ask whether two names are *the
+// same name*. That makes names perfect candidates for interning — each
+// distinct spelling is stored once in a process-wide NameTable and every
+// Name handle is a dense 32-bit atom (NameId), so equality and hashing are
+// O(1) integer operations and a Context can key its bindings on atoms
+// instead of heap strings.
+//
+// Properties the rest of the system relies on:
+//
+//   * Atoms are immortal: a NameId, once assigned, denotes the same text
+//     for the life of the process, and text() references stay valid forever
+//     (storage is a deque; entries never move and are never freed).
+//   * Atoms are node-local: two processes intern in different orders, so a
+//     NameId is meaningless outside the process that minted it. The wire
+//     always carries the text; receivers re-intern on decode
+//     (net/wire.hpp, docs/PROTOCOLS.md).
+//   * Validation happens at intern time only: a live NameId is proof the
+//     text was a valid name, so the hot paths never re-validate.
+//   * The distinguished bindings "/", ".", ".." are pre-interned with fixed
+//     ids, so classification (is_root etc.) is a constant compare.
+//
+// The table is not synchronized: the simulator and everything above it are
+// single-threaded by design (see sim/simulator.hpp). A multi-threaded
+// future would shard the table or add a lock on the intern path only —
+// text() lookups are immutable-after-publish either way.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Dense atom id handed out by the NameTable. Not an EntityId: atoms name
+/// things, entities are things.
+using NameId = std::uint32_t;
+
+inline constexpr NameId kInvalidNameId = 0xffffffffU;
+
+/// Fixed atoms for the distinguished bindings, pre-interned by the table
+/// constructor in this order.
+inline constexpr NameId kRootAtom = 0;    ///< "/"
+inline constexpr NameId kCwdAtom = 1;     ///< "."
+inline constexpr NameId kParentAtom = 2;  ///< ".."
+
+/// The string ↔ atom table. One per process; use NameTable::global().
+class NameTable {
+ public:
+  /// The process-wide table. First use constructs it (and pre-interns the
+  /// reserved atoms), so it is safe to call from static initializers.
+  static NameTable& global();
+
+  /// Validity rules for a name's text: non-empty, no NUL, no '/' — except
+  /// the single reserved name "/" itself.
+  static bool is_valid(std::string_view text);
+
+  /// Intern `text`, returning its atom; the same text always returns the
+  /// same atom. Throws PreconditionError on invalid text (use try_intern
+  /// for untrusted input).
+  NameId intern(std::string_view text);
+
+  /// Non-throwing intern for untrusted input.
+  Result<NameId> try_intern(std::string_view text);
+
+  /// The atom for `text` if it has ever been interned; never interns.
+  [[nodiscard]] std::optional<NameId> find(std::string_view text) const;
+
+  /// The text of an atom. O(1); the reference is stable for the process
+  /// lifetime. Precondition: `id` was returned by intern().
+  [[nodiscard]] const std::string& text(NameId id) const;
+
+  /// Number of distinct atoms interned so far.
+  [[nodiscard]] std::size_t size() const { return texts_.size(); }
+
+ private:
+  NameTable();
+
+  NameId intern_unchecked(std::string_view text);
+
+  // Texts are stored in a deque so element addresses are stable under
+  // growth; ids_ keys are views into those stored strings.
+  std::deque<std::string> texts_;
+  std::unordered_map<std::string_view, NameId> ids_;
+};
+
+}  // namespace namecoh

@@ -2,30 +2,75 @@
 
 #include <algorithm>
 
-#include "util/strings.hpp"
-
 namespace namecoh {
 
-Name::Name(std::string text) : text_(std::move(text)) {
-  NAMECOH_CHECK(is_valid(text_), "invalid name: '" + text_ + "'");
+Result<Name> Name::make(std::string_view text) {
+  auto id = NameTable::global().try_intern(text);
+  if (!id.is_ok()) return id.status();
+  return Name::from_id(id.value());
 }
 
-bool Name::is_valid(std::string_view text) {
-  if (text.empty()) return false;
-  if (text == kRootName) return true;
-  return text.find('/') == std::string_view::npos &&
-         text.find('\0') == std::string_view::npos;
-}
+namespace {
 
-Result<Name> Name::make(std::string text) {
-  if (!is_valid(text)) {
-    return invalid_argument_error("invalid name: '" + text + "'");
+/// Visit '/'-separated pieces of `text` without allocating. Adjacent
+/// separators yield empty pieces (rejected by Name::make), matching the
+/// historical split() behavior.
+template <typename Fn>
+Status for_each_piece(std::string_view text, Fn&& fn) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t slash = text.find('/', start);
+    const std::string_view piece =
+        slash == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, slash - start);
+    Status status = fn(piece);
+    if (!status.is_ok()) return status;
+    if (slash == std::string_view::npos) return Status::ok();
+    start = slash + 1;
   }
-  return Name(Unchecked{}, std::move(text));
 }
 
-CompoundName::CompoundName(std::vector<Name> names)
-    : names_(std::move(names)) {
+std::string render_path(const Name* names, std::size_t size) {
+  std::string out;
+  std::size_t start = 0;
+  if (names[0].is_root()) {
+    out = "/";
+    start = 1;
+  } else if (names[0].is_cwd() && size > 1) {
+    start = 1;  // drop the implicit "." when more components follow
+  }
+  for (std::size_t i = start; i < size; ++i) {
+    if (i > start) out += '/';
+    out += names[i].text();
+  }
+  if (out.empty()) out = names[0].text();  // "/" or "." alone
+  return out;
+}
+
+}  // namespace
+
+std::string NameSlice::to_path() const {
+  if (size_ == 0) return {};
+  return render_path(data_, size_);
+}
+
+std::string NameSlice::joined() const {
+  std::string out;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i > 0) out += '/';
+    out += data_[i].text();
+  }
+  return out;
+}
+
+CompoundName::CompoundName(const std::vector<Name>& names)
+    : names_(names.data(), names.size()) {
+  NAMECOH_CHECK(!names_.empty(), "compound name must be non-empty");
+}
+
+CompoundName::CompoundName(NameSlice slice)
+    : names_(slice.begin(), slice.size()) {
   NAMECOH_CHECK(!names_.empty(), "compound name must be non-empty");
 }
 
@@ -33,26 +78,28 @@ Result<CompoundName> CompoundName::parse_path(std::string_view path) {
   if (path.empty()) {
     return invalid_argument_error("empty path");
   }
-  std::vector<Name> names;
+  CompoundName result{Raw{}};
   if (path.front() == '/') {
-    names.emplace_back(std::string(kRootName));
+    result.names_.push_back(Name::root());
     path.remove_prefix(1);
-    if (path.empty()) return CompoundName(std::move(names));
+    if (path.empty()) return result;
   } else {
-    names.emplace_back(std::string(kCwdName));
+    result.names_.push_back(Name::cwd());
     // "." alone parses to just the cwd binding.
-    if (path == kCwdName) return CompoundName(std::move(names));
+    if (path == kCwdName) return result;
   }
-  for (const std::string& piece : split(path, '/')) {
+  Status status = for_each_piece(path, [&](std::string_view piece) {
     auto name = Name::make(piece);
     if (!name.is_ok()) {
       return invalid_argument_error("bad path component in '" +
-                                    std::string(path) + "': " +
-                                    name.status().message());
+                                    std::string(path) +
+                                    "': " + name.status().message());
     }
-    names.push_back(std::move(name).value());
-  }
-  return CompoundName(std::move(names));
+    result.names_.push_back(name.value());
+    return Status::ok();
+  });
+  if (!status.is_ok()) return status;
+  return result;
 }
 
 CompoundName CompoundName::path(std::string_view path) {
@@ -67,16 +114,18 @@ Result<CompoundName> CompoundName::parse_relative(std::string_view path) {
     return invalid_argument_error("relative path must not start with '/': '" +
                                   std::string(path) + "'");
   }
-  std::vector<Name> names;
-  for (const std::string& piece : split(path, '/')) {
+  CompoundName result{Raw{}};
+  Status status = for_each_piece(path, [&](std::string_view piece) {
     auto name = Name::make(piece);
     if (!name.is_ok()) {
       return invalid_argument_error("bad component in '" + std::string(path) +
                                     "': " + name.status().message());
     }
-    names.push_back(std::move(name).value());
-  }
-  return CompoundName(std::move(names));
+    result.names_.push_back(name.value());
+    return Status::ok();
+  });
+  if (!status.is_ok()) return status;
+  return result;
 }
 
 CompoundName CompoundName::relative(std::string_view path) {
@@ -88,24 +137,28 @@ CompoundName CompoundName::relative(std::string_view path) {
 
 CompoundName CompoundName::rest() const {
   NAMECOH_CHECK(names_.size() >= 2, "rest() of single-component name");
-  return CompoundName(std::vector<Name>(names_.begin() + 1, names_.end()));
+  return CompoundName(slice().rest());
 }
 
 CompoundName CompoundName::parent() const {
   NAMECOH_CHECK(names_.size() >= 2, "parent() of single-component name");
-  return CompoundName(std::vector<Name>(names_.begin(), names_.end() - 1));
+  return CompoundName(slice().subslice(0, names_.size() - 1));
 }
 
 CompoundName CompoundName::append(const CompoundName& other) const {
-  std::vector<Name> names = names_;
-  names.insert(names.end(), other.names_.begin(), other.names_.end());
-  return CompoundName(std::move(names));
+  CompoundName result{Raw{}};
+  result.names_.reserve(names_.size() + other.names_.size());
+  for (const Name& n : names_) result.names_.push_back(n);
+  for (const Name& n : other.names_) result.names_.push_back(n);
+  return result;
 }
 
 CompoundName CompoundName::child(const Name& name) const {
-  std::vector<Name> names = names_;
-  names.push_back(name);
-  return CompoundName(std::move(names));
+  CompoundName result{Raw{}};
+  result.names_.reserve(names_.size() + 1);
+  for (const Name& n : names_) result.names_.push_back(n);
+  result.names_.push_back(name);
+  return result;
 }
 
 bool CompoundName::has_prefix(const CompoundName& prefix) const {
@@ -120,27 +173,27 @@ Result<CompoundName> CompoundName::rebase(const CompoundName& from,
     return invalid_argument_error("rebase: '" + from.to_path() +
                                   "' is not a prefix of '" + to_path() + "'");
   }
-  std::vector<Name> names = to.names_;
-  names.insert(names.end(), names_.begin() + static_cast<long>(from.size()),
-               names_.end());
-  return CompoundName(std::move(names));
+  CompoundName result{Raw{}};
+  result.names_.reserve(to.names_.size() + names_.size() - from.size());
+  for (const Name& n : to.names_) result.names_.push_back(n);
+  for (std::size_t i = from.size(); i < names_.size(); ++i) {
+    result.names_.push_back(names_[i]);
+  }
+  return result;
 }
 
 std::string CompoundName::to_path() const {
-  std::string out;
-  std::size_t start = 0;
-  if (names_.front().is_root()) {
-    out = "/";
-    start = 1;
-  } else if (names_.front().is_cwd() && names_.size() > 1) {
-    start = 1;  // drop the implicit "." when more components follow
+  return render_path(names_.data(), names_.size());
+}
+
+std::strong_ordering operator<=>(const CompoundName& a,
+                                 const CompoundName& b) {
+  const std::size_t n = std::min(a.names_.size(), b.names_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto cmp = a.names_[i] <=> b.names_[i];
+    if (cmp != std::strong_ordering::equal) return cmp;
   }
-  for (std::size_t i = start; i < names_.size(); ++i) {
-    if (i > start) out += '/';
-    out += names_[i].text();
-  }
-  if (out.empty()) out = names_.front().text();  // "/" or "." alone
-  return out;
+  return a.names_.size() <=> b.names_.size();
 }
 
 }  // namespace namecoh

@@ -3,6 +3,15 @@
 // A Name is an atomic identifier. A CompoundName is a non-empty sequence of
 // names (the paper's N+), resolved step-by-step through context objects.
 //
+// Names are *interned*: a Name is a trivially-copyable 32-bit handle (a
+// NameId atom) into the process-wide NameTable (core/interner.hpp), so name
+// equality, hashing, and classification are O(1) integer operations and the
+// text is validated exactly once, at intern time. A CompoundName stores its
+// atoms inline (SmallVec) and NameSlice provides a non-owning view over a
+// component subsequence, so resolution and referral forwarding never copy
+// suffixes. Atoms are node-local; the wire always carries text
+// (docs/INTERNING.md).
+//
 // Path syntax: the library follows the paper's Unix discussion. A process
 // context holds two distinguished bindings, kRootName ("/") for the root
 // directory and kCwdName (".") for the working directory. Parsing the path
@@ -24,7 +33,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/interner.hpp"
 #include "util/hash.hpp"
+#include "util/small_vec.hpp"
 #include "util/status.hpp"
 
 namespace namecoh {
@@ -34,48 +45,150 @@ inline constexpr std::string_view kRootName = "/";
 inline constexpr std::string_view kCwdName = ".";
 inline constexpr std::string_view kParentName = "..";
 
-/// An atomic name. Valid names are non-empty, contain no NUL and no '/'
-/// — except the single reserved name "/" itself (the root binding).
+/// An atomic name: a 32-bit handle onto an interned atom. Valid names are
+/// non-empty, contain no NUL and no '/' — except the single reserved name
+/// "/" itself (the root binding). Copying a Name copies an integer.
 class Name {
  public:
-  /// Throws PreconditionError on invalid text; use validate() + make() when
-  /// the text comes from untrusted input.
-  explicit Name(std::string text);
-  Name(const char* text) : Name(std::string(text)) {}  // NOLINT: ergonomics
+  /// Interns the text. Throws PreconditionError on invalid text; use
+  /// validate() + make() when the text comes from untrusted input.
+  explicit Name(std::string_view text)
+      : id_(NameTable::global().intern(text)) {}
+  Name(const char* text) : Name(std::string_view(text)) {}  // NOLINT: ergonomics
 
-  /// Validity check without construction.
-  static bool is_valid(std::string_view text);
-  /// Non-throwing factory.
-  static Result<Name> make(std::string text);
-
-  [[nodiscard]] const std::string& text() const { return text_; }
-
-  [[nodiscard]] bool is_root() const { return text_ == kRootName; }
-  [[nodiscard]] bool is_cwd() const { return text_ == kCwdName; }
-  [[nodiscard]] bool is_parent() const { return text_ == kParentName; }
-
-  friend auto operator<=>(const Name& a, const Name& b) {
-    return a.text_ <=> b.text_;
+  /// Validity check without construction (or interning).
+  static bool is_valid(std::string_view text) {
+    return NameTable::is_valid(text);
   }
-  friend bool operator==(const Name& a, const Name& b) = default;
+  /// Non-throwing factory.
+  static Result<Name> make(std::string_view text);
+
+  /// Wrap an atom already minted by the NameTable.
+  static Name from_id(NameId id) { return Name(id, Unchecked{}); }
+
+  /// The distinguished atoms, without a table probe.
+  static Name root() { return from_id(kRootAtom); }
+  static Name cwd() { return from_id(kCwdAtom); }
+  static Name parent() { return from_id(kParentAtom); }
+
+  [[nodiscard]] NameId id() const { return id_; }
+  [[nodiscard]] const std::string& text() const {
+    return NameTable::global().text(id_);
+  }
+
+  [[nodiscard]] bool is_root() const { return id_ == kRootAtom; }
+  [[nodiscard]] bool is_cwd() const { return id_ == kCwdAtom; }
+  [[nodiscard]] bool is_parent() const { return id_ == kParentAtom; }
+
+  /// Ordering is lexicographic on the text (atoms are spelling-blind, so id
+  /// order would be an accident of intern history); equality is an O(1)
+  /// atom compare — text equality ⇔ atom equality by construction.
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b) {
+    if (a.id_ == b.id_) return std::strong_ordering::equal;
+    return a.text().compare(b.text()) < 0 ? std::strong_ordering::less
+                                          : std::strong_ordering::greater;
+  }
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.id_ == b.id_;
+  }
 
   friend std::ostream& operator<<(std::ostream& os, const Name& n) {
-    return os << n.text_;
+    return os << n.text();
   }
 
  private:
   struct Unchecked {};
-  Name(Unchecked, std::string text) : text_(std::move(text)) {}
-  std::string text_;
-  friend class CompoundName;
+  Name(NameId id, Unchecked) : id_(id) {}
+  NameId id_;
 };
 
-/// A non-empty sequence of names (the paper's N+). Immutable value type.
+static_assert(sizeof(Name) == sizeof(NameId) &&
+                  std::is_trivially_copyable_v<Name>,
+              "Name must stay a cheap value handle");
+
+class CompoundName;
+
+/// A non-owning view of a contiguous run of name components — the copy-free
+/// "rest of the path" used by the resolver, the Algol-scope search, and the
+/// name-service referral loop. A slice may be empty (unlike CompoundName);
+/// it borrows storage from a CompoundName (or array) that must outlive it.
+class NameSlice {
+ public:
+  NameSlice() = default;
+  NameSlice(const Name* data, std::size_t size) : data_(data), size_(size) {}
+  NameSlice(std::span<const Name> components)  // NOLINT: view adaptor
+      : data_(components.data()), size_(components.size()) {}
+  NameSlice(const CompoundName& name);  // NOLINT: implicit by design
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const Name& at(std::size_t i) const {
+    NAMECOH_CHECK(i < size_, "NameSlice index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] const Name& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] const Name& front() const { return at(0); }
+  [[nodiscard]] const Name& back() const { return at(size_ - 1); }
+  [[nodiscard]] std::span<const Name> components() const {
+    return {data_, size_};
+  }
+  [[nodiscard]] const Name* begin() const { return data_; }
+  [[nodiscard]] const Name* end() const { return data_ + size_; }
+
+  [[nodiscard]] bool is_absolute() const {
+    return size_ > 0 && data_[0].is_root();
+  }
+
+  /// The slice without its first component; requires size() >= 1. O(1), no
+  /// copy — this is what replaces CompoundName::rest() on hot paths.
+  [[nodiscard]] NameSlice rest() const {
+    NAMECOH_CHECK(size_ >= 1, "rest() of empty slice");
+    return {data_ + 1, size_ - 1};
+  }
+  /// The sub-run [pos, pos+count); count defaults to "to the end".
+  [[nodiscard]] NameSlice subslice(std::size_t pos,
+                                   std::size_t count = ~std::size_t{0}) const {
+    NAMECOH_CHECK(pos <= size_, "subslice start out of range");
+    if (count > size_ - pos) count = size_ - pos;
+    return {data_ + pos, count};
+  }
+
+  /// Render with path syntax (same rules as CompoundName::to_path); the
+  /// empty slice renders as "".
+  [[nodiscard]] std::string to_path() const;
+  /// Render as bare '/'-joined components ("a/p"), no elision — the wire
+  /// encoding of a relative component sequence.
+  [[nodiscard]] std::string joined() const;
+
+  friend bool operator==(const NameSlice& a, const NameSlice& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const NameSlice& s) {
+    return os << s.to_path();
+  }
+
+ private:
+  const Name* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A non-empty sequence of names (the paper's N+). Immutable value type;
+/// components live inline for short names (the common case), so copies are
+/// usually a memcpy.
 class CompoundName {
  public:
   CompoundName(std::initializer_list<Name> names)
       : CompoundName(std::vector<Name>(names)) {}
-  explicit CompoundName(std::vector<Name> names);
+  explicit CompoundName(const std::vector<Name>& names);
+  /// Materialize an owned copy of a slice.
+  explicit CompoundName(NameSlice slice);
 
   /// Parse a Unix-style path string per the convention documented above.
   ///  "/a/b"  -> ⟨"/", "a", "b"⟩        (absolute)
@@ -99,14 +212,24 @@ class CompoundName {
   static CompoundName relative(std::string_view path);
 
   [[nodiscard]] std::size_t size() const { return names_.size(); }
-  [[nodiscard]] const Name& at(std::size_t i) const { return names_.at(i); }
+  [[nodiscard]] const Name& at(std::size_t i) const {
+    NAMECOH_CHECK(i < names_.size(), "component index out of range");
+    return names_[i];
+  }
   [[nodiscard]] const Name& front() const { return names_.front(); }
   [[nodiscard]] const Name& back() const { return names_.back(); }
-  [[nodiscard]] std::span<const Name> components() const { return names_; }
+  [[nodiscard]] std::span<const Name> components() const {
+    return {names_.data(), names_.size()};
+  }
+  /// Borrowing view of all components; valid while this object lives.
+  [[nodiscard]] NameSlice slice() const {
+    return {names_.data(), names_.size()};
+  }
 
   [[nodiscard]] bool is_absolute() const { return names_.front().is_root(); }
 
-  /// The name without its first component; requires size() >= 2.
+  /// The name without its first component; requires size() >= 2. Allocates
+  /// an owned copy — prefer slice().rest() on hot paths.
   [[nodiscard]] CompoundName rest() const;
   /// The name without its last component; requires size() >= 2.
   [[nodiscard]] CompoundName parent() const;
@@ -128,36 +251,54 @@ class CompoundName {
   /// ⟨".","a"⟩ -> "a", ⟨"x","y"⟩ -> "x/y".
   [[nodiscard]] std::string to_path() const;
 
-  friend auto operator<=>(const CompoundName& a, const CompoundName& b) {
-    return a.names_ <=> b.names_;
+  /// Ordering is lexicographic over components (component order is text
+  /// order, see Name); equality is an O(k) atom-sequence compare.
+  friend std::strong_ordering operator<=>(const CompoundName& a,
+                                          const CompoundName& b);
+  friend bool operator==(const CompoundName& a, const CompoundName& b) {
+    return a.names_ == b.names_;
   }
-  friend bool operator==(const CompoundName& a,
-                         const CompoundName& b) = default;
 
   friend std::ostream& operator<<(std::ostream& os, const CompoundName& n) {
     return os << n.to_path();
   }
 
  private:
-  std::vector<Name> names_;
+  struct Raw {};
+  CompoundName(Raw) {}  // uninitialized; used by factories that push_back
+
+  /// Paths rarely exceed a handful of components; 8 atoms (32 bytes) ride
+  /// inline before spilling to the heap.
+  SmallVec<Name, 8> names_;
 };
+
+inline NameSlice::NameSlice(const CompoundName& name)
+    : data_(name.components().data()), size_(name.size()) {}
 
 }  // namespace namecoh
 
 template <>
 struct std::hash<namecoh::Name> {
   std::size_t operator()(const namecoh::Name& n) const noexcept {
-    return std::hash<std::string>{}(n.text());
+    // Atoms are dense; smear them so nearby ids land far apart.
+    return namecoh::hash_mix(0, n.id());
+  }
+};
+
+template <>
+struct std::hash<namecoh::NameSlice> {
+  std::size_t operator()(const namecoh::NameSlice& s) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const auto& part : s.components()) {
+      h = namecoh::hash_mix(h, part.id());
+    }
+    return h;
   }
 };
 
 template <>
 struct std::hash<namecoh::CompoundName> {
   std::size_t operator()(const namecoh::CompoundName& n) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (const auto& part : n.components()) {
-      namecoh::hash_combine(h, part);
-    }
-    return h;
+    return std::hash<namecoh::NameSlice>{}(n.slice());
   }
 };

@@ -4,9 +4,12 @@ namespace namecoh {
 namespace {
 
 Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
-                        EntityId start_obj, const CompoundName& name,
+                        EntityId start_obj, NameSlice name,
                         const ResolveOptions& options) {
   Resolution res;
+  // One interior context per component (plus the start): size the trail
+  // once instead of growing it hop by hop.
+  res.trail.reserve(name.size() + 1);
   const Context* ctx = start_ctx;
   if (!ctx) {
     if (!graph.is_context_object(start_obj)) {
@@ -17,8 +20,7 @@ Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
     res.trail.push_back(start_obj);
   }
 
-  const auto components = name.components();
-  for (std::size_t i = 0; i < components.size(); ++i) {
+  for (std::size_t i = 0; i < name.size(); ++i) {
     if (res.steps >= options.max_steps) {
       res.status = depth_exceeded_error("resolution exceeded " +
                                         std::to_string(options.max_steps) +
@@ -27,14 +29,14 @@ Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
     }
     ++res.steps;
 
-    EntityId next = (*ctx)(components[i]);
+    EntityId next = (*ctx)(name[i]);
     if (!next.valid()) {
-      res.status = not_found_error("'" + components[i].text() +
+      res.status = not_found_error("'" + name[i].text() +
                                    "' unbound while resolving '" +
                                    name.to_path() + "'");
       return res;
     }
-    if (i + 1 == components.size()) {
+    if (i + 1 == name.size()) {
       // Last component: any entity is a legal result.
       res.entity = next;
       res.status = Status::ok();
@@ -43,7 +45,7 @@ Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
     // Interior component: σ(next) must be a context to continue.
     if (!graph.is_context_object(next)) {
       res.status = not_a_context_error(
-          "'" + components[i].text() + "' denotes a non-context entity " +
+          "'" + name[i].text() + "' denotes a non-context entity " +
           "while resolving '" + name.to_path() + "'");
       return res;
     }
@@ -57,12 +59,12 @@ Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
 }  // namespace
 
 Resolution resolve(const NamingGraph& graph, const Context& start,
-                   const CompoundName& name, ResolveOptions options) {
+                   NameSlice name, ResolveOptions options) {
   return resolve_impl(graph, &start, EntityId::invalid(), name, options);
 }
 
 Resolution resolve_from(const NamingGraph& graph, EntityId start_context,
-                        const CompoundName& name, ResolveOptions options) {
+                        NameSlice name, ResolveOptions options) {
   return resolve_impl(graph, nullptr, start_context, name, options);
 }
 

@@ -42,13 +42,14 @@ struct Resolution {
   }
 };
 
-/// Resolve `name` starting from an explicit context value.
+/// Resolve `name` starting from an explicit context value. `name` is a
+/// borrowed slice (a CompoundName converts implicitly); it must be
+/// non-empty and outlive the call.
 Resolution resolve(const NamingGraph& graph, const Context& start,
-                   const CompoundName& name, ResolveOptions options = {});
+                   NameSlice name, ResolveOptions options = {});
 
 /// Resolve `name` starting from the context of a context object.
 Resolution resolve_from(const NamingGraph& graph, EntityId start_context,
-                        const CompoundName& name,
-                        ResolveOptions options = {});
+                        NameSlice name, ResolveOptions options = {});
 
 }  // namespace namecoh

@@ -20,7 +20,7 @@ Result<EntityId> EmbeddedNameResolver::find_scope(
     return not_a_context_error("find_scope: containing_dir not a directory");
   }
   const Name& first = name.front();
-  const Name parent{std::string(kParentName)};
+  const Name parent = Name::parent();
   std::unordered_set<EntityId> visited;
   EntityId dir = containing_dir;
   while (visited.insert(dir).second) {
@@ -96,12 +96,8 @@ void DocumentAssembler::expand(EntityId file, EntityId containing_dir,
       if (first.is_root() || first.is_cwd()) {
         res = resolve(*graph_, *options.reader_context, embedded);
       } else {
-        std::vector<Name> names;
-        names.reserve(embedded.size() + 1);
-        names.emplace_back(std::string(kCwdName));
-        for (const Name& n : embedded.components()) names.push_back(n);
         res = resolve(*graph_, *options.reader_context,
-                      CompoundName(std::move(names)));
+                      CompoundName{Name::cwd()}.append(embedded));
       }
     }
     ResolvedRef ref{file, embedded, res.status,

@@ -1,5 +1,7 @@
 #include "fs/file_system.hpp"
 
+#include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,9 +10,9 @@
 namespace namecoh {
 namespace {
 
-const Name kDot{std::string(kCwdName)};
-const Name kDotDot{std::string(kParentName)};
-const Name kSlash{std::string(kRootName)};
+const Name kDot = Name::cwd();
+const Name kDotDot = Name::parent();
+const Name kSlash = Name::root();
 
 }  // namespace
 
@@ -96,6 +98,9 @@ std::vector<std::pair<Name, EntityId>> FileSystem::list(EntityId dir) const {
     if (name.is_cwd() || name.is_parent()) continue;
     out.emplace_back(name, target);
   }
+  // Context iteration is atom order; directory listings promise text order.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
@@ -272,10 +277,11 @@ EntityId FileSystem::copy_rec(EntityId node,
   EntityId copy = graph_->add_context_object(graph_->label(node));
   memo[node] = copy;  // memoize before recursing: subtrees may be cyclic
   graph_->context(copy).bind(kDot, copy);
-  // Snapshot the bindings: the recursion adds entities, which may
-  // reallocate the graph's storage and invalidate live references.
-  const std::map<Name, EntityId> bindings =
-      graph_->context(node).bindings();
+  // The recursion adds entities, which may reallocate the graph's record
+  // storage and move the Context objects — but a Context's binding array is
+  // heap-allocated and survives the move, and the recursion never binds
+  // into `node` itself (only into fresh copies), so this view stays valid.
+  const std::span<const Binding> bindings = graph_->context(node).bindings();
   // ".." is fixed up by the caller for the subtree root; interior
   // directories get their copied parent via the recursion below.
   for (const auto& [name, target] : bindings) {

@@ -35,6 +35,10 @@ Status UnionViews::materialize(EntityId union_dir) {
     if (!graph.is_context_object(member)) {
       return invalid_argument_error("union member vanished");
     }
+    // A union listed as its own member contributes nothing (its non-dot
+    // bindings were just wiped) — and binding into ctx while viewing its
+    // own binding array would invalidate the view.
+    if (member == union_dir) continue;
     for (const auto& [name, target] : graph.context(member).bindings()) {
       if (name.is_cwd() || name.is_parent()) continue;
       if (!ctx.contains(name)) ctx.bind(name, target);

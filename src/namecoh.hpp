@@ -8,6 +8,7 @@
 
 // §2 model and §3 closure mechanisms.
 #include "core/closure.hpp"
+#include "core/interner.hpp"
 #include "core/graph_ops.hpp"
 #include "core/name.hpp"
 #include "core/naming_graph.hpp"

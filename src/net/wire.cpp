@@ -22,6 +22,11 @@ Payload& Payload::add_name(std::string path) {
   return *this;
 }
 
+Payload& Payload::add_name(NameSlice name) {
+  fields_.push_back(Field::name(name.joined()));
+  return *this;
+}
+
 std::uint64_t Payload::u64_at(std::size_t i) const {
   const Field& f = fields_.at(i);
   NAMECOH_CHECK(f.type == FieldType::kU64, "field is not a u64");
@@ -44,6 +49,10 @@ const std::string& Payload::name_at(std::size_t i) const {
   const Field& f = fields_.at(i);
   NAMECOH_CHECK(f.type == FieldType::kName, "field is not a name");
   return std::get<std::string>(f.value);
+}
+
+Result<CompoundName> Payload::compound_at(std::size_t i) const {
+  return CompoundName::parse_relative(name_at(i));
 }
 
 std::vector<std::size_t> Payload::pid_indices() const {

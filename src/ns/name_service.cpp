@@ -5,18 +5,30 @@
 #include "util/strings.hpp"
 
 namespace namecoh {
-namespace {
 
-std::string encode_components(std::span<const Name> components) {
-  std::string out;
-  for (std::size_t i = 0; i < components.size(); ++i) {
-    if (i > 0) out += '/';
-    out += components[i].text();
+std::optional<NameSlice> referral_suffix(NameSlice sent,
+                                         std::string_view remaining) {
+  if (remaining.empty()) return sent.subslice(sent.size());
+  // Count components first so the candidate suffix is known before any
+  // text is compared.
+  std::size_t count = 1;
+  for (char c : remaining) {
+    if (c == '/') ++count;
   }
-  return out;
+  if (count > sent.size()) return std::nullopt;
+  const NameSlice candidate = sent.subslice(sent.size() - count);
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t slash = remaining.find('/', start);
+    const std::string_view piece =
+        slash == std::string_view::npos
+            ? remaining.substr(start)
+            : remaining.substr(start, slash - start);
+    if (piece != candidate[i].text()) return std::nullopt;
+    start = slash + 1;
+  }
+  return candidate;
 }
-
-}  // namespace
 
 void HomeMap::set_home(EntityId ctx, MachineId machine) {
   NAMECOH_CHECK(ctx.valid() && machine.valid(), "invalid home assignment");
@@ -150,15 +162,17 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   if (!my_loc.is_ok()) return;
 
   std::optional<CompoundName> parsed;
-  std::span<const Name> components;
+  NameSlice components;
   if (!path.empty()) {
-    auto result = CompoundName::parse_relative(path);
+    // Decode = intern: the text entered this node here; from now on the
+    // walk is all atom compares.
+    auto result = message.payload.compound_at(2);
     if (!result.is_ok()) {
       send_error(result.status().to_string());
       return;
     }
     parsed = std::move(result).value();
-    components = parsed->components();
+    components = parsed->slice();
   }
 
   // Zero components resolve to the start entity itself (the identity
@@ -198,8 +212,7 @@ void NameService::handle_request(EndpointId self, const Message& message) {
         return;
       }
       count(stats_.referrals);
-      send_reply(NsWire::kReferral, ctx,
-                 encode_components(components.subspan(i)), "",
+      send_reply(NsWire::kReferral, ctx, components.subslice(i).joined(), "",
                  relativize(next_loc.value(), my_loc.value()), ctx);
       return;
     }
@@ -387,9 +400,8 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
         "remote resolution takes names relative to a context object; "
         "resolve the root binding locally first");
   }
-  std::string path = name.to_path();
 
-  CacheKey key{start, path};
+  CacheKey key{start, name};
   const bool use_cache =
       config_.cache_ttl > 0 || config_.negative_cache_ttl > 0;
   if (use_cache) {
@@ -425,9 +437,15 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
   Pid server_pid = relativize(server_loc.value(), my_loc.value());
 
   EntityId current = start;
-  std::string remaining = path;
+  // The unresolved tail is a borrowed slice of the caller's name; each
+  // referral narrows it in place (after verifying the server's remaining
+  // text really is a suffix), so no per-hop name copies are made. The text
+  // for the wire is rendered from the slice only when a hop is actually
+  // sent — the cache-hit path above never renders at all.
+  NameSlice remaining = name;
+  std::string hop_text = name.to_path();
   for (std::size_t chase = 0; chase <= config_.max_referrals; ++chase) {
-    Status rt = round_trip(server_pid, current, remaining);
+    Status rt = round_trip(server_pid, current, hop_text);
     if (!rt.is_ok()) {
       ++stats_.failures;
       return rt;
@@ -454,12 +472,24 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
                                   /*negative=*/true, reply_error_, {}});
         }
         return not_found_error(reply_error_);
-      case NsWire::kReferral:
+      case NsWire::kReferral: {
+        auto suffix = referral_suffix(remaining, reply_remaining_);
+        if (!suffix) {
+          // The server handed back a remaining path that is not a suffix
+          // of what we asked it to resolve. Forwarding it would resolve a
+          // name the caller never named; fail instead.
+          ++stats_.failures;
+          return internal_error("referral remaining path '" +
+                                reply_remaining_ +
+                                "' is not a suffix of the request");
+        }
         ++stats_.referrals_followed;
         current = reply_entity_;
-        remaining = reply_remaining_;
+        remaining = *suffix;
+        hop_text = remaining.joined();
         server_pid = reply_next_server_;  // already rebased by the transport
         break;
+      }
       default:
         ++stats_.failures;
         return internal_error("unknown reply disposition");

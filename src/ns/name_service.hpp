@@ -84,6 +84,18 @@ struct NsWire {
   static constexpr std::uint64_t kNoEntity = ~0ULL;
 };
 
+/// Match `remaining` — the bare '/'-joined remaining-path text of a
+/// referral reply — against a suffix of `sent`, the component slice this
+/// client asked the server to resolve. Returns the matching suffix slice of
+/// `sent` (empty text matches the empty suffix), or nullopt when the text
+/// is not a component-wise suffix — a malformed or confused referral that
+/// must not be forwarded. Compares piece-by-piece against interned texts;
+/// allocation-free. Exposed for tests; the resolver's referral loop uses it
+/// to forward a *slice of the original request* instead of re-parsing (and
+/// re-copying) the server-rendered suffix at every hop.
+[[nodiscard]] std::optional<NameSlice> referral_suffix(
+    NameSlice sent, std::string_view remaining);
+
 /// The server side: one endpoint per machine, walking names through
 /// locally-homed context objects.
 class NameService {
@@ -187,16 +199,20 @@ class ResolverClient {
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
  private:
+  // Keys are (start context, name) with the name held as interned atoms:
+  // hashing and equality are integer scans, and a key copy is a memcpy for
+  // names that fit the inline buffer (no heap, unlike the path-string keys
+  // this replaced).
   struct CacheKey {
     EntityId start;
-    std::string path;
+    CompoundName name;
     bool operator==(const CacheKey&) const = default;
   };
   struct CacheKeyHash {
     std::size_t operator()(const CacheKey& key) const {
       std::size_t seed = 0;
       hash_combine(seed, key.start);
-      hash_combine(seed, key.path);
+      hash_combine(seed, key.name);
       return seed;
     }
   };

@@ -1,0 +1,157 @@
+// A minimal small-buffer vector for trivially-copyable value types.
+//
+// CompoundName stores its components inline (paths are short — the Unix
+// discussion in §2 rarely exceeds a handful of components), so building,
+// copying, and destroying a compound name normally touches no heap at all.
+// Longer sequences spill to a heap buffer transparently.
+//
+// Deliberately tiny: only the operations the naming layer needs. T must be
+// trivially copyable and trivially destructible, which is what makes the
+// grow/copy paths simple placement-new loops with no destruction pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace namecoh {
+
+template <typename T, std::size_t kInline>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially-copyable types");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SmallVec never runs destructors");
+  static_assert(kInline > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const T* values, std::size_t count) { assign(values, count); }
+
+  SmallVec(const SmallVec& other) { assign(other.data(), other.size()); }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = kInline;
+      other.size_ = 0;
+    } else {
+      assign(other.data(), other.size());
+      other.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data(), other.size());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = kInline;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = kInline;
+      assign(other.data(), other.size());
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  void reserve(std::size_t capacity) {
+    if (capacity > cap_) grow(capacity);
+  }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow(cap_ * 2);
+    ::new (static_cast<void*>(data() + size_)) T(value);
+    ++size_;
+  }
+
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T* data() {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<T*>(inline_);
+  }
+  [[nodiscard]] const T* data() const {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+  [[nodiscard]] const T& back() const { return data()[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  [[nodiscard]] bool spilled() const { return heap_ != nullptr; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    const T* pa = a.data();
+    const T* pb = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void assign(const T* values, std::size_t count) {
+    if (count > cap_) grow(count);
+    T* out = data();
+    for (std::size_t i = 0; i < count; ++i) {
+      ::new (static_cast<void*>(out + i)) T(values[i]);
+    }
+    size_ = static_cast<std::uint32_t>(count);
+  }
+
+  void grow(std::size_t capacity) {
+    if (capacity < kInline * 2) capacity = kInline * 2;
+    T* fresh = static_cast<T*>(
+        ::operator new(capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    const T* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(src[i]);
+    }
+    release();
+    heap_ = fresh;
+    cap_ = static_cast<std::uint32_t>(capacity);
+  }
+
+  void release() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+    }
+  }
+
+  alignas(T) std::byte inline_[sizeof(T) * kInline];
+  T* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+};
+
+}  // namespace namecoh

@@ -444,6 +444,49 @@ TEST_F(NsHardeningTest, SetHomeSubtreeRehomesRoot) {
   EXPECT_EQ(homes_.home_of(proj).value(), m2_);
 }
 
+// --- Referral forwarding is slice-based ------------------------------------
+
+TEST_F(NsHardeningTest, RogueReferralRemainingIsRejectedNotForwarded) {
+  // Replace m1's server with a rogue that refers the client onward with a
+  // "remaining" path that is NOT a suffix of what was asked. The client
+  // forwards a verified slice of its own original request, so the rogue
+  // text must be rejected instead of resolved.
+  transport_.set_handler(
+      server1_, [this](EndpointId self, const Message& message) {
+        if (message.type != NsWire::kResolveRequest) return;
+        Message reply;
+        reply.type = NsWire::kResolveReply;
+        reply.payload.add_u64(message.payload.u64_at(0));  // echo corr
+        reply.payload.add_u64(NsWire::kReferral);
+        reply.payload.add_u64(message.payload.u64_at(1));
+        reply.payload.add_name(std::string("evil/detour"));
+        reply.payload.add_string("");
+        reply.payload.add_pid(Pid::self());
+        reply.payload.add_u64(NsWire::kNoEntity);
+        reply.payload.add_u64(0);
+        (void)transport_.send(self, message.reply_to, std::move(reply));
+      });
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result =
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("not a suffix"),
+            std::string::npos);
+  EXPECT_EQ(client.stats().referrals_followed, 0u);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST_F(NsHardeningTest, HonestReferralChainStillResolves) {
+  // The happy path through the same slice machinery: /shared is homed on
+  // m2, so a client on m1 is referred and must land on the right file.
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  auto result =
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(graph_.data(result.value()), "shared readme");
+  EXPECT_GE(client.stats().referrals_followed, 1u);
+}
+
 // --- Rebind epochs at the core layer ---------------------------------------
 
 TEST_F(NsHardeningTest, RebindEpochCountsEffectiveChangesOnly) {

@@ -121,6 +121,23 @@ TEST(Payload, PidAndNameIndices) {
   EXPECT_THROW(p.set_pid(1, Pid{}), PreconditionError);
 }
 
+TEST(Payload, NameSliceTravelsAsTextAndReinterns) {
+  const CompoundName sent = CompoundName::parse_relative("proj/src/main").value();
+  Payload p;
+  p.add_name(NameSlice{sent});
+  EXPECT_EQ(p.name_at(0), "proj/src/main");
+
+  auto back = Payload::decode(p.encode());
+  ASSERT_TRUE(back.is_ok());
+  auto compound = back.value().compound_at(0);
+  ASSERT_TRUE(compound.is_ok());
+  EXPECT_EQ(compound.value(), sent);
+
+  Payload bad;
+  bad.add_name("a//b");
+  EXPECT_FALSE(bad.compound_at(0).is_ok());
+}
+
 TEST(Payload, EncodeDecodeRoundTrip) {
   Payload p;
   p.add_u64(0).add_u64(~0ULL).add_string("").add_string("data")
