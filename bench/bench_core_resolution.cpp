@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 #include "core/graph_ops.hpp"
 #include "core/resolve.hpp"
+#include "obs/tracer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -86,6 +87,43 @@ void BM_ResolveByDepth(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_ResolveByDepth)->RangeMultiplier(2)->Range(1, 128)->Complexity();
+
+void BM_ResolveTracingDisabled(benchmark::State& state) {
+  // Acceptance check for the observability subsystem: a disabled tracer
+  // attached to ResolveOptions must cost one branch per call — this curve
+  // should sit within noise of BM_ResolveByDepth at the same depth.
+  SyntheticTree tree(static_cast<std::size_t>(state.range(0)), 1);
+  const CompoundName& name = tree.leaves.front();
+  Tracer tracer;  // default: disabled, ring never allocated
+  ResolveOptions options;
+  options.tracer = &tracer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve_from(tree.graph, tree.root, name, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ResolveTracingDisabled)
+    ->RangeMultiplier(2)
+    ->Range(1, 128)
+    ->Complexity();
+
+void BM_ResolveTracingEnabled(benchmark::State& state) {
+  // Cost with spans on: open + per-step event + close, ring bounded.
+  SyntheticTree tree(static_cast<std::size_t>(state.range(0)), 1);
+  const CompoundName& name = tree.leaves.front();
+  Tracer tracer;
+  tracer.set_enabled(true);
+  ResolveOptions options;
+  options.tracer = &tracer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve_from(tree.graph, tree.root, name, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveTracingEnabled)->Arg(8)->Arg(64);
 
 void BM_ResolveByFanout(benchmark::State& state) {
   // Width should not matter (map lookup per step).

@@ -11,9 +11,13 @@
 //     referral vs cache-hit;
 //   * correctness: fraction of resolutions agreeing with the authority, as
 //     a function of cache TTL vs rebind interval.
+#include <fstream>
+
 #include "bench_common.hpp"
 #include "fs/file_system.hpp"
 #include "ns/name_service.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -252,7 +256,88 @@ void BM_ServerWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerWalk);
 
+// --- Observability export ----------------------------------------------------
+
+// Runs a short lossy resolution scenario with tracing enabled and writes
+// the requested artifacts: a Perfetto-loadable chrome-trace JSON
+// (--trace-export=FILE) and/or the unified metrics registry as JSON
+// (--metrics-out=FILE). Exercised by scripts/export_trace.sh and
+// scripts/run_benchmarks.sh.
+int run_observability_export(const std::string& trace_path,
+                             const std::string& metrics_path) {
+  NsWorld w;
+  Tracer& tracer = w.transport.tracer();
+  tracer.set_enabled(true);
+  // Total loss for the first 50 ticks: the opening lookup drops, times
+  // out, and retries — so the exported trace shows the full drop →
+  // backoff → re-send → deliver chain, not just happy-path sends.
+  w.transport.set_drop_probability(1.0);
+  w.sim.schedule_at(w.sim.now() + 50,
+                    [&] { w.transport.set_drop_probability(0.0); });
+  ResolverClientConfig cfg;
+  cfg.cache_ttl = 10000;
+  cfg.retries = 2;
+  cfg.request_timeout = 100;
+  ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service, w.m1,
+                        "trace", cfg);
+  for (const auto& name : w.local_names) (void)client.resolve(w.root, name);
+  for (const auto& name : w.remote_names) (void)client.resolve(w.root, name);
+  // Second pass hits the cache; the last span records a clean failure.
+  for (const auto& name : w.remote_names) (void)client.resolve(w.root, name);
+  (void)client.resolve(w.root, CompoundName::relative("local/missing"));
+  if (!trace_path.empty()) {
+    Status status = write_chrome_trace(tracer, trace_path);
+    if (!status.is_ok()) {
+      std::cerr << status.to_string() << "\n";
+      return 1;
+    }
+    std::cout << "wrote chrome trace: " << trace_path << " ("
+              << tracer.spans().size() << " spans, " << tracer.size()
+              << " events, " << tracer.dropped() << " dropped)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << w.transport.metrics().to_json() << "\n";
+    if (!out) {
+      std::cerr << "cannot write metrics file: " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics: " << metrics_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace namecoh
 
-NAMECOH_BENCH_MAIN(namecoh::run_experiment)
+// Custom main: like NAMECOH_BENCH_MAIN, plus the observability-export
+// flags, which run the traced scenario and exit instead of benchmarking.
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<char*> remaining;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-export=", 15) == 0) {
+      trace_path = argv[i] + 15;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+      continue;
+    }
+    remaining.push_back(argv[i]);
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    return namecoh::run_observability_export(trace_path, metrics_path);
+  }
+  std::vector<char*> patched_args;
+  const bool json_only =
+      namecoh::bench::consume_json_flag(argc, argv, patched_args);
+  char** args = json_only ? patched_args.data() : argv;
+  if (!json_only) namecoh::run_experiment();
+  benchmark::Initialize(&argc, args);
+  if (benchmark::ReportUnrecognizedArguments(argc, args)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

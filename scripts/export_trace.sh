@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Smoke test for the chrome-trace exporter: run bench_ns_cache's traced
+# lossy scenario, write a trace_event JSON file, and validate it parses.
+# The artifact loads in Perfetto / chrome://tracing as-is.
+#
+# Usage: scripts/export_trace.sh [build-dir] [out-file]
+# Defaults: build-dir=build, out-file=<build-dir>/trace_ns_cache.json
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$build_dir/trace_ns_cache.json}"
+
+bin="$build_dir/bench/bench_ns_cache"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin missing; build first (cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+"$bin" --trace-export="$out_file"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$out_file" >/dev/null
+  echo "ok: $out_file is valid JSON" >&2
+else
+  echo "warning: python3 unavailable, skipping JSON validation" >&2
+fi
+
+# Structural sanity: the chrome-trace envelope and at least one span slice.
+grep -q '"traceEvents"' "$out_file"
+grep -q '"ph":"X"' "$out_file"
+echo "ok: $out_file contains trace events" >&2

@@ -28,3 +28,9 @@ for bench in bench_core_resolution bench_ns_cache; do
   echo "running $bench -> $out" >&2
   "$bin" --json > "$out"
 done
+
+# Metrics-registry artifact: the unified counters/gauges/histograms from a
+# traced lossy run, exported as one JSON object (see docs/OBSERVABILITY.md).
+metrics_out="$out_dir/BENCH_ns_cache_metrics.json"
+echo "running bench_ns_cache --metrics-out -> $metrics_out" >&2
+"$build_dir/bench/bench_ns_cache" --metrics-out="$metrics_out" >/dev/null

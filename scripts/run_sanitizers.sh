@@ -11,3 +11,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+# Trace-export smoke under the sanitized build: catches UB in the tracer's
+# ring and the hand-rolled JSON emitters, and checks the artifact parses.
+"$(dirname "${BASH_SOURCE[0]}")/export_trace.sh" "$BUILD"

@@ -118,6 +118,12 @@ RepairReport RepairAdvisor::suggest(EntityId ctx_a, EntityId ctx_b,
             static_cast<long>(options.max_suggestions),
         report.suggestions.end());
   }
+  if (probes_ != nullptr) {
+    probes_->inc(report.probes);
+    incoherent_->inc(report.incoherent);
+    repairable_->inc(report.repairable);
+    suggestions_->inc(report.suggestions.size());
+  }
   return report;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "coherence/coherence.hpp"
+#include "obs/metrics.hpp"
 
 namespace namecoh {
 
@@ -57,7 +58,19 @@ struct RepairOptions {
 
 class RepairAdvisor {
  public:
-  explicit RepairAdvisor(const NamingGraph& graph) : graph_(&graph) {}
+  /// `metrics`, when given, receives cumulative "repair.*" counters
+  /// (probes examined, incoherent, repairable, suggestions emitted) across
+  /// every suggest() call on this advisor.
+  explicit RepairAdvisor(const NamingGraph& graph,
+                         MetricsRegistry* metrics = nullptr)
+      : graph_(&graph) {
+    if (metrics != nullptr) {
+      probes_ = &metrics->counter("repair.probes");
+      incoherent_ = &metrics->counter("repair.incoherent");
+      repairable_ = &metrics->counter("repair.repairable");
+      suggestions_ = &metrics->counter("repair.suggestions");
+    }
+  }
 
   /// Diagnose incoherence from ctx_a's point of view: for every probe that
   /// ctx_a resolves but that is incoherent with ctx_b, find a B-side name
@@ -72,6 +85,10 @@ class RepairAdvisor {
 
  private:
   const NamingGraph* graph_;
+  Counter* probes_ = nullptr;
+  Counter* incoherent_ = nullptr;
+  Counter* repairable_ = nullptr;
+  Counter* suggestions_ = nullptr;
 };
 
 }  // namespace namecoh

@@ -1,11 +1,43 @@
 #include "core/resolve.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace namecoh {
 namespace {
+
+/// RAII span around one resolve_impl call; a no-op when no (enabled) tracer
+/// is attached, so the common untraced path costs one null check.
+class ResolveSpan {
+ public:
+  ResolveSpan(Tracer* tracer, EntityId start, NameSlice name)
+      : tracer_(tracer && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_) {
+      id_ = tracer_->open_span(0, start.valid() ? start.value() : 0,
+                               name.to_path());
+    }
+  }
+  ~ResolveSpan() {
+    if (tracer_) tracer_->close_span(id_, 0, ok_);
+  }
+  void step(EntityId from, EntityId to) {
+    if (tracer_) {
+      tracer_->record_in_span(id_, 0, EventKind::kResolveStep,
+                              from.valid() ? from.value() : 0,
+                              to.valid() ? to.value() : 0);
+    }
+  }
+  void set_ok(bool ok) { ok_ = ok; }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_ = 0;
+  bool ok_ = false;
+};
 
 Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
                         EntityId start_obj, NameSlice name,
                         const ResolveOptions& options) {
+  ResolveSpan span(options.tracer, start_obj, name);
   Resolution res;
   // One interior context per component (plus the start): size the trail
   // once instead of growing it hop by hop.
@@ -36,10 +68,13 @@ Resolution resolve_impl(const NamingGraph& graph, const Context* start_ctx,
                                    name.to_path() + "'");
       return res;
     }
+    span.step(res.trail.empty() ? EntityId::invalid() : res.trail.back(),
+              next);
     if (i + 1 == name.size()) {
       // Last component: any entity is a legal result.
       res.entity = next;
       res.status = Status::ok();
+      span.set_ok(true);
       return res;
     }
     // Interior component: σ(next) must be a context to continue.

@@ -20,10 +20,16 @@
 
 namespace namecoh {
 
+class Tracer;
+
 struct ResolveOptions {
   /// Maximum number of resolution steps (compound-name components
   /// processed). Generous default: real paths are far shorter.
   std::size_t max_steps = 256;
+  /// Optional observability sink: when set and enabled, each resolution is
+  /// one span with a kResolveStep event per component consumed. Local
+  /// resolution has no clock, so events are stamped at t=0.
+  Tracer* tracer = nullptr;
 };
 
 /// The outcome of resolving one compound name, with the traversal trail for

@@ -29,7 +29,11 @@
 #include "os/program.hpp"
 #include "os/service_registry.hpp"
 #include "sim/simulator.hpp"
-#include "sim/trace.hpp"
+
+// Observability: typed trace events, spans, metrics, exporters.
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/tracer.hpp"
 
 // §5 schemes.
 #include "schemes/crosslink.hpp"

@@ -2,28 +2,77 @@
 
 namespace namecoh {
 
+ForwardingTable::ForwardingTable(std::size_t max_hops,
+                                 MetricsRegistry* metrics)
+    : max_hops_(max_hops) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  lookups_ = &metrics_->counter("forwarding.lookups");
+  chased_ = &metrics_->counter("forwarding.chased");
+  exhausted_ = &metrics_->counter("forwarding.exhausted");
+  dead_ends_ = &metrics_->counter("forwarding.dead_ends");
+  cycles_refused_ = &metrics_->counter("forwarding.cycles_refused");
+  compressed_ = &metrics_->counter("forwarding.compressed");
+}
+
+ForwardingStats ForwardingTable::stats() const {
+  return ForwardingStats{lookups_->value(),   chased_->value(),
+                         exhausted_->value(), dead_ends_->value(),
+                         cycles_refused_->value(), compressed_->value()};
+}
+
 void ForwardingTable::add(const Location& from, const Location& to) {
   NAMECOH_CHECK(from.is_valid() && to.is_valid(),
                 "forwarding edge needs valid locations");
   if (from == to) return;
+  // Refuse edges that would close a loop: walk the existing chain from `to`;
+  // if it reaches `from`, installing from → to would turn every lookup
+  // through either location into a spin to the hop limit. (A renumber that
+  // reuses an old address legitimately produces such adds — the old edge is
+  // the one that must win, since `from` is live again under a new meaning.)
+  Location probe = to;
+  for (std::size_t hop = 0; hop <= max_hops_; ++hop) {
+    if (probe == from) {
+      cycles_refused_->inc();
+      return;
+    }
+    auto it = table_.find(probe);
+    if (it == table_.end()) break;
+    probe = it->second;
+  }
   table_[from] = to;
 }
 
 Result<EndpointId> ForwardingTable::resolve(const Internetwork& net,
                                             Location location) {
-  ++stats_.lookups;
+  lookups_->inc();
+  std::vector<Location> visited;
   for (std::size_t hop = 0; hop <= max_hops_; ++hop) {
     auto endpoint = net.endpoint_at(location);
-    if (endpoint.is_ok()) return endpoint;
+    if (endpoint.is_ok()) {
+      // Path compression: everything we chased through forwards straight to
+      // the live location from now on, so the next lookup is one hop.
+      for (const Location& via : visited) {
+        if (table_[via] != location) {
+          table_[via] = location;
+          compressed_->inc();
+        }
+      }
+      return endpoint;
+    }
     auto it = table_.find(location);
     if (it == table_.end()) {
-      ++stats_.dead_ends;
+      dead_ends_->inc();
       return unreachable_error("no endpoint and no forwarding address");
     }
-    ++stats_.chased;
+    chased_->inc();
+    visited.push_back(location);
     location = it->second;
   }
-  ++stats_.exhausted;
+  exhausted_->inc();
   return depth_exceeded_error("forwarding chain exceeded hop limit");
 }
 

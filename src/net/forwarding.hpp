@@ -16,31 +16,45 @@
 // stateless.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace namecoh {
 
+/// Compat view of the table's registry counters (see stats()).
 struct ForwardingStats {
   std::uint64_t lookups = 0;
-  std::uint64_t chased = 0;      ///< total forwarding hops followed
-  std::uint64_t exhausted = 0;   ///< chains that hit the hop limit
-  std::uint64_t dead_ends = 0;   ///< chains ending at no endpoint
+  std::uint64_t chased = 0;          ///< total forwarding hops followed
+  std::uint64_t exhausted = 0;       ///< chains that hit the hop limit
+  std::uint64_t dead_ends = 0;       ///< chains ending at no endpoint
+  std::uint64_t cycles_refused = 0;  ///< add() calls that would close a loop
+  std::uint64_t compressed = 0;      ///< entries rewritten by path compression
 };
 
 class ForwardingTable {
  public:
-  /// Maximum chain length before giving up (cycle guard).
-  explicit ForwardingTable(std::size_t max_hops = 64) : max_hops_(max_hops) {}
+  /// Maximum chain length before giving up. `metrics` attaches the table to
+  /// a shared registry ("forwarding.*" names); by default it owns one.
+  explicit ForwardingTable(std::size_t max_hops = 64,
+                           MetricsRegistry* metrics = nullptr);
 
-  /// Record one forwarding edge old → current.
+  ForwardingTable(const ForwardingTable&) = delete;
+  ForwardingTable& operator=(const ForwardingTable&) = delete;
+
+  /// Record one forwarding edge old → current. An edge whose target chains
+  /// back to `from` would make every lookup through it spin until the hop
+  /// limit; such edges are refused (counted in stats().cycles_refused).
   void add(const Location& from, const Location& to);
 
   [[nodiscard]] std::size_t entries() const { return table_.size(); }
 
   /// Resolve a (possibly stale) fully qualified location to the endpoint
-  /// now reachable from it, chasing forwarding edges.
+  /// now reachable from it, chasing forwarding edges. Chains that resolve
+  /// are path-compressed: every hop followed is rewritten to point straight
+  /// at the final live location, so repeat lookups are O(1).
   [[nodiscard]] Result<EndpointId> resolve(const Internetwork& net,
                                            Location location);
 
@@ -48,12 +62,23 @@ class ForwardingTable {
   [[nodiscard]] std::size_t chain_length(const Internetwork& net,
                                          Location location) const;
 
-  [[nodiscard]] const ForwardingStats& stats() const { return stats_; }
+  /// Compat accessor: the counters live in metrics(); this assembles the
+  /// familiar struct from them on demand.
+  [[nodiscard]] ForwardingStats stats() const;
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   std::unordered_map<Location, Location> table_;
   std::size_t max_hops_;
-  ForwardingStats stats_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* lookups_;
+  Counter* chased_;
+  Counter* exhausted_;
+  Counter* dead_ends_;
+  Counter* cycles_refused_;
+  Counter* compressed_;
 };
 
 /// Renumber `machine`, recording forwarding addresses for every endpoint on

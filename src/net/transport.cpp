@@ -1,15 +1,34 @@
 #include "net/transport.hpp"
 
-#include <sstream>
-
 #include "util/log.hpp"
 
 namespace namecoh {
 
 Transport::Transport(Simulator& sim, Internetwork& net,
-                     TransportConfig config, std::uint64_t seed)
+                     TransportConfig config, std::uint64_t seed,
+                     MetricsRegistry* metrics)
     : sim_(sim), net_(net), config_(config), rng_(seed) {
-  trace_.set_enabled(false);  // opt-in: traces grow with every message
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  sent_ = &metrics_->counter("transport.sent");
+  delivered_ = &metrics_->counter("transport.delivered");
+  dropped_ = &metrics_->counter("transport.dropped");
+  unreachable_ = &metrics_->counter("transport.unreachable");
+  misdelivered_ = &metrics_->counter("transport.misdelivered");
+  pids_remapped_ = &metrics_->counter("transport.pids_remapped");
+  remap_failures_ = &metrics_->counter("transport.remap_failures");
+  bytes_sent_ = &metrics_->counter("transport.bytes_sent");
+  // Tracing is opt-in: the ring is only allocated on set_enabled(true).
+}
+
+TransportStats Transport::stats() const {
+  return TransportStats{sent_->value(),          delivered_->value(),
+                        dropped_->value(),       unreachable_->value(),
+                        misdelivered_->value(),  pids_remapped_->value(),
+                        remap_failures_->value(), bytes_sent_->value()};
 }
 
 void Transport::set_handler(EndpointId endpoint, Handler handler) {
@@ -46,21 +65,23 @@ Status Transport::send(EndpointId from, const Pid& to, Message message) {
   if (!target_loc.is_ok()) return target_loc.status();
   auto target = net_.endpoint_at(target_loc.value());
   if (!target.is_ok()) {
-    ++stats_.unreachable;
-    trace_.record(sim_.now(), "unreachable",
-                  net_.endpoint_label(from) + " -> " + to.to_string());
+    unreachable_->inc();
+    tracer_.record(sim_.now(), EventKind::kUnreachable, message.trace_corr,
+                   from.value());
     return target.status();
   }
 
-  ++stats_.sent;
+  sent_->inc();
   std::vector<std::uint8_t> frame = message.payload.encode();
-  stats_.bytes_sent += frame.size();
+  bytes_sent_->inc(frame.size());
+  tracer_.record(sim_.now(), EventKind::kSend, message.trace_corr,
+                 from.value(), frame.size());
 
   if (config_.drop_probability > 0.0 &&
       rng_.bernoulli(config_.drop_probability)) {
-    ++stats_.dropped;
-    trace_.record(sim_.now(), "dropped",
-                  net_.endpoint_label(from) + " -> " + to.to_string());
+    dropped_->inc();
+    tracer_.record(sim_.now(), EventKind::kDrop, message.trace_corr,
+                   from.value());
     return Status::ok();  // fire-and-forget: the loss is observable later
   }
 
@@ -69,29 +90,33 @@ Status Transport::send(EndpointId from, const Pid& to, Message message) {
   Location sender_at_send = from_loc.value();
   Location target_address = target_loc.value();
   std::uint32_t type = message.type;
+  std::uint64_t trace_corr = message.trace_corr;
   sim_.schedule_in(latency, [this, intended, target_address, sender_at_send,
-                             frame = std::move(frame), type]() mutable {
-    deliver(intended, target_address, sender_at_send, std::move(frame), type);
+                             frame = std::move(frame), type,
+                             trace_corr]() mutable {
+    deliver(intended, target_address, sender_at_send, std::move(frame), type,
+            trace_corr);
   });
   return Status::ok();
 }
 
 void Transport::deliver(EndpointId intended, Location target,
                         Location sender_at_send,
-                        std::vector<std::uint8_t> frame, std::uint32_t type) {
+                        std::vector<std::uint8_t> frame, std::uint32_t type,
+                        std::uint64_t trace_corr) {
   // Re-resolve the *address* at delivery time: renumbering mid-flight can
   // orphan the address or (with reuse) hand it to a different process.
   auto now_there = net_.endpoint_at(target);
   if (!now_there.is_ok()) {
-    ++stats_.unreachable;
-    trace_.record(sim_.now(), "undeliverable", "address moved away");
+    unreachable_->inc();
+    tracer_.record(sim_.now(), EventKind::kUnreachable, trace_corr);
     return;
   }
   EndpointId receiver = now_there.value();
   if (receiver != intended) {
-    ++stats_.misdelivered;
-    trace_.record(sim_.now(), "misdelivered",
-                  "stale address reached " + net_.endpoint_label(receiver));
+    misdelivered_->inc();
+    tracer_.record(sim_.now(), EventKind::kMisdeliver, trace_corr,
+                   receiver.value());
   }
 
   auto payload = Payload::decode(frame);
@@ -101,11 +126,12 @@ void Transport::deliver(EndpointId intended, Location target,
   }
   Message message;
   message.type = type;
+  message.trace_corr = trace_corr;
   message.payload = std::move(payload).value();
 
   auto receiver_loc = net_.location_of(receiver);
   if (!receiver_loc.is_ok()) {
-    ++stats_.unreachable;
+    unreachable_->inc();
     return;
   }
 
@@ -120,9 +146,9 @@ void Transport::deliver(EndpointId intended, Location target,
                  receiver_loc.value());
       if (rebased.is_ok()) {
         message.payload.set_pid(i, rebased.value());
-        ++stats_.pids_remapped;
+        pids_remapped_->inc();
       } else {
-        ++stats_.remap_failures;
+        remap_failures_->inc();
       }
     }
   }
@@ -130,9 +156,9 @@ void Transport::deliver(EndpointId intended, Location target,
   // Let the receiver reply: the sender's pid relative to the receiver.
   message.reply_to = relativize(sender_at_send, receiver_loc.value());
 
-  ++stats_.delivered;
-  trace_.record(sim_.now(), "delivered",
-                "to " + net_.endpoint_label(receiver));
+  delivered_->inc();
+  tracer_.record(sim_.now(), EventKind::kDeliver, trace_corr,
+                 receiver.value());
   auto it = handlers_.find(receiver);
   if (it != handlers_.end()) it->second(receiver, message);
 }

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "net/topology.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
-#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace namecoh {
@@ -27,8 +29,13 @@ namespace namecoh {
 /// An application message. `reply_to` is filled in by the transport at
 /// delivery: it is the sender's pid *relative to the receiver*, so the
 /// receiver can always answer (the client/server pattern of §4 case 2).
+/// `trace_corr` is out-of-band observability metadata (like `type`, it is
+/// carried alongside the encoded frame, never inside it): protocols that
+/// already use correlation ids stamp it so the transport's send / drop /
+/// deliver events attach to the owning resolution span.
 struct Message {
   std::uint32_t type = 0;
+  std::uint64_t trace_corr = 0;
   Pid reply_to;
   Payload payload;
 };
@@ -43,6 +50,7 @@ struct TransportConfig {
   double drop_probability = 0.0;
 };
 
+/// Compat view of the transport's registry counters (see stats()).
 struct TransportStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
@@ -56,8 +64,12 @@ struct TransportStats {
 
 class Transport {
  public:
+  /// `metrics` attaches the transport to a shared registry ("transport.*"
+  /// names); by default it owns a private one. Either way metrics() is the
+  /// central registry for everything layered on this transport (name
+  /// service, churn workload, …).
   Transport(Simulator& sim, Internetwork& net, TransportConfig config = {},
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1, MetricsRegistry* metrics = nullptr);
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -80,25 +92,43 @@ class Transport {
   /// itself happens later on the simulator.
   Status send(EndpointId from, const Pid& to, Message message);
 
-  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  /// Compat accessor: the counters live in metrics(); this assembles the
+  /// familiar struct from them on demand.
+  [[nodiscard]] TransportStats stats() const;
   [[nodiscard]] Simulator& simulator() { return sim_; }
-  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   void set_remap_embedded_pids(bool enabled) {
     config_.remap_embedded_pids = enabled;
   }
+  /// Tests use this to stage deterministic loss patterns mid-run (e.g.
+  /// "first attempt lost, retry delivered").
+  void set_drop_probability(double p) { config_.drop_probability = p; }
 
  private:
   SimDuration latency_between(const Location& a, const Location& b) const;
   void deliver(EndpointId intended, Location target, Location sender_at_send,
-               std::vector<std::uint8_t> frame, std::uint32_t type);
+               std::vector<std::uint8_t> frame, std::uint32_t type,
+               std::uint64_t trace_corr);
 
   Simulator& sim_;
   Internetwork& net_;
   TransportConfig config_;
   Rng rng_;
-  TransportStats stats_;
-  Trace trace_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  ///< when none was shared
+  MetricsRegistry* metrics_;                        ///< never null
+  Counter* sent_;
+  Counter* delivered_;
+  Counter* dropped_;
+  Counter* unreachable_;
+  Counter* misdelivered_;
+  Counter* pids_remapped_;
+  Counter* remap_failures_;
+  Counter* bytes_sent_;
+  Tracer tracer_;
   std::unordered_map<EndpointId, Handler> handlers_;
 };
 

@@ -71,7 +71,20 @@ bool HomeMap::has_home(EntityId ctx) const { return homes_.contains(ctx); }
 
 NameService::NameService(const NamingGraph& graph, Internetwork& net,
                          Transport& transport, const HomeMap& homes)
-    : graph_(graph), net_(net), transport_(transport), homes_(homes) {}
+    : graph_(graph), net_(net), transport_(transport), homes_(homes) {
+  MetricsRegistry& metrics = transport_.metrics();
+  requests_ = &metrics.counter("ns.server.requests");
+  answers_ = &metrics.counter("ns.server.answers");
+  referrals_ = &metrics.counter("ns.server.referrals");
+  failures_ = &metrics.counter("ns.server.failures");
+  duplicates_ = &metrics.counter("ns.server.duplicates");
+}
+
+NameServiceStats NameService::stats() const {
+  return NameServiceStats{requests_->value(), answers_->value(),
+                          referrals_->value(), failures_->value(),
+                          duplicates_->value()};
+}
 
 EndpointId NameService::add_server(MachineId machine) {
   NAMECOH_CHECK(!servers_.contains(machine),
@@ -115,17 +128,23 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   EntityId ctx(message.payload.u64_at(1));
   const std::string& path = message.payload.name_at(2);
 
+  Tracer& tracer = transport_.tracer();
+  const SimTime now = transport_.simulator().now();
+
   // At-most-once accounting: a retransmission (same correlation id within
   // the window) is still answered — the original reply may have been lost —
   // but must not count as a second resolution in the stats.
   const bool duplicate = note_duplicate(corr);
   if (duplicate) {
-    ++stats_.duplicates;
+    duplicates_->inc();
+    tracer.record(now, EventKind::kServerDuplicate, corr, self.value());
   } else {
-    ++stats_.requests;
+    requests_->inc();
   }
-  auto count = [&](std::uint64_t& counter) {
-    if (!duplicate) ++counter;
+  tracer.record(now, EventKind::kServerHandle, corr, self.value(),
+                ctx.value());
+  auto count = [&](Counter* counter) {
+    if (!duplicate) counter->inc();
   };
 
   // Reply layout (fixed): [corr, disposition, entity, remaining, error,
@@ -136,8 +155,16 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   auto send_reply = [&](std::uint64_t disposition, EntityId entity,
                         std::string remaining, std::string error,
                         Pid next_server, EntityId authority) {
+    const EventKind kind = disposition == NsWire::kAnswer
+                               ? EventKind::kServerAnswer
+                               : disposition == NsWire::kReferral
+                                     ? EventKind::kServerReferral
+                                     : EventKind::kServerError;
+    tracer.record(transport_.simulator().now(), kind, corr, self.value(),
+                  entity.valid() ? entity.value() : 0);
     Message reply;
     reply.type = NsWire::kResolveReply;
+    reply.trace_corr = corr;
     reply.payload.add_u64(corr);
     reply.payload.add_u64(disposition);
     reply.payload.add_u64(entity.valid() ? entity.value() : NsWire::kNoEntity);
@@ -151,7 +178,7 @@ void NameService::handle_request(EndpointId self, const Message& message) {
     (void)transport_.send(self, message.reply_to, std::move(reply));
   };
   auto send_error = [&](std::string error, EntityId authority = {}) {
-    count(stats_.failures);
+    count(failures_);
     send_reply(NsWire::kError, {}, "", std::move(error), Pid::self(),
                authority);
   };
@@ -184,7 +211,7 @@ void NameService::handle_request(EndpointId self, const Message& message) {
       send_error("unknown start entity in empty-path request");
       return;
     }
-    count(stats_.answers);
+    count(answers_);
     send_reply(NsWire::kAnswer, ctx, "", "", Pid::self(), ctx);
     return;
   }
@@ -211,7 +238,7 @@ void NameService::handle_request(EndpointId self, const Message& message) {
         send_error("authoritative server endpoint is dead");
         return;
       }
-      count(stats_.referrals);
+      count(referrals_);
       send_reply(NsWire::kReferral, ctx, components.subslice(i).joined(), "",
                  relativize(next_loc.value(), my_loc.value()), ctx);
       return;
@@ -224,7 +251,7 @@ void NameService::handle_request(EndpointId self, const Message& message) {
       return;
     }
     if (i + 1 == components.size()) {
-      count(stats_.answers);
+      count(answers_);
       send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self(), ctx);
       return;
     }
@@ -247,6 +274,23 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
       service_(service),
       endpoint_(net.add_endpoint(machine, std::move(label))),
       config_(config) {
+  // Per-client counter names: several clients can share one transport (and
+  // hence one registry), so the endpoint id keeps their metrics apart.
+  MetricsRegistry& metrics = transport_.metrics();
+  const std::string prefix =
+      "ns.client." + std::to_string(endpoint_.value()) + ".";
+  resolutions_ = &metrics.counter(prefix + "resolutions");
+  messages_sent_ = &metrics.counter(prefix + "messages_sent");
+  referrals_followed_ = &metrics.counter(prefix + "referrals_followed");
+  cache_hits_ = &metrics.counter(prefix + "cache_hits");
+  cache_misses_ = &metrics.counter(prefix + "cache_misses");
+  failures_ = &metrics.counter(prefix + "failures");
+  evictions_ = &metrics.counter(prefix + "evictions");
+  negative_hits_ = &metrics.counter(prefix + "negative_hits");
+  stale_epoch_drops_ = &metrics.counter(prefix + "stale_epoch_drops");
+  timeouts_ = &metrics.counter(prefix + "timeouts");
+  backoff_retries_ = &metrics.counter(prefix + "backoff_retries");
+  stale_replies_dropped_ = &metrics.counter(prefix + "stale_replies_dropped");
   // Correlation ids are unique per client *and* per attempt: the endpoint
   // id seeds the high bits so two clients never share an id space (the
   // server's duplicate window is keyed by raw correlation id).
@@ -270,7 +314,11 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
           // A delayed duplicate from an earlier attempt or referral hop
           // (or a reply when nothing is outstanding). Accepting it would
           // resolve the wrong question.
-          ++stats_.stale_replies_dropped;
+          stale_replies_dropped_->inc();
+          transport_.tracer().record(sim_.now(),
+                                     EventKind::kStaleReplyDropped,
+                                     message.payload.u64_at(0),
+                                     endpoint_.value());
           return;
         }
         awaiting_reply_ = false;
@@ -294,6 +342,23 @@ ResolverClient::~ResolverClient() {
   (void)net_.remove_endpoint(endpoint_);
 }
 
+ResolverClientStats ResolverClient::stats() const {
+  ResolverClientStats s;
+  s.resolutions = resolutions_->value();
+  s.messages_sent = messages_sent_->value();
+  s.referrals_followed = referrals_followed_->value();
+  s.cache_hits = cache_hits_->value();
+  s.cache_misses = cache_misses_->value();
+  s.failures = failures_->value();
+  s.evictions = evictions_->value();
+  s.negative_hits = negative_hits_->value();
+  s.stale_epoch_drops = stale_epoch_drops_->value();
+  s.timeouts = timeouts_->value();
+  s.backoff_retries = backoff_retries_->value();
+  s.stale_replies_dropped = stale_replies_dropped_->value();
+  return s;
+}
+
 const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
     const CacheKey& key) {
   auto it = cache_.find(key);
@@ -309,7 +374,10 @@ const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
   if (config_.epoch_invalidation && entry.authority.valid()) {
     auto seen = epochs_seen_.find(entry.authority);
     if (seen != epochs_seen_.end() && seen->second > entry.epoch) {
-      ++stats_.stale_epoch_drops;
+      stale_epoch_drops_->inc();
+      transport_.tracer().record_in_span(active_span_, sim_.now(),
+                                         EventKind::kStaleEpochDrop,
+                                         entry.authority.value(), entry.epoch);
       lru_.erase(entry.lru);
       cache_.erase(it);
       return nullptr;
@@ -333,7 +401,7 @@ void ResolverClient::cache_insert(const CacheKey& key, CacheEntry entry) {
   if (config_.cache_capacity > 0 && cache_.size() > config_.cache_capacity) {
     cache_.erase(lru_.back());
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->inc();
   }
 }
 
@@ -345,18 +413,28 @@ void ResolverClient::note_epoch(EntityId authority, std::uint64_t epoch) {
 
 Status ResolverClient::round_trip(const Pid& server, EntityId start,
                                   const std::string& path) {
+  Tracer& tracer = transport_.tracer();
   SimDuration timeout = std::max<SimDuration>(1, config_.request_timeout);
   for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
-    if (attempt > 0) ++stats_.backoff_retries;
     Message request;
     request.type = NsWire::kResolveRequest;
     expected_corr_ = next_corr_++;
+    // Each attempt gets a fresh correlation id; bind it to the span before
+    // the request leaves so the transport's send/drop/deliver events — and
+    // the server's handling of this very id — attach to this resolution.
+    tracer.bind_corr(active_span_, expected_corr_);
+    request.trace_corr = expected_corr_;
+    if (attempt > 0) {
+      backoff_retries_->inc();
+      tracer.record_in_span(active_span_, sim_.now(),
+                            EventKind::kBackoffRetry, attempt, timeout);
+    }
     request.payload.add_u64(expected_corr_);
     request.payload.add_u64(start.value());
     request.payload.add_name(path);
     reply_received_ = false;
     awaiting_reply_ = true;
-    ++stats_.messages_sent;
+    messages_sent_->inc();
     Status sent = transport_.send(endpoint_, server, request);
     if (!sent.is_ok()) {
       awaiting_reply_ = false;
@@ -378,7 +456,9 @@ Status ResolverClient::round_trip(const Pid& server, EntityId start,
     // timeout). Let the rest of the window elapse on the shared clock,
     // back off, and resend.
     awaiting_reply_ = false;
-    ++stats_.timeouts;
+    timeouts_->inc();
+    tracer.record_in_span(active_span_, sim_.now(), EventKind::kTimeout,
+                          expected_corr_, timeout);
     sim_.run_until(deadline);
     auto scaled = static_cast<SimDuration>(
         static_cast<double>(timeout) *
@@ -393,9 +473,26 @@ Status ResolverClient::round_trip(const Pid& server, EntityId start,
 
 Result<EntityId> ResolverClient::resolve(EntityId start,
                                          const CompoundName& name) {
-  ++stats_.resolutions;
+  Tracer& tracer = transport_.tracer();
+  // The span (and the path string it labels) exists only when tracing is
+  // on; the disabled path costs one branch.
+  if (tracer.enabled()) {
+    active_span_ = tracer.open_span(sim_.now(), start.value(), name.to_path());
+  }
+  auto result = resolve_inner(start, name);
+  if (active_span_ != 0) {
+    tracer.close_span(active_span_, sim_.now(), result.is_ok());
+    active_span_ = 0;
+  }
+  return result;
+}
+
+Result<EntityId> ResolverClient::resolve_inner(EntityId start,
+                                               const CompoundName& name) {
+  Tracer& tracer = transport_.tracer();
+  resolutions_->inc();
   if (name.front().is_root()) {
-    ++stats_.failures;
+    failures_->inc();
     return invalid_argument_error(
         "remote resolution takes names relative to a context object; "
         "resolve the root binding locally first");
@@ -407,31 +504,37 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
   if (use_cache) {
     if (const CacheEntry* hit = cache_lookup(key)) {
       if (hit->negative) {
-        ++stats_.negative_hits;
-        ++stats_.failures;
+        negative_hits_->inc();
+        failures_->inc();
+        tracer.record_in_span(active_span_, sim_.now(),
+                              EventKind::kNegativeHit, start.value());
         return not_found_error(hit->error);
       }
-      ++stats_.cache_hits;
+      cache_hits_->inc();
+      tracer.record_in_span(active_span_, sim_.now(), EventKind::kCacheHit,
+                            start.value(), hit->entity.value());
       return hit->entity;
     }
-    ++stats_.cache_misses;
+    cache_misses_->inc();
+    tracer.record_in_span(active_span_, sim_.now(), EventKind::kCacheMiss,
+                          start.value());
   }
 
   // First hop: this machine's own server (DNS-style "local recursive").
   auto my_machine = net_.machine_of(endpoint_);
   if (!my_machine.is_ok()) {
-    ++stats_.failures;
+    failures_->inc();
     return my_machine.status();
   }
   auto local_server = service_.server_on(my_machine.value());
   if (!local_server.is_ok()) {
-    ++stats_.failures;
+    failures_->inc();
     return local_server.status();
   }
   auto my_loc = net_.location_of(endpoint_);
   auto server_loc = net_.location_of(local_server.value());
   if (!my_loc.is_ok() || !server_loc.is_ok()) {
-    ++stats_.failures;
+    failures_->inc();
     return unreachable_error("client or server endpoint is dead");
   }
   Pid server_pid = relativize(server_loc.value(), my_loc.value());
@@ -447,7 +550,7 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
   for (std::size_t chase = 0; chase <= config_.max_referrals; ++chase) {
     Status rt = round_trip(server_pid, current, hop_text);
     if (!rt.is_ok()) {
-      ++stats_.failures;
+      failures_->inc();
       return rt;
     }
     // Every reply carries the authoritative context's rebind epoch; track
@@ -463,7 +566,7 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
         }
         return reply_entity_;
       case NsWire::kError:
-        ++stats_.failures;
+        failures_->inc();
         if (config_.negative_cache_ttl > 0) {
           cache_insert(key,
                        CacheEntry{EntityId::invalid(),
@@ -478,12 +581,16 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
           // The server handed back a remaining path that is not a suffix
           // of what we asked it to resolve. Forwarding it would resolve a
           // name the caller never named; fail instead.
-          ++stats_.failures;
+          failures_->inc();
           return internal_error("referral remaining path '" +
                                 reply_remaining_ +
                                 "' is not a suffix of the request");
         }
-        ++stats_.referrals_followed;
+        referrals_followed_->inc();
+        tracer.record_in_span(active_span_, sim_.now(),
+                              EventKind::kReferralFollowed,
+                              reply_entity_.valid() ? reply_entity_.value()
+                                                    : 0);
         current = reply_entity_;
         remaining = *suffix;
         hop_text = remaining.joined();
@@ -491,11 +598,11 @@ Result<EntityId> ResolverClient::resolve(EntityId start,
         break;
       }
       default:
-        ++stats_.failures;
+        failures_->inc();
         return internal_error("unknown reply disposition");
     }
   }
-  ++stats_.failures;
+  failures_->inc();
   return depth_exceeded_error("referral chase exceeded limit");
 }
 

@@ -62,6 +62,7 @@ class HomeMap {
   std::unordered_map<EntityId, MachineId> homes_;
 };
 
+/// Compat view of the server-side registry counters (see stats()).
 struct NameServiceStats {
   std::uint64_t requests = 0;    ///< distinct server-side requests handled
   std::uint64_t answers = 0;     ///< final results returned
@@ -108,7 +109,9 @@ class NameService {
   EndpointId add_server(MachineId machine);
 
   [[nodiscard]] Result<EndpointId> server_on(MachineId machine) const;
-  [[nodiscard]] const NameServiceStats& stats() const { return stats_; }
+  /// Compat accessor: the counters live in the transport's registry
+  /// ("ns.server.*"); this assembles the familiar struct on demand.
+  [[nodiscard]] NameServiceStats stats() const;
 
  private:
   void handle_request(EndpointId self, const Message& message);
@@ -126,9 +129,14 @@ class NameService {
   std::unordered_map<MachineId, EndpointId> servers_;
   std::unordered_set<std::uint64_t> recent_corr_;
   std::deque<std::uint64_t> recent_corr_order_;  // FIFO eviction
-  NameServiceStats stats_;
+  Counter* requests_;
+  Counter* answers_;
+  Counter* referrals_;
+  Counter* failures_;
+  Counter* duplicates_;
 };
 
+/// Compat view of the client-side registry counters (see stats()).
 struct ResolverClientStats {
   std::uint64_t resolutions = 0;
   std::uint64_t messages_sent = 0;
@@ -185,11 +193,15 @@ class ResolverClient {
   ResolverClient& operator=(const ResolverClient&) = delete;
 
   /// Resolve `name` starting at the context object `start`. Drives the
-  /// simulator until the reply chain completes (the call is synchronous in
-  /// simulated time; latency accumulates on the shared clock).
+  /// simulator until the reply chain completes. When the transport's tracer
+  /// is enabled, the whole resolution — cache probes, every attempt of
+  /// every hop, and the matching server-side events — is recorded under one
+  /// span, findable by any of its correlation ids.
   Result<EntityId> resolve(EntityId start, const CompoundName& name);
 
-  [[nodiscard]] const ResolverClientStats& stats() const { return stats_; }
+  /// Compat accessor: the counters live in the transport's registry
+  /// ("ns.client.<endpoint-id>.*"); this assembles the familiar struct.
+  [[nodiscard]] ResolverClientStats stats() const;
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
 
   void clear_cache() {
@@ -226,9 +238,14 @@ class ResolverClient {
     std::list<CacheKey>::iterator lru;  ///< position in lru_
   };
 
+  /// The body of resolve(); the public wrapper owns the span lifecycle.
+  Result<EntityId> resolve_inner(EntityId start, const CompoundName& name);
+
   /// One request/reply round with timeout + exponential-backoff resends;
   /// fills the reply_* fields via the handler. The server is addressed by
-  /// pid in this client's context.
+  /// pid in this client's context. Each attempt's fresh correlation id is
+  /// bound to the active span before the request leaves, so transport and
+  /// server events land in it.
   Status round_trip(const Pid& server, EntityId start,
                     const std::string& path);
 
@@ -245,7 +262,20 @@ class ResolverClient {
   const NameService& service_;
   EndpointId endpoint_;
   ResolverClientConfig config_;
-  ResolverClientStats stats_;
+  Counter* resolutions_;
+  Counter* messages_sent_;
+  Counter* referrals_followed_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* failures_;
+  Counter* evictions_;
+  Counter* negative_hits_;
+  Counter* stale_epoch_drops_;
+  Counter* timeouts_;
+  Counter* backoff_retries_;
+  Counter* stale_replies_dropped_;
+  /// Span of the resolve() in progress (0 when none / tracing disabled).
+  std::uint64_t active_span_ = 0;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  ///< front = most recently used
   /// Highest rebind epoch seen per authoritative context; entries cached

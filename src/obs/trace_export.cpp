@@ -1,0 +1,65 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace namecoh {
+namespace {
+
+void append_span(std::ostringstream& os, const SpanRecord& span,
+                 bool& first) {
+  if (!first) os << ',';
+  first = false;
+  // Open spans export with zero duration rather than a lie about their end.
+  SimTime end = span.open ? span.begin : span.end;
+  os << "{\"name\":\"resolve " << json_escape(span.path)
+     << "\",\"cat\":\"resolution\",\"ph\":\"X\",\"ts\":" << span.begin
+     << ",\"dur\":" << (end - span.begin) << ",\"pid\":1,\"tid\":" << span.id
+     << ",\"args\":{\"span\":" << span.id << ",\"start_entity\":"
+     << span.start_entity << ",\"ok\":" << (span.ok ? "true" : "false")
+     << ",\"corrs\":" << span.corrs.size() << "}}";
+}
+
+void append_event(std::ostringstream& os, const TraceEvent& event,
+                  bool& first) {
+  if (event.kind == EventKind::kSpanBegin ||
+      event.kind == EventKind::kSpanEnd) {
+    return;  // represented by the span's own "X" slice
+  }
+  if (!first) os << ',';
+  first = false;
+  os << "{\"name\":\"" << event_kind_name(event.kind)
+     << "\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.at
+     << ",\"pid\":1,\"tid\":" << event.span << ",\"args\":{\"corr\":"
+     << event.corr << ",\"a\":" << event.a << ",\"b\":" << event.b << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : tracer.spans()) {
+    append_span(os, span, first);
+  }
+  for (const TraceEvent& event : tracer.events()) {
+    append_event(os, event, first);
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << tracer.dropped()
+     << ",\"dropped_spans\":" << tracer.spans_dropped() << "}}";
+  return os.str();
+}
+
+Status write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return internal_error("cannot open trace output file: " + path);
+  out << to_chrome_trace(tracer) << '\n';
+  out.flush();
+  if (!out) return internal_error("short write to trace file: " + path);
+  return Status::ok();
+}
+
+}  // namespace namecoh

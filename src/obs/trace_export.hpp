@@ -1,0 +1,28 @@
+// Chrome trace_event exporter: renders a Tracer's spans and events as the
+// JSON array format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing, so the causal chain of a resolution can be inspected
+// visually — one track per span, instants for the attached events.
+//
+// Mapping: a span becomes a complete ("ph":"X") event on its own track
+// (tid = span id), with begin/duration in simulated microseconds (one sim
+// tick = 1 µs, the convention of sim/simulator.hpp); every attached
+// TraceEvent becomes an instant ("ph":"i") on the same track carrying its
+// correlation id and payload slots as args. Events outside any span land
+// on track 0.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.hpp"
+#include "util/status.hpp"
+
+namespace namecoh {
+
+/// Render the whole buffer as one JSON object:
+///   {"displayTimeUnit":"ms","traceEvents":[…]}
+[[nodiscard]] std::string to_chrome_trace(const Tracer& tracer);
+
+/// Write to_chrome_trace(tracer) to `path`.
+Status write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace namecoh

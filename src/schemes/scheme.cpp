@@ -31,6 +31,13 @@ EntityId NamingScheme::make_site_context(SiteId id) {
   return ctx;
 }
 
+void NamingScheme::record_metrics(MetricsRegistry& metrics) const {
+  const std::string prefix = "scheme." + std::string(scheme_name()) + ".";
+  metrics.gauge(prefix + "sites").set(static_cast<double>(sites_.size()));
+  metrics.gauge(prefix + "entities")
+      .set(static_cast<double>(graph().entity_count()));
+}
+
 std::vector<EntityId> NamingScheme::make_all_site_contexts() {
   std::vector<EntityId> out;
   out.reserve(sites_.size());

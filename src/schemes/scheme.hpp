@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fs/file_system.hpp"
+#include "obs/metrics.hpp"
 #include "util/ids.hpp"
 
 namespace namecoh {
@@ -56,6 +57,11 @@ class NamingScheme {
 
   /// One context per site, for pairwise sweeps.
   [[nodiscard]] std::vector<EntityId> make_all_site_contexts();
+
+  /// Publish the scheme's shape into `metrics` under
+  /// "scheme.<scheme_name>.*" (site count, graph size), so experiment
+  /// exports carry which topology produced the numbers.
+  void record_metrics(MetricsRegistry& metrics) const;
 
   [[nodiscard]] FileSystem& fs() { return *fs_; }
   [[nodiscard]] const FileSystem& fs() const { return *fs_; }

@@ -51,7 +51,14 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 
 std::uint64_t Simulator::run_until(SimTime until) {
   std::uint64_t fired = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
+  // Deadline checks must look past cancelled entries: a cancelled head at
+  // t <= until used to admit fire_next(), which discarded it and then fired
+  // the next *pending* event even when that one was after the deadline.
+  // next_event_time() prunes cancelled heads, so the timestamp it reports
+  // is the one fire_next() will actually run.
+  while (true) {
+    auto next = next_event_time();
+    if (!next || *next > until) break;
     if (fire_next()) ++fired;
   }
   now_ = std::max(now_, until);

@@ -65,27 +65,38 @@ Histogram::Histogram(std::vector<double> boundaries)
 void Histogram::add(double x) {
   auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
   counts_[static_cast<std::size_t>(it - boundaries_.begin())] += 1;
+  observed_max_ = total_ == 0 ? x : std::max(observed_max_, x);
   ++total_;
 }
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // q = 0 asks for the minimum, which lies in the first non-empty bucket —
+  // not at 0.0, which the q*total target used to report even when every
+  // sample sat far above the lowest boundary.
+  if (q == 0.0) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) return i == 0 ? 0.0 : boundaries_[i - 1];
+    }
+  }
+  // The overflow bucket has no upper boundary; interpolate against the
+  // largest value actually observed instead of an arbitrary extrapolation.
+  const double overflow_hi = std::max(observed_max_, boundaries_.back());
   double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
       double lo = i == 0 ? 0.0 : boundaries_[i - 1];
-      double hi = i < boundaries_.size() ? boundaries_[i]
-                                         : boundaries_.back() * 2.0;
+      double hi = i < boundaries_.size() ? boundaries_[i] : overflow_hi;
       if (counts_[i] == 0) return lo;
       double within = (target - cum) / static_cast<double>(counts_[i]);
       return lo + within * (hi - lo);
     }
     cum = next;
   }
-  return boundaries_.back();
+  return overflow_hi;
 }
 
 std::string Histogram::to_string() const {

@@ -74,7 +74,13 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
     return counts_;
   }
-  /// Approximate quantile (linear within buckets). q in [0,1].
+  /// Largest value ever added; anchors the overflow bucket in quantile().
+  [[nodiscard]] double observed_max() const {
+    return total_ == 0 ? 0.0 : observed_max_;
+  }
+  /// Approximate quantile (linear within buckets). q in [0,1]; q = 0
+  /// reports the first non-empty bucket's lower edge, q = 1 at most the
+  /// observed maximum.
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] std::string to_string() const;
@@ -83,6 +89,7 @@ class Histogram {
   std::vector<double> boundaries_;
   std::vector<std::uint64_t> counts_;  // boundaries_.size() + 1 buckets
   std::uint64_t total_ = 0;
+  double observed_max_ = 0.0;
 };
 
 /// Counts occurrences per string key; used for per-category breakdowns.

@@ -89,6 +89,17 @@ ChurnOutcome run_churn(Simulator& sim, Internetwork& net,
   sim.run_until(state.deadline);
 
   for (EndpointId ep : processes) transport.clear_handler(ep);
+
+  // Mirror the outcome into the shared registry so churn shows up next to
+  // the transport/name-service counters in exported metrics.
+  MetricsRegistry& metrics = transport.metrics();
+  metrics.counter("churn.messages_sent").inc(state.outcome.messages_sent);
+  metrics.counter("churn.send_failures").inc(state.outcome.send_failures);
+  metrics.counter("churn.deliveries").inc(state.outcome.deliveries);
+  metrics.counter("churn.reconfigurations")
+      .inc(state.outcome.reconfigurations);
+  metrics.counter("churn.pid_checks").inc(state.outcome.pid_valid.trials());
+  metrics.counter("churn.pid_valid").inc(state.outcome.pid_valid.successes());
   return state.outcome;
 }
 

@@ -50,11 +50,31 @@ TEST_F(ForwardingTest, ChainsLengthenWithRepeatedRenumbering) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
   }
-  EXPECT_EQ(table_.resolve(net_, original).value(), a_);
+  // Chain length is measured before the first resolve: resolving
+  // path-compresses the chain (see below).
   EXPECT_EQ(table_.chain_length(net_, original), 5u);
+  EXPECT_EQ(table_.resolve(net_, original).value(), a_);
   // State grows with history: 2 endpoints × 5 renumberings.
   EXPECT_EQ(table_.entries(), 10u);
   EXPECT_GE(table_.stats().chased, 5u);
+}
+
+TEST_F(ForwardingTest, ResolveCompressesChasedChains) {
+  Location original = net_.location_of(a_).value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(renumber_machine_with_forwarding(net_, table_, m1_).is_ok());
+  }
+  ASSERT_EQ(table_.chain_length(net_, original), 5u);
+  ASSERT_EQ(table_.resolve(net_, original).value(), a_);
+  // Every chased hop now points straight at the live location…
+  EXPECT_EQ(table_.chain_length(net_, original), 1u);
+  // …the final hop already did, so 4 of the 5 entries were rewritten.
+  EXPECT_EQ(table_.stats().compressed, 4u);
+  // Second lookup is one hop; entries are rewritten, never removed.
+  std::uint64_t chased_before = table_.stats().chased;
+  EXPECT_EQ(table_.resolve(net_, original).value(), a_);
+  EXPECT_EQ(table_.stats().chased, chased_before + 1);
+  EXPECT_EQ(table_.entries(), 10u);
 }
 
 TEST_F(ForwardingTest, NetworkRenumberForwardsEveryone) {
@@ -75,16 +95,49 @@ TEST_F(ForwardingTest, DeadEndWithoutForwardingEntry) {
   EXPECT_EQ(table_.stats().dead_ends, 1u);
 }
 
-TEST_F(ForwardingTest, HopLimitGuardsCycles) {
+TEST_F(ForwardingTest, HopLimitGuardsOverlongChains) {
   ForwardingTable tiny(/*max_hops=*/2);
-  // Build an artificial cycle.
-  Location x{9, 9, 1}, y{9, 9, 2};
-  tiny.add(x, y);
-  tiny.add(y, x);
-  auto result = tiny.resolve(net_, x);
+  // A dead chain longer than the hop limit (no cycle — those are refused
+  // at add() now).
+  Location x1{9, 9, 1}, x2{9, 9, 2}, x3{9, 9, 3}, x4{9, 9, 4};
+  tiny.add(x1, x2);
+  tiny.add(x2, x3);
+  tiny.add(x3, x4);
+  auto result = tiny.resolve(net_, x1);
   EXPECT_FALSE(result.is_ok());
   EXPECT_EQ(result.code(), StatusCode::kDepthExceeded);
   EXPECT_EQ(tiny.stats().exhausted, 1u);
+}
+
+// Regression: add() used to install cycle-closing edges verbatim, turning
+// every lookup through them into a spin to the hop limit.
+TEST_F(ForwardingTest, CycleClosingEdgesAreRefused) {
+  Location x{9, 9, 1}, y{9, 9, 2}, z{9, 9, 3};
+  table_.add(x, y);
+  table_.add(y, z);
+  // Direct 2-cycle and a longer loop back to the chain head: both refused.
+  table_.add(y, x);
+  table_.add(z, x);
+  EXPECT_EQ(table_.entries(), 2u);
+  EXPECT_EQ(table_.stats().cycles_refused, 2u);
+  // The surviving chain still dead-ends cleanly instead of spinning.
+  auto result = table_.resolve(net_, x);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kUnreachable);
+}
+
+TEST_F(ForwardingTest, MetricsRegistryBacksStats) {
+  MetricsRegistry shared;
+  ForwardingTable table(64, &shared);
+  Location x{9, 9, 1}, y{9, 9, 2};
+  table.add(x, y);
+  table.add(y, x);  // refused
+  (void)table.resolve(net_, x);
+  EXPECT_EQ(shared.counter_value("forwarding.lookups"), 1u);
+  EXPECT_EQ(shared.counter_value("forwarding.cycles_refused"), 1u);
+  EXPECT_EQ(shared.counter_value("forwarding.dead_ends"), 1u);
+  EXPECT_EQ(table.stats().lookups, 1u);
+  EXPECT_EQ(table.stats().cycles_refused, 1u);
 }
 
 TEST_F(ForwardingTest, SelfEdgeIgnored) {

@@ -5,6 +5,8 @@
 // epochs).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fs/file_system.hpp"
 #include "ns/name_service.hpp"
 
@@ -504,6 +506,123 @@ TEST_F(NsHardeningTest, RebindEpochCountsEffectiveChangesOnly) {
   EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 3);
   EXPECT_FALSE(graph_.unbind(dir, Name("x")).is_ok());  // no-op unbind
   EXPECT_EQ(graph_.rebind_epoch(dir), e0 + 3);
+}
+
+// --- Tentpole acceptance: one lossy lookup = one span, full event chain ----
+
+TEST_F(NsHardeningTest, LossyLookupYieldsOneSpanWithFullEventChain) {
+  TransportConfig lossy;
+  lossy.drop_probability = 1.0;  // total blackout at first
+  Transport tp(sim_, net_, lossy);
+  tp.tracer().set_enabled(true);
+  NameService service(graph_, net_, tp, homes_);
+  service.add_server(m1_);
+  ResolverClientConfig config;
+  config.retries = 2;
+  config.request_timeout = 100;
+  config.cache_ttl = 1000;  // so the cache probe is part of the story
+  ResolverClient client(graph_, net_, tp, sim_, service, m1_, "c", config);
+  // The first attempt is sent into the blackout; the line heals (an event
+  // on the shared clock, fired while the client waits out the first
+  // timeout window) before the backoff retry leaves.
+  sim_.schedule_at(50, [&] { tp.set_drop_probability(0.0); });
+
+  auto result = client.resolve(root_, CompoundName::relative("local"));
+  ASSERT_TRUE(result.is_ok());
+
+  const Tracer& tracer = tp.tracer();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const SpanRecord& span = tracer.spans().front();
+  EXPECT_FALSE(span.open);
+  EXPECT_TRUE(span.ok);
+  EXPECT_EQ(span.start_entity, root_.value());
+  EXPECT_EQ(span.path, "local");
+  ASSERT_EQ(span.corrs.size(), 2u);  // one correlation id per attempt
+
+  const auto events = tracer.events_for_span(span.id);
+  auto count = [&](EventKind kind) {
+    return std::count_if(
+        events.begin(), events.end(),
+        [&](const TraceEvent& e) { return e.kind == kind; });
+  };
+  EXPECT_EQ(count(EventKind::kCacheMiss), 1);
+  EXPECT_EQ(count(EventKind::kSend), 3);  // attempt 1, attempt 2, the reply
+  EXPECT_EQ(count(EventKind::kDrop), 1);  // attempt 1, lost
+  EXPECT_EQ(count(EventKind::kTimeout), 1);
+  EXPECT_EQ(count(EventKind::kBackoffRetry), 1);
+  EXPECT_EQ(count(EventKind::kDeliver), 2);  // attempt 2 + its reply
+  EXPECT_EQ(count(EventKind::kServerHandle), 1);
+  EXPECT_EQ(count(EventKind::kServerAnswer), 1);
+
+  // Cross-machine attachment: the wire events carry the correlation id of
+  // the attempt they belong to — the drop is the first attempt's, the
+  // server-side handling happened under the second (the one that got
+  // through) — yet all of them land in this one span.
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kDrop) EXPECT_EQ(e.corr, span.corrs[0]);
+    if (e.kind == EventKind::kServerHandle ||
+        e.kind == EventKind::kServerAnswer) {
+      EXPECT_EQ(e.corr, span.corrs[1]);
+    }
+  }
+
+  // And the span is findable FROM a correlation id, the way an operator
+  // chasing one wire message would come at it.
+  EXPECT_EQ(tracer.span(span.id)->id, span.id);
+}
+
+TEST_F(NsHardeningTest, SecondResolutionGetsItsOwnSpan) {
+  transport_.tracer().set_enabled(true);
+  ResolverClientConfig config;
+  config.cache_ttl = 1000;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  ASSERT_TRUE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  ASSERT_TRUE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  const Tracer& tracer = transport_.tracer();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& first = tracer.spans()[0];
+  const SpanRecord& second = tracer.spans()[1];
+  EXPECT_EQ(first.corrs.size(), 1u);   // one attempt, no loss
+  EXPECT_TRUE(second.corrs.empty());   // pure cache hit: no wire traffic
+  auto hit_events = tracer.events_for_span(second.id);
+  ASSERT_EQ(hit_events.size(), 3u);  // begin, cache hit, end
+  EXPECT_EQ(hit_events[1].kind, EventKind::kCacheHit);
+}
+
+// --- Satellite: stats() views and the registry must agree ------------------
+
+TEST_F(NsHardeningTest, ClientAndServerStatsMatchRegistry) {
+  ResolverClientConfig config;
+  config.cache_ttl = 500;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
+                        config);
+  ASSERT_TRUE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  ASSERT_TRUE(client.resolve(root_, CompoundName::relative("local")).is_ok());
+  ASSERT_TRUE(
+      client.resolve(root_, CompoundName::relative("shared/proj/readme"))
+          .is_ok());
+
+  const MetricsRegistry& metrics = transport_.metrics();
+  const std::string prefix =
+      "ns.client." + std::to_string(client.endpoint().value()) + ".";
+  EXPECT_EQ(client.stats().resolutions,
+            metrics.counter_value(prefix + "resolutions"));
+  EXPECT_EQ(client.stats().cache_hits,
+            metrics.counter_value(prefix + "cache_hits"));
+  EXPECT_EQ(client.stats().cache_hits, 1u);
+  EXPECT_EQ(client.stats().referrals_followed,
+            metrics.counter_value(prefix + "referrals_followed"));
+  EXPECT_GE(client.stats().referrals_followed, 1u);  // shared/ lives on m2
+  EXPECT_EQ(service_.stats().requests,
+            metrics.counter_value("ns.server.requests"));
+  EXPECT_EQ(service_.stats().answers,
+            metrics.counter_value("ns.server.answers"));
+  EXPECT_EQ(service_.stats().referrals,
+            metrics.counter_value("ns.server.referrals"));
+  // Everything lives in ONE registry, exportable in one shot.
+  EXPECT_TRUE(metrics.has("transport.sent"));
+  EXPECT_FALSE(metrics.to_json().empty());
 }
 
 }  // namespace

@@ -454,5 +454,19 @@ TEST(SchemeBase, SchemeNames) {
             "per-process views (Plan 9/Port)");
 }
 
+TEST(SchemeBase, RecordMetricsPublishesShape) {
+  NamingGraph graph;
+  FileSystem fs(graph);
+  SingleGraphScheme scheme(fs);
+  scheme.add_site("m1");
+  scheme.add_site("m2");
+  scheme.finalize();
+  MetricsRegistry metrics;
+  scheme.record_metrics(metrics);
+  EXPECT_EQ(metrics.gauge_value("scheme.single-graph (Locus/V).sites"), 2.0);
+  EXPECT_EQ(metrics.gauge_value("scheme.single-graph (Locus/V).entities"),
+            static_cast<double>(graph.entity_count()));
+}
+
 }  // namespace
 }  // namespace namecoh

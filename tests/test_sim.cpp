@@ -1,11 +1,10 @@
 // Tests for the discrete-event simulator: ordering, determinism,
-// cancellation, run_until semantics, and the Trace helper.
+// cancellation, and run_until semantics.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "sim/simulator.hpp"
-#include "sim/trace.hpp"
 
 namespace namecoh {
 namespace {
@@ -142,27 +141,33 @@ TEST(Simulator, StaleEventIdAfterResetCannotCancelNewEvents) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(Trace, RecordsAndFilters) {
-  Trace trace;
-  trace.record(1, "send", "a->b");
-  trace.record(2, "recv", "b");
-  trace.record(3, "send", "b->a");
-  EXPECT_EQ(trace.events().size(), 3u);
-  EXPECT_EQ(trace.count("send"), 2u);
-  EXPECT_EQ(trace.count("recv"), 1u);
-  EXPECT_EQ(trace.count("nope"), 0u);
-  auto sends = trace.filter("send");
-  ASSERT_EQ(sends.size(), 2u);
-  EXPECT_EQ(sends[1].detail, "b->a");
-  trace.clear();
-  EXPECT_TRUE(trace.events().empty());
+// Regression: run_until's deadline check used to look at the raw queue
+// head. A *cancelled* event before the deadline would admit fire_next(),
+// which discarded it and then ran the next pending event even when that
+// event lay beyond the deadline.
+TEST(Simulator, RunUntilIgnoresCancelledHeadBeforeDeadline) {
+  Simulator sim;
+  int fired = 0;
+  EventId a = sim.schedule_at(5, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.run_until(10), 0u);  // nothing pending at <= 10
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.run(), 1u);  // the t=20 event is still intact
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20u);
 }
 
-TEST(Trace, DisabledRecordsNothing) {
-  Trace trace;
-  trace.set_enabled(false);
-  trace.record(1, "x", "y");
-  EXPECT_TRUE(trace.events().empty());
+TEST(Simulator, RunUntilFiresPendingEventBehindCancelledHead) {
+  Simulator sim;
+  int fired = 0;
+  EventId a = sim.schedule_at(5, [&] { fired += 100; });
+  sim.schedule_at(8, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.run_until(10), 1u);  // the t=8 event, not the cancelled t=5
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10u);
 }
 
 // Property: N events at random distinct times fire in sorted order.

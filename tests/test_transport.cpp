@@ -229,16 +229,58 @@ TEST_F(TransportTest, PayloadSurvivesWireRoundTrip) {
   EXPECT_EQ(got, sent);
 }
 
-TEST_F(TransportTest, TraceRecordsDeliveriesWhenEnabled) {
+TEST_F(TransportTest, TracerRecordsDeliveriesWhenEnabled) {
   Transport tp(sim_, net_);
-  tp.trace().set_enabled(true);
+  tp.tracer().set_enabled(true);
   ASSERT_TRUE(tp.send(a_, pid_for(b_, a_), Message{}).is_ok());
   ASSERT_TRUE(tp.send(a_, pid_for(c_, a_), Message{}).is_ok());
   sim_.run();
-  EXPECT_EQ(tp.trace().count("delivered"), 2u);
+  EXPECT_EQ(tp.tracer().count(EventKind::kSend), 2u);
+  EXPECT_EQ(tp.tracer().count(EventKind::kDeliver), 2u);
   // Unreachable sends are traced too.
   (void)tp.send(a_, Pid{0, 0, 99}, Message{});
-  EXPECT_EQ(tp.trace().count("unreachable"), 1u);
+  EXPECT_EQ(tp.tracer().count(EventKind::kUnreachable), 1u);
+}
+
+TEST_F(TransportTest, TracerDisabledByDefaultRecordsNothing) {
+  Transport tp(sim_, net_);
+  ASSERT_TRUE(tp.send(a_, pid_for(b_, a_), Message{}).is_ok());
+  sim_.run();
+  EXPECT_FALSE(tp.tracer().enabled());
+  EXPECT_EQ(tp.tracer().size(), 0u);
+  EXPECT_EQ(tp.stats().delivered, 1u);  // metrics still count
+}
+
+TEST_F(TransportTest, StatsMatchRegistryCounters) {
+  TransportConfig config;
+  config.drop_probability = 1.0;
+  Transport tp(sim_, net_, config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(tp.send(a_, pid_for(b_, a_), Message{}).is_ok());
+  }
+  tp.set_drop_probability(0.0);
+  ASSERT_TRUE(tp.send(a_, pid_for(b_, a_), Message{}).is_ok());
+  sim_.run();
+  const MetricsRegistry& metrics = tp.metrics();
+  EXPECT_EQ(tp.stats().sent, metrics.counter_value("transport.sent"));
+  EXPECT_EQ(tp.stats().dropped, metrics.counter_value("transport.dropped"));
+  EXPECT_EQ(tp.stats().delivered,
+            metrics.counter_value("transport.delivered"));
+  EXPECT_EQ(tp.stats().bytes_sent,
+            metrics.counter_value("transport.bytes_sent"));
+  EXPECT_EQ(tp.stats().sent, 4u);
+  EXPECT_EQ(tp.stats().dropped, 3u);
+  EXPECT_EQ(tp.stats().delivered, 1u);
+}
+
+TEST_F(TransportTest, SharedRegistryAcrossTransports) {
+  MetricsRegistry shared;
+  Transport tp1(sim_, net_, {}, 1, &shared);
+  Transport tp2(sim_, net_, {}, 2, &shared);
+  ASSERT_TRUE(tp1.send(a_, pid_for(b_, a_), Message{}).is_ok());
+  ASSERT_TRUE(tp2.send(a_, pid_for(b_, a_), Message{}).is_ok());
+  EXPECT_EQ(shared.counter_value("transport.sent"), 2u);
+  EXPECT_EQ(&tp1.metrics(), &shared);
 }
 
 TEST_F(TransportTest, DropSeedDeterminism) {

@@ -292,6 +292,44 @@ TEST(Histogram, BucketsAndQuantiles) {
   EXPECT_LE(h.quantile(0.2), 1.0);
 }
 
+// Regression: quantile(0) used to return 0.0 no matter where the samples
+// sat, because the q*total target was 0 and the cumulative scan stopped in
+// the first (possibly empty) bucket.
+TEST(Histogram, QuantileZeroReportsFirstNonEmptyBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.add(3.0);  // only sample sits in [2,4)
+  h.add(3.5);
+  EXPECT_EQ(h.quantile(0.0), 2.0);  // lower edge of its bucket, not 0.0
+  Histogram low({1.0, 2.0});
+  low.add(0.5);  // first bucket [0,1): lower edge is genuinely 0
+  EXPECT_EQ(low.quantile(0.0), 0.0);
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.quantile(0.0), 0.0);  // no samples: stays 0
+}
+
+// Regression: the overflow bucket interpolated against an arbitrary
+// `last_boundary * 2`; it now uses the largest value actually observed.
+TEST(Histogram, OverflowBucketAnchorsOnObservedMax) {
+  Histogram h({1.0, 2.0});
+  h.add(100.0);  // far beyond 2*2=4, the old fabricated upper edge
+  EXPECT_EQ(h.observed_max(), 100.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+  EXPECT_GT(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 100.0);
+}
+
+TEST(Histogram, ObservedMaxTracksAllSamples) {
+  Histogram h({10.0});
+  EXPECT_EQ(h.observed_max(), 0.0);  // empty
+  h.add(3.0);
+  h.add(7.0);
+  h.add(5.0);
+  EXPECT_EQ(h.observed_max(), 7.0);
+  // Max below the last boundary: the overflow edge falls back to the
+  // boundary, and q=1 never exceeds it.
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
 TEST(Histogram, RejectsBadBoundaries) {
   EXPECT_THROW(Histogram({}), PreconditionError);
   EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
