@@ -5,6 +5,9 @@
 set -euo pipefail
 BUILD="${1:-build-asan}"
 
+# Cheap static pass first: the documentation link/reference checker.
+"$(dirname "${BASH_SOURCE[0]}")/check_docs.sh"
+
 cmake -B "$BUILD" -S . -DNAMECOH_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)"
 

@@ -21,7 +21,38 @@ Transport::Transport(Simulator& sim, Internetwork& net,
   pids_remapped_ = &metrics_->counter("transport.pids_remapped");
   remap_failures_ = &metrics_->counter("transport.remap_failures");
   bytes_sent_ = &metrics_->counter("transport.bytes_sent");
+  fault_crash_drops_ = &metrics_->counter("transport.fault.crash_drops");
+  fault_partition_drops_ =
+      &metrics_->counter("transport.fault.partition_drops");
+  fault_delays_ = &metrics_->counter("transport.fault.delays");
   // Tracing is opt-in: the ring is only allocated on set_enabled(true).
+}
+
+void Transport::attach_faults(FaultInjector* faults) {
+  faults_ = faults;
+  if (faults_ == nullptr) return;
+  faults_->set_observer([this](SimTime at, FaultTransition transition,
+                               FaultKey a, FaultKey b) {
+    EventKind kind = EventKind::kFaultCrash;
+    const char* name = "transport.fault.crashes";
+    switch (transition) {
+      case FaultTransition::kCrash: break;
+      case FaultTransition::kRestart:
+        kind = EventKind::kFaultRestart;
+        name = "transport.fault.restarts";
+        break;
+      case FaultTransition::kPartition:
+        kind = EventKind::kFaultPartition;
+        name = "transport.fault.partitions";
+        break;
+      case FaultTransition::kHeal:
+        kind = EventKind::kFaultHeal;
+        name = "transport.fault.heals";
+        break;
+    }
+    metrics_->counter(name).inc();
+    tracer_.record(at, kind, 0, a, b);
+  });
 }
 
 TransportStats Transport::stats() const {
@@ -86,6 +117,39 @@ Status Transport::send(EndpointId from, const Pid& to, Message message) {
   }
 
   SimDuration latency = latency_between(from_loc.value(), target_loc.value());
+  if (faults_ != nullptr) {
+    // Fault filtering at send: a crashed sender emits nothing, and a
+    // one-way partition eats the (sender → receiver) direction only. Both
+    // are silent to the caller, like random loss — failure is observable
+    // only as missing replies.
+    auto sender_machine = net_.machine_of(from);
+    auto receiver_machine = net_.machine_of(target.value());
+    if (sender_machine.is_ok() &&
+        faults_->is_crashed(sender_machine.value().value())) {
+      dropped_->inc();
+      fault_crash_drops_->inc();
+      tracer_.record(sim_.now(), EventKind::kFaultDropCrash,
+                     message.trace_corr, sender_machine.value().value());
+      return Status::ok();
+    }
+    if (sender_machine.is_ok() && receiver_machine.is_ok() &&
+        faults_->is_partitioned(sender_machine.value().value(),
+                                receiver_machine.value().value())) {
+      dropped_->inc();
+      fault_partition_drops_->inc();
+      tracer_.record(sim_.now(), EventKind::kFaultDropPartition,
+                     message.trace_corr, sender_machine.value().value(),
+                     receiver_machine.value().value());
+      return Status::ok();
+    }
+    const SimDuration extra = faults_->reorder_extra(sim_.now());
+    if (extra > 0) {
+      fault_delays_->inc();
+      tracer_.record(sim_.now(), EventKind::kFaultDelay, message.trace_corr,
+                     from.value(), extra);
+      latency += extra;
+    }
+  }
   EndpointId intended = target.value();
   Location sender_at_send = from_loc.value();
   Location target_address = target_loc.value();
@@ -113,6 +177,20 @@ void Transport::deliver(EndpointId intended, Location target,
     return;
   }
   EndpointId receiver = now_there.value();
+  if (faults_ != nullptr) {
+    // A machine that is down *at delivery time* receives nothing: messages
+    // in flight when the crash hit die here, exactly like a kernel losing
+    // its socket buffers with the host.
+    auto receiver_machine = net_.machine_of(receiver);
+    if (receiver_machine.is_ok() &&
+        faults_->is_crashed(receiver_machine.value().value())) {
+      dropped_->inc();
+      fault_crash_drops_->inc();
+      tracer_.record(sim_.now(), EventKind::kFaultDropCrash, trace_corr,
+                     receiver_machine.value().value());
+      return;
+    }
+  }
   if (receiver != intended) {
     misdelivered_->inc();
     tracer_.record(sim_.now(), EventKind::kMisdeliver, trace_corr,

@@ -21,6 +21,7 @@
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -108,6 +109,21 @@ class Transport {
   /// "first attempt lost, retry delivered").
   void set_drop_probability(double p) { config_.drop_probability = p; }
 
+  /// Subject this transport to scripted faults (sim/faults.hpp). Fault
+  /// keys are MachineId values. Once attached:
+  ///   * a message from a crashed machine is dropped at send;
+  ///   * a message to a machine that is crashed at delivery time is
+  ///     dropped there (in-flight messages die with the receiver);
+  ///   * a message whose (sender, receiver) machine edge is partitioned
+  ///     at send time is dropped at send (one-way);
+  ///   * inside a reorder window, delivery gains the window's extra delay.
+  /// All four show up as "transport.fault.*" counters and kFault* trace
+  /// events; injector state transitions (crash/restart/partition/heal)
+  /// are traced through the observer this call installs. Pass nullptr to
+  /// detach.
+  void attach_faults(FaultInjector* faults);
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
+
  private:
   SimDuration latency_between(const Location& a, const Location& b) const;
   void deliver(EndpointId intended, Location target, Location sender_at_send,
@@ -128,7 +144,11 @@ class Transport {
   Counter* pids_remapped_;
   Counter* remap_failures_;
   Counter* bytes_sent_;
+  Counter* fault_crash_drops_;
+  Counter* fault_partition_drops_;
+  Counter* fault_delays_;
   Tracer tracer_;
+  FaultInjector* faults_ = nullptr;
   std::unordered_map<EndpointId, Handler> handlers_;
 };
 

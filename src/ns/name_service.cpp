@@ -1,6 +1,7 @@
 #include "ns/name_service.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/strings.hpp"
 
@@ -30,47 +31,95 @@ std::optional<NameSlice> referral_suffix(NameSlice sent,
   return candidate;
 }
 
-void HomeMap::set_home(EntityId ctx, MachineId machine) {
+void AuthorityMap::set_home(EntityId ctx, MachineId machine) {
   NAMECOH_CHECK(ctx.valid() && machine.valid(), "invalid home assignment");
-  homes_[ctx] = machine;
+  homes_[ctx] = {machine};
 }
 
-void HomeMap::set_home_subtree(const NamingGraph& graph, EntityId root,
-                               MachineId machine) {
+void AuthorityMap::set_replicas(EntityId ctx,
+                                std::vector<MachineId> replicas) {
+  NAMECOH_CHECK(ctx.valid() && !replicas.empty(),
+                "invalid replica assignment");
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    NAMECOH_CHECK(replicas[i].valid(), "invalid replica machine");
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      NAMECOH_CHECK(replicas[i] != replicas[j], "duplicate replica machine");
+    }
+  }
+  homes_[ctx] = std::move(replicas);
+}
+
+void AuthorityMap::set_home_subtree(const NamingGraph& graph, EntityId root,
+                                    MachineId machine) {
+  set_replicas_subtree(graph, root, {machine});
+}
+
+void AuthorityMap::set_replicas_subtree(const NamingGraph& graph,
+                                        EntityId root,
+                                        std::vector<MachineId> replicas) {
   NAMECOH_CHECK(graph.is_context_object(root),
-                "set_home_subtree: root is not a context object");
-  // The root is always re-homed, per the contract; a silent no-op when it
-  // already belonged to another machine would leave the caller with a
-  // partitioned HomeMap and no error. Descendants with a foreign home are
-  // left alone (shared subtrees keep their authority).
-  homes_.insert_or_assign(root, machine);
+                "set_replicas_subtree: root is not a context object");
+  NAMECOH_CHECK(!replicas.empty(), "empty replica set");
+  // The root is always re-assigned, per the contract; a silent no-op when
+  // it already belonged to another authority would leave the caller with a
+  // partitioned map and no error. Descendants with a foreign authority are
+  // left alone (shared subtrees keep their own).
+  homes_.insert_or_assign(root, replicas);
   std::deque<EntityId> frontier{root};
   while (!frontier.empty()) {
     EntityId ctx = frontier.front();
     frontier.pop_front();
-    if (homes_.at(ctx) != machine) continue;  // foreign authority: stop
+    if (homes_.at(ctx) != replicas) continue;  // foreign authority: stop
     for (const auto& [name, target] : graph.context(ctx).bindings()) {
       if (name.is_cwd() || name.is_parent()) continue;
       if (graph.is_context_object(target) &&
-          homes_.try_emplace(target, machine).second) {
+          homes_.try_emplace(target, replicas).second) {
         frontier.push_back(target);
       }
     }
   }
 }
 
-Result<MachineId> HomeMap::home_of(EntityId ctx) const {
+Result<MachineId> AuthorityMap::home_of(EntityId ctx) const {
   auto it = homes_.find(ctx);
   if (it == homes_.end()) {
     return not_found_error("context has no authoritative home");
   }
+  return it->second.front();
+}
+
+std::span<const MachineId> AuthorityMap::replicas_of(EntityId ctx) const {
+  auto it = homes_.find(ctx);
+  if (it == homes_.end()) return {};
   return it->second;
 }
 
-bool HomeMap::has_home(EntityId ctx) const { return homes_.contains(ctx); }
+bool AuthorityMap::has_home(EntityId ctx) const {
+  return homes_.contains(ctx);
+}
+
+bool AuthorityMap::is_replica(EntityId ctx, MachineId machine) const {
+  auto it = homes_.find(ctx);
+  if (it == homes_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), machine) !=
+         it->second.end();
+}
+
+bool AuthorityMap::is_primary(EntityId ctx, MachineId machine) const {
+  auto it = homes_.find(ctx);
+  return it != homes_.end() && it->second.front() == machine;
+}
+
+std::vector<EntityId> AuthorityMap::replicated_contexts() const {
+  std::vector<EntityId> out;
+  for (const auto& [ctx, replicas] : homes_) {
+    if (replicas.size() >= 2) out.push_back(ctx);
+  }
+  return out;
+}
 
 NameService::NameService(const NamingGraph& graph, Internetwork& net,
-                         Transport& transport, const HomeMap& homes)
+                         Transport& transport, const AuthorityMap& homes)
     : graph_(graph), net_(net), transport_(transport), homes_(homes) {
   MetricsRegistry& metrics = transport_.metrics();
   requests_ = &metrics.counter("ns.server.requests");
@@ -78,12 +127,18 @@ NameService::NameService(const NamingGraph& graph, Internetwork& net,
   referrals_ = &metrics.counter("ns.server.referrals");
   failures_ = &metrics.counter("ns.server.failures");
   duplicates_ = &metrics.counter("ns.server.duplicates");
+  update_pushes_ = &metrics.counter("ns.server.update_pushes");
+  updates_applied_ = &metrics.counter("ns.server.updates_applied");
+  updates_stale_ = &metrics.counter("ns.server.updates_stale");
+  store_answers_ = &metrics.counter("ns.server.store_answers");
 }
 
 NameServiceStats NameService::stats() const {
-  return NameServiceStats{requests_->value(), answers_->value(),
-                          referrals_->value(), failures_->value(),
-                          duplicates_->value()};
+  return NameServiceStats{requests_->value(),       answers_->value(),
+                          referrals_->value(),      failures_->value(),
+                          duplicates_->value(),     update_pushes_->value(),
+                          updates_applied_->value(), updates_stale_->value(),
+                          store_answers_->value()};
 }
 
 EndpointId NameService::add_server(MachineId machine) {
@@ -93,7 +148,11 @@ EndpointId NameService::add_server(MachineId machine) {
   servers_[machine] = server;
   transport_.set_handler(server,
                          [this](EndpointId self, const Message& message) {
-                           handle_request(self, message);
+                           if (message.type == NsWire::kUpdatePush) {
+                             handle_update(self, message);
+                           } else {
+                             handle_request(self, message);
+                           }
                          });
   return server;
 }
@@ -106,6 +165,73 @@ Result<EndpointId> NameService::server_on(MachineId machine) const {
   return it->second;
 }
 
+void NameService::publish_update(EntityId ctx) {
+  auto replicas = homes_.replicas_of(ctx);
+  if (replicas.size() < 2) return;
+  if (!graph_.is_context_object(ctx)) return;
+  auto primary = servers_.find(replicas.front());
+  if (primary == servers_.end()) return;
+  auto primary_loc = net_.location_of(primary->second);
+  if (!primary_loc.is_ok()) return;
+  const std::uint64_t epoch = graph_.rebind_epoch(ctx);
+  const auto bindings = graph_.context(ctx).bindings();
+  Tracer& tracer = transport_.tracer();
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    auto secondary = servers_.find(replicas[i]);
+    if (secondary == servers_.end()) continue;
+    auto secondary_loc = net_.location_of(secondary->second);
+    if (!secondary_loc.is_ok()) continue;
+    // Full-snapshot push: [ctx, epoch, n, (name, target) × n]. Snapshots
+    // rather than deltas keep the apply idempotent — any newer snapshot
+    // supersedes the store wholesale, so loss and reordering can delay
+    // convergence but never corrupt it.
+    Message push;
+    push.type = NsWire::kUpdatePush;
+    push.payload.add_u64(ctx.value());
+    push.payload.add_u64(epoch);
+    push.payload.add_u64(bindings.size());
+    for (const Binding& b : bindings) {
+      push.payload.add_name(b.name.text());
+      push.payload.add_u64(b.entity.value());
+    }
+    update_pushes_->inc();
+    tracer.record(transport_.simulator().now(), EventKind::kUpdatePush, 0,
+                  ctx.value(), epoch);
+    (void)transport_.send(
+        primary->second,
+        relativize(secondary_loc.value(), primary_loc.value()),
+        std::move(push));
+  }
+}
+
+void NameService::start_anti_entropy(SimDuration interval) {
+  NAMECOH_CHECK(interval > 0, "anti-entropy interval must be positive");
+  const bool was_running = anti_entropy_interval_ != 0;
+  anti_entropy_interval_ = interval;
+  if (!was_running) {
+    transport_.simulator().schedule_in(interval,
+                                       [this] { anti_entropy_tick(); });
+  }
+}
+
+void NameService::stop_anti_entropy() { anti_entropy_interval_ = 0; }
+
+void NameService::anti_entropy_tick() {
+  if (anti_entropy_interval_ == 0) return;  // stopped while scheduled
+  for (EntityId ctx : homes_.replicated_contexts()) publish_update(ctx);
+  transport_.simulator().schedule_in(anti_entropy_interval_,
+                                     [this] { anti_entropy_tick(); });
+}
+
+std::optional<std::uint64_t> NameService::replica_epoch(MachineId machine,
+                                                        EntityId ctx) const {
+  auto store = stores_.find(machine);
+  if (store == stores_.end()) return std::nullopt;
+  auto it = store->second.find(ctx);
+  if (it == store->second.end()) return std::nullopt;
+  return it->second.epoch;
+}
+
 bool NameService::note_duplicate(std::uint64_t corr) {
   if (!recent_corr_.insert(corr).second) return true;
   recent_corr_order_.push_back(corr);
@@ -114,6 +240,53 @@ bool NameService::note_duplicate(std::uint64_t corr) {
     recent_corr_order_.pop_front();
   }
   return false;
+}
+
+void NameService::handle_update(EndpointId self, const Message& message) {
+  const Payload& p = message.payload;
+  if (p.size() < 3 || p.type_at(0) != FieldType::kU64 ||
+      p.type_at(1) != FieldType::kU64 || p.type_at(2) != FieldType::kU64) {
+    return;  // malformed
+  }
+  EntityId ctx(p.u64_at(0));
+  const std::uint64_t epoch = p.u64_at(1);
+  const std::uint64_t n = p.u64_at(2);
+  if (n > (p.size() - 3) / 2 || p.size() != 3 + 2 * n) return;
+  auto my_machine = net_.machine_of(self);
+  if (!my_machine.is_ok()) return;
+  // Only a secondary for this context applies pushes; anything else —
+  // e.g. a push delayed across a replica-set change — is a stray.
+  if (!homes_.is_replica(ctx, my_machine.value()) ||
+      homes_.is_primary(ctx, my_machine.value())) {
+    return;
+  }
+  Tracer& tracer = transport_.tracer();
+  const SimTime now = transport_.simulator().now();
+  auto& store = stores_[my_machine.value()];
+  auto it = store.find(ctx);
+  if (it != store.end() && epoch <= it->second.epoch) {
+    // Apply-if-newer: re-deliveries and reordered pushes of an older
+    // snapshot must never roll the store backwards.
+    updates_stale_->inc();
+    tracer.record(now, EventKind::kUpdateStale, 0, ctx.value(), epoch);
+    return;
+  }
+  ReplicaState state;
+  state.epoch = epoch;
+  state.bindings.reserve(n);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    if (p.type_at(3 + 2 * j) != FieldType::kName ||
+        p.type_at(4 + 2 * j) != FieldType::kU64) {
+      return;  // malformed: apply nothing rather than half a snapshot
+    }
+    auto name = Name::make(p.name_at(3 + 2 * j));
+    if (!name.is_ok()) return;
+    state.bindings.push_back(
+        Binding{name.value(), EntityId(p.u64_at(4 + 2 * j))});
+  }
+  store[ctx] = std::move(state);
+  updates_applied_->inc();
+  tracer.record(now, EventKind::kUpdateApply, 0, ctx.value(), epoch);
 }
 
 void NameService::handle_request(EndpointId self, const Message& message) {
@@ -147,14 +320,25 @@ void NameService::handle_request(EndpointId self, const Message& message) {
     if (!duplicate) counter->inc();
   };
 
-  // Reply layout (fixed): [corr, disposition, entity, remaining, error,
-  // next-server pid, authority-ctx, epoch]. The pid is in *this server's*
-  // context; the transport rebases it into the receiver's context in
-  // flight (R(sender)). `authority` is the context whose bindings the
-  // reply depends on, stamped with its current rebind epoch.
+  auto my_machine = net_.machine_of(self);
+  if (!my_machine.is_ok()) return;
+  auto my_loc = net_.location_of(self);
+  if (!my_loc.is_ok()) return;
+
+  // Reply layout (protocol v3): the fixed v2 prefix [corr, disposition,
+  // entity, remaining, error, next-server pid, authority-ctx, epoch]
+  // followed by the authority's replica list [n, (server pid, machine) × n]
+  // so clients can fail over without out-of-band topology knowledge. All
+  // pids are in *this server's* context; the transport rebases them into
+  // the receiver's context in flight (R(sender)). `authority` is the
+  // context whose bindings the reply depends on; the epoch stamped is the
+  // graph's current rebind epoch, or — when a secondary answered from its
+  // replica store — the *snapshot's* epoch, so staleness is visible.
   auto send_reply = [&](std::uint64_t disposition, EntityId entity,
                         std::string remaining, std::string error,
-                        Pid next_server, EntityId authority) {
+                        Pid next_server, EntityId authority,
+                        std::optional<std::uint64_t> epoch_override =
+                            std::nullopt) {
     const EventKind kind = disposition == NsWire::kAnswer
                                ? EventKind::kServerAnswer
                                : disposition == NsWire::kReferral
@@ -174,19 +358,35 @@ void NameService::handle_request(EndpointId self, const Message& message) {
     const bool stamp =
         authority.valid() && graph_.is_context_object(authority);
     reply.payload.add_u64(stamp ? authority.value() : NsWire::kNoEntity);
-    reply.payload.add_u64(stamp ? graph_.rebind_epoch(authority) : 0);
+    reply.payload.add_u64(stamp ? (epoch_override
+                                       ? *epoch_override
+                                       : graph_.rebind_epoch(authority))
+                                : 0);
+    std::vector<std::pair<Pid, std::uint64_t>> tail;
+    if (stamp) {
+      for (MachineId m : homes_.replicas_of(authority)) {
+        auto sit = servers_.find(m);
+        if (sit == servers_.end()) continue;
+        auto loc = net_.location_of(sit->second);
+        if (!loc.is_ok()) continue;
+        tail.emplace_back(relativize(loc.value(), my_loc.value()),
+                          m.value());
+      }
+    }
+    reply.payload.add_u64(tail.size());
+    for (auto& [pid, machine] : tail) {
+      reply.payload.add_pid(pid);
+      reply.payload.add_u64(machine);
+    }
     (void)transport_.send(self, message.reply_to, std::move(reply));
   };
-  auto send_error = [&](std::string error, EntityId authority = {}) {
+  auto send_error = [&](std::string error, EntityId authority = {},
+                        std::optional<std::uint64_t> epoch_override =
+                            std::nullopt) {
     count(failures_);
     send_reply(NsWire::kError, {}, "", std::move(error), Pid::self(),
-               authority);
+               authority, epoch_override);
   };
-
-  auto my_machine = net_.machine_of(self);
-  if (!my_machine.is_ok()) return;
-  auto my_loc = net_.location_of(self);
-  if (!my_loc.is_ok()) return;
 
   std::optional<CompoundName> parsed;
   NameSlice components;
@@ -216,43 +416,88 @@ void NameService::handle_request(EndpointId self, const Message& message) {
     return;
   }
 
-  // Walk while the current context is homed here; refer onward otherwise.
+  // Refer the client to the primary for `ctx` at component `i`.
+  auto refer_to_primary = [&](MachineId primary, std::size_t i) {
+    auto next_server = server_on(primary);
+    if (!next_server.is_ok()) {
+      send_error("authoritative machine has no name server");
+      return;
+    }
+    auto next_loc = net_.location_of(next_server.value());
+    if (!next_loc.is_ok()) {
+      send_error("authoritative server endpoint is dead");
+      return;
+    }
+    count(referrals_);
+    send_reply(NsWire::kReferral, ctx, components.subslice(i).joined(), "",
+               relativize(next_loc.value(), my_loc.value()), ctx);
+  };
+
+  // Walk while the current context is replicated here; refer onward
+  // otherwise. The primary serves straight from the naming graph; a
+  // secondary serves from the last snapshot it applied (stamping the
+  // snapshot's epoch), or refers to the primary if it never synced.
   for (std::size_t i = 0; i < components.size(); ++i) {
     if (!graph_.is_context_object(ctx)) {
       send_error("NOT_A_CONTEXT at '" + components[i].text() + "'");
       return;
     }
-    auto home = homes_.home_of(ctx);
-    if (!home.is_ok()) {
+    auto replicas = homes_.replicas_of(ctx);
+    if (replicas.empty()) {
       send_error("context has no authoritative home");
       return;
     }
-    if (home.value() != my_machine.value()) {
-      auto next_server = server_on(home.value());
-      if (!next_server.is_ok()) {
-        send_error("authoritative machine has no name server");
-        return;
-      }
-      auto next_loc = net_.location_of(next_server.value());
-      if (!next_loc.is_ok()) {
-        send_error("authoritative server endpoint is dead");
-        return;
-      }
-      count(referrals_);
-      send_reply(NsWire::kReferral, ctx, components.subslice(i).joined(), "",
-                 relativize(next_loc.value(), my_loc.value()), ctx);
+    if (!homes_.is_replica(ctx, my_machine.value())) {
+      refer_to_primary(replicas.front(), i);
       return;
     }
-    auto next = graph_.lookup(ctx, components[i]);
+    Result<EntityId> next = not_found_error("unresolved");
+    std::optional<std::uint64_t> store_epoch;
+    if (homes_.is_primary(ctx, my_machine.value())) {
+      next = graph_.lookup(ctx, components[i]);
+    } else {
+      const ReplicaState* state = nullptr;
+      auto sit = stores_.find(my_machine.value());
+      if (sit != stores_.end()) {
+        auto cit = sit->second.find(ctx);
+        if (cit != sit->second.end()) state = &cit->second;
+      }
+      if (state == nullptr) {
+        // Never synced: answering from nothing would turn "no snapshot
+        // yet" into a spurious NOT_FOUND. Refer to the primary instead.
+        refer_to_primary(replicas.front(), i);
+        return;
+      }
+      store_epoch = state->epoch;
+      next = not_found_error("NOT_FOUND: no binding for '" +
+                             components[i].text() + "'");
+      for (const Binding& b : state->bindings) {
+        if (b.name == components[i]) {
+          next = b.entity;
+          break;
+        }
+      }
+    }
     if (!next.is_ok()) {
+      if (store_epoch) {
+        count(store_answers_);
+        tracer.record(transport_.simulator().now(), EventKind::kStoreAnswer,
+                      corr, ctx.value(), *store_epoch);
+      }
       // Stamp the context where the lookup failed so negative cache
       // entries are invalidated when it is rebound.
-      send_error(next.status().to_string(), ctx);
+      send_error(next.status().to_string(), ctx, store_epoch);
       return;
     }
     if (i + 1 == components.size()) {
       count(answers_);
-      send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self(), ctx);
+      if (store_epoch) {
+        count(store_answers_);
+        tracer.record(transport_.simulator().now(), EventKind::kStoreAnswer,
+                      corr, ctx.value(), *store_epoch);
+      }
+      send_reply(NsWire::kAnswer, next.value(), "", "", Pid::self(), ctx,
+                 store_epoch);
       return;
     }
     ctx = next.value();
@@ -273,7 +518,8 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
       sim_(sim),
       service_(service),
       endpoint_(net.add_endpoint(machine, std::move(label))),
-      config_(config) {
+      config_(config),
+      client_machine_(machine) {
   // Per-client counter names: several clients can share one transport (and
   // hence one registry), so the endpoint id keeps their metrics apart.
   MetricsRegistry& metrics = transport_.metrics();
@@ -291,6 +537,12 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   timeouts_ = &metrics.counter(prefix + "timeouts");
   backoff_retries_ = &metrics.counter(prefix + "backoff_retries");
   stale_replies_dropped_ = &metrics.counter(prefix + "stale_replies_dropped");
+  failovers_ = &metrics.counter(prefix + "failovers");
+  // Ticks from a hop's first send to its first reply, recorded only when
+  // the hop failed over; buckets sized for timeout-dominated latencies.
+  failover_latency_ = &metrics.histogram(
+      prefix + "failover_latency",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000});
   // Correlation ids are unique per client *and* per attempt: the endpoint
   // id seeds the high bits so two clients never share an id space (the
   // server's duplicate window is keyed by raw correlation id).
@@ -334,6 +586,30 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
         reply_authority_ =
             auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
         reply_epoch_ = message.payload.u64_at(7);
+        // Protocol v3 tail: the authority's replica set. A v2 peer stops
+        // at field 8; a malformed tail is ignored rather than trusted.
+        reply_replicas_.clear();
+        const std::size_t fields = message.payload.size();
+        if (fields > 8 && message.payload.type_at(8) == FieldType::kU64) {
+          const std::uint64_t n = message.payload.u64_at(8);
+          if (n <= (fields - 9) / 2 && fields == 9 + 2 * n) {
+            bool well_formed = true;
+            for (std::uint64_t j = 0; j < n && well_formed; ++j) {
+              well_formed =
+                  message.payload.type_at(9 + 2 * j) == FieldType::kPid &&
+                  message.payload.type_at(10 + 2 * j) == FieldType::kU64;
+            }
+            if (well_formed) {
+              for (std::uint64_t j = 0; j < n; ++j) {
+                const std::uint64_t m = message.payload.u64_at(10 + 2 * j);
+                reply_replicas_.push_back(ReplicaRef{
+                    message.payload.pid_at(9 + 2 * j),
+                    m == NsWire::kNoMachine ? MachineId::invalid()
+                                            : MachineId(m)});
+              }
+            }
+          }
+        }
       });
 }
 
@@ -356,6 +632,7 @@ ResolverClientStats ResolverClient::stats() const {
   s.timeouts = timeouts_->value();
   s.backoff_retries = backoff_retries_->value();
   s.stale_replies_dropped = stale_replies_dropped_->value();
+  s.failovers = failovers_->value();
   return s;
 }
 
@@ -411,64 +688,138 @@ void ResolverClient::note_epoch(EntityId authority, std::uint64_t epoch) {
   if (!inserted && it->second < epoch) it->second = epoch;
 }
 
-Status ResolverClient::round_trip(const Pid& server, EntityId start,
-                                  const std::string& path) {
-  Tracer& tracer = transport_.tracer();
-  SimDuration timeout = std::max<SimDuration>(1, config_.request_timeout);
-  for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
-    Message request;
-    request.type = NsWire::kResolveRequest;
-    expected_corr_ = next_corr_++;
-    // Each attempt gets a fresh correlation id; bind it to the span before
-    // the request leaves so the transport's send/drop/deliver events — and
-    // the server's handling of this very id — attach to this resolution.
-    tracer.bind_corr(active_span_, expected_corr_);
-    request.trace_corr = expected_corr_;
-    if (attempt > 0) {
-      backoff_retries_->inc();
-      tracer.record_in_span(active_span_, sim_.now(),
-                            EventKind::kBackoffRetry, attempt, timeout);
-    }
-    request.payload.add_u64(expected_corr_);
-    request.payload.add_u64(start.value());
-    request.payload.add_name(path);
-    reply_received_ = false;
-    awaiting_reply_ = true;
-    messages_sent_->inc();
-    Status sent = transport_.send(endpoint_, server, request);
-    if (!sent.is_ok()) {
-      awaiting_reply_ = false;
-      return sent;  // hard failure: no point retrying
-    }
-    // Drive the simulator up to this attempt's deadline; stop early when
-    // our reply lands. Events past the deadline stay queued — they belong
-    // to the future, and firing them would let a reply slower than the
-    // timeout still win. Delayed replies from earlier attempts carry old
-    // correlation ids and are dropped by the handler.
-    const SimTime deadline = sim_.now() + timeout;
-    while (!reply_received_) {
-      auto next = sim_.next_event_time();
-      if (!next || *next > deadline) break;
-      sim_.run(1);
-    }
-    if (reply_received_) return Status::ok();
-    // Silence: the request or the reply was lost (or is slower than the
-    // timeout). Let the rest of the window elapse on the shared clock,
-    // back off, and resend.
-    awaiting_reply_ = false;
-    timeouts_->inc();
-    tracer.record_in_span(active_span_, sim_.now(), EventKind::kTimeout,
-                          expected_corr_, timeout);
-    sim_.run_until(deadline);
-    auto scaled = static_cast<SimDuration>(
-        static_cast<double>(timeout) *
-        std::max(1.0, config_.backoff_multiplier));
-    timeout = config_.max_timeout > 0 ? std::min(scaled, config_.max_timeout)
-                                      : scaled;
+bool ResolverClient::is_suspect(MachineId machine) const {
+  if (!machine.valid()) return false;
+  auto it = suspect_until_.find(machine);
+  return it != suspect_until_.end() && it->second > sim_.now();
+}
+
+std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
+    EntityId ctx, const ReplicaRef& via) const {
+  std::vector<ReplicaRef> out{via};
+  auto my_loc = net_.location_of(endpoint_);
+  if (!my_loc.is_ok()) return out;
+  for (MachineId m : service_.authorities().replicas_of(ctx)) {
+    if (via.machine.valid() && m == via.machine) continue;
+    auto server = service_.server_on(m);
+    if (!server.is_ok()) continue;
+    auto loc = net_.location_of(server.value());
+    if (!loc.is_ok()) continue;
+    out.push_back(ReplicaRef{relativize(loc.value(), my_loc.value()), m});
   }
-  return unreachable_error("no reply from name server after " +
-                           std::to_string(config_.retries + 1) +
-                           " attempt(s) (message lost or too slow)");
+  return out;
+}
+
+Status ResolverClient::round_trip(std::span<const ReplicaRef> candidates,
+                                  EntityId start, const std::string& path) {
+  NAMECOH_CHECK(!candidates.empty(), "round_trip with no candidates");
+  Tracer& tracer = transport_.tracer();
+
+  // One full timeout/backoff budget against a single server.
+  auto attempt_server = [&](const Pid& server) -> Status {
+    SimDuration timeout = std::max<SimDuration>(1, config_.request_timeout);
+    for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
+      Message request;
+      request.type = NsWire::kResolveRequest;
+      expected_corr_ = next_corr_++;
+      // Each attempt gets a fresh correlation id; bind it to the span
+      // before the request leaves so the transport's send/drop/deliver
+      // events — and the server's handling of this very id — attach to
+      // this resolution.
+      tracer.bind_corr(active_span_, expected_corr_);
+      request.trace_corr = expected_corr_;
+      if (attempt > 0) {
+        backoff_retries_->inc();
+        tracer.record_in_span(active_span_, sim_.now(),
+                              EventKind::kBackoffRetry, attempt, timeout);
+      }
+      request.payload.add_u64(expected_corr_);
+      request.payload.add_u64(start.value());
+      request.payload.add_name(path);
+      reply_received_ = false;
+      awaiting_reply_ = true;
+      messages_sent_->inc();
+      Status sent = transport_.send(endpoint_, server, request);
+      if (!sent.is_ok()) {
+        awaiting_reply_ = false;
+        return sent;  // hard failure: no point retrying
+      }
+      // Drive the simulator up to this attempt's deadline; stop early when
+      // our reply lands. Events past the deadline stay queued — they
+      // belong to the future, and firing them would let a reply slower
+      // than the timeout still win. Delayed replies from earlier attempts
+      // carry old correlation ids and are dropped by the handler.
+      const SimTime deadline = sim_.now() + timeout;
+      while (!reply_received_) {
+        auto next = sim_.next_event_time();
+        if (!next || *next > deadline) break;
+        sim_.run(1);
+      }
+      if (reply_received_) return Status::ok();
+      // Silence: the request or the reply was lost (or is slower than the
+      // timeout). Let the rest of the window elapse on the shared clock,
+      // back off, and resend.
+      awaiting_reply_ = false;
+      timeouts_->inc();
+      tracer.record_in_span(active_span_, sim_.now(), EventKind::kTimeout,
+                            expected_corr_, timeout);
+      sim_.run_until(deadline);
+      auto scaled = static_cast<SimDuration>(
+          static_cast<double>(timeout) *
+          std::max(1.0, config_.backoff_multiplier));
+      timeout = config_.max_timeout > 0
+                    ? std::min(scaled, config_.max_timeout)
+                    : scaled;
+    }
+    return unreachable_error("no reply from name server after " +
+                             std::to_string(config_.retries + 1) +
+                             " attempt(s) (message lost or too slow)");
+  };
+
+  // Preference order: live replicas first (stable within each class), then
+  // quarantined ones as a last resort — a suspect replica is still better
+  // than failing the hop outright.
+  std::vector<const ReplicaRef*> order;
+  order.reserve(candidates.size());
+  for (const ReplicaRef& r : candidates) {
+    if (!is_suspect(r.machine)) order.push_back(&r);
+  }
+  for (const ReplicaRef& r : candidates) {
+    if (is_suspect(r.machine)) order.push_back(&r);
+  }
+
+  const SimTime hop_begin = sim_.now();
+  bool failed_over = false;
+  Status last = unreachable_error("no reachable replica for this hop");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) {
+      // The previous candidate exhausted its whole backoff budget: fail
+      // over. Each candidate starts from the base timeout again.
+      failed_over = true;
+      failovers_->inc();
+      const ReplicaRef* prev = order[i - 1];
+      tracer.record_in_span(
+          active_span_, sim_.now(), EventKind::kFailover,
+          prev->machine.valid() ? prev->machine.value() : 0,
+          order[i]->machine.valid() ? order[i]->machine.value() : 0);
+    }
+    Status result = attempt_server(order[i]->pid);
+    if (result.is_ok()) {
+      if (order[i]->machine.valid()) {
+        suspect_until_.erase(order[i]->machine);
+      }
+      if (failed_over) {
+        failover_latency_->add(static_cast<double>(sim_.now() - hop_begin));
+      }
+      return result;
+    }
+    last = result;
+    if (order[i]->machine.valid()) {
+      suspect_until_[order[i]->machine] =
+          sim_.now() + config_.replica_quarantine;
+    }
+  }
+  return last;
 }
 
 Result<EntityId> ResolverClient::resolve(EntityId start,
@@ -520,13 +871,12 @@ Result<EntityId> ResolverClient::resolve_inner(EntityId start,
                           start.value());
   }
 
-  // First hop: this machine's own server (DNS-style "local recursive").
-  auto my_machine = net_.machine_of(endpoint_);
-  if (!my_machine.is_ok()) {
-    failures_->inc();
-    return my_machine.status();
-  }
-  auto local_server = service_.server_on(my_machine.value());
+  // First hop: this machine's own server (DNS-style "local recursive"),
+  // then — should it stay silent — the rest of the start context's replica
+  // set, straight from the authority map (the client's bootstrap
+  // knowledge; later hops learn their candidates from reply replica
+  // lists).
+  auto local_server = service_.server_on(client_machine_);
   if (!local_server.is_ok()) {
     failures_->inc();
     return local_server.status();
@@ -537,7 +887,9 @@ Result<EntityId> ResolverClient::resolve_inner(EntityId start,
     failures_->inc();
     return unreachable_error("client or server endpoint is dead");
   }
-  Pid server_pid = relativize(server_loc.value(), my_loc.value());
+  std::vector<ReplicaRef> candidates = candidates_for(
+      start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
+                        client_machine_});
 
   EntityId current = start;
   // The unresolved tail is a borrowed slice of the caller's name; each
@@ -548,7 +900,7 @@ Result<EntityId> ResolverClient::resolve_inner(EntityId start,
   NameSlice remaining = name;
   std::string hop_text = name.to_path();
   for (std::size_t chase = 0; chase <= config_.max_referrals; ++chase) {
-    Status rt = round_trip(server_pid, current, hop_text);
+    Status rt = round_trip(candidates, current, hop_text);
     if (!rt.is_ok()) {
       failures_->inc();
       return rt;
@@ -594,7 +946,16 @@ Result<EntityId> ResolverClient::resolve_inner(EntityId start,
         current = reply_entity_;
         remaining = *suffix;
         hop_text = remaining.joined();
-        server_pid = reply_next_server_;  // already rebased by the transport
+        // The next hop's candidates are the referred-to context's replica
+        // set from the reply tail (pids already rebased by the
+        // transport); a v2 peer sends no tail, leaving the single
+        // referral target.
+        if (!reply_replicas_.empty()) {
+          candidates.assign(reply_replicas_.begin(), reply_replicas_.end());
+        } else {
+          candidates.assign(
+              1, ReplicaRef{reply_next_server_, MachineId::invalid()});
+        }
         break;
       }
       default:

@@ -33,8 +33,10 @@
 #include <deque>
 #include <list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/naming_graph.hpp"
 #include "core/resolve.hpp"
@@ -43,10 +45,20 @@
 
 namespace namecoh {
 
-/// Authority assignment: context object → machine.
-class HomeMap {
+/// Authority assignment: context object → ordered replica set of machines.
+///
+/// The first machine in a context's list is its *primary* — the one that
+/// stamps rebind epochs and originates update propagation; the rest are
+/// *secondaries* that serve from epoch-stamped snapshots
+/// (docs/REPLICATION.md). A context configured through set_home has a
+/// one-machine replica set, which makes the pre-replication single-
+/// authority behaviour a special case rather than a separate code path.
+class AuthorityMap {
  public:
+  /// Single-authority compat: a one-machine replica set.
   void set_home(EntityId ctx, MachineId machine);
+  /// Full form: `replicas` ordered, primary first, no duplicates.
+  void set_replicas(EntityId ctx, std::vector<MachineId> replicas);
   /// Assign `root` and every directory reachable from it (tree edges) to
   /// `machine`. The root itself is always (re-)homed on `machine`, even if
   /// it previously had a different authority; the walk stops at
@@ -54,13 +66,29 @@ class HomeMap {
   /// shared subtrees keep their own authority.
   void set_home_subtree(const NamingGraph& graph, EntityId root,
                         MachineId machine);
+  /// Same walk, assigning the whole replica set to every claimed context.
+  void set_replicas_subtree(const NamingGraph& graph, EntityId root,
+                            std::vector<MachineId> replicas);
+  /// The primary (first replica).
   [[nodiscard]] Result<MachineId> home_of(EntityId ctx) const;
+  /// The full ordered replica set; empty when the context has no home.
+  [[nodiscard]] std::span<const MachineId> replicas_of(EntityId ctx) const;
   [[nodiscard]] bool has_home(EntityId ctx) const;
+  [[nodiscard]] bool is_replica(EntityId ctx, MachineId machine) const;
+  [[nodiscard]] bool is_primary(EntityId ctx, MachineId machine) const;
+  /// Contexts whose replica set has at least two members (the ones update
+  /// propagation must service), in no particular order.
+  [[nodiscard]] std::vector<EntityId> replicated_contexts() const;
   [[nodiscard]] std::size_t size() const { return homes_.size(); }
 
  private:
-  std::unordered_map<EntityId, MachineId> homes_;
+  std::unordered_map<EntityId, std::vector<MachineId>> homes_;
 };
+
+/// Pre-replication name for the single-authority special case; reads
+/// "which machine is authoritative" where AuthorityMap reads "which
+/// machines".
+using HomeMap = AuthorityMap;
 
 /// Compat view of the server-side registry counters (see stats()).
 struct NameServiceStats {
@@ -70,19 +98,29 @@ struct NameServiceStats {
   std::uint64_t failures = 0;    ///< resolution errors returned
   std::uint64_t duplicates = 0;  ///< retransmissions (same correlation id);
                                  ///< re-answered but not re-counted above
+  std::uint64_t update_pushes = 0;    ///< kUpdatePush messages sent
+  std::uint64_t updates_applied = 0;  ///< pushes applied by secondaries
+  std::uint64_t updates_stale = 0;    ///< pushes ignored: epoch not newer
+  std::uint64_t store_answers = 0;    ///< lookups served from replica stores
 };
 
 /// Wire protocol message types and field conventions (Transport
-/// Message::type). See docs/PROTOCOLS.md for the full layouts.
+/// Message::type). See docs/PROTOCOLS.md for the full layouts and the
+/// protocol-version table.
 struct NsWire {
   static constexpr std::uint32_t kResolveRequest = 100;
   static constexpr std::uint32_t kResolveReply = 101;
+  /// Primary → secondary update propagation (epoch-stamped full snapshot
+  /// of one context's bindings; idempotent, applied only if newer).
+  static constexpr std::uint32_t kUpdatePush = 102;
   // Reply dispositions.
   static constexpr std::uint64_t kAnswer = 0;
   static constexpr std::uint64_t kReferral = 1;
   static constexpr std::uint64_t kError = 2;
   /// Sentinel for "no entity" in u64 entity fields on the wire.
   static constexpr std::uint64_t kNoEntity = ~0ULL;
+  /// Sentinel for "machine unknown" in the reply's replica list.
+  static constexpr std::uint64_t kNoMachine = ~0ULL;
 };
 
 /// Match `remaining` — the bare '/'-joined remaining-path text of a
@@ -99,25 +137,61 @@ struct NsWire {
 
 /// The server side: one endpoint per machine, walking names through
 /// locally-homed context objects.
+///
+/// Replication (docs/REPLICATION.md): for a context with a multi-machine
+/// replica set, the *primary* serves straight from the naming graph and
+/// pushes epoch-stamped binding snapshots to the secondaries
+/// (`publish_update`, or periodically via `start_anti_entropy`). A
+/// secondary answers from the last snapshot it applied — possibly stale,
+/// but stamped with the snapshot's epoch so clients can see exactly how
+/// stale — and refers to the primary for contexts it has never synced.
 class NameService {
  public:
   NameService(const NamingGraph& graph, Internetwork& net,
-              Transport& transport, const HomeMap& homes);
+              Transport& transport, const AuthorityMap& homes);
 
   /// Install a server on `machine`; returns its endpoint. A machine
   /// without a server cannot answer for contexts homed on it.
   EndpointId add_server(MachineId machine);
 
   [[nodiscard]] Result<EndpointId> server_on(MachineId machine) const;
+  [[nodiscard]] const AuthorityMap& authorities() const { return homes_; }
+
+  /// Push `ctx`'s current bindings + rebind epoch from its primary's
+  /// server to every secondary's server, as real kUpdatePush messages —
+  /// subject to loss, partitions and crashes like any other traffic. A
+  /// no-op for unreplicated contexts or when the primary has no server.
+  void publish_update(EntityId ctx);
+
+  /// Anti-entropy: every `interval` ticks, publish_update every
+  /// replicated context. Repair traffic, in the §5 sense: it bounds how
+  /// long a lagging secondary can stay behind once connectivity returns.
+  void start_anti_entropy(SimDuration interval);
+  void stop_anti_entropy();
+
+  /// The epoch a machine's replica store has applied for `ctx`; nullopt
+  /// when that machine never applied a snapshot of it. For staleness-bound
+  /// assertions (tests, bench_x4_failover).
+  [[nodiscard]] std::optional<std::uint64_t> replica_epoch(
+      MachineId machine, EntityId ctx) const;
+
   /// Compat accessor: the counters live in the transport's registry
   /// ("ns.server.*"); this assembles the familiar struct on demand.
   [[nodiscard]] NameServiceStats stats() const;
 
  private:
+  /// A secondary's applied snapshot of one context.
+  struct ReplicaState {
+    std::uint64_t epoch = 0;
+    std::vector<Binding> bindings;
+  };
+
   void handle_request(EndpointId self, const Message& message);
+  void handle_update(EndpointId self, const Message& message);
   /// Record `corr` in the bounded recently-seen window; true if it was
   /// already there (i.e. this request is a retransmission).
   bool note_duplicate(std::uint64_t corr);
+  void anti_entropy_tick();
 
   /// How many correlation ids the duplicate-suppression window remembers.
   static constexpr std::size_t kDuplicateWindow = 1024;
@@ -125,15 +199,24 @@ class NameService {
   const NamingGraph& graph_;
   Internetwork& net_;
   Transport& transport_;
-  const HomeMap& homes_;
+  const AuthorityMap& homes_;
   std::unordered_map<MachineId, EndpointId> servers_;
+  /// Per-machine replica stores: what each *secondary* has applied.
+  std::unordered_map<MachineId,
+                     std::unordered_map<EntityId, ReplicaState>>
+      stores_;
   std::unordered_set<std::uint64_t> recent_corr_;
   std::deque<std::uint64_t> recent_corr_order_;  // FIFO eviction
+  SimDuration anti_entropy_interval_ = 0;  ///< 0 = not running
   Counter* requests_;
   Counter* answers_;
   Counter* referrals_;
   Counter* failures_;
   Counter* duplicates_;
+  Counter* update_pushes_;
+  Counter* updates_applied_;
+  Counter* updates_stale_;
+  Counter* store_answers_;
 };
 
 /// Compat view of the client-side registry counters (see stats()).
@@ -151,6 +234,8 @@ struct ResolverClientStats {
   std::uint64_t backoff_retries = 0;    ///< resends after a timeout
   std::uint64_t stale_replies_dropped = 0;  ///< replies rejected by
                                             ///< correlation-id mismatch
+  std::uint64_t failovers = 0;  ///< hops that moved on to another replica
+                                ///< after exhausting one replica's budget
 };
 
 struct ResolverClientConfig {
@@ -177,6 +262,10 @@ struct ResolverClientConfig {
   double backoff_multiplier = 2.0;
   /// Upper bound for the backed-off timeout. 0 = uncapped.
   SimDuration max_timeout = 60000;
+  /// After a replica exhausts its retry budget, how long (simulated ticks)
+  /// the client treats it as *suspect* — still usable as a last resort,
+  /// but ordered after every live replica when a hop has alternatives.
+  SimDuration replica_quarantine = 30000;
 };
 
 /// The client side: a process endpoint that resolves names by talking to
@@ -238,16 +327,36 @@ class ResolverClient {
     std::list<CacheKey>::iterator lru;  ///< position in lru_
   };
 
+  /// One server a hop may talk to: its pid in this client's context, plus
+  /// the machine it serves for (kNoMachine → invalid when unknown, e.g. a
+  /// pre-replication referral with no replica list).
+  struct ReplicaRef {
+    Pid pid;
+    MachineId machine;
+  };
+
   /// The body of resolve(); the public wrapper owns the span lifecycle.
   Result<EntityId> resolve_inner(EntityId start, const CompoundName& name);
 
   /// One request/reply round with timeout + exponential-backoff resends;
-  /// fills the reply_* fields via the handler. The server is addressed by
-  /// pid in this client's context. Each attempt's fresh correlation id is
+  /// fills the reply_* fields via the handler. Servers are addressed by pid
+  /// in this client's context. `candidates` is the hop's replica set,
+  /// preference-ordered; replicas currently under quarantine are tried
+  /// last. Each candidate gets a fresh backoff budget; when one candidate's
+  /// budget is exhausted and another remains, the client *fails over*
+  /// (kFailover, `failovers` counter, failover-latency histogram) instead
+  /// of declaring the hop dead. Each attempt's fresh correlation id is
   /// bound to the active span before the request leaves, so transport and
   /// server events land in it.
-  Status round_trip(const Pid& server, EntityId start,
+  Status round_trip(std::span<const ReplicaRef> candidates, EntityId start,
                     const std::string& path);
+
+  /// The hop's candidates for resolving `ctx`: the server reached through
+  /// `via` first (the referral target / local machine), then the rest of
+  /// ctx's replica set as known to the service's authority map, deduped.
+  [[nodiscard]] std::vector<ReplicaRef> candidates_for(
+      EntityId ctx, const ReplicaRef& via) const;
+  [[nodiscard]] bool is_suspect(MachineId machine) const;
 
   /// Cache plumbing: TTL + epoch validation + LRU touch on hit; bounded
   /// insert with LRU eviction; high-water epoch bookkeeping.
@@ -274,6 +383,13 @@ class ResolverClient {
   Counter* timeouts_;
   Counter* backoff_retries_;
   Counter* stale_replies_dropped_;
+  Counter* failovers_;
+  /// Simulated ticks from the first send of a hop to the first reply,
+  /// recorded only for hops that failed over at least once.
+  Histogram* failover_latency_;
+  /// Replica health: machine → simulated time until which it is suspect.
+  /// Entries are erased on a successful round trip to the machine.
+  std::unordered_map<MachineId, SimTime> suspect_until_;
   /// Span of the resolve() in progress (0 when none / tracing disabled).
   std::uint64_t active_span_ = 0;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
@@ -300,6 +416,12 @@ class ResolverClient {
                            ///< by the transport's R(sender) remap
   EntityId reply_authority_;        ///< context the answer depends on
   std::uint64_t reply_epoch_ = 0;  ///< its rebind epoch at the server
+  /// The answering context's replica set from the reply tail (protocol v3):
+  /// server pids already rebased by R(sender), machines by id. Empty when
+  /// the peer sent a v2 reply. On a referral these are the *next* hop's
+  /// candidates; MachineId also keys the health map.
+  std::vector<ReplicaRef> reply_replicas_;
+  MachineId client_machine_;  ///< where this client endpoint lives
 };
 
 }  // namespace namecoh

@@ -26,6 +26,18 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kServerReferral: return "server_referral";
     case EventKind::kServerError: return "server_error";
     case EventKind::kServerDuplicate: return "server_duplicate";
+    case EventKind::kUpdatePush: return "update_push";
+    case EventKind::kUpdateApply: return "update_apply";
+    case EventKind::kUpdateStale: return "update_stale";
+    case EventKind::kStoreAnswer: return "store_answer";
+    case EventKind::kFailover: return "failover";
+    case EventKind::kFaultCrash: return "fault_crash";
+    case EventKind::kFaultRestart: return "fault_restart";
+    case EventKind::kFaultPartition: return "fault_partition";
+    case EventKind::kFaultHeal: return "fault_heal";
+    case EventKind::kFaultDropCrash: return "fault_drop_crash";
+    case EventKind::kFaultDropPartition: return "fault_drop_partition";
+    case EventKind::kFaultDelay: return "fault_delay";
     case EventKind::kResolveStep: return "resolve_step";
     case EventKind::kKindCount: break;
   }

@@ -66,6 +66,22 @@ enum class EventKind : std::uint8_t {
   kServerReferral,  ///< a = referred-to context
   kServerError,
   kServerDuplicate, ///< retransmission re-answered
+  // Replication (docs/REPLICATION.md).
+  kUpdatePush,      ///< a = replicated context, b = epoch pushed
+  kUpdateApply,     ///< a = replicated context, b = epoch applied
+  kUpdateStale,     ///< a = replicated context, b = ignored older epoch
+  kStoreAnswer,     ///< secondary answered from its replica store;
+                    ///< a = context, b = applied epoch served
+  kFailover,        ///< client moved to the next replica; a = machine
+                    ///< given up on, b = machine tried next
+  // Fault injection (sim/faults.hpp via Transport::attach_faults).
+  kFaultCrash,      ///< a = crashed machine
+  kFaultRestart,    ///< a = restarted machine
+  kFaultPartition,  ///< one-way block installed; a = from, b = to machine
+  kFaultHeal,       ///< one-way block removed; a = from, b = to machine
+  kFaultDropCrash,  ///< message dropped: a = crashed machine involved
+  kFaultDropPartition, ///< message dropped: a = from, b = to machine
+  kFaultDelay,      ///< reorder window delayed a message; b = extra ticks
   // Local (in-memory) resolution.
   kResolveStep,     ///< a = context, b = component index
   kKindCount        ///< sentinel, keep last

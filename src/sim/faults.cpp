@@ -1,0 +1,76 @@
+#include "sim/faults.hpp"
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+std::uint64_t FaultInjector::edge(FaultKey from, FaultKey to) {
+  NAMECOH_CHECK(from < (1ULL << 32) && to < (1ULL << 32),
+                "fault keys must fit 32 bits to form partition edges");
+  return (from << 32) | to;
+}
+
+void FaultInjector::notify(FaultTransition transition, FaultKey a,
+                           FaultKey b) {
+  if (observer_) observer_(sim_.now(), transition, a, b);
+}
+
+void FaultInjector::crash(FaultKey node) {
+  if (crashed_.insert(node).second) {
+    notify(FaultTransition::kCrash, node, 0);
+  }
+}
+
+void FaultInjector::restart(FaultKey node) {
+  if (crashed_.erase(node) > 0) {
+    notify(FaultTransition::kRestart, node, 0);
+  }
+}
+
+void FaultInjector::partition_one_way(FaultKey from, FaultKey to) {
+  if (blocked_.insert(edge(from, to)).second) {
+    notify(FaultTransition::kPartition, from, to);
+  }
+}
+
+void FaultInjector::heal_one_way(FaultKey from, FaultKey to) {
+  if (blocked_.erase(edge(from, to)) > 0) {
+    notify(FaultTransition::kHeal, from, to);
+  }
+}
+
+void FaultInjector::schedule_crash(SimTime at, FaultKey node) {
+  sim_.schedule_at(at, [this, node] { crash(node); });
+}
+
+void FaultInjector::schedule_restart(SimTime at, FaultKey node) {
+  sim_.schedule_at(at, [this, node] { restart(node); });
+}
+
+void FaultInjector::schedule_partition(SimTime at, FaultKey from,
+                                       FaultKey to) {
+  sim_.schedule_at(at, [this, from, to] { partition_one_way(from, to); });
+}
+
+void FaultInjector::schedule_heal(SimTime at, FaultKey from, FaultKey to) {
+  sim_.schedule_at(at, [this, from, to] { heal_one_way(from, to); });
+}
+
+void FaultInjector::add_reorder_window(SimTime begin, SimTime end,
+                                       SimDuration max_extra,
+                                       std::uint64_t seed) {
+  NAMECOH_CHECK(begin < end, "reorder window must be non-empty");
+  windows_.push_back(ReorderWindow{begin, end, max_extra, Rng(seed)});
+}
+
+SimDuration FaultInjector::reorder_extra(SimTime now) {
+  SimDuration extra = 0;
+  for (ReorderWindow& w : windows_) {
+    if (now >= w.begin && now < w.end && w.max_extra > 0) {
+      extra += w.rng.next_below(w.max_extra + 1);
+    }
+  }
+  return extra;
+}
+
+}  // namespace namecoh

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the simulated substrate.
+//
+// The paper's schemes were judged on healthy networks; the replication
+// story (docs/REPLICATION.md) is about what happens when they are not.
+// This module scripts three fault classes against the Simulator's clock:
+//
+//   * crash/restart  — a node stops participating: everything it sends or
+//                      should receive is dropped until restart;
+//   * one-way partitions — messages from A to B are dropped while B to A
+//                      still flows (the asymmetric case that breaks naive
+//                      "ping it" liveness checks);
+//   * reorder windows — during [begin, end) every message gets a seeded
+//                      pseudo-random extra delay, so messages sent in order
+//                      arrive out of order.
+//
+// Everything is deterministic: immediate operations take effect at the
+// current simulated instant, scheduled ones fire as ordinary simulator
+// events, and reorder jitter is drawn from a per-window seeded Rng — the
+// same seed and the same call sequence reproduce the same fault history
+// exactly (asserted in tests/test_failover.cpp).
+//
+// Layering: this file knows nothing about machines or transports. Nodes
+// are opaque `FaultKey` integers; the Transport adapts its MachineIds to
+// keys (`Transport::attach_faults`) and translates verdicts into dropped
+// or delayed deliveries, counted and traced like every other transport
+// decision. The observer hook exists so that layer can record state
+// transitions (crash, restart, partition, heal) without this one depending
+// on obs/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace namecoh {
+
+/// Opaque node identity (the transport uses MachineId::value()).
+using FaultKey = std::uint64_t;
+
+/// State transitions reported to the observer, in the order they happen.
+enum class FaultTransition : std::uint8_t {
+  kCrash,
+  kRestart,
+  kPartition,
+  kHeal,
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Called on every state transition: (now, transition, a, b). For
+  /// crash/restart `a` is the node and `b` is 0; for partition/heal the
+  /// edge is a → b.
+  using Observer =
+      std::function<void(SimTime, FaultTransition, FaultKey, FaultKey)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  // --- immediate operations -------------------------------------------------
+  void crash(FaultKey node);
+  void restart(FaultKey node);
+  /// Block messages from `from` to `to` (one direction only; call twice
+  /// for a full partition).
+  void partition_one_way(FaultKey from, FaultKey to);
+  void heal_one_way(FaultKey from, FaultKey to);
+
+  // --- scripted operations (fire as ordinary simulator events) --------------
+  void schedule_crash(SimTime at, FaultKey node);
+  void schedule_restart(SimTime at, FaultKey node);
+  void schedule_partition(SimTime at, FaultKey from, FaultKey to);
+  void schedule_heal(SimTime at, FaultKey from, FaultKey to);
+
+  /// During [begin, end) every queried message gets an extra delay drawn
+  /// uniformly from [0, max_extra] by a per-window Rng seeded with `seed`.
+  /// Windows may overlap; their extras add.
+  void add_reorder_window(SimTime begin, SimTime end, SimDuration max_extra,
+                          std::uint64_t seed);
+
+  // --- queries (the transport's side) ---------------------------------------
+  [[nodiscard]] bool is_crashed(FaultKey node) const {
+    return crashed_.contains(node);
+  }
+  [[nodiscard]] bool is_partitioned(FaultKey from, FaultKey to) const {
+    return blocked_.contains(edge(from, to));
+  }
+  /// Extra delivery delay for a message sent now. Non-const: draws from
+  /// the active windows' generators (deterministic under the sim clock).
+  [[nodiscard]] SimDuration reorder_extra(SimTime now);
+
+  [[nodiscard]] std::size_t crashed_count() const { return crashed_.size(); }
+  [[nodiscard]] std::size_t partition_count() const { return blocked_.size(); }
+
+ private:
+  struct ReorderWindow {
+    SimTime begin;
+    SimTime end;
+    SimDuration max_extra;
+    Rng rng;
+  };
+
+  /// Edges packed as (from << 32) | to; node keys in practice are small
+  /// machine ids, and the pack is checked.
+  static std::uint64_t edge(FaultKey from, FaultKey to);
+  void notify(FaultTransition transition, FaultKey a, FaultKey b);
+
+  Simulator& sim_;
+  Observer observer_;
+  std::unordered_set<FaultKey> crashed_;
+  std::unordered_set<std::uint64_t> blocked_;
+  std::vector<ReorderWindow> windows_;
+};
+
+}  // namespace namecoh
