@@ -74,8 +74,8 @@ void run_experiment() {
     w.sim.run();
     t.add_row({remap ? "on (R(sender))" : "off (verbatim)",
                std::to_string(delivered),
-               std::to_string(tp.stats().pids_remapped),
-               std::to_string(tp.stats().bytes_sent),
+               std::to_string(tp.snapshot()["pids_remapped"]),
+               std::to_string(tp.snapshot()["bytes_sent"]),
                std::to_string(w.sim.now())});
   }
   t.print(std::cout);

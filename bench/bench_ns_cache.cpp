@@ -83,7 +83,7 @@ void run_experiment() {
       if (warm) {
         for (const auto& n : names) (void)client.resolve(w.root, n);
       }
-      std::uint64_t msgs_before = client.stats().messages_sent;
+      std::uint64_t msgs_before = client.snapshot()["messages_sent"];
       SimTime t0 = w.sim.now();
       for (const auto& n : names) {
         NAMECOH_CHECK(client.resolve(w.root, n).is_ok(), "resolve");
@@ -91,7 +91,7 @@ void run_experiment() {
       double n = static_cast<double>(names.size());
       t.add_row(
           {label,
-           bench::frac(static_cast<double>(client.stats().messages_sent -
+           bench::frac(static_cast<double>(client.snapshot()["messages_sent"] -
                                            msgs_before) / n, 2),
            bench::frac(static_cast<double>(w.sim.now() - t0) / n, 1)});
     };
@@ -145,13 +145,13 @@ void run_experiment() {
         agree.add(via_client.is_ok() && truth.ok() &&
                   via_client.value() == truth.entity);
       }
-      double lookups = static_cast<double>(client.stats().cache_hits +
-                                           client.stats().cache_misses);
+      double lookups = static_cast<double>(client.snapshot()["cache_hits"] +
+                                           client.snapshot()["cache_misses"]);
       t2.add_row({std::to_string(ttl), invalidation ? "epoch" : "TTL only",
                   bench::frac(agree.fraction()),
-                  bench::frac(static_cast<double>(client.stats().cache_hits) /
+                  bench::frac(static_cast<double>(client.snapshot()["cache_hits"]) /
                               lookups),
-                  std::to_string(client.stats().stale_epoch_drops)});
+                  std::to_string(client.snapshot()["stale_epoch_drops"])});
     }
   }
   t2.print(std::cout);
@@ -195,16 +195,16 @@ void run_experiment() {
       NAMECOH_CHECK(client.cache_size() <= capacity,
                     "LRU bound violated under churn");
     }
-    double lookups = static_cast<double>(client.stats().cache_hits +
-                                         client.stats().cache_misses);
+    double lookups = static_cast<double>(client.snapshot()["cache_hits"] +
+                                         client.snapshot()["cache_misses"]);
     t3.add_row({std::to_string(capacity), std::to_string(max_size),
-                std::to_string(client.stats().evictions),
-                std::to_string(client.stats().negative_hits),
-                bench::frac((static_cast<double>(client.stats().cache_hits) +
+                std::to_string(client.snapshot()["evictions"]),
+                std::to_string(client.snapshot()["negative_hits"]),
+                bench::frac((static_cast<double>(client.snapshot()["cache_hits"]) +
                              static_cast<double>(
-                                 client.stats().negative_hits)) /
+                                 client.snapshot()["negative_hits"])) /
                             (lookups + static_cast<double>(
-                                           client.stats().negative_hits)))});
+                                           client.snapshot()["negative_hits"])))});
   }
   t3.print(std::cout);
   std::cout << "(the cache never exceeds its configured capacity; negative "

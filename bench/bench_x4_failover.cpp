@@ -134,7 +134,7 @@ void run_experiment() {
         }
       }
     }
-    ResolverClientStats stats = client.stats();
+    StatsSnapshot stats = client.snapshot();
     Table t({"phase", "resolutions", "permanent failures"});
     std::uint64_t total_failed = 0;
     for (const Phase& phase : phases) {
@@ -154,8 +154,8 @@ void run_experiment() {
                       hist->second.total() > 0,
                   "failover latency histogram missing or empty");
     Table t2({"metric", "value"});
-    t2.add_row({"failovers", std::to_string(stats.failovers)});
-    t2.add_row({"timeouts", std::to_string(stats.timeouts)});
+    t2.add_row({"failovers", std::to_string(stats["failovers"])});
+    t2.add_row({"timeouts", std::to_string(stats["timeouts"])});
     t2.add_row({"failover latency p50 (ticks, bucket estimate)",
                 bench::frac(hist->second.quantile(0.5), 0)});
     t2.add_row({"failover latency p95 (ticks, bucket estimate)",

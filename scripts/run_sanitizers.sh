@@ -18,3 +18,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # Trace-export smoke under the sanitized build: catches UB in the tracer's
 # ring and the hand-rolled JSON emitters, and checks the artifact parses.
 "$(dirname "${BASH_SOURCE[0]}")/export_trace.sh" "$BUILD"
+
+# Async-engine smoke under the sanitized build: the X5 experiment drives
+# 64-wide pipelined and coalesced bursts through the resolver state
+# machines — the heaviest exerciser of the engine's lifetime rules
+# (heap-pinned requests, handle settlement, coalesced waiter lists).
+"$BUILD/bench/bench_x5_pipeline" --json > /dev/null

@@ -87,15 +87,9 @@ class ClosureTable {
   std::unordered_map<EntityId, EntityId> object_contexts_;
 };
 
-enum class RuleKind : std::uint8_t {
-  kByActivity,
-  kByReceiver,
-  kBySender,
-  kByObject,
-  kPerSource,
-};
-
-std::string_view rule_kind_name(RuleKind kind);
+// RuleKind (and rule_kind_name) moved to core/resolve.hpp so the unified
+// ResolveOptions can carry the closure choice; this header re-exports them
+// through its include of resolve.hpp.
 
 /// A resolution rule R ∈ [M → C]. Stateless; the state lives in the
 /// ClosureTable.
@@ -190,5 +184,15 @@ Resolution resolve_with_rule(const NamingGraph& graph,
                              const Circumstance& circumstance,
                              const CompoundName& name,
                              ResolveOptions options = {});
+
+/// Rule-less form: the rule is named by `options.closure` instead of passed
+/// as an object, so callers that already carry a ResolveOptions need no
+/// second rule-shaped parameter (the "one options struct" entry point;
+/// DESIGN.md).
+Resolution resolve_with_closure(const NamingGraph& graph,
+                                const ClosureTable& table,
+                                const Circumstance& circumstance,
+                                const CompoundName& name,
+                                ResolveOptions options = {});
 
 }  // namespace namecoh

@@ -21,6 +21,7 @@
 
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 
 namespace namecoh {
 
@@ -62,8 +63,14 @@ class ForwardingTable {
   [[nodiscard]] std::size_t chain_length(const Internetwork& net,
                                          Location location) const;
 
-  /// Compat accessor: the counters live in metrics(); this assembles the
-  /// familiar struct from them on demand.
+  /// Point-in-time copy of the table's counters ("forwarding.*"); index
+  /// by bare field name, e.g. snapshot()["chased"].
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    return StatsSnapshot(*metrics_, "forwarding.");
+  }
+
+  /// Compat accessor for the same counters as a fixed struct.
+  [[deprecated("read the registry via snapshot() instead")]]
   [[nodiscard]] ForwardingStats stats() const;
   [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }

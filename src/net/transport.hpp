@@ -20,6 +20,7 @@
 #include "net/topology.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/tracer.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
@@ -93,8 +94,14 @@ class Transport {
   /// itself happens later on the simulator.
   Status send(EndpointId from, const Pid& to, Message message);
 
-  /// Compat accessor: the counters live in metrics(); this assembles the
-  /// familiar struct from them on demand.
+  /// Point-in-time copy of the transport's counters ("transport.*");
+  /// index by bare field name, e.g. snapshot()["delivered"].
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    return StatsSnapshot(*metrics_, "transport.");
+  }
+
+  /// Compat accessor for the same counters as a fixed struct.
+  [[deprecated("read the registry via snapshot() instead")]]
   [[nodiscard]] TransportStats stats() const;
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }

@@ -133,6 +133,10 @@ NameService::NameService(const NamingGraph& graph, Internetwork& net,
   store_answers_ = &metrics.counter("ns.server.store_answers");
 }
 
+StatsSnapshot NameService::snapshot() const {
+  return StatsSnapshot(transport_.metrics(), "ns.server.");
+}
+
 NameServiceStats NameService::stats() const {
   return NameServiceStats{requests_->value(),       answers_->value(),
                           referrals_->value(),      failures_->value(),
@@ -523,8 +527,8 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   // Per-client counter names: several clients can share one transport (and
   // hence one registry), so the endpoint id keeps their metrics apart.
   MetricsRegistry& metrics = transport_.metrics();
-  const std::string prefix =
-      "ns.client." + std::to_string(endpoint_.value()) + ".";
+  metrics_prefix_ = "ns.client." + std::to_string(endpoint_.value()) + ".";
+  const std::string& prefix = metrics_prefix_;
   resolutions_ = &metrics.counter(prefix + "resolutions");
   messages_sent_ = &metrics.counter(prefix + "messages_sent");
   referrals_followed_ = &metrics.counter(prefix + "referrals_followed");
@@ -538,6 +542,7 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   backoff_retries_ = &metrics.counter(prefix + "backoff_retries");
   stale_replies_dropped_ = &metrics.counter(prefix + "stale_replies_dropped");
   failovers_ = &metrics.counter(prefix + "failovers");
+  coalesced_ = &metrics.counter(prefix + "coalesced");
   // Ticks from a hop's first send to its first reply, recorded only when
   // the hop failed over; buckets sized for timeout-dominated latencies.
   failover_latency_ = &metrics.histogram(
@@ -547,75 +552,36 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   // id seeds the high bits so two clients never share an id space (the
   // server's duplicate window is keyed by raw correlation id).
   next_corr_ = ((endpoint_.value() + 1) << 32) | 1;
-  transport_.set_handler(
-      endpoint_, [this](EndpointId, const Message& message) {
-        if (message.type != NsWire::kResolveReply ||
-            message.payload.size() < 8 ||
-            message.payload.type_at(0) != FieldType::kU64 ||
-            message.payload.type_at(1) != FieldType::kU64 ||
-            message.payload.type_at(2) != FieldType::kU64 ||
-            message.payload.type_at(3) != FieldType::kName ||
-            message.payload.type_at(4) != FieldType::kString ||
-            message.payload.type_at(5) != FieldType::kPid ||
-            message.payload.type_at(6) != FieldType::kU64 ||
-            message.payload.type_at(7) != FieldType::kU64) {
-          return;
-        }
-        if (!awaiting_reply_ ||
-            message.payload.u64_at(0) != expected_corr_) {
-          // A delayed duplicate from an earlier attempt or referral hop
-          // (or a reply when nothing is outstanding). Accepting it would
-          // resolve the wrong question.
-          stale_replies_dropped_->inc();
-          transport_.tracer().record(sim_.now(),
-                                     EventKind::kStaleReplyDropped,
-                                     message.payload.u64_at(0),
-                                     endpoint_.value());
-          return;
-        }
-        awaiting_reply_ = false;
-        reply_received_ = true;
-        reply_disposition_ = message.payload.u64_at(1);
-        std::uint64_t raw = message.payload.u64_at(2);
-        reply_entity_ =
-            raw == NsWire::kNoEntity ? EntityId::invalid() : EntityId(raw);
-        reply_remaining_ = message.payload.name_at(3);
-        reply_error_ = message.payload.string_at(4);
-        reply_next_server_ = message.payload.pid_at(5);
-        std::uint64_t auth = message.payload.u64_at(6);
-        reply_authority_ =
-            auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
-        reply_epoch_ = message.payload.u64_at(7);
-        // Protocol v3 tail: the authority's replica set. A v2 peer stops
-        // at field 8; a malformed tail is ignored rather than trusted.
-        reply_replicas_.clear();
-        const std::size_t fields = message.payload.size();
-        if (fields > 8 && message.payload.type_at(8) == FieldType::kU64) {
-          const std::uint64_t n = message.payload.u64_at(8);
-          if (n <= (fields - 9) / 2 && fields == 9 + 2 * n) {
-            bool well_formed = true;
-            for (std::uint64_t j = 0; j < n && well_formed; ++j) {
-              well_formed =
-                  message.payload.type_at(9 + 2 * j) == FieldType::kPid &&
-                  message.payload.type_at(10 + 2 * j) == FieldType::kU64;
-            }
-            if (well_formed) {
-              for (std::uint64_t j = 0; j < n; ++j) {
-                const std::uint64_t m = message.payload.u64_at(10 + 2 * j);
-                reply_replicas_.push_back(ReplicaRef{
-                    message.payload.pid_at(9 + 2 * j),
-                    m == NsWire::kNoMachine ? MachineId::invalid()
-                                            : MachineId(m)});
-              }
-            }
-          }
-        }
-      });
+  transport_.set_handler(endpoint_,
+                         [this](EndpointId, const Message& message) {
+                           handle_reply(message);
+                         });
 }
 
 ResolverClient::~ResolverClient() {
   transport_.clear_handler(endpoint_);
   (void)net_.remove_endpoint(endpoint_);
+  // Settle anything still in flight: continuations scheduled on the
+  // simulator capture `this` by id and must never fire after destruction,
+  // and waiters holding a handle deserve an answer, not a hang.
+  auto requests = std::move(requests_);
+  requests_.clear();
+  inflight_.clear();
+  corr_to_request_.clear();
+  for (auto& [id, record] : requests) {
+    if (record->timeout_event.valid()) sim_.cancel(record->timeout_event);
+    std::vector<Waiter> waiters = std::move(record->waiters);
+    for (Waiter& waiter : waiters) {
+      settle_waiter(waiter,
+                    unreachable_error(
+                        "resolver client destroyed with the resolution "
+                        "in flight"));
+    }
+  }
+}
+
+StatsSnapshot ResolverClient::snapshot() const {
+  return StatsSnapshot(transport_.metrics(), metrics_prefix_);
 }
 
 ResolverClientStats ResolverClient::stats() const {
@@ -633,11 +599,12 @@ ResolverClientStats ResolverClient::stats() const {
   s.backoff_retries = backoff_retries_->value();
   s.stale_replies_dropped = stale_replies_dropped_->value();
   s.failovers = failovers_->value();
+  s.coalesced = coalesced_->value();
   return s;
 }
 
 const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
-    const CacheKey& key) {
+    const CacheKey& key, std::uint64_t span) {
   auto it = cache_.find(key);
   if (it == cache_.end()) return nullptr;
   CacheEntry& entry = it->second;
@@ -652,7 +619,7 @@ const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
     auto seen = epochs_seen_.find(entry.authority);
     if (seen != epochs_seen_.end() && seen->second > entry.epoch) {
       stale_epoch_drops_->inc();
-      transport_.tracer().record_in_span(active_span_, sim_.now(),
+      transport_.tracer().record_in_span(span, sim_.now(),
                                          EventKind::kStaleEpochDrop,
                                          entry.authority.value(), entry.epoch);
       lru_.erase(entry.lru);
@@ -710,165 +677,386 @@ std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
   return out;
 }
 
-Status ResolverClient::round_trip(std::span<const ReplicaRef> candidates,
-                                  EntityId start, const std::string& path) {
-  NAMECOH_CHECK(!candidates.empty(), "round_trip with no candidates");
-  Tracer& tracer = transport_.tracer();
+void ResolverClient::settle_waiter(Waiter& waiter,
+                                   const Result<EntityId>& result) {
+  if (!result.is_ok()) failures_->inc();
+  if (waiter.state->span != 0) {
+    transport_.tracer().close_span(waiter.state->span, sim_.now(),
+                                   result.is_ok());
+  }
+  waiter.state->result = result;
+  waiter.state->done = true;
+  if (waiter.callback) waiter.callback(waiter.state->result);
+}
 
-  // One full timeout/backoff budget against a single server.
-  auto attempt_server = [&](const Pid& server) -> Status {
-    SimDuration timeout = std::max<SimDuration>(1, config_.request_timeout);
-    for (std::size_t attempt = 0; attempt <= config_.retries; ++attempt) {
-      Message request;
-      request.type = NsWire::kResolveRequest;
-      expected_corr_ = next_corr_++;
-      // Each attempt gets a fresh correlation id; bind it to the span
-      // before the request leaves so the transport's send/drop/deliver
-      // events — and the server's handling of this very id — attach to
-      // this resolution.
-      tracer.bind_corr(active_span_, expected_corr_);
-      request.trace_corr = expected_corr_;
-      if (attempt > 0) {
-        backoff_retries_->inc();
-        tracer.record_in_span(active_span_, sim_.now(),
-                              EventKind::kBackoffRetry, attempt, timeout);
-      }
-      request.payload.add_u64(expected_corr_);
-      request.payload.add_u64(start.value());
-      request.payload.add_name(path);
-      reply_received_ = false;
-      awaiting_reply_ = true;
-      messages_sent_->inc();
-      Status sent = transport_.send(endpoint_, server, request);
-      if (!sent.is_ok()) {
-        awaiting_reply_ = false;
-        return sent;  // hard failure: no point retrying
-      }
-      // Drive the simulator up to this attempt's deadline; stop early when
-      // our reply lands. Events past the deadline stay queued — they
-      // belong to the future, and firing them would let a reply slower
-      // than the timeout still win. Delayed replies from earlier attempts
-      // carry old correlation ids and are dropped by the handler.
-      const SimTime deadline = sim_.now() + timeout;
-      while (!reply_received_) {
-        auto next = sim_.next_event_time();
-        if (!next || *next > deadline) break;
-        sim_.run(1);
-      }
-      if (reply_received_) return Status::ok();
-      // Silence: the request or the reply was lost (or is slower than the
-      // timeout). Let the rest of the window elapse on the shared clock,
-      // back off, and resend.
-      awaiting_reply_ = false;
-      timeouts_->inc();
-      tracer.record_in_span(active_span_, sim_.now(), EventKind::kTimeout,
-                            expected_corr_, timeout);
-      sim_.run_until(deadline);
-      auto scaled = static_cast<SimDuration>(
-          static_cast<double>(timeout) *
-          std::max(1.0, config_.backoff_multiplier));
-      timeout = config_.max_timeout > 0
-                    ? std::min(scaled, config_.max_timeout)
-                    : scaled;
-    }
-    return unreachable_error("no reply from name server after " +
-                             std::to_string(config_.retries + 1) +
-                             " attempt(s) (message lost or too slow)");
-  };
+void ResolverClient::complete(PendingResolve& p,
+                              const Result<EntityId>& result) {
+  if (p.timeout_event.valid()) {
+    sim_.cancel(p.timeout_event);
+    p.timeout_event = EventId();
+  }
+  if (p.expected_corr != 0) {
+    corr_to_request_.erase(p.expected_corr);
+    p.expected_corr = 0;
+  }
+  inflight_.erase(p.key);
+  // Extract before settling: the record must outlive this call (we are
+  // running inside one of its continuations), and a callback is free to
+  // submit new resolutions — including one with this very key — without
+  // colliding with a half-dead entry.
+  auto node = requests_.extract(p.id);
+  std::vector<Waiter> waiters = std::move(p.waiters);
+  for (Waiter& waiter : waiters) settle_waiter(waiter, result);
+}
 
+void ResolverClient::start_hop(PendingResolve& p) {
   // Preference order: live replicas first (stable within each class), then
   // quarantined ones as a last resort — a suspect replica is still better
   // than failing the hop outright.
-  std::vector<const ReplicaRef*> order;
-  order.reserve(candidates.size());
-  for (const ReplicaRef& r : candidates) {
-    if (!is_suspect(r.machine)) order.push_back(&r);
+  p.order.clear();
+  p.order.reserve(p.candidates.size());
+  for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+    if (!is_suspect(p.candidates[i].machine)) p.order.push_back(i);
   }
-  for (const ReplicaRef& r : candidates) {
-    if (is_suspect(r.machine)) order.push_back(&r);
+  for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+    if (is_suspect(p.candidates[i].machine)) p.order.push_back(i);
   }
-
-  const SimTime hop_begin = sim_.now();
-  bool failed_over = false;
-  Status last = unreachable_error("no reachable replica for this hop");
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (i > 0) {
-      // The previous candidate exhausted its whole backoff budget: fail
-      // over. Each candidate starts from the base timeout again.
-      failed_over = true;
-      failovers_->inc();
-      const ReplicaRef* prev = order[i - 1];
-      tracer.record_in_span(
-          active_span_, sim_.now(), EventKind::kFailover,
-          prev->machine.valid() ? prev->machine.value() : 0,
-          order[i]->machine.valid() ? order[i]->machine.value() : 0);
-    }
-    Status result = attempt_server(order[i]->pid);
-    if (result.is_ok()) {
-      if (order[i]->machine.valid()) {
-        suspect_until_.erase(order[i]->machine);
-      }
-      if (failed_over) {
-        failover_latency_->add(static_cast<double>(sim_.now() - hop_begin));
-      }
-      return result;
-    }
-    last = result;
-    if (order[i]->machine.valid()) {
-      suspect_until_[order[i]->machine] =
-          sim_.now() + config_.replica_quarantine;
-    }
+  p.candidate = 0;
+  p.hop_begin = sim_.now();
+  p.failed_over = false;
+  p.last_error = unreachable_error("no reachable replica for this hop");
+  if (p.order.empty()) {
+    complete(p, p.last_error);
+    return;
   }
-  return last;
+  begin_candidate(p);
 }
 
-Result<EntityId> ResolverClient::resolve(EntityId start,
-                                         const CompoundName& name) {
+void ResolverClient::begin_candidate(PendingResolve& p) {
+  // Each candidate starts from the base timeout again.
+  p.attempt = 0;
+  p.timeout = std::max<SimDuration>(1, config_.request_timeout);
+  send_attempt(p);
+}
+
+void ResolverClient::send_attempt(PendingResolve& p) {
   Tracer& tracer = transport_.tracer();
+  const ReplicaRef& target = p.candidates[p.order[p.candidate]];
+  Message request;
+  request.type = NsWire::kResolveRequest;
+  p.expected_corr = next_corr_++;
+  // Each attempt gets a fresh correlation id; bind it to the owning span
+  // before the request leaves so the transport's send/drop/deliver events
+  // — and the server's handling of this very id — attach to this
+  // resolution.
+  tracer.bind_corr(p.owner_span, p.expected_corr);
+  request.trace_corr = p.expected_corr;
+  if (p.attempt > 0) {
+    backoff_retries_->inc();
+    tracer.record_in_span(p.owner_span, sim_.now(), EventKind::kBackoffRetry,
+                          p.attempt, p.timeout);
+  }
+  request.payload.add_u64(p.expected_corr);
+  request.payload.add_u64(p.current.value());
+  request.payload.add_name(p.hop_text);
+  corr_to_request_[p.expected_corr] = p.id;
+  messages_sent_->inc();
+  Status sent = transport_.send(endpoint_, target.pid, std::move(request));
+  if (!sent.is_ok()) {
+    // Hard failure (dead sender, unresolvable address): no point retrying
+    // this candidate at all.
+    corr_to_request_.erase(p.expected_corr);
+    p.expected_corr = 0;
+    fail_candidate(p, std::move(sent));
+    return;
+  }
+  const std::uint64_t id = p.id;
+  p.timeout_deferred = false;
+  p.timeout_event =
+      sim_.schedule_in(p.timeout, [this, id] { on_timeout(id); });
+}
+
+void ResolverClient::on_timeout(std::uint64_t id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;  // settled at this very tick
+  PendingResolve& p = *it->second;
+  // Deadline ties go to the reply: the blocking resolver drained every
+  // event with timestamp <= deadline before declaring the attempt lost, so
+  // a reply landing exactly at the deadline won. Reproduce that by
+  // deferring once behind everything already queued at this tick — if one
+  // of those events is our reply, it cancels the deferred timeout. Once
+  // only: two requests expiring on the same tick would otherwise defer
+  // behind each other forever, and a reply can never be *generated* at the
+  // tick it is sent (the transport's minimum latency is positive).
+  auto next = sim_.next_event_time();
+  if (!p.timeout_deferred && next && *next == sim_.now()) {
+    p.timeout_deferred = true;
+    p.timeout_event = sim_.schedule_in(0, [this, id] { on_timeout(id); });
+    return;
+  }
+  p.timeout_event = EventId();
+  corr_to_request_.erase(p.expected_corr);
+  timeouts_->inc();
+  transport_.tracer().record_in_span(p.owner_span, sim_.now(),
+                                     EventKind::kTimeout, p.expected_corr,
+                                     p.timeout);
+  p.expected_corr = 0;
+  if (p.attempt < config_.retries) {
+    // Silence: the request or the reply was lost (or is slower than the
+    // timeout). Back off and resend.
+    auto scaled = static_cast<SimDuration>(
+        static_cast<double>(p.timeout) *
+        std::max(1.0, config_.backoff_multiplier));
+    p.timeout = config_.max_timeout > 0 ? std::min(scaled, config_.max_timeout)
+                                        : scaled;
+    ++p.attempt;
+    send_attempt(p);
+    return;
+  }
+  fail_candidate(p, unreachable_error(
+                        "no reply from name server after " +
+                        std::to_string(config_.retries + 1) +
+                        " attempt(s) (message lost or too slow)"));
+}
+
+void ResolverClient::fail_candidate(PendingResolve& p, Status error) {
+  const ReplicaRef& prev = p.candidates[p.order[p.candidate]];
+  if (prev.machine.valid()) {
+    suspect_until_[prev.machine] = sim_.now() + config_.replica_quarantine;
+  }
+  p.last_error = std::move(error);
+  if (p.candidate + 1 < p.order.size()) {
+    // The candidate exhausted its whole backoff budget: fail over.
+    ++p.candidate;
+    p.failed_over = true;
+    failovers_->inc();
+    const ReplicaRef& next = p.candidates[p.order[p.candidate]];
+    transport_.tracer().record_in_span(
+        p.owner_span, sim_.now(), EventKind::kFailover,
+        prev.machine.valid() ? prev.machine.value() : 0,
+        next.machine.valid() ? next.machine.value() : 0);
+    begin_candidate(p);
+    return;
+  }
+  complete(p, p.last_error);
+}
+
+void ResolverClient::handle_reply(const Message& message) {
+  const Payload& payload = message.payload;
+  if (message.type != NsWire::kResolveReply || payload.size() < 8 ||
+      payload.type_at(0) != FieldType::kU64 ||
+      payload.type_at(1) != FieldType::kU64 ||
+      payload.type_at(2) != FieldType::kU64 ||
+      payload.type_at(3) != FieldType::kName ||
+      payload.type_at(4) != FieldType::kString ||
+      payload.type_at(5) != FieldType::kPid ||
+      payload.type_at(6) != FieldType::kU64 ||
+      payload.type_at(7) != FieldType::kU64) {
+    return;
+  }
+  const std::uint64_t corr = payload.u64_at(0);
+  auto route = corr_to_request_.find(corr);
+  if (route == corr_to_request_.end()) {
+    // A delayed duplicate from an earlier attempt or referral hop (or a
+    // reply when nothing is outstanding). Accepting it would resolve the
+    // wrong question — possibly someone else's.
+    stale_replies_dropped_->inc();
+    transport_.tracer().record(sim_.now(), EventKind::kStaleReplyDropped,
+                               corr, endpoint_.value());
+    return;
+  }
+  auto it = requests_.find(route->second);
+  NAMECOH_CHECK(it != requests_.end(),
+                "correlation id routed to a settled request");
+  PendingResolve& p = *it->second;
+  corr_to_request_.erase(route);
+  p.expected_corr = 0;
+  if (p.timeout_event.valid()) {
+    sim_.cancel(p.timeout_event);
+    p.timeout_event = EventId();
+  }
+  Reply reply;
+  reply.disposition = payload.u64_at(1);
+  std::uint64_t raw = payload.u64_at(2);
+  reply.entity =
+      raw == NsWire::kNoEntity ? EntityId::invalid() : EntityId(raw);
+  reply.remaining = payload.name_at(3);
+  reply.error = payload.string_at(4);
+  reply.next_server = payload.pid_at(5);
+  std::uint64_t auth = payload.u64_at(6);
+  reply.authority =
+      auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
+  reply.epoch = payload.u64_at(7);
+  // Protocol v3 tail: the authority's replica set. A v2 peer stops at
+  // field 8; a malformed tail is ignored rather than trusted.
+  const std::size_t fields = payload.size();
+  if (fields > 8 && payload.type_at(8) == FieldType::kU64) {
+    const std::uint64_t n = payload.u64_at(8);
+    if (n <= (fields - 9) / 2 && fields == 9 + 2 * n) {
+      bool well_formed = true;
+      for (std::uint64_t j = 0; j < n && well_formed; ++j) {
+        well_formed = payload.type_at(9 + 2 * j) == FieldType::kPid &&
+                      payload.type_at(10 + 2 * j) == FieldType::kU64;
+      }
+      if (well_formed) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+          const std::uint64_t m = payload.u64_at(10 + 2 * j);
+          reply.replicas.push_back(
+              ReplicaRef{payload.pid_at(9 + 2 * j),
+                         m == NsWire::kNoMachine ? MachineId::invalid()
+                                                 : MachineId(m)});
+        }
+      }
+    }
+  }
+  on_reply(p, reply);
+}
+
+void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
+  Tracer& tracer = transport_.tracer();
+  const ReplicaRef& target = p.candidates[p.order[p.candidate]];
+  if (target.machine.valid()) suspect_until_.erase(target.machine);
+  if (p.failed_over) {
+    failover_latency_->add(static_cast<double>(sim_.now() - p.hop_begin));
+  }
+  // Every reply carries the authoritative context's rebind epoch; track
+  // the high-water mark so superseded cache entries die on next lookup.
+  note_epoch(reply.authority, reply.epoch);
+  ++p.hops_done;
+  switch (reply.disposition) {
+    case NsWire::kAnswer:
+      if (config_.cache_ttl > 0) {
+        cache_insert(p.key, CacheEntry{reply.entity,
+                                       sim_.now() + config_.cache_ttl,
+                                       reply.authority, reply.epoch,
+                                       /*negative=*/false, "", {}});
+      }
+      complete(p, reply.entity);
+      return;
+    case NsWire::kError:
+      if (config_.negative_cache_ttl > 0) {
+        cache_insert(p.key,
+                     CacheEntry{EntityId::invalid(),
+                                sim_.now() + config_.negative_cache_ttl,
+                                reply.authority, reply.epoch,
+                                /*negative=*/true, reply.error, {}});
+      }
+      complete(p, not_found_error(reply.error));
+      return;
+    case NsWire::kReferral: {
+      auto suffix = referral_suffix(p.remaining, reply.remaining);
+      if (!suffix) {
+        // The server handed back a remaining path that is not a suffix of
+        // what we asked it to resolve. Forwarding it would resolve a name
+        // the caller never named; fail instead.
+        complete(p, internal_error("referral remaining path '" +
+                                   reply.remaining +
+                                   "' is not a suffix of the request"));
+        return;
+      }
+      referrals_followed_->inc();
+      tracer.record_in_span(p.owner_span, sim_.now(),
+                            EventKind::kReferralFollowed,
+                            reply.entity.valid() ? reply.entity.value() : 0);
+      p.current = reply.entity;
+      p.remaining = *suffix;
+      p.hop_text = p.remaining.joined();
+      // The next hop's candidates are the referred-to context's replica
+      // set from the reply tail (pids already rebased by the transport);
+      // a v2 peer sends no tail, leaving the single referral target.
+      if (!reply.replicas.empty()) {
+        p.candidates.assign(reply.replicas.begin(), reply.replicas.end());
+      } else {
+        p.candidates.assign(
+            1, ReplicaRef{reply.next_server, MachineId::invalid()});
+      }
+      // The limit-breaking referral is still counted above — the chase
+      // just stops here instead of sending another hop.
+      if (p.hops_done == config_.resolve.max_referrals + 1) {
+        complete(p, depth_exceeded_error("referral chase exceeded limit"));
+        return;
+      }
+      start_hop(p);
+      return;
+    }
+    default:
+      complete(p, internal_error("unknown reply disposition"));
+      return;
+  }
+}
+
+ResolveHandle ResolverClient::resolve_async(EntityId start,
+                                            const CompoundName& name) {
+  return resolve_async_impl(start, name, {});
+}
+
+ResolveHandle ResolverClient::resolve_async(EntityId start,
+                                            const CompoundName& name,
+                                            ResolveCallback on_done) {
+  return resolve_async_impl(start, name, std::move(on_done));
+}
+
+ResolveHandle ResolverClient::resolve_async_impl(EntityId start,
+                                                 const CompoundName& name,
+                                                 ResolveCallback callback) {
+  Tracer& tracer = transport_.tracer();
+  auto state = std::make_shared<ResolveHandle::State>();
   // The span (and the path string it labels) exists only when tracing is
-  // on; the disabled path costs one branch.
+  // on; the disabled path costs one branch. Every waiter gets its own
+  // span, coalesced or not — "what did this caller ask and get" stays
+  // answerable per caller.
   if (tracer.enabled()) {
-    active_span_ = tracer.open_span(sim_.now(), start.value(), name.to_path());
+    state->span = tracer.open_span(sim_.now(), start.value(), name.to_path());
   }
-  auto result = resolve_inner(start, name);
-  if (active_span_ != 0) {
-    tracer.close_span(active_span_, sim_.now(), result.is_ok());
-    active_span_ = 0;
-  }
-  return result;
-}
-
-Result<EntityId> ResolverClient::resolve_inner(EntityId start,
-                                               const CompoundName& name) {
-  Tracer& tracer = transport_.tracer();
+  ResolveHandle handle(state);
+  Waiter waiter{std::move(state), std::move(callback)};
   resolutions_->inc();
   if (name.front().is_root()) {
-    failures_->inc();
-    return invalid_argument_error(
-        "remote resolution takes names relative to a context object; "
-        "resolve the root binding locally first");
+    settle_waiter(waiter,
+                  invalid_argument_error(
+                      "remote resolution takes names relative to a context "
+                      "object; resolve the root binding locally first"));
+    return handle;
   }
 
   CacheKey key{start, name};
   const bool use_cache =
       config_.cache_ttl > 0 || config_.negative_cache_ttl > 0;
   if (use_cache) {
-    if (const CacheEntry* hit = cache_lookup(key)) {
+    if (const CacheEntry* hit = cache_lookup(key, waiter.state->span)) {
       if (hit->negative) {
         negative_hits_->inc();
-        failures_->inc();
-        tracer.record_in_span(active_span_, sim_.now(),
+        tracer.record_in_span(waiter.state->span, sim_.now(),
                               EventKind::kNegativeHit, start.value());
-        return not_found_error(hit->error);
+        // Copy out of the cache before settling: the callback may resolve
+        // again and rearrange the entry under the pointer.
+        Result<EntityId> error = not_found_error(hit->error);
+        settle_waiter(waiter, error);
+        return handle;
       }
       cache_hits_->inc();
-      tracer.record_in_span(active_span_, sim_.now(), EventKind::kCacheHit,
-                            start.value(), hit->entity.value());
-      return hit->entity;
+      tracer.record_in_span(waiter.state->span, sim_.now(),
+                            EventKind::kCacheHit, start.value(),
+                            hit->entity.value());
+      Result<EntityId> entity = hit->entity;
+      settle_waiter(waiter, entity);
+      return handle;
     }
     cache_misses_->inc();
-    tracer.record_in_span(active_span_, sim_.now(), EventKind::kCacheMiss,
-                          start.value());
+    tracer.record_in_span(waiter.state->span, sim_.now(),
+                          EventKind::kCacheMiss, start.value());
+  }
+
+  // Coalescing: a lookup identical to one already on the wire attaches to
+  // that exchange instead of duplicating it. The waiter keeps its own span
+  // and callback; only the wire work is shared.
+  if (auto in = inflight_.find(key); in != inflight_.end()) {
+    PendingResolve& owner = *in->second;
+    coalesced_->inc();
+    tracer.record_in_span(waiter.state->span, sim_.now(),
+                          EventKind::kCoalesced, start.value(), owner.id);
+    owner.waiters.push_back(std::move(waiter));
+    return handle;
   }
 
   // First hop: this machine's own server (DNS-style "local recursive"),
@@ -878,93 +1066,45 @@ Result<EntityId> ResolverClient::resolve_inner(EntityId start,
   // lists).
   auto local_server = service_.server_on(client_machine_);
   if (!local_server.is_ok()) {
-    failures_->inc();
-    return local_server.status();
+    settle_waiter(waiter, local_server.status());
+    return handle;
   }
   auto my_loc = net_.location_of(endpoint_);
   auto server_loc = net_.location_of(local_server.value());
   if (!my_loc.is_ok() || !server_loc.is_ok()) {
-    failures_->inc();
-    return unreachable_error("client or server endpoint is dead");
+    settle_waiter(waiter,
+                  unreachable_error("client or server endpoint is dead"));
+    return handle;
   }
-  std::vector<ReplicaRef> candidates = candidates_for(
+
+  const std::uint64_t id = next_request_id_++;
+  auto record = std::make_unique<PendingResolve>(id, std::move(key));
+  record->current = start;
+  // The unresolved tail is a slice of the *record's own* copy of the name
+  // (taken only after the key settles into its heap-pinned home); each
+  // referral narrows it in place, so no per-hop name copies are made.
+  record->remaining = record->key.name.slice();
+  record->hop_text = record->key.name.to_path();
+  record->owner_span = waiter.state->span;
+  record->candidates = candidates_for(
       start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
                         client_machine_});
+  record->waiters.push_back(std::move(waiter));
+  PendingResolve& p = *record;
+  requests_.emplace(id, std::move(record));
+  inflight_.emplace(p.key, &p);
+  start_hop(p);
+  return handle;
+}
 
-  EntityId current = start;
-  // The unresolved tail is a borrowed slice of the caller's name; each
-  // referral narrows it in place (after verifying the server's remaining
-  // text really is a suffix), so no per-hop name copies are made. The text
-  // for the wire is rendered from the slice only when a hop is actually
-  // sent — the cache-hit path above never renders at all.
-  NameSlice remaining = name;
-  std::string hop_text = name.to_path();
-  for (std::size_t chase = 0; chase <= config_.max_referrals; ++chase) {
-    Status rt = round_trip(candidates, current, hop_text);
-    if (!rt.is_ok()) {
-      failures_->inc();
-      return rt;
-    }
-    // Every reply carries the authoritative context's rebind epoch; track
-    // the high-water mark so superseded cache entries die on next lookup.
-    note_epoch(reply_authority_, reply_epoch_);
-    switch (reply_disposition_) {
-      case NsWire::kAnswer:
-        if (config_.cache_ttl > 0) {
-          cache_insert(key, CacheEntry{reply_entity_,
-                                       sim_.now() + config_.cache_ttl,
-                                       reply_authority_, reply_epoch_,
-                                       /*negative=*/false, "", {}});
-        }
-        return reply_entity_;
-      case NsWire::kError:
-        failures_->inc();
-        if (config_.negative_cache_ttl > 0) {
-          cache_insert(key,
-                       CacheEntry{EntityId::invalid(),
-                                  sim_.now() + config_.negative_cache_ttl,
-                                  reply_authority_, reply_epoch_,
-                                  /*negative=*/true, reply_error_, {}});
-        }
-        return not_found_error(reply_error_);
-      case NsWire::kReferral: {
-        auto suffix = referral_suffix(remaining, reply_remaining_);
-        if (!suffix) {
-          // The server handed back a remaining path that is not a suffix
-          // of what we asked it to resolve. Forwarding it would resolve a
-          // name the caller never named; fail instead.
-          failures_->inc();
-          return internal_error("referral remaining path '" +
-                                reply_remaining_ +
-                                "' is not a suffix of the request");
-        }
-        referrals_followed_->inc();
-        tracer.record_in_span(active_span_, sim_.now(),
-                              EventKind::kReferralFollowed,
-                              reply_entity_.valid() ? reply_entity_.value()
-                                                    : 0);
-        current = reply_entity_;
-        remaining = *suffix;
-        hop_text = remaining.joined();
-        // The next hop's candidates are the referred-to context's replica
-        // set from the reply tail (pids already rebased by the
-        // transport); a v2 peer sends no tail, leaving the single
-        // referral target.
-        if (!reply_replicas_.empty()) {
-          candidates.assign(reply_replicas_.begin(), reply_replicas_.end());
-        } else {
-          candidates.assign(
-              1, ReplicaRef{reply_next_server_, MachineId::invalid()});
-        }
-        break;
-      }
-      default:
-        failures_->inc();
-        return internal_error("unknown reply disposition");
-    }
-  }
-  failures_->inc();
-  return depth_exceeded_error("referral chase exceeded limit");
+Result<EntityId> ResolverClient::resolve(EntityId start,
+                                         const CompoundName& name) {
+  ResolveHandle handle = resolve_async(start, name);
+  sim_.run_while([&handle] { return !handle.done(); });
+  NAMECOH_CHECK(handle.done(),
+                "blocking resolve stalled: the event queue drained before "
+                "the reply chain completed");
+  return handle.result();
 }
 
 }  // namespace namecoh

@@ -21,6 +21,14 @@
 //                      with optional negative entries and epoch-based
 //                      invalidation.
 //
+// Resolution is an *event-driven engine* (docs/ASYNC.md): resolve_async
+// enqueues a per-request state machine whose sends, timeouts, backoff
+// resends, failovers and referral chases are all simulator-scheduled
+// continuations, so any number of resolutions progress concurrently on the
+// one client endpoint. Identical in-flight lookups coalesce onto a single
+// wire exchange. The blocking resolve() is a thin wrapper that drives the
+// simulator until its own handle completes.
+//
 // The cache is where naming meets time: a cached binding that outlives a
 // rebind makes the client resolve a name to an entity the authority no
 // longer means — *temporal* incoherence, measured by bench_ns_cache. Every
@@ -31,7 +39,9 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -41,6 +51,7 @@
 #include "core/naming_graph.hpp"
 #include "core/resolve.hpp"
 #include "net/transport.hpp"
+#include "obs/snapshot.hpp"
 #include "util/hash.hpp"
 
 namespace namecoh {
@@ -175,8 +186,12 @@ class NameService {
   [[nodiscard]] std::optional<std::uint64_t> replica_epoch(
       MachineId machine, EntityId ctx) const;
 
-  /// Compat accessor: the counters live in the transport's registry
-  /// ("ns.server.*"); this assembles the familiar struct on demand.
+  /// Point-in-time copy of this server group's counters ("ns.server.*");
+  /// index by bare field name, e.g. snapshot()["answers"].
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// Compat accessor for the same counters as a fixed struct.
+  [[deprecated("read the registry via snapshot() instead")]]
   [[nodiscard]] NameServiceStats stats() const;
 
  private:
@@ -236,6 +251,8 @@ struct ResolverClientStats {
                                             ///< correlation-id mismatch
   std::uint64_t failovers = 0;  ///< hops that moved on to another replica
                                 ///< after exhausting one replica's budget
+  std::uint64_t coalesced = 0;  ///< lookups attached to an identical
+                                ///< in-flight exchange instead of sending
 };
 
 struct ResolverClientConfig {
@@ -250,8 +267,10 @@ struct ResolverClientConfig {
   /// Drop cached entries whose authoritative context has answered (any
   /// later request) with a higher rebind epoch.
   bool epoch_invalidation = true;
-  /// Referral-chase limit (cycle guard).
-  std::size_t max_referrals = 32;
+  /// The unified resolution options (core/resolve.hpp). The client reads
+  /// `resolve.max_referrals` (its referral-chase cycle guard); the local-
+  /// walk fields are documented there and ignored here.
+  ResolveOptions resolve;
   /// Resend attempts per hop after a timeout (the transport reports
   /// nothing; loss shows up as silence). 0 = fail on first timeout.
   std::size_t retries = 0;
@@ -268,6 +287,46 @@ struct ResolverClientConfig {
   SimDuration replica_quarantine = 30000;
 };
 
+/// The caller's view of one asynchronous resolution (docs/ASYNC.md). A
+/// small shared handle: the engine writes the outcome into the shared
+/// state when the resolution settles; any number of handle copies observe
+/// it. Handles never block — drive the simulator (or use the blocking
+/// resolve()) to make progress.
+class ResolveHandle {
+ public:
+  struct State {
+    bool done = false;
+    Result<EntityId> result =
+        internal_error("resolution still in flight");
+    std::uint64_t span = 0;  ///< this waiter's trace span (0 = tracing off)
+  };
+
+  ResolveHandle() = default;
+  explicit ResolveHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ != nullptr && state_->done; }
+  /// The settled outcome; requires done().
+  [[nodiscard]] const Result<EntityId>& result() const {
+    NAMECOH_CHECK(done(), "ResolveHandle::result() before completion");
+    return state_->result;
+  }
+  /// The span id this waiter's resolution is recorded under (0 when the
+  /// tracer was disabled at submission).
+  [[nodiscard]] std::uint64_t span() const {
+    return state_ == nullptr ? 0 : state_->span;
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Completion callback for resolve_async: invoked exactly once, inside the
+/// simulator event that settles the resolution (or synchronously at
+/// submission for cache hits and immediate errors).
+using ResolveCallback = std::function<void(const Result<EntityId>&)>;
+
 /// The client side: a process endpoint that resolves names by talking to
 /// the authoritative servers, following referrals.
 class ResolverClient {
@@ -281,17 +340,41 @@ class ResolverClient {
   ResolverClient(const ResolverClient&) = delete;
   ResolverClient& operator=(const ResolverClient&) = delete;
 
-  /// Resolve `name` starting at the context object `start`. Drives the
-  /// simulator until the reply chain completes. When the transport's tracer
-  /// is enabled, the whole resolution — cache probes, every attempt of
-  /// every hop, and the matching server-side events — is recorded under one
-  /// span, findable by any of its correlation ids.
+  /// Begin resolving `name` starting at the context object `start` and
+  /// return immediately. The resolution progresses as the simulator runs:
+  /// every send, timeout, backoff resend, failover and referral chase is a
+  /// scheduled continuation, so many resolutions overlap on one client. A
+  /// lookup identical to one already in flight (same start, same name
+  /// atoms) *coalesces*: it attaches to the existing wire exchange instead
+  /// of sending, and settles with it ("coalesced" counter, kCoalesced
+  /// trace event). Cache hits and immediately-detectable errors settle
+  /// synchronously, before this returns. When the transport's tracer is
+  /// enabled, each waiter gets its own span; the wire-level events of a
+  /// shared exchange are recorded under the owning (first) waiter's span.
+  ResolveHandle resolve_async(EntityId start, const CompoundName& name);
+  /// Callback form: `on_done` fires exactly once when the resolution
+  /// settles (synchronously for cache hits; from inside a simulator event
+  /// otherwise). The callback may submit new resolutions.
+  ResolveHandle resolve_async(EntityId start, const CompoundName& name,
+                              ResolveCallback on_done);
+
+  /// Blocking form: submit via resolve_async, then drive the simulator
+  /// until that handle settles. Byte-identical results, counters and span
+  /// structure to the pre-async resolver; other in-flight work naturally
+  /// progresses while this waits.
   Result<EntityId> resolve(EntityId start, const CompoundName& name);
 
-  /// Compat accessor: the counters live in the transport's registry
-  /// ("ns.client.<endpoint-id>.*"); this assembles the familiar struct.
+  /// Point-in-time copy of this client's counters
+  /// ("ns.client.<endpoint-id>.*"); index by bare field name, e.g.
+  /// snapshot()["cache_hits"].
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// Compat accessor for the same counters as a fixed struct.
+  [[deprecated("read the registry via snapshot() instead")]]
   [[nodiscard]] ResolverClientStats stats() const;
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  /// Resolutions currently in flight (coalesced waiters share one entry).
+  [[nodiscard]] std::size_t inflight() const { return requests_.size(); }
 
   void clear_cache() {
     cache_.clear();
@@ -303,7 +386,8 @@ class ResolverClient {
   // Keys are (start context, name) with the name held as interned atoms:
   // hashing and equality are integer scans, and a key copy is a memcpy for
   // names that fit the inline buffer (no heap, unlike the path-string keys
-  // this replaced).
+  // this replaced). The same key identifies identical in-flight lookups
+  // for coalescing.
   struct CacheKey {
     EntityId start;
     CompoundName name;
@@ -335,21 +419,74 @@ class ResolverClient {
     MachineId machine;
   };
 
-  /// The body of resolve(); the public wrapper owns the span lifecycle.
-  Result<EntityId> resolve_inner(EntityId start, const CompoundName& name);
+  /// One completion to deliver when a resolution settles.
+  struct Waiter {
+    std::shared_ptr<ResolveHandle::State> state;
+    ResolveCallback callback;
+  };
 
-  /// One request/reply round with timeout + exponential-backoff resends;
-  /// fills the reply_* fields via the handler. Servers are addressed by pid
-  /// in this client's context. `candidates` is the hop's replica set,
-  /// preference-ordered; replicas currently under quarantine are tried
-  /// last. Each candidate gets a fresh backoff budget; when one candidate's
-  /// budget is exhausted and another remains, the client *fails over*
-  /// (kFailover, `failovers` counter, failover-latency histogram) instead
-  /// of declaring the hop dead. Each attempt's fresh correlation id is
-  /// bound to the active span before the request leaves, so transport and
-  /// server events land in it.
-  Status round_trip(std::span<const ReplicaRef> candidates, EntityId start,
-                    const std::string& path);
+  /// A decoded kResolveReply (the per-request successor of the old
+  /// client-wide reply_* scratch fields: overlapping resolutions never
+  /// share decode state).
+  struct Reply {
+    std::uint64_t disposition = NsWire::kError;
+    EntityId entity;
+    std::string remaining;
+    std::string error;
+    Pid next_server;  ///< referral target, rebased into this client's
+                      ///< context by the transport's R(sender) remap
+    EntityId authority;        ///< context the answer depends on
+    std::uint64_t epoch = 0;   ///< its rebind epoch at the server
+    /// The authority's replica set from the reply tail (protocol v3);
+    /// empty when the peer sent a v2 reply.
+    std::vector<ReplicaRef> replicas;
+  };
+
+  /// The per-request state machine (docs/ASYNC.md). Heap-pinned for its
+  /// whole life: `remaining` is a slice into `key.name`'s inline buffer
+  /// and scheduled continuations hold the record's id, so the record must
+  /// never move.
+  struct PendingResolve {
+    PendingResolve(std::uint64_t request_id, CacheKey request_key)
+        : id(request_id), key(std::move(request_key)) {}
+
+    std::uint64_t id;
+    CacheKey key;          ///< owns the name the slices point into
+    EntityId current;      ///< context the current hop asks about
+    NameSlice remaining;   ///< unresolved tail, narrowed per referral
+    std::string hop_text;  ///< wire text of `remaining`
+    std::size_t hops_done = 0;  ///< replies processed (referral guard)
+    std::vector<ReplicaRef> candidates;  ///< this hop's replica set
+    std::vector<std::size_t> order;  ///< candidate indices, suspects last
+    std::size_t candidate = 0;  ///< position in `order`
+    std::size_t attempt = 0;    ///< resend attempt on this candidate
+    SimDuration timeout = 0;    ///< current (backed-off) attempt timeout
+    SimTime hop_begin = 0;
+    bool failed_over = false;   ///< this hop moved past a replica
+    Status last_error;          ///< best failure to report if all fail
+    std::uint64_t expected_corr = 0;  ///< outstanding attempt's id (0=none)
+    EventId timeout_event;      ///< pending deadline (invalid = none)
+    bool timeout_deferred = false;  ///< deadline-tie deferral used up
+    std::uint64_t owner_span = 0;  ///< first waiter's span: wire events
+    std::vector<Waiter> waiters;   ///< everyone settled by this exchange
+  };
+
+  ResolveHandle resolve_async_impl(EntityId start, const CompoundName& name,
+                                   ResolveCallback callback);
+
+  // Engine continuations, in the order a lossless resolution runs them.
+  void start_hop(PendingResolve& p);
+  void begin_candidate(PendingResolve& p);
+  void send_attempt(PendingResolve& p);
+  void on_timeout(std::uint64_t id);
+  void handle_reply(const Message& message);
+  void on_reply(PendingResolve& p, const Reply& reply);
+  void fail_candidate(PendingResolve& p, Status error);
+  /// Detach the request from every engine map, then settle all waiters.
+  void complete(PendingResolve& p, const Result<EntityId>& result);
+  /// Close the waiter's span, count failures, store the result, invoke the
+  /// callback. The one funnel every outcome (sync or async) goes through.
+  void settle_waiter(Waiter& waiter, const Result<EntityId>& result);
 
   /// The hop's candidates for resolving `ctx`: the server reached through
   /// `via` first (the referral target / local machine), then the rest of
@@ -359,8 +496,9 @@ class ResolverClient {
   [[nodiscard]] bool is_suspect(MachineId machine) const;
 
   /// Cache plumbing: TTL + epoch validation + LRU touch on hit; bounded
-  /// insert with LRU eviction; high-water epoch bookkeeping.
-  const CacheEntry* cache_lookup(const CacheKey& key);
+  /// insert with LRU eviction; high-water epoch bookkeeping. `span` is the
+  /// probing waiter's span, for kStaleEpochDrop attribution.
+  const CacheEntry* cache_lookup(const CacheKey& key, std::uint64_t span);
   void cache_insert(const CacheKey& key, CacheEntry entry);
   void note_epoch(EntityId authority, std::uint64_t epoch);
 
@@ -371,6 +509,7 @@ class ResolverClient {
   const NameService& service_;
   EndpointId endpoint_;
   ResolverClientConfig config_;
+  std::string metrics_prefix_;  ///< "ns.client.<endpoint-id>."
   Counter* resolutions_;
   Counter* messages_sent_;
   Counter* referrals_followed_;
@@ -384,43 +523,33 @@ class ResolverClient {
   Counter* backoff_retries_;
   Counter* stale_replies_dropped_;
   Counter* failovers_;
+  Counter* coalesced_;
   /// Simulated ticks from the first send of a hop to the first reply,
   /// recorded only for hops that failed over at least once.
   Histogram* failover_latency_;
   /// Replica health: machine → simulated time until which it is suspect.
   /// Entries are erased on a successful round trip to the machine.
   std::unordered_map<MachineId, SimTime> suspect_until_;
-  /// Span of the resolve() in progress (0 when none / tracing disabled).
-  std::uint64_t active_span_ = 0;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  ///< front = most recently used
   /// Highest rebind epoch seen per authoritative context; entries cached
   /// under an older epoch are superseded.
   std::unordered_map<EntityId, std::uint64_t> epochs_seen_;
 
-  // In-flight state (single outstanding request; the resolver is
-  // synchronous). A reply is accepted only while awaiting_reply_ and only
-  // when it echoes expected_corr_ — a delayed reply from an earlier
-  // attempt or an earlier referral hop can never be mis-taken for the
-  // current answer.
+  // Engine state. Requests are keyed by a client-local id; the unique_ptr
+  // pins each record so slices and continuations stay valid. A reply is
+  // accepted only when its correlation id is routed in corr_to_request_ —
+  // the id is unrouted the moment an attempt times out or settles, so a
+  // delayed reply from an earlier attempt, an earlier hop, or another
+  // resolution can never be mis-taken for a current answer.
   std::uint64_t next_corr_ = 1;
-  std::uint64_t expected_corr_ = 0;
-  bool awaiting_reply_ = false;
-  bool reply_received_ = false;
-  std::uint64_t reply_disposition_ = NsWire::kError;
-  EntityId reply_entity_;
-  std::string reply_remaining_;
-  std::string reply_error_;
-  Pid reply_next_server_;  ///< referral: the next authoritative server,
-                           ///< already rebased into this client's context
-                           ///< by the transport's R(sender) remap
-  EntityId reply_authority_;        ///< context the answer depends on
-  std::uint64_t reply_epoch_ = 0;  ///< its rebind epoch at the server
-  /// The answering context's replica set from the reply tail (protocol v3):
-  /// server pids already rebased by R(sender), machines by id. Empty when
-  /// the peer sent a v2 reply. On a referral these are the *next* hop's
-  /// candidates; MachineId also keys the health map.
-  std::vector<ReplicaRef> reply_replicas_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingResolve>>
+      requests_;
+  /// Identical-lookup index for coalescing: key → live request.
+  std::unordered_map<CacheKey, PendingResolve*, CacheKeyHash> inflight_;
+  /// Currently-awaited correlation ids → owning request id.
+  std::unordered_map<std::uint64_t, std::uint64_t> corr_to_request_;
   MachineId client_machine_;  ///< where this client endpoint lives
 };
 

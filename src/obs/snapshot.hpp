@@ -1,0 +1,73 @@
+// Uniform stats snapshots (observability subsystem).
+//
+// Before this header, every component exposed its own compat struct
+// (TransportStats, ForwardingStats, NameServiceStats, ResolverClientStats)
+// assembled field-by-field from the registry — four shapes for one idea,
+// and a new field meant editing a struct, an accessor, and every
+// equivalence test. StatsSnapshot replaces them with one idiom: a
+// component's `snapshot()` returns a *point-in-time copy* of every counter
+// under its registry prefix, indexable by the bare field name:
+//
+//   transport.snapshot()["delivered"]       // "transport.delivered"
+//   client.snapshot()["cache_hits"]         // "ns.client.<id>.cache_hits"
+//
+// Copy semantics matter: a stored snapshot keeps the values it was taken
+// with, so before/after deltas ("messages sent by this phase") read
+// naturally without the live registry drifting underneath. The old
+// struct accessors survive as [[deprecated]] wrappers for one transition
+// period; new code should not grow fields onto them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace namecoh {
+
+/// A point-in-time copy of every counter under one registry prefix.
+class StatsSnapshot {
+ public:
+  /// Capture all counters whose name starts with `prefix` (normally
+  /// "<component>." including the trailing dot). One ordered-map range
+  /// scan; counters created after the capture are invisible to it.
+  StatsSnapshot(const MetricsRegistry& metrics, std::string prefix)
+      : prefix_(std::move(prefix)) {
+    const auto& counters = metrics.counters();
+    for (auto it = counters.lower_bound(prefix_);
+         it != counters.end() &&
+         it->first.compare(0, prefix_.size(), prefix_) == 0;
+         ++it) {
+      fields_.emplace_back(it->first.substr(prefix_.size()),
+                           it->second.value());
+    }
+  }
+
+  /// Value of the counter `prefix + field` at capture time. A field that
+  /// did not exist (or had not been created yet) reads as zero, matching
+  /// MetricsRegistry::counter_value's missing-name convention.
+  [[nodiscard]] std::uint64_t operator[](std::string_view field) const {
+    for (const auto& [name, value] : fields_) {
+      if (name == field) return value;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+  /// The captured (field, value) pairs, name-ordered; for exporters and
+  /// "print everything" diagnostics.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  fields() const {
+    return fields_;
+  }
+
+ private:
+  std::string prefix_;
+  std::vector<std::pair<std::string, std::uint64_t>> fields_;
+};
+
+}  // namespace namecoh

@@ -16,6 +16,7 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kTimeout: return "timeout";
     case EventKind::kBackoffRetry: return "backoff_retry";
     case EventKind::kStaleReplyDropped: return "stale_reply_dropped";
+    case EventKind::kCoalesced: return "coalesced";
     case EventKind::kSend: return "send";
     case EventKind::kDrop: return "drop";
     case EventKind::kDeliver: return "deliver";

@@ -54,6 +54,8 @@ enum class EventKind : std::uint8_t {
   kTimeout,         ///< a = attempt number, b = timeout that expired
   kBackoffRetry,    ///< a = attempt number
   kStaleReplyDropped,
+  kCoalesced,       ///< waiter attached to an identical in-flight lookup;
+                    ///< a = start entity, b = owning request id
   // Transport.
   kSend,            ///< a = sender endpoint, b = frame bytes
   kDrop,            ///< a = sender endpoint

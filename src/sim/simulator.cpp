@@ -65,6 +65,13 @@ std::uint64_t Simulator::run_until(SimTime until) {
   return fired;
 }
 
+std::uint64_t Simulator::run_while(const std::function<bool()>& keep_going) {
+  NAMECOH_CHECK(static_cast<bool>(keep_going), "null run_while predicate");
+  std::uint64_t fired = 0;
+  while (keep_going() && fire_next()) ++fired;
+  return fired;
+}
+
 void Simulator::reset() {
   queue_ = {};
   pending_.clear();

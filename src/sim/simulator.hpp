@@ -64,6 +64,15 @@ class Simulator {
   /// the queue drained earlier. Returns the number of events fired.
   std::uint64_t run_until(SimTime until);
 
+  /// Fire events one at a time while `keep_going()` returns true, stopping
+  /// as soon as the predicate flips or the queue drains. The predicate is
+  /// evaluated before every event, so an event that satisfies the caller's
+  /// condition is the last one fired. This is the drive loop of blocking
+  /// waits layered over async work ("run until this handle completes")
+  /// without the waiter owning a deadline. Returns the number of events
+  /// fired.
+  std::uint64_t run_while(const std::function<bool()>& keep_going);
+
   /// Drop all pending events and reset the clock. Event ids from before
   /// the reset are invalidated.
   void reset();

@@ -1,0 +1,78 @@
+#include "workload/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace namecoh {
+
+namespace {
+
+// Heap-held loop state: completion callbacks and think-time events hold a
+// shared_ptr, so a straggler event fired after run_parallel returned (e.g.
+// by a later phase driving the same simulator) finds live state and
+// no-ops on the issued-count guard instead of touching freed memory.
+struct Loop {
+  Loop(Simulator& sim_in, ResolverClient& client_in,
+       std::vector<ParallelQuery> queries_in, const ParallelSpec& spec_in)
+      : sim(sim_in),
+        client(client_in),
+        queries(std::move(queries_in)),
+        spec(spec_in),
+        rng(spec_in.seed) {}
+
+  Simulator& sim;
+  ResolverClient& client;
+  std::vector<ParallelQuery> queries;
+  ParallelSpec spec;
+  Rng rng;
+  ParallelOutcome out;
+};
+
+void issue(const std::shared_ptr<Loop>& loop) {
+  if (loop->out.issued >= loop->spec.total_resolutions) return;
+  ++loop->out.issued;
+  const ParallelQuery& query = loop->rng.pick(loop->queries);
+  loop->client.resolve_async(
+      query.start, query.name,
+      [loop](const Result<EntityId>& result) {
+        ++loop->out.completed;
+        if (result.is_ok()) {
+          ++loop->out.ok;
+        } else {
+          ++loop->out.failed;
+        }
+        // Always re-issue through the scheduler, even with zero think
+        // time: a run of cache hits settles synchronously, and issuing
+        // from inside the completion would recurse one stack frame per
+        // hit.
+        loop->sim.schedule_in(loop->spec.think_time,
+                              [loop] { issue(loop); });
+      });
+}
+
+}  // namespace
+
+ParallelOutcome run_parallel(Simulator& sim, ResolverClient& client,
+                             const std::vector<ParallelQuery>& queries,
+                             const ParallelSpec& spec) {
+  NAMECOH_CHECK(!queries.empty(), "parallel workload needs queries");
+  NAMECOH_CHECK(spec.activities > 0,
+                "parallel workload needs at least one activity");
+  auto loop = std::make_shared<Loop>(sim, client, queries, spec);
+  loop->out.started = sim.now();
+  const std::size_t seeds =
+      std::min<std::size_t>(spec.activities, spec.total_resolutions);
+  for (std::size_t i = 0; i < seeds; ++i) issue(loop);
+  sim.run_while([&loop] {
+    return loop->out.completed < loop->spec.total_resolutions;
+  });
+  loop->out.finished = sim.now();
+  NAMECOH_CHECK(loop->out.completed == loop->spec.total_resolutions,
+                "parallel workload stalled: event queue drained with "
+                "resolutions outstanding");
+  return loop->out;
+}
+
+}  // namespace namecoh

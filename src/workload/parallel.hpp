@@ -1,0 +1,61 @@
+// Parallel resolution workload: a closed loop of N concurrent "activities"
+// issuing name lookups through one ResolverClient's async engine
+// (docs/ASYNC.md).
+//
+// Each activity behaves like a client thread: resolve a query, think for
+// `think_time` ticks, resolve the next. With the pre-async resolver this
+// shape was impossible to express — each resolve() monopolised the
+// simulator until its own reply chain finished, so "N concurrent lookups"
+// degenerated into N sequential ones. Here all N activities' hops
+// interleave on the shared clock, which is exactly what bench_x5_pipeline
+// measures (and what makes the engine's pipelining visible as wall-clock
+// compression). The loop composes with everything else event-driven on the
+// same simulator: churn, fault injection, anti-entropy — they just
+// interleave.
+#pragma once
+
+#include <vector>
+
+#include "ns/name_service.hpp"
+
+namespace namecoh {
+
+/// One lookup an activity may issue.
+struct ParallelQuery {
+  EntityId start;
+  CompoundName name;
+};
+
+struct ParallelSpec {
+  /// Concurrent activities (the closed-loop multiprogramming level).
+  std::size_t activities = 16;
+  /// Total resolutions to issue across all activities.
+  std::size_t total_resolutions = 256;
+  /// Ticks each activity waits between completing a lookup and issuing
+  /// its next one. 0 = immediately (still via the scheduler, never
+  /// recursively).
+  SimDuration think_time = 0;
+  /// Seed for the query-selection stream.
+  std::uint64_t seed = 1;
+};
+
+struct ParallelOutcome {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  SimTime started = 0;   ///< sim time at the first issue
+  SimTime finished = 0;  ///< sim time when the last resolution settled
+  [[nodiscard]] SimDuration elapsed() const { return finished - started; }
+};
+
+/// Run the closed loop: seed min(activities, total) lookups, then drive
+/// `sim` until every resolution has settled. Queries are picked uniformly
+/// at random (duplicates in `queries` raise the chance of in-flight
+/// coalescing). The client's cache, retry and failover behaviour all apply
+/// as configured.
+ParallelOutcome run_parallel(Simulator& sim, ResolverClient& client,
+                             const std::vector<ParallelQuery>& queries,
+                             const ParallelSpec& spec);
+
+}  // namespace namecoh

@@ -121,19 +121,19 @@ TEST_F(FailoverTest, PublishUpdateSyncsSecondariesAtCurrentEpoch) {
   EXPECT_EQ(*applied, graph_.rebind_epoch(proj_));
   // The primary never stores snapshots of itself.
   EXPECT_FALSE(service_.replica_epoch(m2_, proj_).has_value());
-  NameServiceStats stats = service_.stats();
-  EXPECT_EQ(stats.update_pushes, 2u);    // shared_ and proj_, one secondary
-  EXPECT_EQ(stats.updates_applied, 2u);
-  EXPECT_EQ(stats.updates_stale, 0u);
+  StatsSnapshot stats = service_.snapshot();
+  EXPECT_EQ(stats["update_pushes"], 2u);    // shared_ and proj_, one secondary
+  EXPECT_EQ(stats["updates_applied"], 2u);
+  EXPECT_EQ(stats["updates_stale"], 0u);
 }
 
 TEST_F(FailoverTest, RepushedSnapshotAtSameEpochIsIdempotent) {
   sync_replicas();
   const auto epoch_before = service_.replica_epoch(m3_, proj_);
   sync_replicas();  // same epochs again: re-deliveries must not re-apply
-  NameServiceStats stats = service_.stats();
-  EXPECT_EQ(stats.updates_applied, 2u);
-  EXPECT_EQ(stats.updates_stale, 2u);
+  StatsSnapshot stats = service_.snapshot();
+  EXPECT_EQ(stats["updates_applied"], 2u);
+  EXPECT_EQ(stats["updates_stale"], 2u);
   EXPECT_EQ(service_.replica_epoch(m3_, proj_), epoch_before);
 }
 
@@ -170,11 +170,11 @@ TEST_F(FailoverTest, CrashedPrimaryDuringReferralChaseFailsOverToSecondary) {
   auto result = client.resolve(root_, CompoundName::relative("shared/proj/readme"));
   ASSERT_TRUE(result.is_ok()) << result.status();
   EXPECT_EQ(result.value(), readme_);
-  ResolverClientStats stats = client.stats();
-  EXPECT_GE(stats.failovers, 1u);
-  EXPECT_GE(stats.timeouts, 2u);  // both attempts at m2 timed out
-  EXPECT_EQ(stats.failures, 0u);
-  EXPECT_GE(service_.stats().store_answers, 1u);
+  StatsSnapshot stats = client.snapshot();
+  EXPECT_GE(stats["failovers"], 1u);
+  EXPECT_GE(stats["timeouts"], 2u);  // both attempts at m2 timed out
+  EXPECT_EQ(stats["failures"], 0u);
+  EXPECT_GE(service_.snapshot()["store_answers"], 1u);
   EXPECT_GT(transport_.metrics().counter_value("transport.fault.crash_drops"),
             0u);
 }
@@ -187,15 +187,15 @@ TEST_F(FailoverTest, QuarantinedReplicaIsNotRetriedOnTheNextResolution) {
   ASSERT_TRUE(
       client.resolve(root_, CompoundName::relative("shared/proj/readme"))
           .is_ok());
-  const std::uint64_t timeouts_after_first = client.stats().timeouts;
+  const std::uint64_t timeouts_after_first = client.snapshot()["timeouts"];
   ASSERT_GE(timeouts_after_first, 2u);
   // m2 is now quarantined: the next resolution must go straight to the
   // live secondary without burning another timeout budget on the corpse.
   auto second =
       client.resolve(root_, CompoundName::relative("shared/proj/other"));
   ASSERT_TRUE(second.is_ok()) << second.status();
-  EXPECT_EQ(client.stats().timeouts, timeouts_after_first);
-  EXPECT_EQ(client.stats().failovers, 1u);  // no new failover either
+  EXPECT_EQ(client.snapshot()["timeouts"], timeouts_after_first);
+  EXPECT_EQ(client.snapshot()["failovers"], 1u);  // no new failover either
 }
 
 TEST_F(FailoverTest, FailoverLatencyHistogramRecordsFailedOverHops) {
@@ -288,7 +288,7 @@ TEST_F(FailoverTest, PartitionHealsThenStaleCacheEntryIsInvalidated) {
       client.resolve(root_, CompoundName::relative("shared/proj/readme"));
   ASSERT_TRUE(fresh.is_ok()) << fresh.status();
   EXPECT_EQ(fresh.value(), new_readme);
-  EXPECT_GE(client.stats().stale_epoch_drops, 1u);
+  EXPECT_GE(client.snapshot()["stale_epoch_drops"], 1u);
 }
 
 // --- Fault-injection determinism -------------------------------------------

@@ -71,9 +71,9 @@ TEST_F(NameServiceTest, LocalResolutionNoReferral) {
   auto result = client.resolve(root_, CompoundName::relative("local/data.txt"));
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "local");
-  EXPECT_EQ(client.stats().referrals_followed, 0u);
-  EXPECT_EQ(client.stats().messages_sent, 1u);
-  EXPECT_EQ(service_.stats().answers, 1u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 0u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], 1u);
+  EXPECT_EQ(service_.snapshot()["answers"], 1u);
 }
 
 TEST_F(NameServiceTest, CrossMachineResolutionViaReferral) {
@@ -84,10 +84,10 @@ TEST_F(NameServiceTest, CrossMachineResolutionViaReferral) {
   EXPECT_EQ(graph_.data(result.value()), "shared readme");
   // m1's server walked "shared", hit the m2-homed context, referred; the
   // client followed to m2's server.
-  EXPECT_EQ(client.stats().referrals_followed, 1u);
-  EXPECT_EQ(client.stats().messages_sent, 2u);
-  EXPECT_EQ(service_.stats().referrals, 1u);
-  EXPECT_EQ(service_.stats().answers, 1u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 1u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], 2u);
+  EXPECT_EQ(service_.snapshot()["referrals"], 1u);
+  EXPECT_EQ(service_.snapshot()["answers"], 1u);
 }
 
 TEST_F(NameServiceTest, ReferralFromRemoteClientMachine) {
@@ -104,7 +104,7 @@ TEST_F(NameServiceTest, ReferralFromRemoteClientMachine) {
       client.resolve(root_, CompoundName::relative("local/data.txt"));
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "local");
-  EXPECT_EQ(client.stats().referrals_followed, 1u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 1u);
 }
 
 TEST_F(NameServiceTest, UnboundNameYieldsError) {
@@ -112,7 +112,7 @@ TEST_F(NameServiceTest, UnboundNameYieldsError) {
   auto result = client.resolve(root_, CompoundName::relative("ghost"));
   EXPECT_FALSE(result.is_ok());
   EXPECT_EQ(result.code(), StatusCode::kNotFound);
-  EXPECT_EQ(service_.stats().failures, 1u);
+  EXPECT_EQ(service_.snapshot()["failures"], 1u);
 }
 
 TEST_F(NameServiceTest, TraversalThroughFileYieldsError) {
@@ -127,7 +127,7 @@ TEST_F(NameServiceTest, AbsoluteNamesRejectedClientSide) {
   auto result = client.resolve(root_, CompoundName::path("/local"));
   EXPECT_FALSE(result.is_ok());
   EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(client.stats().messages_sent, 0u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], 0u);
 }
 
 TEST_F(NameServiceTest, AgreesWithLocalResolver) {
@@ -154,12 +154,12 @@ TEST_F(NameServiceTest, CacheHitSkipsNetwork) {
   CompoundName name = CompoundName::relative("shared/proj/readme");
   auto first = client.resolve(root_, name);
   ASSERT_TRUE(first.is_ok());
-  std::uint64_t sent_before = client.stats().messages_sent;
+  std::uint64_t sent_before = client.snapshot()["messages_sent"];
   auto second = client.resolve(root_, name);
   ASSERT_TRUE(second.is_ok());
   EXPECT_EQ(second.value(), first.value());
-  EXPECT_EQ(client.stats().messages_sent, sent_before);  // no new traffic
-  EXPECT_EQ(client.stats().cache_hits, 1u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], sent_before);  // no new traffic
+  EXPECT_EQ(client.snapshot()["cache_hits"], 1u);
   EXPECT_EQ(client.cache_size(), 1u);
 }
 
@@ -172,8 +172,8 @@ TEST_F(NameServiceTest, CacheExpiresByTtl) {
   ASSERT_TRUE(client.resolve(root_, name).is_ok());
   sim_.run_until(sim_.now() + 100);  // let the TTL lapse
   ASSERT_TRUE(client.resolve(root_, name).is_ok());
-  EXPECT_EQ(client.stats().cache_hits, 0u);
-  EXPECT_EQ(client.stats().cache_misses, 2u);
+  EXPECT_EQ(client.snapshot()["cache_hits"], 0u);
+  EXPECT_EQ(client.snapshot()["cache_misses"], 2u);
 }
 
 TEST_F(NameServiceTest, StaleCacheIsTemporalIncoherence) {
@@ -260,7 +260,7 @@ TEST_F(NameServiceTest, RetriesSurviveLossyNetwork) {
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "shared readme");
   // Loss actually happened: more messages than the loss-free 2.
-  EXPECT_GT(client.stats().messages_sent, 2u);
+  EXPECT_GT(client.snapshot()["messages_sent"], 2u);
 }
 
 TEST_F(NameServiceTest, LostMessagesSurfaceAsUnreachable) {

@@ -114,7 +114,7 @@ TEST_F(NsHardeningTest, EmptyPathRequestGetsExplicitAnswer) {
   EXPECT_EQ(reply.u64_at(0), 777u);                // correlation id echoed
   EXPECT_EQ(reply.u64_at(1), NsWire::kAnswer);
   EXPECT_EQ(reply.u64_at(2), root_.value());       // identity resolution
-  EXPECT_EQ(service_.stats().answers, 1u);
+  EXPECT_EQ(service_.snapshot()["answers"], 1u);
 }
 
 TEST_F(NsHardeningTest, EmptyPathOnUnknownEntityGetsExplicitError) {
@@ -124,7 +124,7 @@ TEST_F(NsHardeningTest, EmptyPathOnUnknownEntityGetsExplicitError) {
   sim_.run();
   ASSERT_EQ(probe.replies.size(), 1u);
   EXPECT_EQ(probe.replies[0].payload.u64_at(1), NsWire::kError);
-  EXPECT_EQ(service_.stats().failures, 1u);
+  EXPECT_EQ(service_.snapshot()["failures"], 1u);
 }
 
 TEST_F(NsHardeningTest, MalformedRequestIsIgnoredNotCrashed) {
@@ -139,7 +139,7 @@ TEST_F(NsHardeningTest, MalformedRequestIsIgnoredNotCrashed) {
           .is_ok());
   sim_.run();
   EXPECT_TRUE(probe.replies.empty());
-  EXPECT_EQ(service_.stats().requests, 0u);
+  EXPECT_EQ(service_.snapshot()["requests"], 0u);
 }
 
 // --- Tentpole: duplicate requests answered but not double-counted ----------
@@ -154,9 +154,9 @@ TEST_F(NsHardeningTest, DuplicateRequestAnsweredButCountedOnce) {
   ASSERT_EQ(probe.replies.size(), 2u);
   EXPECT_EQ(probe.replies[0].payload.u64_at(1), NsWire::kAnswer);
   EXPECT_EQ(probe.replies[1].payload.u64_at(1), NsWire::kAnswer);
-  EXPECT_EQ(service_.stats().requests, 1u);
-  EXPECT_EQ(service_.stats().duplicates, 1u);
-  EXPECT_EQ(service_.stats().answers, 1u);
+  EXPECT_EQ(service_.snapshot()["requests"], 1u);
+  EXPECT_EQ(service_.snapshot()["duplicates"], 1u);
+  EXPECT_EQ(service_.snapshot()["answers"], 1u);
 }
 
 // --- Tentpole: correlation ids reject delayed/stale replies ----------------
@@ -187,7 +187,7 @@ TEST_F(NsHardeningTest, StaleReplyRejectedByCorrelationId) {
   auto result = client.resolve(root_, CompoundName::relative("local/data.txt"));
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "local");  // not the forged entity
-  EXPECT_EQ(client.stats().stale_replies_dropped, 1u);
+  EXPECT_EQ(client.snapshot()["stale_replies_dropped"], 1u);
 }
 
 // --- Tentpole: per-hop timeout + exponential backoff -----------------------
@@ -210,10 +210,10 @@ TEST_F(NsHardeningTest, TimeoutBackoffConsumesSimulatedTime) {
   EXPECT_EQ(result.code(), StatusCode::kUnreachable);
   // Three attempts waited 100 + 200 + 400 ticks on the shared clock.
   EXPECT_EQ(sim_.now() - t0, 700u);
-  EXPECT_EQ(client.stats().messages_sent, 3u);
-  EXPECT_EQ(client.stats().timeouts, 3u);
-  EXPECT_EQ(client.stats().backoff_retries, 2u);
-  EXPECT_EQ(client.stats().failures, 1u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], 3u);
+  EXPECT_EQ(client.snapshot()["timeouts"], 3u);
+  EXPECT_EQ(client.snapshot()["backoff_retries"], 2u);
+  EXPECT_EQ(client.snapshot()["failures"], 1u);
 }
 
 TEST_F(NsHardeningTest, BackoffTimeoutRespectsCap) {
@@ -262,12 +262,12 @@ TEST_F(NsHardeningTest, ReferralChainSurvivesLossWithRetries) {
       client.resolve(root_, CompoundName::relative("shared/deep/leaf"));
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "deep leaf");
-  EXPECT_EQ(client.stats().referrals_followed, 2u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 2u);
   // Loss actually happened: more sends than the loss-free 3, and every
   // resend was preceded by a timeout.
-  EXPECT_GT(client.stats().messages_sent, 3u);
-  EXPECT_EQ(client.stats().backoff_retries,
-            client.stats().messages_sent - 3u);
+  EXPECT_GT(client.snapshot()["messages_sent"], 3u);
+  EXPECT_EQ(client.snapshot()["backoff_retries"],
+            client.snapshot()["messages_sent"] - 3u);
 }
 
 // --- Satellite: cache expiry at the exact TTL boundary ---------------------
@@ -283,12 +283,12 @@ TEST_F(NsHardeningTest, CacheExpiryAtExactBoundaryIsMiss) {
 
   sim_.run_until(stamped + 49);
   ASSERT_TRUE(client.resolve(root_, name).is_ok());
-  EXPECT_EQ(client.stats().cache_hits, 1u);  // one tick early: still alive
+  EXPECT_EQ(client.snapshot()["cache_hits"], 1u);  // one tick early: still alive
 
   sim_.run_until(stamped + 50);
   ASSERT_TRUE(client.resolve(root_, name).is_ok());
-  EXPECT_EQ(client.stats().cache_hits, 1u);  // exactly at expiry: a miss
-  EXPECT_EQ(client.stats().cache_misses, 2u);
+  EXPECT_EQ(client.snapshot()["cache_hits"], 1u);  // exactly at expiry: a miss
+  EXPECT_EQ(client.snapshot()["cache_misses"], 2u);
 }
 
 // --- Tentpole: bounded LRU cache -------------------------------------------
@@ -313,9 +313,9 @@ TEST_F(NsHardeningTest, CacheNeverExceedsCapacityUnderChurn) {
   }
   // 16 distinct names round-robin through 4 slots: every insert past the
   // first 4 evicts, and nothing ever hits.
-  EXPECT_EQ(client.stats().evictions, 48u - 4u);
-  EXPECT_EQ(client.stats().cache_hits, 0u);
-  EXPECT_EQ(client.stats().cache_misses, 48u);
+  EXPECT_EQ(client.snapshot()["evictions"], 48u - 4u);
+  EXPECT_EQ(client.snapshot()["cache_hits"], 0u);
+  EXPECT_EQ(client.snapshot()["cache_misses"], 48u);
 }
 
 TEST_F(NsHardeningTest, LruKeepsRecentlyUsedEntries) {
@@ -331,12 +331,12 @@ TEST_F(NsHardeningTest, LruKeepsRecentlyUsedEntries) {
   ASSERT_TRUE(client.resolve(root_, b).is_ok());  // cache: [b, a]
   ASSERT_TRUE(client.resolve(root_, a).is_ok());  // hit; cache: [a, b]
   ASSERT_TRUE(client.resolve(root_, c).is_ok());  // evicts b: [c, a]
-  EXPECT_EQ(client.stats().evictions, 1u);
-  std::uint64_t hits_before = client.stats().cache_hits;
+  EXPECT_EQ(client.snapshot()["evictions"], 1u);
+  std::uint64_t hits_before = client.snapshot()["cache_hits"];
   ASSERT_TRUE(client.resolve(root_, a).is_ok());  // a survived (recently used)
-  EXPECT_EQ(client.stats().cache_hits, hits_before + 1);
+  EXPECT_EQ(client.snapshot()["cache_hits"], hits_before + 1);
   ASSERT_TRUE(client.resolve(root_, b).is_ok());  // b was the LRU victim
-  EXPECT_EQ(client.stats().cache_misses, 4u);     // a, b, c, then b again
+  EXPECT_EQ(client.snapshot()["cache_misses"], 4u);     // a, b, c, then b again
 }
 
 // --- Tentpole: negative caching --------------------------------------------
@@ -350,18 +350,18 @@ TEST_F(NsHardeningTest, NegativeCacheServesRepeatedFailures) {
   auto first = client.resolve(root_, ghost);
   EXPECT_FALSE(first.is_ok());
   SimTime stamped = sim_.now();
-  std::uint64_t sent = client.stats().messages_sent;
+  std::uint64_t sent = client.snapshot()["messages_sent"];
 
   auto second = client.resolve(root_, ghost);
   EXPECT_FALSE(second.is_ok());
   EXPECT_EQ(second.code(), StatusCode::kNotFound);
-  EXPECT_EQ(client.stats().messages_sent, sent);  // served from the cache
-  EXPECT_EQ(client.stats().negative_hits, 1u);
+  EXPECT_EQ(client.snapshot()["messages_sent"], sent);  // served from the cache
+  EXPECT_EQ(client.snapshot()["negative_hits"], 1u);
 
   sim_.run_until(stamped + 300);  // negative TTL lapses (boundary counts)
   auto third = client.resolve(root_, ghost);
   EXPECT_FALSE(third.is_ok());
-  EXPECT_GT(client.stats().messages_sent, sent);  // back to the network
+  EXPECT_GT(client.snapshot()["messages_sent"], sent);  // back to the network
 }
 
 // --- Tentpole: epoch-based invalidation ------------------------------------
@@ -387,7 +387,7 @@ TEST_F(NsHardeningTest, EpochInvalidationDropsSupersededEntry) {
   ASSERT_TRUE(after.is_ok());
   EXPECT_EQ(after.value(), fresh);             // reconverged with authority
   EXPECT_NE(after.value(), before.value());
-  EXPECT_EQ(client.stats().stale_epoch_drops, 1u);
+  EXPECT_EQ(client.snapshot()["stale_epoch_drops"], 1u);
 }
 
 TEST_F(NsHardeningTest, TtlOnlyCachingKeepsServingStaleBinding) {
@@ -409,7 +409,7 @@ TEST_F(NsHardeningTest, TtlOnlyCachingKeepsServingStaleBinding) {
   ASSERT_TRUE(after.is_ok());
   EXPECT_NE(after.value(), fresh);  // still the stale binding
   EXPECT_EQ(after.value(), before.value());
-  EXPECT_EQ(client.stats().stale_epoch_drops, 0u);
+  EXPECT_EQ(client.snapshot()["stale_epoch_drops"], 0u);
 }
 
 TEST_F(NsHardeningTest, NegativeEntryInvalidatedWhenNameAppears) {
@@ -429,7 +429,7 @@ TEST_F(NsHardeningTest, NegativeEntryInvalidatedWhenNameAppears) {
   auto revived = client.resolve(root_, ghost);
   ASSERT_TRUE(revived.is_ok());
   EXPECT_EQ(graph_.data(revived.value()), "now real");
-  EXPECT_EQ(client.stats().stale_epoch_drops, 1u);
+  EXPECT_EQ(client.snapshot()["stale_epoch_drops"], 1u);
 }
 
 // --- Satellite: HomeMap::set_home_subtree re-homes the root ----------------
@@ -474,8 +474,8 @@ TEST_F(NsHardeningTest, RogueReferralRemainingIsRejectedNotForwarded) {
   ASSERT_FALSE(result.is_ok());
   EXPECT_NE(result.status().message().find("not a suffix"),
             std::string::npos);
-  EXPECT_EQ(client.stats().referrals_followed, 0u);
-  EXPECT_EQ(client.stats().failures, 1u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 0u);
+  EXPECT_EQ(client.snapshot()["failures"], 1u);
 }
 
 TEST_F(NsHardeningTest, HonestReferralChainStillResolves) {
@@ -486,7 +486,7 @@ TEST_F(NsHardeningTest, HonestReferralChainStillResolves) {
       client.resolve(root_, CompoundName::relative("shared/proj/readme"));
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(graph_.data(result.value()), "shared readme");
-  EXPECT_GE(client.stats().referrals_followed, 1u);
+  EXPECT_GE(client.snapshot()["referrals_followed"], 1u);
 }
 
 // --- Rebind epochs at the core layer ---------------------------------------
@@ -559,7 +559,9 @@ TEST_F(NsHardeningTest, LossyLookupYieldsOneSpanWithFullEventChain) {
   // server-side handling happened under the second (the one that got
   // through) — yet all of them land in this one span.
   for (const TraceEvent& e : events) {
-    if (e.kind == EventKind::kDrop) EXPECT_EQ(e.corr, span.corrs[0]);
+    if (e.kind == EventKind::kDrop) {
+      EXPECT_EQ(e.corr, span.corrs[0]);
+    }
     if (e.kind == EventKind::kServerHandle ||
         e.kind == EventKind::kServerAnswer) {
       EXPECT_EQ(e.corr, span.corrs[1]);
@@ -592,6 +594,10 @@ TEST_F(NsHardeningTest, SecondResolutionGetsItsOwnSpan) {
 
 // --- Satellite: stats() views and the registry must agree ------------------
 
+// The deprecated struct views must agree with the registry snapshot()
+// reads; the test deliberately calls stats() and silences its own warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST_F(NsHardeningTest, ClientAndServerStatsMatchRegistry) {
   ResolverClientConfig config;
   config.cache_ttl = 500;
@@ -603,27 +609,25 @@ TEST_F(NsHardeningTest, ClientAndServerStatsMatchRegistry) {
       client.resolve(root_, CompoundName::relative("shared/proj/readme"))
           .is_ok());
 
-  const MetricsRegistry& metrics = transport_.metrics();
-  const std::string prefix =
-      "ns.client." + std::to_string(client.endpoint().value()) + ".";
-  EXPECT_EQ(client.stats().resolutions,
-            metrics.counter_value(prefix + "resolutions"));
-  EXPECT_EQ(client.stats().cache_hits,
-            metrics.counter_value(prefix + "cache_hits"));
-  EXPECT_EQ(client.stats().cache_hits, 1u);
-  EXPECT_EQ(client.stats().referrals_followed,
-            metrics.counter_value(prefix + "referrals_followed"));
-  EXPECT_GE(client.stats().referrals_followed, 1u);  // shared/ lives on m2
-  EXPECT_EQ(service_.stats().requests,
-            metrics.counter_value("ns.server.requests"));
-  EXPECT_EQ(service_.stats().answers,
-            metrics.counter_value("ns.server.answers"));
-  EXPECT_EQ(service_.stats().referrals,
-            metrics.counter_value("ns.server.referrals"));
+  const ResolverClientStats legacy = client.stats();
+  const StatsSnapshot snap = client.snapshot();
+  EXPECT_EQ(legacy.resolutions, snap["resolutions"]);
+  EXPECT_EQ(legacy.cache_hits, snap["cache_hits"]);
+  EXPECT_EQ(legacy.cache_hits, 1u);
+  EXPECT_EQ(legacy.referrals_followed, snap["referrals_followed"]);
+  EXPECT_GE(legacy.referrals_followed, 1u);  // shared/ lives on m2
+  EXPECT_EQ(legacy.coalesced, snap["coalesced"]);
+  const NameServiceStats server_legacy = service_.stats();
+  const StatsSnapshot server_snap = service_.snapshot();
+  EXPECT_EQ(server_legacy.requests, server_snap["requests"]);
+  EXPECT_EQ(server_legacy.answers, server_snap["answers"]);
+  EXPECT_EQ(server_legacy.referrals, server_snap["referrals"]);
   // Everything lives in ONE registry, exportable in one shot.
+  const MetricsRegistry& metrics = transport_.metrics();
   EXPECT_TRUE(metrics.has("transport.sent"));
   EXPECT_FALSE(metrics.to_json().empty());
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace namecoh

@@ -170,6 +170,41 @@ TEST(Simulator, RunUntilFiresPendingEventBehindCancelledHead) {
   EXPECT_EQ(sim.now(), 10u);
 }
 
+TEST(Simulator, RunWhileStopsWhenPredicateTurnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  bool done = false;
+  sim.schedule_at(5, [&] { ++fired; });
+  sim.schedule_at(10, [&] {
+    ++fired;
+    done = true;
+  });
+  sim.schedule_at(20, [&] { ++fired; });  // must NOT fire
+  EXPECT_EQ(sim.run_while([&] { return !done; }), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 10u);
+  // The untouched t=20 event is still pending for a later drive.
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunWhileChecksPredicateBeforeFirstEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] { ++fired; });
+  EXPECT_EQ(sim.run_while([] { return false; }), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Simulator, RunWhileStopsOnEmptyQueueEvenIfPredicateHolds) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] { ++fired; });
+  EXPECT_EQ(sim.run_while([] { return true; }), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
 // Property: N events at random distinct times fire in sorted order.
 class SimOrdering : public ::testing::TestWithParam<int> {};
 

@@ -155,7 +155,7 @@ TEST_F(BuildFarm, RemoteResolutionAgreesWithSharedTreeSemantics) {
       CompoundName::relative("vice/projects/app/main.c"));
   ASSERT_TRUE(local.ok());
   EXPECT_EQ(remote.value(), local.entity);
-  EXPECT_GE(client.stats().referrals_followed, 1u);
+  EXPECT_GE(client.snapshot()["referrals_followed"], 1u);
 
   // And the entity is the same one m1's clients see: spatial coherence of
   // the shared graph, verified through the distributed path.
