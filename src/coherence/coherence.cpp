@@ -31,6 +31,39 @@ std::string_view probe_verdict_name(ProbeVerdict verdict) {
   return "?";
 }
 
+std::string_view cache_policy_name(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kTtlOnly:
+      return "ttl-only";
+    case CachePolicy::kEpochPull:
+      return "epoch-pull";
+    case CachePolicy::kLeasePush:
+      return "lease-push";
+  }
+  return "?";
+}
+
+std::uint64_t staleness_bound(CachePolicy policy,
+                              const CacheCoherenceParams& params) {
+  // Partition: no contact, no pushes — every policy rides out the TTL.
+  if (params.partitioned) return params.ttl;
+  switch (policy) {
+    case CachePolicy::kTtlOnly:
+      return params.ttl;
+    case CachePolicy::kEpochPull:
+      // The epoch high-water mark moves only when the client talks to the
+      // authority again; until then the stale entry keeps serving.
+      return params.revisit_interval == 0
+                 ? params.ttl
+                 : std::min(params.ttl, params.revisit_interval);
+    case CachePolicy::kLeasePush:
+      // The rebind itself triggers the kInvalidate push: the window is one
+      // one-way transit, independent of when the client next looks.
+      return std::min(params.ttl, params.push_latency);
+  }
+  return params.ttl;
+}
+
 bool verdict_coherent(ProbeVerdict verdict, CoherenceMode mode) {
   switch (verdict) {
     case ProbeVerdict::kSameEntity:

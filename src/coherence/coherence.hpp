@@ -29,6 +29,36 @@ namespace namecoh {
 enum class CoherenceMode : std::uint8_t { kStrict, kWeak };
 std::string_view coherence_mode_name(CoherenceMode mode);
 
+/// The resolver-cache end of the §5 spectrum: how tightly a client cache
+/// tracks the authority's current bindings. Orthogonal to CoherenceMode —
+/// that classifies what two *contexts* agree on; this classifies how long
+/// one party may keep acting on a binding the authority has since changed
+/// (*temporal* incoherence, the docs/COHERENCE.md axis).
+enum class CachePolicy : std::uint8_t {
+  kTtlOnly,    ///< trust an entry for its full TTL, no invalidation
+  kEpochPull,  ///< TTL + rebind-epoch high-water marks learned on contact
+  kLeasePush,  ///< TTL + epochs + server-pushed kInvalidate callbacks
+};
+std::string_view cache_policy_name(CachePolicy policy);
+
+/// Inputs to the staleness bound: all durations in simulator ticks.
+struct CacheCoherenceParams {
+  std::uint64_t ttl = 0;               ///< positive-entry TTL
+  std::uint64_t revisit_interval = 0;  ///< ticks between contacts with the
+                                       ///< authority (epoch-pull refresh)
+  std::uint64_t push_latency = 0;      ///< one-way kInvalidate transit time
+  bool partitioned = false;  ///< authority unreachable from the client
+};
+
+/// Worst-case window (ticks) during which a client may serve a binding the
+/// authority has rebound, per policy. The lease column is the Gray–Cheriton
+/// result: push latency when healthy, the granted term's remainder — here
+/// bounded by the TTL the entry degrades to — under partition. Every policy
+/// degrades to the TTL bound when the authority is unreachable; none does
+/// worse than TTL-only.
+std::uint64_t staleness_bound(CachePolicy policy,
+                              const CacheCoherenceParams& params);
+
 enum class ProbeVerdict : std::uint8_t {
   kSameEntity,      ///< both resolved, identical entity — coherent
   kWeakReplicas,    ///< both resolved, same replica group — weakly coherent

@@ -18,12 +18,6 @@ ForwardingTable::ForwardingTable(std::size_t max_hops,
   compressed_ = &metrics_->counter("forwarding.compressed");
 }
 
-ForwardingStats ForwardingTable::stats() const {
-  return ForwardingStats{lookups_->value(),   chased_->value(),
-                         exhausted_->value(), dead_ends_->value(),
-                         cycles_refused_->value(), compressed_->value()};
-}
-
 void ForwardingTable::add(const Location& from, const Location& to) {
   NAMECOH_CHECK(from.is_valid() && to.is_valid(),
                 "forwarding edge needs valid locations");

@@ -25,16 +25,6 @@
 
 namespace namecoh {
 
-/// Compat view of the table's registry counters (see stats()).
-struct ForwardingStats {
-  std::uint64_t lookups = 0;
-  std::uint64_t chased = 0;          ///< total forwarding hops followed
-  std::uint64_t exhausted = 0;       ///< chains that hit the hop limit
-  std::uint64_t dead_ends = 0;       ///< chains ending at no endpoint
-  std::uint64_t cycles_refused = 0;  ///< add() calls that would close a loop
-  std::uint64_t compressed = 0;      ///< entries rewritten by path compression
-};
-
 class ForwardingTable {
  public:
   /// Maximum chain length before giving up. `metrics` attaches the table to
@@ -47,7 +37,7 @@ class ForwardingTable {
 
   /// Record one forwarding edge old → current. An edge whose target chains
   /// back to `from` would make every lookup through it spin until the hop
-  /// limit; such edges are refused (counted in stats().cycles_refused).
+  /// limit; such edges are refused (counted in "forwarding.cycles_refused").
   void add(const Location& from, const Location& to);
 
   [[nodiscard]] std::size_t entries() const { return table_.size(); }
@@ -69,9 +59,6 @@ class ForwardingTable {
     return StatsSnapshot(*metrics_, "forwarding.");
   }
 
-  /// Compat accessor for the same counters as a fixed struct.
-  [[deprecated("read the registry via snapshot() instead")]]
-  [[nodiscard]] ForwardingStats stats() const;
   [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
 

@@ -55,13 +55,6 @@ void Transport::attach_faults(FaultInjector* faults) {
   });
 }
 
-TransportStats Transport::stats() const {
-  return TransportStats{sent_->value(),          delivered_->value(),
-                        dropped_->value(),       unreachable_->value(),
-                        misdelivered_->value(),  pids_remapped_->value(),
-                        remap_failures_->value(), bytes_sent_->value()};
-}
-
 void Transport::set_handler(EndpointId endpoint, Handler handler) {
   NAMECOH_CHECK(static_cast<bool>(handler), "null handler");
   handlers_[endpoint] = std::move(handler);

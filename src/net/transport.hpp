@@ -52,18 +52,6 @@ struct TransportConfig {
   double drop_probability = 0.0;
 };
 
-/// Compat view of the transport's registry counters (see stats()).
-struct TransportStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t unreachable = 0;   ///< destination pid resolved to nothing
-  std::uint64_t misdelivered = 0;  ///< stale address reused by another process
-  std::uint64_t pids_remapped = 0;
-  std::uint64_t remap_failures = 0;
-  std::uint64_t bytes_sent = 0;
-};
-
 class Transport {
  public:
   /// `metrics` attaches the transport to a shared registry ("transport.*"
@@ -100,9 +88,6 @@ class Transport {
     return StatsSnapshot(*metrics_, "transport.");
   }
 
-  /// Compat accessor for the same counters as a fixed struct.
-  [[deprecated("read the registry via snapshot() instead")]]
-  [[nodiscard]] TransportStats stats() const;
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return tracer_; }

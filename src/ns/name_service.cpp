@@ -131,18 +131,134 @@ NameService::NameService(const NamingGraph& graph, Internetwork& net,
   updates_applied_ = &metrics.counter("ns.server.updates_applied");
   updates_stale_ = &metrics.counter("ns.server.updates_stale");
   store_answers_ = &metrics.counter("ns.server.store_answers");
+  leases_granted_ = &metrics.counter("ns.server.leases_granted");
+  lease_renewals_ = &metrics.counter("ns.server.lease_renewals");
+  invalidates_pushed_ = &metrics.counter("ns.server.invalidates_pushed");
+  lease_table_full_ = &metrics.counter("ns.server.lease_table_full");
 }
 
 StatsSnapshot NameService::snapshot() const {
   return StatsSnapshot(transport_.metrics(), "ns.server.");
 }
 
-NameServiceStats NameService::stats() const {
-  return NameServiceStats{requests_->value(),       answers_->value(),
-                          referrals_->value(),      failures_->value(),
-                          duplicates_->value(),     update_pushes_->value(),
-                          updates_applied_->value(), updates_stale_->value(),
-                          store_answers_->value()};
+void NameService::set_lease_policy(SimDuration duration,
+                                   std::size_t capacity) {
+  lease_duration_ = duration;
+  lease_capacity_ = capacity;
+}
+
+std::size_t NameService::lease_count(MachineId machine) const {
+  auto it = leases_.find(machine);
+  return it == leases_.end() ? 0 : it->second.by_id.size();
+}
+
+void NameService::erase_lease(LeaseTable& table, std::uint64_t id) {
+  auto it = table.by_id.find(id);
+  if (it == table.by_id.end()) return;
+  auto ctx_it = table.by_ctx.find(it->second.ctx);
+  if (ctx_it != table.by_ctx.end()) {
+    auto& ids = ctx_it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) table.by_ctx.erase(ctx_it);
+  }
+  table.by_id.erase(it);
+}
+
+std::pair<std::uint64_t, std::uint64_t> NameService::grant_lease(
+    MachineId machine, EntityId ctx, const Pid& holder, std::uint64_t epoch,
+    std::uint64_t corr) {
+  if (lease_duration_ == 0) return {0, 0};
+  const SimTime now = transport_.simulator().now();
+  LeaseTable& table = leases_[machine];
+  // Renewal: the holder already has a promise on this context — refresh
+  // its term under the same id instead of stacking a second record.
+  auto ctx_it = table.by_ctx.find(ctx);
+  if (ctx_it != table.by_ctx.end()) {
+    for (std::uint64_t id : ctx_it->second) {
+      LeaseRecord& record = table.by_id.at(id);
+      if (record.holder == holder) {
+        record.expires = now + lease_duration_;
+        record.epoch = epoch;
+        lease_renewals_->inc();
+        transport_.tracer().record(now, EventKind::kLeaseGrant, corr,
+                                   ctx.value(), id);
+        return {lease_duration_, id};
+      }
+    }
+  }
+  if (lease_capacity_ > 0 && table.by_id.size() >= lease_capacity_) {
+    // Purge lapsed promises first; a table genuinely full of *unexpired*
+    // leases grants nothing — breaking an outstanding promise silently
+    // would forfeit the coherence the lease bought.
+    std::vector<std::uint64_t> lapsed;
+    for (const auto& [id, record] : table.by_id) {
+      if (record.expires <= now) lapsed.push_back(id);
+    }
+    for (std::uint64_t id : lapsed) erase_lease(table, id);
+    if (table.by_id.size() >= lease_capacity_) {
+      lease_table_full_->inc();
+      return {0, 0};
+    }
+  }
+  const std::uint64_t id = next_lease_id_++;
+  LeaseRecord record;
+  record.id = id;
+  record.ctx = ctx;
+  record.holder = holder;
+  record.expires = now + lease_duration_;
+  record.epoch = epoch;
+  table.by_id.emplace(id, record);
+  table.by_ctx[ctx].push_back(id);
+  leases_granted_->inc();
+  transport_.tracer().record(now, EventKind::kLeaseGrant, corr, ctx.value(),
+                             id);
+  return {lease_duration_, id};
+}
+
+void NameService::push_invalidations(MachineId machine, EntityId ctx) {
+  auto lease_it = leases_.find(machine);
+  if (lease_it == leases_.end()) return;
+  LeaseTable& table = lease_it->second;
+  auto ctx_it = table.by_ctx.find(ctx);
+  if (ctx_it == table.by_ctx.end()) return;
+  auto server = servers_.find(machine);
+  if (server == servers_.end()) return;
+  const std::uint64_t epoch = graph_.rebind_epoch(ctx);
+  const SimTime now = transport_.simulator().now();
+  Tracer& tracer = transport_.tracer();
+  std::vector<std::uint64_t> voided;
+  for (std::uint64_t id : ctx_it->second) {
+    const LeaseRecord& record = table.by_id.at(id);
+    // Promises answered under the current epoch are still good (e.g. an
+    // anti-entropy sweep with no rebind since the grant).
+    if (record.epoch >= epoch) continue;
+    voided.push_back(id);
+    if (record.expires <= now) continue;  // lapsed on its own: no push owed
+    // Callback push: [lease id, ctx, epoch now in force, rebind time]. The
+    // rebind time lets the holder measure the staleness window this push
+    // closed. Subject to loss/partition like all traffic — the lease term
+    // itself is the holder's fallback bound.
+    Message push;
+    push.type = NsWire::kInvalidate;
+    push.payload.add_u64(id);
+    push.payload.add_u64(ctx.value());
+    push.payload.add_u64(epoch);
+    push.payload.add_u64(now);
+    invalidates_pushed_->inc();
+    tracer.record(now, EventKind::kInvalidate, 0, ctx.value(), epoch);
+    (void)transport_.send(server->second, record.holder, std::move(push));
+  }
+  for (std::uint64_t id : voided) erase_lease(table, id);
+}
+
+void NameService::drop_leases(MachineId machine, EntityId ctx) {
+  auto lease_it = leases_.find(machine);
+  if (lease_it == leases_.end()) return;
+  LeaseTable& table = lease_it->second;
+  auto ctx_it = table.by_ctx.find(ctx);
+  if (ctx_it == table.by_ctx.end()) return;
+  std::vector<std::uint64_t> ids = ctx_it->second;
+  for (std::uint64_t id : ids) erase_lease(table, id);
 }
 
 EndpointId NameService::add_server(MachineId machine) {
@@ -170,9 +286,15 @@ Result<EndpointId> NameService::server_on(MachineId machine) const {
 }
 
 void NameService::publish_update(EntityId ctx) {
-  auto replicas = homes_.replicas_of(ctx);
-  if (replicas.size() < 2) return;
   if (!graph_.is_context_object(ctx)) return;
+  auto replicas = homes_.replicas_of(ctx);
+  if (replicas.empty()) return;
+  // Callback promises void first, at the authority where they originate:
+  // every unexpired lease granted under an older epoch gets a kInvalidate
+  // push. This applies to unreplicated contexts too — leases don't need a
+  // replica set, so it must precede the single-authority early-out below.
+  push_invalidations(replicas.front(), ctx);
+  if (replicas.size() < 2) return;
   auto primary = servers_.find(replicas.front());
   if (primary == servers_.end()) return;
   auto primary_loc = net_.location_of(primary->second);
@@ -291,6 +413,10 @@ void NameService::handle_update(EndpointId self, const Message& message) {
   store[ctx] = std::move(state);
   updates_applied_->inc();
   tracer.record(now, EventKind::kUpdateApply, 0, ctx.value(), epoch);
+  // A secondary's lease state (if it ever granted any) is superseded by
+  // the snapshot: the primary owns invalidation, so stale local promises
+  // are dropped rather than pushed.
+  drop_leases(my_machine.value(), ctx);
 }
 
 void NameService::handle_request(EndpointId self, const Message& message) {
@@ -304,6 +430,13 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   const std::uint64_t corr = message.payload.u64_at(0);
   EntityId ctx(message.payload.u64_at(1));
   const std::string& path = message.payload.name_at(2);
+  // Optional request flags (protocol v4). A v3 request stops at field 2;
+  // an unrecognised extra field is ignored, not rejected.
+  std::uint64_t flags = 0;
+  if (message.payload.size() > 3 &&
+      message.payload.type_at(3) == FieldType::kU64) {
+    flags = message.payload.u64_at(3);
+  }
 
   Tracer& tracer = transport_.tracer();
   const SimTime now = transport_.simulator().now();
@@ -381,6 +514,26 @@ void NameService::handle_request(EndpointId self, const Message& message) {
     for (auto& [pid, machine] : tail) {
       reply.payload.add_pid(pid);
       reply.payload.add_u64(machine);
+    }
+    // Protocol v4 lease tail, appended only when the client asked for a
+    // lease (a v3 client's replies stay byte-identical). Only the primary
+    // grants — it is where invalidations originate, so a secondary's
+    // promise could never be kept. Referrals carry no binding to promise
+    // about; they (and non-grants) ship the [0, 0] sentinel.
+    if ((flags & NsWire::kFlagLeaseRequested) != 0) {
+      std::uint64_t lease_duration = 0;
+      std::uint64_t lease_id = 0;
+      if (stamp && disposition != NsWire::kReferral &&
+          homes_.is_primary(authority, my_machine.value())) {
+        const auto granted = grant_lease(
+            my_machine.value(), authority, message.reply_to,
+            epoch_override ? *epoch_override : graph_.rebind_epoch(authority),
+            corr);
+        lease_duration = granted.first;
+        lease_id = granted.second;
+      }
+      reply.payload.add_u64(lease_duration);
+      reply.payload.add_u64(lease_id);
     }
     (void)transport_.send(self, message.reply_to, std::move(reply));
   };
@@ -543,18 +696,32 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   stale_replies_dropped_ = &metrics.counter(prefix + "stale_replies_dropped");
   failovers_ = &metrics.counter(prefix + "failovers");
   coalesced_ = &metrics.counter(prefix + "coalesced");
+  coalesce_rejected_ = &metrics.counter(prefix + "coalesce_rejected");
+  invalidates_received_ = &metrics.counter(prefix + "invalidates_received");
+  lease_renewals_ = &metrics.counter(prefix + "lease_renewals");
+  lease_degrades_ = &metrics.counter(prefix + "lease_degrades");
+  epochs_tracked_ = &metrics.gauge(prefix + "epochs_tracked");
   // Ticks from a hop's first send to its first reply, recorded only when
   // the hop failed over; buckets sized for timeout-dominated latencies.
   failover_latency_ = &metrics.histogram(
       prefix + "failover_latency",
       {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000});
+  // Rebind → invalidate-processed windows; buckets sized for one-way
+  // network latencies (the push transit time dominates when healthy).
+  stale_window_ = &metrics.histogram(
+      prefix + "stale_window",
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000});
   // Correlation ids are unique per client *and* per attempt: the endpoint
   // id seeds the high bits so two clients never share an id space (the
   // server's duplicate window is keyed by raw correlation id).
   next_corr_ = ((endpoint_.value() + 1) << 32) | 1;
   transport_.set_handler(endpoint_,
                          [this](EndpointId, const Message& message) {
-                           handle_reply(message);
+                           if (message.type == NsWire::kInvalidate) {
+                             handle_invalidate(message);
+                           } else {
+                             handle_reply(message);
+                           }
                          });
 }
 
@@ -584,25 +751,6 @@ StatsSnapshot ResolverClient::snapshot() const {
   return StatsSnapshot(transport_.metrics(), metrics_prefix_);
 }
 
-ResolverClientStats ResolverClient::stats() const {
-  ResolverClientStats s;
-  s.resolutions = resolutions_->value();
-  s.messages_sent = messages_sent_->value();
-  s.referrals_followed = referrals_followed_->value();
-  s.cache_hits = cache_hits_->value();
-  s.cache_misses = cache_misses_->value();
-  s.failures = failures_->value();
-  s.evictions = evictions_->value();
-  s.negative_hits = negative_hits_->value();
-  s.stale_epoch_drops = stale_epoch_drops_->value();
-  s.timeouts = timeouts_->value();
-  s.backoff_retries = backoff_retries_->value();
-  s.stale_replies_dropped = stale_replies_dropped_->value();
-  s.failovers = failovers_->value();
-  s.coalesced = coalesced_->value();
-  return s;
-}
-
 const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
     const CacheKey& key, std::uint64_t span) {
   auto it = cache_.find(key);
@@ -617,7 +765,7 @@ const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
   }
   if (config_.epoch_invalidation && entry.authority.valid()) {
     auto seen = epochs_seen_.find(entry.authority);
-    if (seen != epochs_seen_.end() && seen->second > entry.epoch) {
+    if (seen != epochs_seen_.end() && seen->second.epoch > entry.epoch) {
       stale_epoch_drops_->inc();
       transport_.tracer().record_in_span(span, sim_.now(),
                                          EventKind::kStaleEpochDrop,
@@ -626,6 +774,20 @@ const ResolverClient::CacheEntry* ResolverClient::cache_lookup(
       cache_.erase(it);
       return nullptr;
     }
+  }
+  if (entry.lease_id != 0 && entry.lease_expires <= sim_.now()) {
+    // The promise lapsed unrenewed (authority unreachable, or the renewal
+    // lost): degrade to riding out the plain TTL — the pre-lease bound —
+    // rather than trusting a promise nobody is keeping anymore.
+    lease_degrades_->inc();
+    transport_.tracer().record_in_span(span, sim_.now(),
+                                       EventKind::kLeaseDegrade,
+                                       key.start.value(),
+                                       entry.authority.valid()
+                                           ? entry.authority.value()
+                                           : 0);
+    entry.lease_id = 0;
+    entry.lease_expires = 0;
   }
   lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
   return &entry;
@@ -651,8 +813,23 @@ void ResolverClient::cache_insert(const CacheKey& key, CacheEntry entry) {
 
 void ResolverClient::note_epoch(EntityId authority, std::uint64_t epoch) {
   if (!authority.valid()) return;
-  auto [it, inserted] = epochs_seen_.try_emplace(authority, epoch);
-  if (!inserted && it->second < epoch) it->second = epoch;
+  auto it = epochs_seen_.find(authority);
+  if (it != epochs_seen_.end()) {
+    if (it->second.epoch < epoch) it->second.epoch = epoch;
+    epoch_lru_.splice(epoch_lru_.begin(), epoch_lru_, it->second.lru);
+    return;
+  }
+  epoch_lru_.push_front(authority);
+  epochs_seen_.emplace(authority, EpochRecord{epoch, epoch_lru_.begin()});
+  if (config_.epoch_table_capacity > 0 &&
+      epochs_seen_.size() > config_.epoch_table_capacity) {
+    // Forget the least recently touched authority. Safe in the failure
+    // direction: a forgotten high-water mark only means its entries live
+    // out their TTL instead of dying early.
+    epochs_seen_.erase(epoch_lru_.back());
+    epoch_lru_.pop_back();
+  }
+  epochs_tracked_->set(static_cast<double>(epochs_seen_.size()));
 }
 
 bool ResolverClient::is_suspect(MachineId machine) const {
@@ -699,7 +876,28 @@ void ResolverClient::complete(PendingResolve& p,
     corr_to_request_.erase(p.expected_corr);
     p.expected_corr = 0;
   }
-  inflight_.erase(p.key);
+  if (auto in = inflight_.find(p.key); in != inflight_.end()) {
+    auto& live = in->second;
+    live.erase(std::remove(live.begin(), live.end(), &p), live.end());
+    if (live.empty()) inflight_.erase(in);
+  }
+  if (p.refresh && !result.is_ok()) {
+    // A failed background renewal: stop pretending the promise holds.
+    // The entry keeps serving until its plain TTL runs out (the lease-off
+    // bound), and clearing the lease state stops a renewal storm against
+    // an unreachable authority.
+    auto cit = cache_.find(p.key);
+    if (cit != cache_.end() && cit->second.lease_id != 0) {
+      lease_degrades_->inc();
+      transport_.tracer().record(sim_.now(), EventKind::kLeaseDegrade, 0,
+                                 p.key.start.value(),
+                                 cit->second.authority.valid()
+                                     ? cit->second.authority.value()
+                                     : 0);
+      cit->second.lease_id = 0;
+      cit->second.lease_expires = 0;
+    }
+  }
   // Extract before settling: the record must outlive this call (we are
   // running inside one of its continuations), and a callback is free to
   // submit new resolutions — including one with this very key — without
@@ -759,6 +957,11 @@ void ResolverClient::send_attempt(PendingResolve& p) {
   request.payload.add_u64(p.expected_corr);
   request.payload.add_u64(p.current.value());
   request.payload.add_name(p.hop_text);
+  // Protocol v4 flags field, only when lease coherence is on — a lease-off
+  // client's requests stay byte-identical to v3.
+  if (config_.lease_coherence) {
+    request.payload.add_u64(NsWire::kFlagLeaseRequested);
+  }
   corr_to_request_[p.expected_corr] = p.id;
   messages_sent_->inc();
   Status sent = transport_.send(endpoint_, target.pid, std::move(request));
@@ -887,16 +1090,23 @@ void ResolverClient::handle_reply(const Message& message) {
   reply.authority =
       auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
   reply.epoch = payload.u64_at(7);
-  // Protocol v3 tail: the authority's replica set. A v2 peer stops at
-  // field 8; a malformed tail is ignored rather than trusted.
+  // Protocol v3/v4 tail: the authority's replica set [n, (pid, machine)×n],
+  // optionally followed by the v4 lease pair [duration, id]. A v2 peer
+  // stops at field 8; a malformed tail is ignored rather than trusted.
   const std::size_t fields = payload.size();
   if (fields > 8 && payload.type_at(8) == FieldType::kU64) {
     const std::uint64_t n = payload.u64_at(8);
-    if (n <= (fields - 9) / 2 && fields == 9 + 2 * n) {
+    const bool leased = n <= (fields - 9) / 2 && fields == 11 + 2 * n;
+    if (n <= (fields - 9) / 2 && (fields == 9 + 2 * n || leased)) {
       bool well_formed = true;
       for (std::uint64_t j = 0; j < n && well_formed; ++j) {
         well_formed = payload.type_at(9 + 2 * j) == FieldType::kPid &&
                       payload.type_at(10 + 2 * j) == FieldType::kU64;
+      }
+      if (leased) {
+        well_formed = well_formed &&
+                      payload.type_at(9 + 2 * n) == FieldType::kU64 &&
+                      payload.type_at(10 + 2 * n) == FieldType::kU64;
       }
       if (well_formed) {
         for (std::uint64_t j = 0; j < n; ++j) {
@@ -906,10 +1116,58 @@ void ResolverClient::handle_reply(const Message& message) {
                          m == NsWire::kNoMachine ? MachineId::invalid()
                                                  : MachineId(m)});
         }
+        if (leased) {
+          reply.lease_duration = payload.u64_at(9 + 2 * n);
+          reply.lease_id = payload.u64_at(10 + 2 * n);
+        }
       }
     }
   }
   on_reply(p, reply);
+}
+
+void ResolverClient::handle_invalidate(const Message& message) {
+  const Payload& payload = message.payload;
+  if (payload.size() != 4 || payload.type_at(0) != FieldType::kU64 ||
+      payload.type_at(1) != FieldType::kU64 ||
+      payload.type_at(2) != FieldType::kU64 ||
+      payload.type_at(3) != FieldType::kU64) {
+    return;  // malformed
+  }
+  const std::uint64_t lease_id = payload.u64_at(0);
+  EntityId ctx(payload.u64_at(1));
+  const std::uint64_t epoch = payload.u64_at(2);
+  const SimTime rebound_at = payload.u64_at(3);
+  invalidates_received_->inc();
+  transport_.tracer().record(sim_.now(), EventKind::kInvalidate, 0,
+                             ctx.value(), epoch);
+  // The push is an authoritative epoch announcement: raise the high-water
+  // mark (covers entries the lease didn't name) and drop everything the
+  // rebind superseded *now* — the whole point of the callback is closing
+  // the window without waiting for the next lookup.
+  note_epoch(ctx, epoch);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    CacheEntry& entry = it->second;
+    if (entry.authority == ctx && entry.epoch < epoch) {
+      stale_epoch_drops_->inc();
+      lru_.erase(entry.lru);
+      it = cache_.erase(it);
+      continue;
+    }
+    // A concurrent refresh may already have cached the post-rebind answer
+    // under a *new* lease; only the voided lease's state is cleared.
+    if (entry.lease_id == lease_id) {
+      entry.lease_id = 0;
+      entry.lease_expires = 0;
+    }
+    ++it;
+  }
+  // Staleness window this push closed: rebind → the client acting on it.
+  // Recorded per push (whether or not entries were still cached) — it is
+  // the lease-mode analogue of "how long could I have served stale".
+  if (rebound_at <= sim_.now()) {
+    stale_window_->add(static_cast<double>(sim_.now() - rebound_at));
+  }
 }
 
 void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
@@ -926,20 +1184,30 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
   switch (reply.disposition) {
     case NsWire::kAnswer:
       if (config_.cache_ttl > 0) {
-        cache_insert(p.key, CacheEntry{reply.entity,
-                                       sim_.now() + config_.cache_ttl,
-                                       reply.authority, reply.epoch,
-                                       /*negative=*/false, "", {}});
+        CacheEntry entry{reply.entity, sim_.now() + config_.cache_ttl,
+                         reply.authority, reply.epoch,
+                         /*negative=*/false, ""};
+        if (reply.lease_id != 0) {
+          entry.lease_id = reply.lease_id;
+          entry.lease_duration = reply.lease_duration;
+          entry.lease_expires = sim_.now() + reply.lease_duration;
+        }
+        cache_insert(p.key, std::move(entry));
       }
       complete(p, reply.entity);
       return;
     case NsWire::kError:
       if (config_.negative_cache_ttl > 0) {
-        cache_insert(p.key,
-                     CacheEntry{EntityId::invalid(),
-                                sim_.now() + config_.negative_cache_ttl,
-                                reply.authority, reply.epoch,
-                                /*negative=*/true, reply.error, {}});
+        CacheEntry entry{EntityId::invalid(),
+                         sim_.now() + config_.negative_cache_ttl,
+                         reply.authority, reply.epoch,
+                         /*negative=*/true, reply.error};
+        if (reply.lease_id != 0) {
+          entry.lease_id = reply.lease_id;
+          entry.lease_duration = reply.lease_duration;
+          entry.lease_expires = sim_.now() + reply.lease_duration;
+        }
+        cache_insert(p.key, std::move(entry));
       }
       complete(p, not_found_error(reply.error));
       return;
@@ -971,8 +1239,9 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
             1, ReplicaRef{reply.next_server, MachineId::invalid()});
       }
       // The limit-breaking referral is still counted above — the chase
-      // just stops here instead of sending another hop.
-      if (p.hops_done == config_.resolve.max_referrals + 1) {
+      // just stops here instead of sending another hop. The limit is the
+      // *request's* (part of the coalescing identity), not the config's.
+      if (p.hops_done == p.max_referrals + 1) {
         complete(p, depth_exceeded_error("referral chase exceeded limit"));
         return;
       }
@@ -987,17 +1256,85 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
 
 ResolveHandle ResolverClient::resolve_async(EntityId start,
                                             const CompoundName& name) {
-  return resolve_async_impl(start, name, {});
+  return resolve_async_impl(start, name, config_.resolve, {});
 }
 
 ResolveHandle ResolverClient::resolve_async(EntityId start,
                                             const CompoundName& name,
                                             ResolveCallback on_done) {
-  return resolve_async_impl(start, name, std::move(on_done));
+  return resolve_async_impl(start, name, config_.resolve,
+                            std::move(on_done));
+}
+
+ResolveHandle ResolverClient::resolve_async(EntityId start,
+                                            const CompoundName& name,
+                                            const ResolveOptions& options,
+                                            ResolveCallback on_done) {
+  return resolve_async_impl(start, name, options, std::move(on_done));
+}
+
+ResolverClient::PendingResolve* ResolverClient::launch_exchange(
+    CacheKey key, std::size_t max_referrals, bool refresh, Status* error) {
+  // First hop: this machine's own server (DNS-style "local recursive"),
+  // then — should it stay silent — the rest of the start context's replica
+  // set, straight from the authority map (the client's bootstrap
+  // knowledge; later hops learn their candidates from reply replica
+  // lists).
+  auto local_server = service_.server_on(client_machine_);
+  if (!local_server.is_ok()) {
+    *error = local_server.status();
+    return nullptr;
+  }
+  auto my_loc = net_.location_of(endpoint_);
+  auto server_loc = net_.location_of(local_server.value());
+  if (!my_loc.is_ok() || !server_loc.is_ok()) {
+    *error = unreachable_error("client or server endpoint is dead");
+    return nullptr;
+  }
+  const EntityId start = key.start;
+  const std::uint64_t id = next_request_id_++;
+  auto record = std::make_unique<PendingResolve>(id, std::move(key));
+  record->max_referrals = max_referrals;
+  record->refresh = refresh;
+  record->current = start;
+  // The unresolved tail is a slice of the *record's own* copy of the name
+  // (taken only after the key settles into its heap-pinned home); each
+  // referral narrows it in place, so no per-hop name copies are made.
+  record->remaining = record->key.name.slice();
+  record->hop_text = record->key.name.to_path();
+  record->candidates = candidates_for(
+      start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
+                        client_machine_});
+  PendingResolve& p = *record;
+  requests_.emplace(id, std::move(record));
+  inflight_[p.key].push_back(&p);
+  return &p;
+}
+
+void ResolverClient::maybe_renew(const CacheKey& key,
+                                 const CacheEntry& entry) {
+  if (entry.lease_id == 0) return;
+  const SimDuration margin = config_.lease_renew_margin != 0
+                                 ? config_.lease_renew_margin
+                                 : entry.lease_duration / 4;
+  if (entry.lease_expires > sim_.now() &&
+      entry.lease_expires - sim_.now() > margin) {
+    return;  // plenty of term left
+  }
+  // An exchange for this key is already on the wire (a real lookup or an
+  // earlier refresh); its answer will re-lease the entry.
+  if (inflight_.contains(key)) return;
+  lease_renewals_->inc();
+  Status error = internal_error("unset");
+  PendingResolve* p = launch_exchange(key, config_.resolve.max_referrals,
+                                      /*refresh=*/true, &error);
+  if (p == nullptr) return;  // can't renew now; degrade on lapse instead
+  start_hop(*p);
 }
 
 ResolveHandle ResolverClient::resolve_async_impl(EntityId start,
                                                  const CompoundName& name,
+                                                 const ResolveOptions& options,
                                                  ResolveCallback callback) {
   Tracer& tracer = transport_.tracer();
   auto state = std::make_shared<ResolveHandle::State>();
@@ -1024,22 +1361,24 @@ ResolveHandle ResolverClient::resolve_async_impl(EntityId start,
       config_.cache_ttl > 0 || config_.negative_cache_ttl > 0;
   if (use_cache) {
     if (const CacheEntry* hit = cache_lookup(key, waiter.state->span)) {
-      if (hit->negative) {
+      // Copy out of the cache before settling: the callback may resolve
+      // again and rearrange the entry under the pointer.
+      const CacheEntry served = *hit;
+      if (served.negative) {
         negative_hits_->inc();
         tracer.record_in_span(waiter.state->span, sim_.now(),
                               EventKind::kNegativeHit, start.value());
-        // Copy out of the cache before settling: the callback may resolve
-        // again and rearrange the entry under the pointer.
-        Result<EntityId> error = not_found_error(hit->error);
-        settle_waiter(waiter, error);
-        return handle;
+        settle_waiter(waiter, not_found_error(served.error));
+      } else {
+        cache_hits_->inc();
+        tracer.record_in_span(waiter.state->span, sim_.now(),
+                              EventKind::kCacheHit, start.value(),
+                              served.entity.value());
+        settle_waiter(waiter, Result<EntityId>(served.entity));
       }
-      cache_hits_->inc();
-      tracer.record_in_span(waiter.state->span, sim_.now(),
-                            EventKind::kCacheHit, start.value(),
-                            hit->entity.value());
-      Result<EntityId> entity = hit->entity;
-      settle_waiter(waiter, entity);
+      // Re-use renews: a hit on a leased entry whose term is nearly out
+      // kicks off a background refresh, after the waiter settles.
+      if (config_.lease_coherence) maybe_renew(key, served);
       return handle;
     }
     cache_misses_->inc();
@@ -1048,58 +1387,54 @@ ResolveHandle ResolverClient::resolve_async_impl(EntityId start,
   }
 
   // Coalescing: a lookup identical to one already on the wire attaches to
-  // that exchange instead of duplicating it. The waiter keeps its own span
+  // that exchange instead of duplicating it — but only when the options
+  // that shape the wire outcome agree. A waiter with a different referral
+  // budget attached to the owner's exchange could receive an answer its
+  // own limit forbids (or a spurious limit error), so it runs its own
+  // exchange instead ("coalesce_rejected"). The waiter keeps its own span
   // and callback; only the wire work is shared.
   if (auto in = inflight_.find(key); in != inflight_.end()) {
-    PendingResolve& owner = *in->second;
-    coalesced_->inc();
-    tracer.record_in_span(waiter.state->span, sim_.now(),
-                          EventKind::kCoalesced, start.value(), owner.id);
-    owner.waiters.push_back(std::move(waiter));
-    return handle;
+    PendingResolve* compatible = nullptr;
+    for (PendingResolve* live : in->second) {
+      if (live->max_referrals == options.max_referrals) {
+        compatible = live;
+        break;
+      }
+    }
+    if (compatible != nullptr) {
+      coalesced_->inc();
+      tracer.record_in_span(waiter.state->span, sim_.now(),
+                            EventKind::kCoalesced, start.value(),
+                            compatible->id);
+      compatible->waiters.push_back(std::move(waiter));
+      return handle;
+    }
+    coalesce_rejected_->inc();
   }
 
-  // First hop: this machine's own server (DNS-style "local recursive"),
-  // then — should it stay silent — the rest of the start context's replica
-  // set, straight from the authority map (the client's bootstrap
-  // knowledge; later hops learn their candidates from reply replica
-  // lists).
-  auto local_server = service_.server_on(client_machine_);
-  if (!local_server.is_ok()) {
-    settle_waiter(waiter, local_server.status());
+  Status error = internal_error("unset");
+  PendingResolve* p =
+      launch_exchange(std::move(key), options.max_referrals,
+                      /*refresh=*/false, &error);
+  if (p == nullptr) {
+    settle_waiter(waiter, error);
     return handle;
   }
-  auto my_loc = net_.location_of(endpoint_);
-  auto server_loc = net_.location_of(local_server.value());
-  if (!my_loc.is_ok() || !server_loc.is_ok()) {
-    settle_waiter(waiter,
-                  unreachable_error("client or server endpoint is dead"));
-    return handle;
-  }
-
-  const std::uint64_t id = next_request_id_++;
-  auto record = std::make_unique<PendingResolve>(id, std::move(key));
-  record->current = start;
-  // The unresolved tail is a slice of the *record's own* copy of the name
-  // (taken only after the key settles into its heap-pinned home); each
-  // referral narrows it in place, so no per-hop name copies are made.
-  record->remaining = record->key.name.slice();
-  record->hop_text = record->key.name.to_path();
-  record->owner_span = waiter.state->span;
-  record->candidates = candidates_for(
-      start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
-                        client_machine_});
-  record->waiters.push_back(std::move(waiter));
-  PendingResolve& p = *record;
-  requests_.emplace(id, std::move(record));
-  inflight_.emplace(p.key, &p);
-  start_hop(p);
+  p->owner_span = waiter.state->span;
+  p->waiters.push_back(std::move(waiter));
+  start_hop(*p);
   return handle;
 }
 
 Result<EntityId> ResolverClient::resolve(EntityId start,
                                          const CompoundName& name) {
-  ResolveHandle handle = resolve_async(start, name);
+  return resolve(start, name, config_.resolve);
+}
+
+Result<EntityId> ResolverClient::resolve(EntityId start,
+                                         const CompoundName& name,
+                                         const ResolveOptions& options) {
+  ResolveHandle handle = resolve_async(start, name, options);
   sim_.run_while([&handle] { return !handle.done(); });
   NAMECOH_CHECK(handle.done(),
                 "blocking resolve stalled: the event queue drained before "

@@ -101,20 +101,6 @@ class AuthorityMap {
 /// machines".
 using HomeMap = AuthorityMap;
 
-/// Compat view of the server-side registry counters (see stats()).
-struct NameServiceStats {
-  std::uint64_t requests = 0;    ///< distinct server-side requests handled
-  std::uint64_t answers = 0;     ///< final results returned
-  std::uint64_t referrals = 0;   ///< referrals issued
-  std::uint64_t failures = 0;    ///< resolution errors returned
-  std::uint64_t duplicates = 0;  ///< retransmissions (same correlation id);
-                                 ///< re-answered but not re-counted above
-  std::uint64_t update_pushes = 0;    ///< kUpdatePush messages sent
-  std::uint64_t updates_applied = 0;  ///< pushes applied by secondaries
-  std::uint64_t updates_stale = 0;    ///< pushes ignored: epoch not newer
-  std::uint64_t store_answers = 0;    ///< lookups served from replica stores
-};
-
 /// Wire protocol message types and field conventions (Transport
 /// Message::type). See docs/PROTOCOLS.md for the full layouts and the
 /// protocol-version table.
@@ -124,10 +110,15 @@ struct NsWire {
   /// Primary → secondary update propagation (epoch-stamped full snapshot
   /// of one context's bindings; idempotent, applied only if newer).
   static constexpr std::uint32_t kUpdatePush = 102;
+  /// Server → client callback push (protocol v4, docs/COHERENCE.md):
+  /// a lease the server granted is void because the authority rebound.
+  static constexpr std::uint32_t kInvalidate = 103;
   // Reply dispositions.
   static constexpr std::uint64_t kAnswer = 0;
   static constexpr std::uint64_t kReferral = 1;
   static constexpr std::uint64_t kError = 2;
+  /// Request flags (optional fourth request field, protocol v4).
+  static constexpr std::uint64_t kFlagLeaseRequested = 1;
   /// Sentinel for "no entity" in u64 entity fields on the wire.
   static constexpr std::uint64_t kNoEntity = ~0ULL;
   /// Sentinel for "machine unknown" in the reply's replica list.
@@ -186,13 +177,20 @@ class NameService {
   [[nodiscard]] std::optional<std::uint64_t> replica_epoch(
       MachineId machine, EntityId ctx) const;
 
+  /// Lease policy (docs/COHERENCE.md): `duration` is the term granted to
+  /// clients that request one (0 disables granting); `capacity` bounds the
+  /// per-machine lease table. When the table is full of unexpired leases
+  /// the server grants nothing rather than break an outstanding promise
+  /// ("lease_table_full").
+  void set_lease_policy(SimDuration duration, std::size_t capacity = 4096);
+  [[nodiscard]] SimDuration lease_duration() const { return lease_duration_; }
+  /// Outstanding (possibly expired, not yet purged) leases granted by
+  /// `machine`'s server. For tests and table-bound assertions.
+  [[nodiscard]] std::size_t lease_count(MachineId machine) const;
+
   /// Point-in-time copy of this server group's counters ("ns.server.*");
   /// index by bare field name, e.g. snapshot()["answers"].
   [[nodiscard]] StatsSnapshot snapshot() const;
-
-  /// Compat accessor for the same counters as a fixed struct.
-  [[deprecated("read the registry via snapshot() instead")]]
-  [[nodiscard]] NameServiceStats stats() const;
 
  private:
   /// A secondary's applied snapshot of one context.
@@ -201,12 +199,43 @@ class NameService {
     std::vector<Binding> bindings;
   };
 
+  /// One callback promise: "holder may trust answers about `ctx` until
+  /// `expires`; I will push kInvalidate if `ctx` rebinds before then."
+  struct LeaseRecord {
+    std::uint64_t id = 0;
+    EntityId ctx;
+    Pid holder;            ///< client address relative to the granting server
+    SimTime expires = 0;
+    std::uint64_t epoch = 0;  ///< authority epoch the holder was answered with
+  };
+  /// Per-machine lease table: id-keyed records plus a per-context index so
+  /// a rebind finds its promises without scanning.
+  struct LeaseTable {
+    std::unordered_map<std::uint64_t, LeaseRecord> by_id;
+    std::unordered_map<EntityId, std::vector<std::uint64_t>> by_ctx;
+  };
+
   void handle_request(EndpointId self, const Message& message);
   void handle_update(EndpointId self, const Message& message);
   /// Record `corr` in the bounded recently-seen window; true if it was
   /// already there (i.e. this request is a retransmission).
   bool note_duplicate(std::uint64_t corr);
   void anti_entropy_tick();
+  /// Grant (or renew) a lease on `ctx` to `holder` from `machine`'s
+  /// server; returns {duration, lease id}, or {0, 0} when not granted
+  /// (granting disabled, or the table is full of unexpired promises).
+  std::pair<std::uint64_t, std::uint64_t> grant_lease(MachineId machine,
+                                                      EntityId ctx,
+                                                      const Pid& holder,
+                                                      std::uint64_t epoch,
+                                                      std::uint64_t corr);
+  /// Push kInvalidate to every unexpired lease on `ctx` granted by
+  /// `machine`'s server under an older epoch, then drop those records.
+  void push_invalidations(MachineId machine, EntityId ctx);
+  /// Drop `machine`'s lease records for `ctx` without pushing (a secondary
+  /// applying a snapshot: its promises are superseded by the primary's).
+  void drop_leases(MachineId machine, EntityId ctx);
+  void erase_lease(LeaseTable& table, std::uint64_t id);
 
   /// How many correlation ids the duplicate-suppression window remembers.
   static constexpr std::size_t kDuplicateWindow = 1024;
@@ -223,6 +252,11 @@ class NameService {
   std::unordered_set<std::uint64_t> recent_corr_;
   std::deque<std::uint64_t> recent_corr_order_;  // FIFO eviction
   SimDuration anti_entropy_interval_ = 0;  ///< 0 = not running
+  /// Lease policy and per-machine outstanding promises.
+  SimDuration lease_duration_ = 5000;
+  std::size_t lease_capacity_ = 4096;
+  std::uint64_t next_lease_id_ = 1;
+  std::unordered_map<MachineId, LeaseTable> leases_;
   Counter* requests_;
   Counter* answers_;
   Counter* referrals_;
@@ -232,27 +266,10 @@ class NameService {
   Counter* updates_applied_;
   Counter* updates_stale_;
   Counter* store_answers_;
-};
-
-/// Compat view of the client-side registry counters (see stats()).
-struct ResolverClientStats {
-  std::uint64_t resolutions = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t referrals_followed = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t failures = 0;
-  std::uint64_t evictions = 0;          ///< LRU entries displaced on insert
-  std::uint64_t negative_hits = 0;      ///< cache hits on cached errors
-  std::uint64_t stale_epoch_drops = 0;  ///< entries dropped: epoch superseded
-  std::uint64_t timeouts = 0;           ///< per-hop waits that expired
-  std::uint64_t backoff_retries = 0;    ///< resends after a timeout
-  std::uint64_t stale_replies_dropped = 0;  ///< replies rejected by
-                                            ///< correlation-id mismatch
-  std::uint64_t failovers = 0;  ///< hops that moved on to another replica
-                                ///< after exhausting one replica's budget
-  std::uint64_t coalesced = 0;  ///< lookups attached to an identical
-                                ///< in-flight exchange instead of sending
+  Counter* leases_granted_;
+  Counter* lease_renewals_;
+  Counter* invalidates_pushed_;
+  Counter* lease_table_full_;
 };
 
 struct ResolverClientConfig {
@@ -285,6 +302,16 @@ struct ResolverClientConfig {
   /// the client treats it as *suspect* — still usable as a last resort,
   /// but ordered after every live replica when a hop has alternatives.
   SimDuration replica_quarantine = 30000;
+  /// Lease coherence (docs/COHERENCE.md): request leases on answers and
+  /// honor server-pushed kInvalidate callbacks. Off by default — the wire
+  /// format then stays byte-identical to protocol v3.
+  bool lease_coherence = false;
+  /// Renew a cache entry's lease when a hit finds less than this much of
+  /// the term remaining. 0 = a quarter of the granted duration.
+  SimDuration lease_renew_margin = 0;
+  /// Bound on the per-authority high-water epoch table (epochs_seen_); the
+  /// least recently touched authority is forgotten first. 0 = unbounded.
+  std::size_t epoch_table_capacity = 4096;
 };
 
 /// The caller's view of one asynchronous resolution (docs/ASYNC.md). A
@@ -357,21 +384,28 @@ class ResolverClient {
   /// otherwise). The callback may submit new resolutions.
   ResolveHandle resolve_async(EntityId start, const CompoundName& name,
                               ResolveCallback on_done);
+  /// Per-request options form: `options` overrides the config's
+  /// `resolve` options for this lookup only. Lookups whose effective
+  /// options differ in a way that changes the wire outcome
+  /// (max_referrals) never coalesce with each other — a mismatched
+  /// waiter runs its own exchange instead ("coalesce_rejected").
+  ResolveHandle resolve_async(EntityId start, const CompoundName& name,
+                              const ResolveOptions& options,
+                              ResolveCallback on_done = {});
 
   /// Blocking form: submit via resolve_async, then drive the simulator
   /// until that handle settles. Byte-identical results, counters and span
   /// structure to the pre-async resolver; other in-flight work naturally
   /// progresses while this waits.
   Result<EntityId> resolve(EntityId start, const CompoundName& name);
+  Result<EntityId> resolve(EntityId start, const CompoundName& name,
+                           const ResolveOptions& options);
 
   /// Point-in-time copy of this client's counters
   /// ("ns.client.<endpoint-id>.*"); index by bare field name, e.g.
   /// snapshot()["cache_hits"].
   [[nodiscard]] StatsSnapshot snapshot() const;
 
-  /// Compat accessor for the same counters as a fixed struct.
-  [[deprecated("read the registry via snapshot() instead")]]
-  [[nodiscard]] ResolverClientStats stats() const;
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
   /// Resolutions currently in flight (coalesced waiters share one entry).
   [[nodiscard]] std::size_t inflight() const { return requests_.size(); }
@@ -408,6 +442,11 @@ class ResolverClient {
     std::uint64_t epoch;     ///< authority's rebind epoch at answer time
     bool negative;           ///< true: a cached resolution error
     std::string error;       ///< negative entries: the server's message
+    // Lease state (docs/COHERENCE.md); lease_id == 0 means no lease —
+    // the entry is plain-TTL, exactly the pre-v4 behaviour.
+    std::uint64_t lease_id = 0;
+    SimTime lease_expires = 0;     ///< server's promise ends here
+    SimDuration lease_duration = 0;  ///< granted term (for renew margin)
     std::list<CacheKey>::iterator lru;  ///< position in lru_
   };
 
@@ -440,6 +479,10 @@ class ResolverClient {
     /// The authority's replica set from the reply tail (protocol v3);
     /// empty when the peer sent a v2 reply.
     std::vector<ReplicaRef> replicas;
+    /// Lease tail (protocol v4): term granted and its id; 0/0 when the
+    /// server granted nothing (or the reply predates v4).
+    std::uint64_t lease_duration = 0;
+    std::uint64_t lease_id = 0;
   };
 
   /// The per-request state machine (docs/ASYNC.md). Heap-pinned for its
@@ -452,6 +495,10 @@ class ResolverClient {
 
     std::uint64_t id;
     CacheKey key;          ///< owns the name the slices point into
+    std::size_t max_referrals = 0;  ///< this exchange's referral budget —
+                                    ///< part of the coalescing identity
+    bool refresh = false;  ///< background lease renewal: no waiters, does
+                           ///< not count as a resolution
     EntityId current;      ///< context the current hop asks about
     NameSlice remaining;   ///< unresolved tail, narrowed per referral
     std::string hop_text;  ///< wire text of `remaining`
@@ -472,7 +519,14 @@ class ResolverClient {
   };
 
   ResolveHandle resolve_async_impl(EntityId start, const CompoundName& name,
+                                   const ResolveOptions& options,
                                    ResolveCallback callback);
+  /// Create the wire exchange for `key` and index it in inflight_; the
+  /// caller attaches waiters and then calls start_hop. Returns nullptr
+  /// (with `*error` set) when the exchange cannot even start — no local
+  /// server, dead endpoints.
+  PendingResolve* launch_exchange(CacheKey key, std::size_t max_referrals,
+                                  bool refresh, Status* error);
 
   // Engine continuations, in the order a lossless resolution runs them.
   void start_hop(PendingResolve& p);
@@ -481,6 +535,12 @@ class ResolverClient {
   void on_timeout(std::uint64_t id);
   void handle_reply(const Message& message);
   void on_reply(PendingResolve& p, const Reply& reply);
+  /// Server-pushed kInvalidate (protocol v4): bump the epoch high-water
+  /// mark and drop cache entries the voided lease covered.
+  void handle_invalidate(const Message& message);
+  /// Cache hit with the lease term nearly out: kick off a background
+  /// refresh exchange (waiter-less) so the promise stays unbroken.
+  void maybe_renew(const CacheKey& key, const CacheEntry& entry);
   void fail_candidate(PendingResolve& p, Status error);
   /// Detach the request from every engine map, then settle all waiters.
   void complete(PendingResolve& p, const Result<EntityId>& result);
@@ -524,17 +584,33 @@ class ResolverClient {
   Counter* stale_replies_dropped_;
   Counter* failovers_;
   Counter* coalesced_;
+  Counter* coalesce_rejected_;  ///< identical key, incompatible options
+  Counter* invalidates_received_;
+  Counter* lease_renewals_;     ///< background refresh exchanges launched
+  Counter* lease_degrades_;     ///< lease lapsed / renewal failed → TTL
+  Gauge* epochs_tracked_;       ///< live size of the epoch high-water table
   /// Simulated ticks from the first send of a hop to the first reply,
   /// recorded only for hops that failed over at least once.
   Histogram* failover_latency_;
+  /// Staleness windows actually closed by a kInvalidate push: ticks from
+  /// the rebind to the client dropping its superseded entries.
+  Histogram* stale_window_;
   /// Replica health: machine → simulated time until which it is suspect.
   /// Entries are erased on a successful round trip to the machine.
   std::unordered_map<MachineId, SimTime> suspect_until_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  ///< front = most recently used
   /// Highest rebind epoch seen per authoritative context; entries cached
-  /// under an older epoch are superseded.
-  std::unordered_map<EntityId, std::uint64_t> epochs_seen_;
+  /// under an older epoch are superseded. Bounded LRU
+  /// (config.epoch_table_capacity): the least recently *touched* authority
+  /// is forgotten first — forgetting only weakens invalidation back to
+  /// plain TTL, it never serves wrong data.
+  struct EpochRecord {
+    std::uint64_t epoch = 0;
+    std::list<EntityId>::iterator lru;
+  };
+  std::unordered_map<EntityId, EpochRecord> epochs_seen_;
+  std::list<EntityId> epoch_lru_;  ///< front = most recently touched
 
   // Engine state. Requests are keyed by a client-local id; the unique_ptr
   // pins each record so slices and continuations stay valid. A reply is
@@ -546,8 +622,11 @@ class ResolverClient {
   std::uint64_t next_request_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<PendingResolve>>
       requests_;
-  /// Identical-lookup index for coalescing: key → live request.
-  std::unordered_map<CacheKey, PendingResolve*, CacheKeyHash> inflight_;
+  /// Identical-lookup index for coalescing: key → live requests. Usually
+  /// one; more when per-request options forbade attaching to the first
+  /// (each option variant runs its own exchange).
+  std::unordered_map<CacheKey, std::vector<PendingResolve*>, CacheKeyHash>
+      inflight_;
   /// Currently-awaited correlation ids → owning request id.
   std::unordered_map<std::uint64_t, std::uint64_t> corr_to_request_;
   MachineId client_machine_;  ///< where this client endpoint lives

@@ -6,9 +6,9 @@
 // component. The registry centralises that: components register named
 // counters/gauges/histograms at construction and bump them on the hot path
 // through stable pointers (one add on a pre-looked-up slot — no map lookup,
-// no allocation, no formatting). The old `stats()` accessors survive as
-// thin compat views assembled from the registry on demand, so existing
-// tests and benches read the same numbers from either surface.
+// no allocation, no formatting). Components expose a prefix-scoped
+// `snapshot()` (obs/snapshot.hpp) as their point-in-time read surface; the
+// ad-hoc structs and their `stats()` accessors are gone.
 //
 // Naming convention: dotted lowercase paths, `<layer>.<component>.<what>`,
 // e.g. "transport.sent", "forwarding.cycles_refused",

@@ -14,8 +14,8 @@
 // Copy semantics matter: a stored snapshot keeps the values it was taken
 // with, so before/after deltas ("messages sent by this phase") read
 // naturally without the live registry drifting underneath. The old
-// struct accessors survive as [[deprecated]] wrappers for one transition
-// period; new code should not grow fields onto them.
+// struct accessors are gone; snapshot() and the registry are the only
+// read surfaces.
 #pragma once
 
 #include <cstdint>

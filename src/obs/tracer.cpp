@@ -32,6 +32,9 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kUpdateStale: return "update_stale";
     case EventKind::kStoreAnswer: return "store_answer";
     case EventKind::kFailover: return "failover";
+    case EventKind::kLeaseGrant: return "lease_grant";
+    case EventKind::kInvalidate: return "invalidate";
+    case EventKind::kLeaseDegrade: return "lease_degrade";
     case EventKind::kFaultCrash: return "fault_crash";
     case EventKind::kFaultRestart: return "fault_restart";
     case EventKind::kFaultPartition: return "fault_partition";

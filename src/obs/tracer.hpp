@@ -76,6 +76,13 @@ enum class EventKind : std::uint8_t {
                     ///< a = context, b = applied epoch served
   kFailover,        ///< client moved to the next replica; a = machine
                     ///< given up on, b = machine tried next
+  // Lease coherence (docs/COHERENCE.md).
+  kLeaseGrant,      ///< server granted/renewed a lease; a = context,
+                    ///< b = lease id (corr-bound: lands in the client span)
+  kInvalidate,      ///< callback push: server side a = context, b = epoch
+                    ///< pushed; client side a = context, b = epoch received
+  kLeaseDegrade,    ///< lease lapsed or renewal failed — entry rides out
+                    ///< its plain TTL; a = start entity, b = authority ctx
   // Fault injection (sim/faults.hpp via Transport::attach_faults).
   kFaultCrash,      ///< a = crashed machine
   kFaultRestart,    ///< a = restarted machine

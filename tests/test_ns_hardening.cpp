@@ -592,13 +592,9 @@ TEST_F(NsHardeningTest, SecondResolutionGetsItsOwnSpan) {
   EXPECT_EQ(hit_events[1].kind, EventKind::kCacheHit);
 }
 
-// --- Satellite: stats() views and the registry must agree ------------------
+// --- Satellite: snapshot() views and the registry must agree ---------------
 
-// The deprecated struct views must agree with the registry snapshot()
-// reads; the test deliberately calls stats() and silences its own warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(NsHardeningTest, ClientAndServerStatsMatchRegistry) {
+TEST_F(NsHardeningTest, ClientAndServerSnapshotsMatchRegistry) {
   ResolverClientConfig config;
   config.cache_ttl = 500;
   ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
@@ -609,25 +605,28 @@ TEST_F(NsHardeningTest, ClientAndServerStatsMatchRegistry) {
       client.resolve(root_, CompoundName::relative("shared/proj/readme"))
           .is_ok());
 
-  const ResolverClientStats legacy = client.stats();
-  const StatsSnapshot snap = client.snapshot();
-  EXPECT_EQ(legacy.resolutions, snap["resolutions"]);
-  EXPECT_EQ(legacy.cache_hits, snap["cache_hits"]);
-  EXPECT_EQ(legacy.cache_hits, 1u);
-  EXPECT_EQ(legacy.referrals_followed, snap["referrals_followed"]);
-  EXPECT_GE(legacy.referrals_followed, 1u);  // shared/ lives on m2
-  EXPECT_EQ(legacy.coalesced, snap["coalesced"]);
-  const NameServiceStats server_legacy = service_.stats();
-  const StatsSnapshot server_snap = service_.snapshot();
-  EXPECT_EQ(server_legacy.requests, server_snap["requests"]);
-  EXPECT_EQ(server_legacy.answers, server_snap["answers"]);
-  EXPECT_EQ(server_legacy.referrals, server_snap["referrals"]);
-  // Everything lives in ONE registry, exportable in one shot.
   const MetricsRegistry& metrics = transport_.metrics();
+  const std::string prefix =
+      "ns.client." + std::to_string(client.endpoint().value()) + ".";
+  const StatsSnapshot snap = client.snapshot();
+  EXPECT_EQ(snap["resolutions"],
+            metrics.counter_value(prefix + "resolutions"));
+  EXPECT_EQ(snap["cache_hits"], metrics.counter_value(prefix + "cache_hits"));
+  EXPECT_EQ(snap["cache_hits"], 1u);
+  EXPECT_EQ(snap["referrals_followed"],
+            metrics.counter_value(prefix + "referrals_followed"));
+  EXPECT_GE(snap["referrals_followed"], 1u);  // shared/ lives on m2
+  const StatsSnapshot server_snap = service_.snapshot();
+  EXPECT_EQ(server_snap["requests"],
+            metrics.counter_value("ns.server.requests"));
+  EXPECT_EQ(server_snap["answers"],
+            metrics.counter_value("ns.server.answers"));
+  EXPECT_EQ(server_snap["referrals"],
+            metrics.counter_value("ns.server.referrals"));
+  // Everything lives in ONE registry, exportable in one shot.
   EXPECT_TRUE(metrics.has("transport.sent"));
   EXPECT_FALSE(metrics.to_json().empty());
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace namecoh

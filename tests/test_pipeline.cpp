@@ -209,6 +209,47 @@ TEST_F(PipelineTest, CoalescedWaitersBothCompleteAfterRetry) {
   EXPECT_EQ(service_.snapshot()["answers"], 1u);
 }
 
+// Regression: coalescing used to match on CacheKey{start, name} alone, so
+// a waiter with a *stricter* referral limit silently attached to an
+// exchange run under the owner's looser options and got an answer its own
+// limit forbids. Option variants that change the wire outcome must run
+// their own exchange ("coalesce_rejected").
+TEST_F(PipelineTest, CoalescingRefusesMismatchedResolveOptions) {
+  ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c");
+  CompoundName name = CompoundName::relative("shared/proj/readme");
+
+  // Owner runs under the default budget (plenty for the two-hop chain);
+  // the strict waiter allows zero referrals and must fail on its own.
+  ResolveHandle owner = client.resolve_async(root_, name);
+  ResolveOptions strict;
+  strict.max_referrals = 0;
+  ResolveHandle limited = client.resolve_async(root_, name, strict);
+  EXPECT_EQ(client.inflight(), 2u);  // two exchanges, not one
+  sim_.run();
+
+  ASSERT_TRUE(owner.done());
+  ASSERT_TRUE(limited.done());
+  ASSERT_TRUE(owner.result().is_ok());
+  EXPECT_EQ(owner.result().value(), expect_entity("/shared/proj/readme"));
+  ASSERT_FALSE(limited.result().is_ok());
+  EXPECT_EQ(limited.result().code(), StatusCode::kDepthExceeded);
+
+  auto stats = client.snapshot();
+  EXPECT_EQ(stats["coalesced"], 0u);
+  EXPECT_EQ(stats["coalesce_rejected"], 1u);
+
+  // Matching options still coalesce — the refusal is per-variant, and a
+  // third waiter under the strict options attaches to the strict exchange.
+  ResolveHandle again = client.resolve_async(root_, name, strict);
+  ResolveHandle attached = client.resolve_async(root_, name, strict);
+  EXPECT_EQ(client.inflight(), 1u);
+  sim_.run();
+  ASSERT_TRUE(again.done());
+  ASSERT_TRUE(attached.done());
+  EXPECT_EQ(attached.result().code(), StatusCode::kDepthExceeded);
+  EXPECT_EQ(client.snapshot()["coalesced"], 1u);
+}
+
 // --- Satellite: per-request reply state ------------------------------------
 
 // Regression for the client-wide reply_* scratch fields: a fast local

@@ -251,11 +251,8 @@ TEST_F(TransportTest, TracerDisabledByDefaultRecordsNothing) {
   EXPECT_EQ(tp.snapshot()["delivered"], 1u);  // metrics still count
 }
 
-// The deprecated struct view must agree with the registry it reads; the
-// test deliberately calls stats() and silences its own warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(TransportTest, StatsMatchRegistryCounters) {
+// snapshot() must agree with the registry it captures from.
+TEST_F(TransportTest, SnapshotMatchesRegistryCounters) {
   TransportConfig config;
   config.drop_probability = 1.0;
   Transport tp(sim_, net_, config);
@@ -266,16 +263,16 @@ TEST_F(TransportTest, StatsMatchRegistryCounters) {
   ASSERT_TRUE(tp.send(a_, pid_for(b_, a_), Message{}).is_ok());
   sim_.run();
   const MetricsRegistry& metrics = tp.metrics();
-  const TransportStats stats = tp.stats();
-  EXPECT_EQ(stats.sent, metrics.counter_value("transport.sent"));
-  EXPECT_EQ(stats.dropped, metrics.counter_value("transport.dropped"));
-  EXPECT_EQ(stats.delivered, metrics.counter_value("transport.delivered"));
-  EXPECT_EQ(stats.bytes_sent, metrics.counter_value("transport.bytes_sent"));
-  EXPECT_EQ(tp.snapshot()["sent"], 4u);
-  EXPECT_EQ(tp.snapshot()["dropped"], 3u);
-  EXPECT_EQ(tp.snapshot()["delivered"], 1u);
+  const StatsSnapshot snap = tp.snapshot();
+  EXPECT_EQ(snap["sent"], metrics.counter_value("transport.sent"));
+  EXPECT_EQ(snap["dropped"], metrics.counter_value("transport.dropped"));
+  EXPECT_EQ(snap["delivered"], metrics.counter_value("transport.delivered"));
+  EXPECT_EQ(snap["bytes_sent"],
+            metrics.counter_value("transport.bytes_sent"));
+  EXPECT_EQ(snap["sent"], 4u);
+  EXPECT_EQ(snap["dropped"], 3u);
+  EXPECT_EQ(snap["delivered"], 1u);
 }
-#pragma GCC diagnostic pop
 
 TEST_F(TransportTest, SharedRegistryAcrossTransports) {
   MetricsRegistry shared;
