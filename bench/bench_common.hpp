@@ -11,6 +11,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/strings.hpp"
@@ -25,6 +26,33 @@ inline void print_header(const std::string& experiment_id,
 
 inline std::string frac(double value, int decimals = 3) {
   return format_fraction(value, decimals);
+}
+
+/// Worker-thread override shared by the bench binaries: `--threads N` (or
+/// `--threads=N`) sets the par-policy worker count the binary should use;
+/// 0 (the default) means "pick for the hardware". Parsed and stripped
+/// before google-benchmark sees the argument list.
+inline std::size_t& thread_flag() {
+  static std::size_t threads = 0;
+  return threads;
+}
+
+inline void consume_thread_flag(int& argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      thread_flag() = static_cast<std::size_t>(std::stoul(argv[++i]));
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      thread_flag() =
+          static_cast<std::size_t>(std::stoul(std::string(arg.substr(10))));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
 }
 
 /// Machine-readable mode: `--json` suppresses the experiment tables and
@@ -54,6 +82,7 @@ inline bool consume_json_flag(int& argc, char** argv,
 /// --json asked for machine-readable microbenchmarks only).
 #define NAMECOH_BENCH_MAIN(experiment_fn)                            \
   int main(int argc, char** argv) {                                  \
+    ::namecoh::bench::consume_thread_flag(argc, argv);               \
     std::vector<char*> patched_args;                                 \
     const bool json_only =                                           \
         ::namecoh::bench::consume_json_flag(argc, argv, patched_args); \

@@ -5,9 +5,12 @@
 #include "bench_common.hpp"
 #include "core/graph_ops.hpp"
 #include "core/resolve.hpp"
+#include "exec/batch.hpp"
 #include "obs/tracer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/worker_pool.hpp"
+#include "workload/parallel.hpp"
 
 namespace namecoh {
 namespace {
@@ -43,6 +46,70 @@ struct SyntheticTree {
   }
 };
 
+/// Worker count for the par-policy measurements: the --threads flag, or
+/// the hardware width when unset.
+std::size_t par_threads() {
+  return bench::thread_flag() != 0 ? bench::thread_flag()
+                                   : WorkerPool::hardware_workers();
+}
+
+/// Queries for the batch experiments: every leaf of a depth-8 binary tree,
+/// resolved from the root (255 contexts, 256 distinct 8-hop paths).
+std::vector<ParallelQuery> batch_queries(const SyntheticTree& tree) {
+  std::vector<ParallelQuery> queries;
+  queries.reserve(tree.leaves.size());
+  for (const auto& name : tree.leaves) {
+    queries.push_back(ParallelQuery{tree.root, name});
+  }
+  return queries;
+}
+
+void run_exec_seam_experiment() {
+  bench::print_header(
+      "U1b: execution-policy seam (seq vs par batch resolution)",
+      "Pure local resolutions batched through exec::resolve_batch: seq runs "
+      "on the\nsimulator thread, par fans contiguous slices across a real "
+      "worker pool and\nmerges per-worker metric shards at the barrier "
+      "(docs/PARALLELISM.md).");
+
+  SyntheticTree tree(8, 2);
+  const std::vector<ParallelQuery> queries = batch_queries(tree);
+  const std::size_t max_threads = par_threads();
+
+  LocalBatchSpec spec;
+  spec.batch_size = 4096;
+  spec.batches = 16;
+  spec.seed = 42;
+
+  spec.threads = 0;  // seq baseline
+  const LocalBatchOutcome seq = run_local_batches(tree.graph, queries, spec);
+
+  Table t({"policy", "workers", "resolutions", "ok", "wall s",
+           "resolutions/s", "speedup vs seq"});
+  auto row = [&](const char* policy, const LocalBatchOutcome& out) {
+    t.add_row({policy, std::to_string(out.workers),
+               std::to_string(out.resolutions), std::to_string(out.ok),
+               bench::frac(out.wall_seconds),
+               std::to_string(static_cast<std::uint64_t>(out.throughput())),
+               bench::frac(out.throughput() / seq.throughput(), 2)});
+  };
+  row("seq", seq);
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    spec.threads = threads;
+    row("par", run_local_batches(tree.graph, queries, spec));
+    if (threads == max_threads) break;
+    if (threads * 2 > max_threads) {
+      spec.threads = max_threads;
+      row("par", run_local_batches(tree.graph, queries, spec));
+      break;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(hardware workers: " << WorkerPool::hardware_workers()
+            << "; par rows use --threads when given)\n"
+            << std::endl;
+}
+
 void run_experiment() {
   bench::print_header(
       "U1: core resolution mechanics (§2)",
@@ -73,6 +140,8 @@ void run_experiment() {
   }
   t.print(std::cout);
   std::cout << std::endl;
+
+  run_exec_seam_experiment();
 }
 
 // --- Microbenchmarks ---------------------------------------------------------
@@ -195,6 +264,59 @@ void BM_GraphClone(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_GraphClone);
+
+// --- Execution-policy seam: batch resolution throughput ----------------------
+//
+// BM_BatchResolveSeq and BM_BatchResolvePar run the same 4096-resolution
+// batch through exec::resolve_batch; par uses a pool of --threads workers
+// (hardware width when the flag is absent), reported in the "threads"
+// counter. items_per_second is resolve throughput — the seq:par ratio is
+// the seam's speedup on this machine (EXPERIMENTS.md X7).
+
+struct BatchFixture {
+  SyntheticTree tree;
+  std::vector<CompoundName> names;  // owns the query name storage
+  std::vector<exec::BatchQuery> batch;
+
+  explicit BatchFixture(std::size_t batch_size) : tree(8, 2) {
+    Rng rng(42);
+    names.reserve(batch_size);
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      names.push_back(
+          tree.leaves[rng.next_below(tree.leaves.size())]);
+      batch.push_back(exec::BatchQuery{tree.root, names.back()});
+    }
+  }
+};
+
+void BM_BatchResolveSeq(benchmark::State& state) {
+  BatchFixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::resolve_batch(
+        exec::SeqPolicy{}, fixture.tree.graph,
+        {fixture.batch.data(), fixture.batch.size()}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["threads"] = 1;
+}
+BENCHMARK(BM_BatchResolveSeq)->Arg(4096)->UseRealTime();
+
+void BM_BatchResolvePar(benchmark::State& state) {
+  BatchFixture fixture(static_cast<std::size_t>(state.range(0)));
+  WorkerPool pool(par_threads());
+  exec::ParPolicy policy{&pool, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::resolve_batch(
+        policy, fixture.tree.graph,
+        {fixture.batch.data(), fixture.batch.size()}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_BatchResolvePar)->Arg(4096)->UseRealTime();
 
 void BM_ParsePath(benchmark::State& state) {
   for (auto _ : state) {

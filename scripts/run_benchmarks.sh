@@ -26,7 +26,13 @@ for bench in bench_core_resolution bench_ns_cache bench_x4_failover bench_x5_pip
   fi
   out="$out_dir/BENCH_${bench#bench_}.json"
   echo "running $bench -> $out" >&2
-  "$bin" --json > "$out"
+  if [[ "$bench" == bench_core_resolution ]]; then
+    # The execution-policy seam benchmarks need a worker count; default to
+    # the machine width, overridable for CI runners of known size.
+    "$bin" --threads "${NAMECOH_BENCH_THREADS:-$(nproc)}" --json > "$out"
+  else
+    "$bin" --json > "$out"
+  fi
 done
 
 # Metrics-registry artifact: the unified counters/gauges/histograms from a

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Build the whole tree with ASan + UBSan and run the test suite under it.
+# Build the whole tree with ASan + UBSan and run the test suite under it,
+# then rebuild the concurrency-sensitive tests with ThreadSanitizer and run
+# those (the execution-policy seam: worker pool, sharded interner, metric
+# shards, batch engine — docs/PARALLELISM.md).
 #
-# Usage: scripts/run_sanitizers.sh [build-dir]
+# Usage: scripts/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 BUILD="${1:-build-asan}"
+TSAN_BUILD="${2:-build-tsan}"
 
 # Cheap static pass first: the documentation link/reference checker.
 "$(dirname "${BASH_SOURCE[0]}")/check_docs.sh"
 
-cmake -B "$BUILD" -S . -DNAMECOH_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B "$BUILD" -S . -DNAMECOH_SANITIZE=asan -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)"
 
 export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
@@ -24,3 +28,14 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # machines — the heaviest exerciser of the engine's lifetime rules
 # (heap-pinned requests, handle settlement, coalesced waiter lists).
 "$BUILD/bench/bench_x5_pipeline" --json > /dev/null
+
+# TSan pass over the tests that exercise real threads. ASan and TSan cannot
+# share a build, so this is a separate tree; only the concurrency suites
+# run (the rest of the suite is single-threaded and already covered above).
+cmake -B "$TSAN_BUILD" -S . -DNAMECOH_SANITIZE=tsan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+  --target test_parallel_exec test_interner test_util test_obs
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+  -R 'test_parallel_exec|test_interner|test_util|test_obs'

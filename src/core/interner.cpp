@@ -1,5 +1,7 @@
 #include "core/interner.hpp"
 
+#include <functional>
+
 namespace namecoh {
 
 NameTable& NameTable::global() {
@@ -14,6 +16,12 @@ NameTable::NameTable() {
   NAMECOH_CHECK(intern_unchecked("..") == kParentAtom, "interner bootstrap");
 }
 
+NameTable::~NameTable() {
+  for (auto& chunk : chunks_) {
+    delete chunk.load(std::memory_order_relaxed);
+  }
+}
+
 bool NameTable::is_valid(std::string_view text) {
   if (text.empty()) return false;
   if (text == "/") return true;
@@ -21,13 +29,40 @@ bool NameTable::is_valid(std::string_view text) {
          text.find('\0') == std::string_view::npos;
 }
 
+void NameTable::publish(NameId id, const std::string* text) {
+  const std::size_t chunk_index = id >> kSlotChunkBits;
+  NAMECOH_CHECK(chunk_index < kMaxSlotChunks, "name table full");
+  SlotChunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard lock(chunk_alloc_mu_);
+    chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new SlotChunk();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+  }
+  chunk->slots[id & (kSlotChunkSize - 1)].store(text,
+                                                std::memory_order_release);
+}
+
 NameId NameTable::intern_unchecked(std::string_view text) {
-  auto it = ids_.find(text);
-  if (it != ids_.end()) return it->second;
-  const NameId id = static_cast<NameId>(texts_.size());
-  texts_.emplace_back(text);
-  ids_.emplace(std::string_view(texts_.back()), id);
-  return id;
+  const std::size_t hash = std::hash<std::string_view>{}(text);
+  return shards_.with(hash, [&](Shard& shard) -> NameId {
+    auto it = shard.ids.find(text);
+    if (it != shard.ids.end()) return it->second;
+    // New atom: mint the next dense id, store the text in this shard (deque
+    // addresses are stable), publish the slot so text() on other threads
+    // sees it before the id can escape, then index it. Ids race across
+    // shards via fetch_add, so under concurrency the id *values* depend on
+    // interleaving — but atoms are node-local by contract, and a
+    // single-threaded sequence assigns them in call order exactly as the
+    // unsharded table did.
+    const NameId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+    const std::string& stored = shard.texts.emplace_back(text);
+    publish(id, &stored);
+    shard.ids.emplace(std::string_view(stored), id);
+    return id;
+  });
 }
 
 NameId NameTable::intern(std::string_view text) {
@@ -44,14 +79,27 @@ Result<NameId> NameTable::try_intern(std::string_view text) {
 }
 
 std::optional<NameId> NameTable::find(std::string_view text) const {
-  auto it = ids_.find(text);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t hash = std::hash<std::string_view>{}(text);
+  return shards_.with(hash, [&](const Shard& shard) -> std::optional<NameId> {
+    auto it = shard.ids.find(text);
+    if (it == shard.ids.end()) return std::nullopt;
+    return it->second;
+  });
 }
 
 const std::string& NameTable::text(NameId id) const {
-  NAMECOH_CHECK(id < texts_.size(), "unknown name atom");
-  return texts_[id];
+  NAMECOH_CHECK(id < next_id_.load(std::memory_order_acquire),
+                "unknown name atom");
+  const SlotChunk* chunk =
+      chunks_[id >> kSlotChunkBits].load(std::memory_order_acquire);
+  NAMECOH_CHECK(chunk != nullptr, "unknown name atom");
+  const std::string* stored =
+      chunk->slots[id & (kSlotChunkSize - 1)].load(std::memory_order_acquire);
+  // An id is published before intern() returns it, so a caller holding a
+  // legitimately obtained id always reads a non-null slot; null means the
+  // id was guessed or corrupted.
+  NAMECOH_CHECK(stored != nullptr, "unknown name atom");
+  return *stored;
 }
 
 }  // namespace namecoh

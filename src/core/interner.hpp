@@ -12,7 +12,7 @@
 //
 //   * Atoms are immortal: a NameId, once assigned, denotes the same text
 //     for the life of the process, and text() references stay valid forever
-//     (storage is a deque; entries never move and are never freed).
+//     (string storage never moves and is never freed).
 //   * Atoms are node-local: two processes intern in different orders, so a
 //     NameId is meaningless outside the process that minted it. The wire
 //     always carries the text; receivers re-intern on decode
@@ -22,19 +22,31 @@
 //   * The distinguished bindings "/", ".", ".." are pre-interned with fixed
 //     ids, so classification (is_root etc.) is a constant compare.
 //
-// The table is not synchronized: the simulator and everything above it are
-// single-threaded by design (see sim/simulator.hpp). A multi-threaded
-// future would shard the table or add a lock on the intern path only —
-// text() lookups are immutable-after-publish either way.
+// Concurrency (docs/PARALLELISM.md): the table is a sharded concurrent atom
+// table so pure resolution batches can intern off the simulator thread.
+//   * intern()/find() route each text to one of kShardCount shards by
+//     string hash; only texts that collide in a shard contend on its lock.
+//   * text() is lock-free: ids index a two-level chunked slot array whose
+//     chunk pointers and slot pointers are published with release stores,
+//     so any id a thread legitimately holds reads its string with two
+//     acquire loads and no lock. Chunks are never reallocated or freed.
+//   * Ids stay dense 4-byte handles minted from one atomic counter; a
+//     single-threaded intern sequence assigns exactly the ids the
+//     pre-concurrent table did, which is what keeps seq-mode runs
+//     bit-identical to their history.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "util/sharded.hpp"
 #include "util/status.hpp"
 
 namespace namecoh {
@@ -63,8 +75,8 @@ class NameTable {
   static bool is_valid(std::string_view text);
 
   /// Intern `text`, returning its atom; the same text always returns the
-  /// same atom. Throws PreconditionError on invalid text (use try_intern
-  /// for untrusted input).
+  /// same atom, from any thread. Throws PreconditionError on invalid text
+  /// (use try_intern for untrusted input).
   NameId intern(std::string_view text);
 
   /// Non-throwing intern for untrusted input.
@@ -73,22 +85,52 @@ class NameTable {
   /// The atom for `text` if it has ever been interned; never interns.
   [[nodiscard]] std::optional<NameId> find(std::string_view text) const;
 
-  /// The text of an atom. O(1); the reference is stable for the process
-  /// lifetime. Precondition: `id` was returned by intern().
+  /// The text of an atom. O(1), lock-free; the reference is stable for the
+  /// process lifetime. Precondition: `id` was returned by intern().
   [[nodiscard]] const std::string& text(NameId id) const;
 
-  /// Number of distinct atoms interned so far.
-  [[nodiscard]] std::size_t size() const { return texts_.size(); }
+  /// Number of distinct atoms interned so far. Exact when quiescent; with
+  /// interns in flight on other threads it may briefly count an atom whose
+  /// slot is still being published.
+  [[nodiscard]] std::size_t size() const {
+    return next_id_.load(std::memory_order_acquire);
+  }
+
+  ~NameTable();
 
  private:
+  // Slot storage: a two-level array so text() needs no lock. The top level
+  // is a fixed array of atomic chunk pointers (allocated lazily, never
+  // freed or moved); each chunk is a fixed array of atomic string
+  // pointers. 4096 chunks × 4096 slots caps the table at ~16.7M atoms —
+  // far beyond any workload here, and checked at mint time.
+  static constexpr std::size_t kSlotChunkBits = 12;
+  static constexpr std::size_t kSlotChunkSize = std::size_t{1}
+                                                << kSlotChunkBits;
+  static constexpr std::size_t kMaxSlotChunks = 4096;
+  struct SlotChunk {
+    std::array<std::atomic<const std::string*>, kSlotChunkSize> slots{};
+  };
+
+  // One shard of the string → id map. The deque owns this shard's strings
+  // (stable addresses under growth); map keys are views into them.
+  struct Shard {
+    std::unordered_map<std::string_view, NameId> ids;
+    std::deque<std::string> texts;
+  };
+  static constexpr std::size_t kShardCount = 16;
+
   NameTable();
 
   NameId intern_unchecked(std::string_view text);
+  /// Publish `text` as the string for `id` (release), allocating the
+  /// owning chunk if this id is the first in it.
+  void publish(NameId id, const std::string* text);
 
-  // Texts are stored in a deque so element addresses are stable under
-  // growth; ids_ keys are views into those stored strings.
-  std::deque<std::string> texts_;
-  std::unordered_map<std::string_view, NameId> ids_;
+  Sharded<Shard, kShardCount> shards_;
+  std::atomic<std::uint32_t> next_id_{0};
+  std::array<std::atomic<SlotChunk*>, kMaxSlotChunks> chunks_{};
+  std::mutex chunk_alloc_mu_;
 };
 
 }  // namespace namecoh

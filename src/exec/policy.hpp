@@ -1,0 +1,65 @@
+// Execution policies: the seq/par seam (docs/PARALLELISM.md).
+//
+// Everything in this repository that takes *time* runs on the deterministic
+// single-threaded simulator; everything that is *pure computation* — path
+// parsing, NameTable interning, Context binary search, closure-rule
+// evaluation, span/metric recording into per-worker shards — has no
+// ordering obligations at all, and may run on as many real threads as the
+// hardware offers. namecoh::exec marks that boundary in the type system:
+// entry points that can exploit parallelism take an execution policy as
+// their first parameter (cf. the standard <execution> policies, and
+// TopoGen's ExecutionPolicies.hpp), so every call site names which side of
+// the seam it is on.
+//
+//   * SeqPolicy — run on the calling (simulator) thread, in item order.
+//     Bit-identical to the pre-seam code: same intern order, same metric
+//     update order, same trace-event order.
+//   * ParPolicy — run on a real-thread WorkerPool, partitioned into
+//     contiguous per-worker slices, merged at a barrier in worker-index
+//     order. Deterministic at the *result* level (see the contract in
+//     docs/PARALLELISM.md), not the interleaving level.
+//
+// The compile-time default for policy-less call sites is SeqPolicy; build
+// with -DNAMECOH_EXEC_DEFAULT_PAR to flip the default to ParPolicy on the
+// shared process-wide pool (sized to the hardware). Determinism gates
+// compile the par engine in but leave the default seq, asserting seq-mode
+// histories stay bit-identical with the parallel machinery present.
+#pragma once
+
+#include <cstddef>
+
+#include "util/worker_pool.hpp"
+
+namespace namecoh::exec {
+
+/// Run sequentially on the calling thread.
+struct SeqPolicy {};
+
+/// Run on a real-thread worker pool.
+struct ParPolicy {
+  /// Pool to run on; nullptr uses the shared default_pool().
+  WorkerPool* pool = nullptr;
+  /// Cap on workers actually used (0 = the pool's full width). Slices are
+  /// partitioned across min(threads, pool size) workers.
+  std::size_t threads = 0;
+};
+
+/// The process-wide pool ParPolicy{} falls back to: hardware-wide, built on
+/// first use, alive for the process lifetime.
+WorkerPool& default_pool();
+
+#if defined(NAMECOH_EXEC_DEFAULT_PAR)
+using DefaultPolicy = ParPolicy;
+#else
+using DefaultPolicy = SeqPolicy;
+#endif
+
+/// True when the policy-less entry points run parallel (compile-time).
+inline constexpr bool kDefaultIsParallel =
+#if defined(NAMECOH_EXEC_DEFAULT_PAR)
+    true;
+#else
+    false;
+#endif
+
+}  // namespace namecoh::exec

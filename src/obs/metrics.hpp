@@ -52,7 +52,9 @@ class Gauge {
 /// Central registry of named instruments. Get-or-create semantics: asking
 /// for an existing name returns the same instrument, so components that
 /// outlive each other (or intentionally share a name) accumulate into one
-/// slot. Not thread-safe by design — the simulator is single-threaded.
+/// slot. Not locked by design — the simulator thread owns it; pool workers
+/// record into private MetricsShards (obs/metrics_shard.hpp) that the
+/// driving thread merges at the batch barrier (docs/PARALLELISM.md).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

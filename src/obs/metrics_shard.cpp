@@ -1,0 +1,32 @@
+#include "obs/metrics_shard.hpp"
+
+namespace namecoh {
+
+Histogram& MetricsShard::histogram(const std::string& name,
+                                   std::vector<double> boundaries) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(boundaries)))
+      .first->second;
+}
+
+void MetricsShard::merge_into(MetricsRegistry& registry) {
+  for (const auto& [name, counter] : counters_) {
+    registry.counter(name).inc(counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    registry.gauge(name).add(gauge.value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    registry.histogram(name, histogram.boundaries()).merge(histogram);
+  }
+  clear();
+}
+
+void MetricsShard::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace namecoh

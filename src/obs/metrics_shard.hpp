@@ -1,0 +1,60 @@
+// Per-thread metric shards (docs/PARALLELISM.md, docs/OBSERVABILITY.md).
+//
+// MetricsRegistry is deliberately not locked: the simulator thread owns it,
+// and putting a mutex (or atomics) on every counter bump would tax the hot
+// path every run pays to cover the rare parallel one. Off-thread recording
+// instead goes through a MetricsShard — a private registry-shaped
+// accumulator each pool worker owns exclusively, no locks, no sharing —
+// and the driving thread folds the shards into the real registry at the
+// batch barrier, always in worker-index order.
+//
+// Merging is exact, not approximate: counters add, gauges add their
+// accumulated delta, histograms add bucket counts (Histogram::merge). All
+// three are associative and commutative over integer counts, so the merged
+// registry is byte-identical for a given batch no matter how the workers'
+// execution interleaved — which is what lets the determinism gate
+// (tests/test_parallel_exec.cpp) compare metric snapshots across seq and
+// par runs as strings.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace namecoh {
+
+class MetricsShard {
+ public:
+  MetricsShard() = default;
+  MetricsShard(const MetricsShard&) = delete;
+  MetricsShard& operator=(const MetricsShard&) = delete;
+
+  /// Get-or-create, same semantics (and same instrument types) as the
+  /// registry, so recording code can be written once against either.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  /// Shard gauges accumulate a *delta*; merge applies it with Gauge::add.
+  /// (Point-in-time `set` has no meaningful cross-thread merge.)
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> boundaries);
+
+  /// Fold everything recorded here into `registry` and clear the shard.
+  /// Call from the owning/driving thread at a barrier, in worker-index
+  /// order (docs/PARALLELISM.md determinism contract).
+  void merge_into(MetricsRegistry& registry);
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace namecoh

@@ -5,6 +5,8 @@
 namespace namecoh {
 
 EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
+  NAMECOH_CHECK(!in_pure_section(),
+                "cannot schedule events inside a pure-compute section");
   NAMECOH_CHECK(at >= now_, "cannot schedule an event in the past");
   NAMECOH_CHECK(static_cast<bool>(action), "null event action");
   std::uint64_t id = next_id_++;
@@ -31,6 +33,8 @@ std::optional<SimTime> Simulator::next_event_time() {
 }
 
 bool Simulator::fire_next() {
+  NAMECOH_CHECK(!in_pure_section(),
+                "cannot fire events inside a pure-compute section");
   while (!queue_.empty()) {
     Entry entry = queue_.top();
     queue_.pop();
@@ -50,6 +54,8 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {
+  NAMECOH_CHECK(!in_pure_section(),
+                "cannot run the simulator inside a pure-compute section");
   std::uint64_t fired = 0;
   // Deadline checks must look past cancelled entries: a cancelled head at
   // t <= until used to admit fire_next(), which discarded it and then fired
@@ -73,6 +79,8 @@ std::uint64_t Simulator::run_while(const std::function<bool()>& keep_going) {
 }
 
 void Simulator::reset() {
+  NAMECOH_CHECK(!in_pure_section(),
+                "cannot reset the simulator inside a pure-compute section");
   queue_ = {};
   pending_.clear();
   now_ = 0;

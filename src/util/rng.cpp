@@ -29,7 +29,7 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   // Seed all 256 bits from splitmix64 as the xoshiro authors recommend;
   // guards against the all-zero state.
   std::uint64_t sm = seed;
@@ -110,6 +110,16 @@ std::uint64_t Rng::geometric(double p) {
   double u = uniform01();
   // Inverse CDF; +1 so the result counts trials, not failures.
   return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p)) + 1;
+}
+
+Rng Rng::child(std::uint64_t index) const {
+  // Key on (construction seed, index) only — two splitmix steps give the
+  // avalanche that keeps adjacent worker indices uncorrelated. The parent's
+  // current state is deliberately not consulted.
+  std::uint64_t state = seed_ ^ 0xa5a5a5a5a5a5a5a5ULL;
+  std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ (index + 1);
+  return Rng(splitmix64(state));
 }
 
 Rng Rng::fork(std::string_view label) const {

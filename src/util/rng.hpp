@@ -76,7 +76,21 @@ class Rng {
   /// the same (parent seed, label) always yields the same stream.
   Rng fork(std::string_view label) const;
 
+  /// Derive the worker-indexed child stream `index`. Unlike fork(), which
+  /// keys on the current *state* (so the answer depends on how many draws
+  /// preceded it), child() keys on the construction seed alone: the same
+  /// (seed, index) pair always yields the same stream, no matter when it is
+  /// derived or what other streams were drawn from in between. This is the
+  /// multi-thread contract (docs/PARALLELISM.md): give each pool worker
+  /// child(worker_index) instead of sharing one Rng, and a parallel run is
+  /// reproducible run-to-run because no worker's draws perturb another's.
+  [[nodiscard]] Rng child(std::uint64_t index) const;
+
+  /// The seed this generator was constructed with (child() keys on it).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
   // Cached harmonic sums for zipf(): (n, s) -> H_{n,s} would need a map;
   // instead we recompute lazily for the last-used (n, s) pair, which covers

@@ -1,0 +1,79 @@
+// Sharded-lock primitive: a value of type T split into N independently
+// locked shards, selected by hash (docs/PARALLELISM.md).
+//
+// The concurrency pattern the execution-policy seam needs again and again
+// is "a table written from many threads where contention, not ordering,
+// is the problem" — the NameTable's string → atom map is the canonical
+// case. Sharded<T, N> packages it: callers route each operation to the
+// shard owning its key's hash, the shard's mutex serialises only the keys
+// that collide in that shard, and cross-shard iteration (for_each) locks
+// shards one at a time in index order, so snapshots taken from the driving
+// thread are deterministic.
+//
+// Shards are cache-line aligned so two shards' mutexes never share a line
+// (lock ping-pong would otherwise serialise disjoint shards in practice).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+namespace namecoh {
+
+template <typename T, std::size_t N = 16>
+class Sharded {
+  static_assert(N > 0 && (N & (N - 1)) == 0,
+                "shard count must be a power of two");
+
+ public:
+  static constexpr std::size_t shard_count() { return N; }
+
+  /// Index of the shard owning `hash`. The low bits select, so feed a
+  /// well-mixed hash (std::hash of a string is fine; a raw small integer
+  /// is not).
+  static constexpr std::size_t shard_index(std::size_t hash) {
+    return hash & (N - 1);
+  }
+
+  /// Run `fn(shard_value)` holding that shard's lock; returns fn's result.
+  template <typename Fn>
+  decltype(auto) with(std::size_t hash, Fn&& fn) {
+    Shard& shard = shards_[shard_index(hash)];
+    std::lock_guard lock(shard.mu);
+    return std::forward<Fn>(fn)(shard.value);
+  }
+  template <typename Fn>
+  decltype(auto) with(std::size_t hash, Fn&& fn) const {
+    const Shard& shard = shards_[shard_index(hash)];
+    std::lock_guard lock(shard.mu);
+    return std::forward<Fn>(fn)(shard.value);
+  }
+
+  /// Run `fn(shard_value)` on every shard, locking one at a time in index
+  /// order. Other threads may mutate later shards while earlier ones are
+  /// visited; call from a quiescent point when an exact snapshot matters.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Shard& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      fn(shard.value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      fn(shard.value);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    T value{};
+  };
+  std::array<Shard, N> shards_;
+};
+
+}  // namespace namecoh

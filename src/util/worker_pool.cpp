@@ -1,0 +1,73 @@
+#include "util/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace namecoh {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
+  errors_.resize(workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::worker_main(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+    }
+    try {
+      (*body)(index);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      errors_[index] = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& body) {
+  {
+    std::lock_guard lock(mu_);
+    body_ = &body;
+    outstanding_ = threads_.size();
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    body_ = nullptr;
+    for (auto& error : errors_) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+}
+
+std::size_t WorkerPool::hardware_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace namecoh

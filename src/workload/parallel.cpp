@@ -1,6 +1,7 @@
 #include "workload/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "util/rng.hpp"
@@ -73,6 +74,67 @@ ParallelOutcome run_parallel(Simulator& sim, ResolverClient& client,
                 "parallel workload stalled: event queue drained with "
                 "resolutions outstanding");
   return loop->out;
+}
+
+LocalBatchOutcome run_local_batches(const NamingGraph& graph,
+                                    const std::vector<ParallelQuery>& queries,
+                                    const LocalBatchSpec& spec,
+                                    MetricsRegistry* metrics,
+                                    Tracer* tracer) {
+  NAMECOH_CHECK(!queries.empty(), "local batch workload needs queries");
+  NAMECOH_CHECK(spec.batch_size > 0 && spec.batches > 0,
+                "local batch workload needs batch_size and batches >= 1");
+
+  const bool par = spec.threads > 0;
+  const std::size_t workers = par ? spec.threads : 1;
+  std::unique_ptr<WorkerPool> pool;
+  if (par) pool = std::make_unique<WorkerPool>(workers);
+
+  // Per-worker child streams, derived once from the spec seed. Query picks
+  // for slice w are drawn from child(w) on the driving thread (picks are
+  // not the parallel part — the resolutions are), so the sequence each
+  // worker resolves is fixed by (seed, w) alone.
+  Rng root(spec.seed);
+  std::vector<Rng> streams;
+  streams.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) streams.push_back(root.child(w));
+
+  exec::BatchOptions options;
+  options.metrics = metrics;
+  options.tracer = tracer;
+
+  LocalBatchOutcome out;
+  out.workers = workers;
+  std::vector<exec::BatchQuery> batch(spec.batch_size);
+
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < spec.batches; ++b) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      // Fill exactly the contiguous slice worker w will own (the same
+      // partition exec::resolve_batch uses).
+      const std::size_t begin = w * spec.batch_size / workers;
+      const std::size_t end = (w + 1) * spec.batch_size / workers;
+      for (std::size_t i = begin; i < end; ++i) {
+        const ParallelQuery& query =
+            queries[streams[w].next_below(queries.size())];
+        batch[i] = exec::BatchQuery{query.start, query.name};
+      }
+    }
+    exec::BatchOutcome result =
+        par ? exec::resolve_batch(
+                  exec::ParPolicy{pool.get(), workers}, graph,
+                  {batch.data(), batch.size()}, options)
+            : exec::resolve_batch(exec::SeqPolicy{}, graph,
+                                  {batch.data(), batch.size()}, options);
+    out.resolutions += result.results.size();
+    out.ok += result.ok;
+    out.failed += result.failed;
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  return out;
 }
 
 }  // namespace namecoh

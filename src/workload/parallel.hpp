@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "exec/batch.hpp"
 #include "ns/name_service.hpp"
 
 namespace namecoh {
@@ -57,5 +58,52 @@ struct ParallelOutcome {
 ParallelOutcome run_parallel(Simulator& sim, ResolverClient& client,
                              const std::vector<ParallelQuery>& queries,
                              const ParallelSpec& spec);
+
+// --- Local-resolution batch driver (execution-policy seam) -------------------
+//
+// Where run_parallel exercises *simulated* concurrency (N activities
+// interleaved on one simulator thread), run_local_batches exercises *real*
+// concurrency: repeated batches of pure local resolutions pushed through
+// exec::resolve_batch under the seq or par policy, timed on the wall clock.
+// This is the driver behind bench_core_resolution --threads N
+// (docs/PARALLELISM.md).
+
+struct LocalBatchSpec {
+  /// Resolutions per batch (one resolve_batch call each).
+  std::size_t batch_size = 4096;
+  /// Number of batches to run.
+  std::size_t batches = 8;
+  /// 0 = SeqPolicy on the driving thread; N >= 1 = ParPolicy on an
+  /// N-worker pool owned by the driver for the run.
+  std::size_t threads = 0;
+  /// Seed for query selection. Picks are drawn from per-worker Rng child
+  /// streams — child(w) feeds exactly the slice worker w will resolve — so
+  /// a run is reproducible run-to-run for a given (seed, threads), and no
+  /// worker's draws perturb another's (util/rng.hpp).
+  std::uint64_t seed = 1;
+};
+
+struct LocalBatchOutcome {
+  std::uint64_t resolutions = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::size_t workers = 1;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double throughput() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(resolutions) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Drive `spec.batches` batches of `spec.batch_size` resolutions against
+/// `graph`, drawing queries from `queries`. Optional metrics/tracer are
+/// forwarded to exec::resolve_batch (per-worker shards, merged at each
+/// barrier).
+LocalBatchOutcome run_local_batches(const NamingGraph& graph,
+                                    const std::vector<ParallelQuery>& queries,
+                                    const LocalBatchSpec& spec,
+                                    MetricsRegistry* metrics = nullptr,
+                                    Tracer* tracer = nullptr);
 
 }  // namespace namecoh

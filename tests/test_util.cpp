@@ -210,6 +210,32 @@ TEST(Rng, ForkIsDeterministicAndIndependent) {
   EXPECT_NE(fa.next(), fork_b.next());
 }
 
+TEST(Rng, ChildStreamsAreKeyedOnSeedNotState) {
+  // child(i) depends only on (construction seed, i): draws from the parent
+  // before deriving must not shift the child streams. This is what makes
+  // per-worker streams reproducible run to run (docs/PARALLELISM.md).
+  Rng fresh(71);
+  Rng warmed(71);
+  for (int i = 0; i < 100; ++i) warmed.next();
+  EXPECT_EQ(fresh.child(3).next(), warmed.child(3).next());
+}
+
+TEST(Rng, ChildStreamsAreDistinctPerIndex) {
+  Rng parent(72);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t w = 0; w < 16; ++w) {
+    firsts.insert(parent.child(w).next());
+  }
+  EXPECT_EQ(firsts.size(), 16u);
+  // And distinct from the parent's own stream.
+  EXPECT_NE(Rng(72).next(), Rng(72).child(0).next());
+}
+
+TEST(Rng, SeedAccessorReportsConstructionSeed) {
+  EXPECT_EQ(Rng(123).seed(), 123u);
+  EXPECT_EQ(Rng(123).child(2).seed(), Rng(123).child(2).seed());
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng rng(37);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
@@ -334,6 +360,46 @@ TEST(Histogram, RejectsBadBoundaries) {
   EXPECT_THROW(Histogram({}), PreconditionError);
   EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
   EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+}
+
+TEST(Histogram, MergeMatchesSequentialAdds) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  Histogram all({1.0, 2.0, 4.0});
+  for (double x : {0.5, 1.5, 3.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (double x : {1.7, 10.0, 0.2}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.counts(), all.counts());
+  EXPECT_EQ(a.observed_max(), all.observed_max());
+  EXPECT_EQ(a.quantile(0.5), all.quantile(0.5));
+  // b is unchanged by being merged from.
+  EXPECT_EQ(b.total(), 3u);
+}
+
+TEST(Histogram, MergeEmptySides) {
+  Histogram a({1.0, 2.0});
+  Histogram empty({1.0, 2.0});
+  a.add(5.0);
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.observed_max(), 5.0);
+  Histogram target({1.0, 2.0});
+  target.merge(a);  // merging *into* an empty one copies the state
+  EXPECT_EQ(target.total(), 1u);
+  EXPECT_EQ(target.observed_max(), 5.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBoundaries) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), PreconditionError);
 }
 
 TEST(CategoryCounter, CountsByKey) {
