@@ -55,6 +55,33 @@ inline void consume_thread_flag(int& argc, char** argv) {
   argc = out;
 }
 
+/// Experiment-size override: `--scale small|full` (or `--scale=X`).
+/// "small" (the default) keeps the experiment runnable in seconds on a
+/// 1-core CI container; "full" runs the headline configuration — for
+/// bench_x7_shard, the ≥1M-context / ≥10M-binding fabric. Parsed and
+/// stripped before google-benchmark sees the argument list.
+inline std::string& scale_flag() {
+  static std::string scale = "small";
+  return scale;
+}
+
+inline void consume_scale_flag(int& argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      scale_flag() = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale_flag() = std::string(arg.substr(8));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+}
+
 /// Machine-readable mode: `--json` suppresses the experiment tables and
 /// runs only the microbenchmarks with JSON output on stdout, so CI can
 /// redirect straight into a BENCH_*.json artifact
@@ -83,6 +110,7 @@ inline bool consume_json_flag(int& argc, char** argv,
 #define NAMECOH_BENCH_MAIN(experiment_fn)                            \
   int main(int argc, char** argv) {                                  \
     ::namecoh::bench::consume_thread_flag(argc, argv);               \
+    ::namecoh::bench::consume_scale_flag(argc, argv);                \
     std::vector<char*> patched_args;                                 \
     const bool json_only =                                           \
         ::namecoh::bench::consume_json_flag(argc, argv, patched_args); \

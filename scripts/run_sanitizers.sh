@@ -29,6 +29,12 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # (heap-pinned requests, handle settlement, coalesced waiter lists).
 "$BUILD/bench/bench_x5_pipeline" --json > /dev/null
 
+# Sharded-fabric smoke under the sanitized build, at the reduced default
+# scale: delegation installs, v5 glue tails on the wire, shard-routed
+# failover, and the anti-entropy epoch gate (the two regression tests ride
+# in test_name_service above; this drives the full cross-shard path).
+"$BUILD/bench/bench_x7_shard" --benchmark_filter='BM_(ShardedResolve|GlueTailParse)' > /dev/null
+
 # TSan pass over the tests that exercise real threads. ASan and TSan cannot
 # share a build, so this is a separate tree; only the concurrency suites
 # run (the rest of the suite is single-threaded and already covered above).

@@ -126,4 +126,52 @@ std::string to_dot(const NamingGraph& graph) {
   return os.str();
 }
 
+TreeBuildResult build_context_tree(NamingGraph& graph, EntityId root,
+                                   std::size_t fanout, std::size_t depth) {
+  NAMECOH_CHECK(graph.is_context_object(root),
+                "build_context_tree: root is not a context object");
+  NAMECOH_CHECK(fanout > 0, "build_context_tree: fanout must be positive");
+  TreeBuildResult result;
+  result.levels.push_back({root});
+  if (depth == 0) return result;
+  // fanout^depth new contexts in the last level alone; reserve the whole
+  // count up front so a million-entity build is one allocation, not a
+  // re-allocation cascade.
+  std::size_t to_create = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    level_size *= fanout;
+    to_create += level_size;
+  }
+  graph.reserve(graph.entity_count() + to_create);
+  // The whole tree shares one fanout-sized name vocabulary: interning
+  // keeps every binding an atom reference, not a string copy.
+  std::vector<Name> names;
+  names.reserve(fanout);
+  for (std::size_t c = 0; c < fanout; ++c) {
+    auto name = Name::make("c" + std::to_string(c));
+    NAMECOH_CHECK(name.is_ok(), "build_context_tree: bad child name");
+    names.push_back(std::move(name).value());
+  }
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::vector<EntityId>& parents = result.levels.back();
+    std::vector<EntityId> children;
+    children.reserve(parents.size() * fanout);
+    for (EntityId parent : parents) {
+      for (std::size_t c = 0; c < fanout; ++c) {
+        // Empty labels: the binding name is the identity that matters,
+        // and a million label strings would dominate the footprint.
+        const EntityId child = graph.add_context_object("");
+        NAMECOH_CHECK(graph.bind(parent, names[c], child).is_ok(),
+                      "build_context_tree: bind failed");
+        children.push_back(child);
+        ++result.contexts_created;
+        ++result.bindings_created;
+      }
+    }
+    result.levels.push_back(std::move(children));
+  }
+  return result;
+}
+
 }  // namespace namecoh

@@ -59,4 +59,21 @@ Result<CompoundName> shortest_name(const NamingGraph& graph, EntityId start,
 /// data objects as ellipses, activities as diamonds).
 std::string to_dot(const NamingGraph& graph);
 
+/// Result of build_context_tree: the created directory levels (levels[0] is
+/// {root}; levels[d] holds fanout^d contexts) plus construction counts.
+struct TreeBuildResult {
+  std::vector<std::vector<EntityId>> levels;
+  std::size_t contexts_created = 0;
+  std::size_t bindings_created = 0;
+};
+
+/// Build a uniform context tree under `root`: every context down to `depth`
+/// gets `fanout` child contexts bound as "c0".."c{fanout-1}". Sized for
+/// million-context construction (bench_x7_shard): the graph is reserved up
+/// front, child labels are left empty (the binding name is the identity
+/// that matters), and the name vocabulary is `fanout` interned atoms total.
+/// Precondition: `root` is a context object.
+TreeBuildResult build_context_tree(NamingGraph& graph, EntityId root,
+                                   std::size_t fanout, std::size_t depth);
+
 }  // namespace namecoh

@@ -51,6 +51,10 @@ class NamingGraph {
   void set_label(EntityId id, std::string label);
 
   [[nodiscard]] std::size_t entity_count() const { return records_.size(); }
+  /// Pre-size the entity table. Million-entity construction (bench_x7)
+  /// would otherwise pay repeated geometric re-allocations of a vector of
+  /// non-trivial records.
+  void reserve(std::size_t entities) { records_.reserve(entities); }
   [[nodiscard]] std::vector<EntityId> entities() const;
   [[nodiscard]] std::vector<EntityId> entities_of_kind(EntityKind kind) const;
 

@@ -31,6 +31,80 @@ std::optional<NameSlice> referral_suffix(NameSlice sent,
   return candidate;
 }
 
+ReplyTail parse_reply_tail(const Payload& payload, std::size_t offset,
+                           bool expect_lease, bool expect_glue) {
+  ReplyTail tail;
+  const std::size_t fields = payload.size();
+  std::size_t cursor = offset;
+  // A v2 peer stops at the fixed fields: no tail is a valid (empty) tail.
+  if (cursor >= fields) {
+    tail.valid = true;
+    return tail;
+  }
+  auto u64_field = [&](std::uint64_t* out) {
+    if (cursor >= fields || payload.type_at(cursor) != FieldType::kU64) {
+      return false;
+    }
+    *out = payload.u64_at(cursor++);
+    return true;
+  };
+  auto server_list = [&](std::uint64_t count,
+                         std::vector<ReplyTail::Server>* out) {
+    if (count > (fields - cursor) / 2) return false;  // would overrun
+    for (std::uint64_t j = 0; j < count; ++j) {
+      if (payload.type_at(cursor) != FieldType::kPid ||
+          payload.type_at(cursor + 1) != FieldType::kU64) {
+        return false;
+      }
+      ReplyTail::Server server;
+      server.pid = payload.pid_at(cursor);
+      server.machine = payload.u64_at(cursor + 1);
+      out->push_back(std::move(server));
+      cursor += 2;
+    }
+    return true;
+  };
+  // Replica tail (v3): [n, (pid, machine) × n].
+  std::uint64_t n = 0;
+  if (!u64_field(&n) || !server_list(n, &tail.replicas)) return tail;
+  // Lease tail (v4): [duration, id] — optional even when negotiated, so a
+  // v3 server's replies still parse. Consumed greedily; a tail that was
+  // really something else fails the exact-consumption check below and the
+  // whole parse is discarded, never half-trusted.
+  if (expect_lease && fields - cursor >= 2 &&
+      payload.type_at(cursor) == FieldType::kU64 &&
+      payload.type_at(cursor + 1) == FieldType::kU64) {
+    tail.lease_duration = payload.u64_at(cursor);
+    tail.lease_id = payload.u64_at(cursor + 1);
+    cursor += 2;
+  }
+  // Glue tail (v5): [g, (ctx, shard, r, (pid, machine) × r) × g] —
+  // likewise optional when negotiated (pre-v5 servers send none).
+  if (expect_glue && cursor < fields) {
+    std::uint64_t g = 0;
+    if (!u64_field(&g)) return tail;
+    for (std::uint64_t j = 0; j < g; ++j) {
+      ReplyTail::Glue glue;
+      std::uint64_t r = 0;
+      if (!u64_field(&glue.ctx) || !u64_field(&glue.shard) ||
+          !u64_field(&r) || !server_list(r, &glue.servers)) {
+        tail = ReplyTail();  // discard everything, not half a tail
+        return tail;
+      }
+      tail.glue.push_back(std::move(glue));
+    }
+  }
+  // Strict: every remaining field must have been consumed. Leftovers mean
+  // a layout this parser does not understand — ignore the whole tail, the
+  // same posture every earlier protocol rev took toward newer tails.
+  if (cursor != fields) {
+    tail = ReplyTail();
+    return tail;
+  }
+  tail.valid = true;
+  return tail;
+}
+
 void AuthorityMap::set_home(EntityId ctx, MachineId machine) {
   NAMECOH_CHECK(ctx.valid() && machine.valid(), "invalid home assignment");
   homes_[ctx] = {machine};
@@ -72,42 +146,162 @@ void AuthorityMap::set_replicas_subtree(const NamingGraph& graph,
     if (homes_.at(ctx) != replicas) continue;  // foreign authority: stop
     for (const auto& [name, target] : graph.context(ctx).bindings()) {
       if (name.is_cwd() || name.is_parent()) continue;
-      if (graph.is_context_object(target) &&
-          homes_.try_emplace(target, replicas).second) {
+      if (!graph.is_context_object(target)) continue;
+      // Shard-owned descendants keep their shard, symmetric with
+      // install_delegation stopping at explicit homes.
+      if (shard_of(target) != kNoShard) continue;
+      if (homes_.try_emplace(target, replicas).second) {
         frontier.push_back(target);
       }
     }
   }
 }
 
+ShardId AuthorityMap::add_shard(std::vector<MachineId> replicas) {
+  NAMECOH_CHECK(!replicas.empty(), "empty shard replica set");
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    NAMECOH_CHECK(replicas[i].valid(), "invalid shard replica machine");
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      NAMECOH_CHECK(replicas[i] != replicas[j],
+                    "duplicate shard replica machine");
+    }
+  }
+  shards_.push_back(std::move(replicas));
+  delegates_of_.emplace_back();
+  return static_cast<ShardId>(shards_.size() - 1);
+}
+
+std::span<const MachineId> AuthorityMap::shard_replicas(ShardId shard) const {
+  if (shard >= shards_.size()) return {};
+  return shards_[shard];
+}
+
+ShardId AuthorityMap::shard_of(EntityId ctx) const {
+  if (!ctx.valid() || ctx.value() >= shard_of_.size()) return kNoShard;
+  return shard_of_[ctx.value()];
+}
+
+void AuthorityMap::assign_shard(EntityId ctx, ShardId shard) {
+  if (ctx.value() >= shard_of_.size()) {
+    shard_of_.resize(ctx.value() + 1, kNoShard);
+  }
+  shard_of_[ctx.value()] = shard;
+}
+
+bool AuthorityMap::delegation_reaches(ShardId from, ShardId to) const {
+  if (from == to) return true;
+  std::vector<bool> visited(shards_.size(), false);
+  std::vector<ShardId> stack{from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    const ShardId s = stack.back();
+    stack.pop_back();
+    for (ShardId d : delegates_of_[s]) {
+      if (d == to) return true;
+      if (!visited[d]) {
+        visited[d] = true;
+        stack.push_back(d);
+      }
+    }
+  }
+  return false;
+}
+
+Status AuthorityMap::install_delegation(const NamingGraph& graph,
+                                        EntityId root, ShardId shard) {
+  if (shard >= shards_.size()) {
+    return invalid_argument_error("install_delegation: unknown shard");
+  }
+  if (!graph.is_context_object(root)) {
+    return invalid_argument_error(
+        "install_delegation: root is not a context object");
+  }
+  const ShardId owner = shard_of(root);
+  if (owner == shard) {
+    return invalid_argument_error(
+        "install_delegation: shard already owns the root (self-delegation)");
+  }
+  // Cycle refusal: a client chasing glue through a delegation chain that
+  // re-enters an earlier shard would never terminate. If the new delegate
+  // already reaches the owner through recorded edges, owner → delegate
+  // would close the loop.
+  if (owner != kNoShard && delegation_reaches(shard, owner)) {
+    return invalid_argument_error(
+        "install_delegation: delegation would close a cycle");
+  }
+  if (owner != kNoShard) {
+    auto& edges = delegates_of_[owner];
+    if (std::find(edges.begin(), edges.end(), shard) == edges.end()) {
+      edges.push_back(shard);
+    }
+  }
+  // Same walk contract as set_replicas_subtree: the root is always
+  // re-assigned; descendants are claimed only while unowned (no shard and
+  // no explicit home), so foreign regions keep their authority.
+  assign_shard(root, shard);
+  std::deque<EntityId> frontier{root};
+  while (!frontier.empty()) {
+    EntityId ctx = frontier.front();
+    frontier.pop_front();
+    if (shard_of(ctx) != shard) continue;
+    for (const auto& [name, target] : graph.context(ctx).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (!graph.is_context_object(target)) continue;
+      if (shard_of(target) != kNoShard || homes_.contains(target)) continue;
+      assign_shard(target, shard);
+      frontier.push_back(target);
+    }
+  }
+  return Status::ok();
+}
+
+Status AuthorityMap::delegate_children_by_hash(const NamingGraph& graph,
+                                               EntityId parent,
+                                               const ShardRing& ring) {
+  if (!graph.is_context_object(parent)) {
+    return invalid_argument_error(
+        "delegate_children_by_hash: parent is not a context object");
+  }
+  for (const auto& [name, target] : graph.context(parent).bindings()) {
+    if (name.is_cwd() || name.is_parent()) continue;
+    if (!graph.is_context_object(target)) continue;
+    const ShardId shard = ring.shard_for(target);
+    if (shard_of(target) == shard) continue;  // idempotent re-run
+    Status placed = install_delegation(graph, target, shard);
+    if (!placed.is_ok()) return placed;
+  }
+  return Status::ok();
+}
+
 Result<MachineId> AuthorityMap::home_of(EntityId ctx) const {
   auto it = homes_.find(ctx);
-  if (it == homes_.end()) {
-    return not_found_error("context has no authoritative home");
-  }
-  return it->second.front();
+  if (it != homes_.end()) return it->second.front();
+  const ShardId shard = shard_of(ctx);
+  if (shard != kNoShard) return shards_[shard].front();
+  return not_found_error("context has no authoritative home");
 }
 
 std::span<const MachineId> AuthorityMap::replicas_of(EntityId ctx) const {
   auto it = homes_.find(ctx);
-  if (it == homes_.end()) return {};
-  return it->second;
+  if (it != homes_.end()) return it->second;
+  const ShardId shard = shard_of(ctx);
+  if (shard != kNoShard) return shards_[shard];
+  return {};
 }
 
 bool AuthorityMap::has_home(EntityId ctx) const {
-  return homes_.contains(ctx);
+  return homes_.contains(ctx) || shard_of(ctx) != kNoShard;
 }
 
 bool AuthorityMap::is_replica(EntityId ctx, MachineId machine) const {
-  auto it = homes_.find(ctx);
-  if (it == homes_.end()) return false;
-  return std::find(it->second.begin(), it->second.end(), machine) !=
-         it->second.end();
+  auto replicas = replicas_of(ctx);
+  return std::find(replicas.begin(), replicas.end(), machine) !=
+         replicas.end();
 }
 
 bool AuthorityMap::is_primary(EntityId ctx, MachineId machine) const {
-  auto it = homes_.find(ctx);
-  return it != homes_.end() && it->second.front() == machine;
+  auto replicas = replicas_of(ctx);
+  return !replicas.empty() && replicas.front() == machine;
 }
 
 std::vector<EntityId> AuthorityMap::replicated_contexts() const {
@@ -128,6 +322,7 @@ NameService::NameService(const NamingGraph& graph, Internetwork& net,
   failures_ = &metrics.counter("ns.server.failures");
   duplicates_ = &metrics.counter("ns.server.duplicates");
   update_pushes_ = &metrics.counter("ns.server.update_pushes");
+  pushes_suppressed_ = &metrics.counter("ns.server.pushes_suppressed");
   updates_applied_ = &metrics.counter("ns.server.updates_applied");
   updates_stale_ = &metrics.counter("ns.server.updates_stale");
   store_answers_ = &metrics.counter("ns.server.store_answers");
@@ -266,15 +461,34 @@ EndpointId NameService::add_server(MachineId machine) {
                 "machine already has a name server");
   EndpointId server = net_.add_endpoint(machine, "nameserver");
   servers_[machine] = server;
-  transport_.set_handler(server,
-                         [this](EndpointId self, const Message& message) {
-                           if (message.type == NsWire::kUpdatePush) {
-                             handle_update(self, message);
-                           } else {
-                             handle_request(self, message);
-                           }
-                         });
+  transport_.set_handler(
+      server, [this, machine](EndpointId self, const Message& message) {
+        if (message.type == NsWire::kUpdatePush) {
+          handle_update(self, message);
+          return;
+        }
+        if (service_time_ == 0) {
+          handle_request(self, message);
+          return;
+        }
+        // Service-time model: one FIFO server per machine. The request
+        // waits behind everything already queued, occupies the server for
+        // service_time_ ticks, and replies at completion — so a hot
+        // authority's latency grows with its queue and sharding the
+        // namespace buys real throughput.
+        Simulator& sim = transport_.simulator();
+        SimTime& busy = busy_until_[machine];
+        const SimTime begin = std::max(busy, sim.now());
+        busy = begin + service_time_;
+        sim.schedule_in(busy - sim.now(), [this, self, message] {
+          handle_request(self, message);
+        });
+      });
   return server;
+}
+
+void NameService::set_service_time(SimDuration per_request) {
+  service_time_ = per_request;
 }
 
 Result<EndpointId> NameService::server_on(MachineId machine) const {
@@ -289,20 +503,42 @@ void NameService::publish_update(EntityId ctx) {
   if (!graph_.is_context_object(ctx)) return;
   auto replicas = homes_.replicas_of(ctx);
   if (replicas.empty()) return;
-  // Callback promises void first, at the authority where they originate:
-  // every unexpired lease granted under an older epoch gets a kInvalidate
-  // push. This applies to unreplicated contexts too — leases don't need a
-  // replica set, so it must precede the single-authority early-out below.
-  push_invalidations(replicas.front(), ctx);
+  // Callback promises void first. Invalidations go out from *every*
+  // machine holding promises on this context, not just the current
+  // primary: after a delegation migrates the context to another shard,
+  // the old authority still owes kInvalidate pushes for the leases it
+  // granted — routing only through the new primary would strand them.
+  // Collect holders first; delivery is scheduled, so no table mutates
+  // under this iteration.
+  std::vector<MachineId> holders;
+  for (const auto& [machine, table] : leases_) {
+    if (table.by_ctx.contains(ctx)) holders.push_back(machine);
+  }
+  for (MachineId machine : holders) push_invalidations(machine, ctx);
   if (replicas.size() < 2) return;
   auto primary = servers_.find(replicas.front());
-  if (primary == servers_.end()) return;
+  if (primary == servers_.end() || !net_.location_of(primary->second).is_ok()) {
+    // The publish was owed but cannot go out; remember the debt so a
+    // later anti-entropy round retries once the primary is back.
+    ae_dirty_.insert(ctx);
+    return;
+  }
   auto primary_loc = net_.location_of(primary->second);
-  if (!primary_loc.is_ok()) return;
   const std::uint64_t epoch = graph_.rebind_epoch(ctx);
   const auto bindings = graph_.context(ctx).bindings();
   Tracer& tracer = transport_.tracer();
+  bool lagging = false;
   for (std::size_t i = 1; i < replicas.size(); ++i) {
+    // Epoch gate (the snapshot-storm fix): a secondary whose applied
+    // epoch already matches the primary's has the current snapshot —
+    // re-pushing it is pure waste, O(contexts × replicas × bindings) of
+    // it under the old per-tick full sweep.
+    auto applied = replica_epoch(replicas[i], ctx);
+    if (applied && *applied >= epoch) {
+      pushes_suppressed_->inc();
+      continue;
+    }
+    lagging = true;
     auto secondary = servers_.find(replicas[i]);
     if (secondary == servers_.end()) continue;
     auto secondary_loc = net_.location_of(secondary->second);
@@ -328,25 +564,62 @@ void NameService::publish_update(EntityId ctx) {
         relativize(secondary_loc.value(), primary_loc.value()),
         std::move(push));
   }
+  // Dirty while any secondary lags (it may need a re-push: the snapshot
+  // just sent rides the same lossy network as everything else); clean the
+  // moment every secondary is current, so quiescent contexts cost
+  // anti-entropy nothing.
+  if (lagging) {
+    ae_dirty_.insert(ctx);
+  } else {
+    ae_dirty_.erase(ctx);
+  }
 }
 
 void NameService::start_anti_entropy(SimDuration interval) {
   NAMECOH_CHECK(interval > 0, "anti-entropy interval must be positive");
-  const bool was_running = anti_entropy_interval_ != 0;
   anti_entropy_interval_ = interval;
-  if (!was_running) {
-    transport_.simulator().schedule_in(interval,
-                                       [this] { anti_entropy_tick(); });
-  }
+  // One full sweep per (re)start seeds the dirty set with rebinds that
+  // predate it (e.g. everything that happened before anti-entropy was
+  // switched on); later rounds iterate only the dirty set.
+  ae_sweep_pending_ = true;
+  // Generation-stamp the scheduled round: bumping the generation orphans
+  // any round already in the queue, so a restart re-times the next round
+  // to the *new* interval now instead of after one more old-interval
+  // round.
+  const std::uint64_t gen = ++ae_gen_;
+  transport_.simulator().schedule_in(interval,
+                                     [this, gen] { anti_entropy_tick(gen); });
 }
 
-void NameService::stop_anti_entropy() { anti_entropy_interval_ = 0; }
+void NameService::stop_anti_entropy() {
+  anti_entropy_interval_ = 0;
+  ++ae_gen_;
+}
 
-void NameService::anti_entropy_tick() {
-  if (anti_entropy_interval_ == 0) return;  // stopped while scheduled
-  for (EntityId ctx : homes_.replicated_contexts()) publish_update(ctx);
+void NameService::anti_entropy_tick(std::uint64_t gen) {
+  if (gen != ae_gen_ || anti_entropy_interval_ == 0) return;  // stale round
+  if (ae_sweep_pending_) {
+    ae_sweep_pending_ = false;
+    for (EntityId ctx : homes_.replicated_contexts()) publish_update(ctx);
+  } else {
+    // publish_update inserts into and erases from ae_dirty_; iterate a
+    // copy so the round sees a stable set.
+    const std::vector<EntityId> dirty(ae_dirty_.begin(), ae_dirty_.end());
+    for (EntityId ctx : dirty) publish_update(ctx);
+  }
   transport_.simulator().schedule_in(anti_entropy_interval_,
-                                     [this] { anti_entropy_tick(); });
+                                     [this, gen] { anti_entropy_tick(gen); });
+}
+
+void NameService::maybe_clean(EntityId ctx) {
+  if (!ae_dirty_.contains(ctx)) return;
+  const std::uint64_t epoch = graph_.rebind_epoch(ctx);
+  auto replicas = homes_.replicas_of(ctx);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    auto applied = replica_epoch(replicas[i], ctx);
+    if (!applied || *applied < epoch) return;
+  }
+  ae_dirty_.erase(ctx);
 }
 
 std::optional<std::uint64_t> NameService::replica_epoch(MachineId machine,
@@ -417,6 +690,8 @@ void NameService::handle_update(EndpointId self, const Message& message) {
   // the snapshot: the primary owns invalidation, so stale local promises
   // are dropped rather than pushed.
   drop_leases(my_machine.value(), ctx);
+  // This apply may have been the last laggard; keep the dirty set tight.
+  maybe_clean(ctx);
 }
 
 void NameService::handle_request(EndpointId self, const Message& message) {
@@ -534,6 +809,40 @@ void NameService::handle_request(EndpointId self, const Message& message) {
       }
       reply.payload.add_u64(lease_duration);
       reply.payload.add_u64(lease_id);
+    }
+    // Protocol v5 glue tail (docs/SHARDING.md), appended only when the
+    // client negotiated it: [g, (ctx, shard, r, (pid, machine) × r) × g].
+    // A referral that crosses into a delegated shard carries the
+    // delegate's replica set, so the client reaches the owning shard in
+    // the next hop without a second round trip for topology.
+    if ((flags & NsWire::kFlagShardGlue) != 0) {
+      std::vector<std::pair<Pid, std::uint64_t>> glue_servers;
+      ShardId glue_shard = AuthorityMap::kNoShard;
+      if (disposition == NsWire::kReferral && stamp) {
+        glue_shard = homes_.shard_of(authority);
+        if (glue_shard != AuthorityMap::kNoShard) {
+          for (MachineId m : homes_.shard_replicas(glue_shard)) {
+            auto sit = servers_.find(m);
+            if (sit == servers_.end()) continue;
+            auto loc = net_.location_of(sit->second);
+            if (!loc.is_ok()) continue;
+            glue_servers.emplace_back(
+                relativize(loc.value(), my_loc.value()), m.value());
+          }
+        }
+      }
+      const bool have_glue =
+          glue_shard != AuthorityMap::kNoShard && !glue_servers.empty();
+      reply.payload.add_u64(have_glue ? 1 : 0);
+      if (have_glue) {
+        reply.payload.add_u64(authority.value());
+        reply.payload.add_u64(glue_shard);
+        reply.payload.add_u64(glue_servers.size());
+        for (auto& [pid, machine] : glue_servers) {
+          reply.payload.add_pid(pid);
+          reply.payload.add_u64(machine);
+        }
+      }
     }
     (void)transport_.send(self, message.reply_to, std::move(reply));
   };
@@ -700,6 +1009,13 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   invalidates_received_ = &metrics.counter(prefix + "invalidates_received");
   lease_renewals_ = &metrics.counter(prefix + "lease_renewals");
   lease_degrades_ = &metrics.counter(prefix + "lease_degrades");
+  // Sharding counters are registry-wide ("ns.shard.*"), not per-client:
+  // "how much referral traffic crossed shards" is a fabric question, and
+  // thousands of bench clients sharing three counters beats thousands of
+  // prefixed triples.
+  delegations_chased_ = &metrics.counter("ns.shard.delegations_chased");
+  glue_hits_ = &metrics.counter("ns.shard.glue_hits");
+  cross_shard_hops_ = &metrics.counter("ns.shard.cross_shard_hops");
   epochs_tracked_ = &metrics.gauge(prefix + "epochs_tracked");
   // Ticks from a hop's first send to its first reply, recorded only when
   // the hop failed over; buckets sized for timeout-dominated latencies.
@@ -840,17 +1156,29 @@ bool ResolverClient::is_suspect(MachineId machine) const {
 
 std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
     EntityId ctx, const ReplicaRef& via) const {
-  std::vector<ReplicaRef> out{via};
   auto my_loc = net_.location_of(endpoint_);
-  if (!my_loc.is_ok()) return out;
+  if (!my_loc.is_ok()) return {via};
+  std::vector<ReplicaRef> authoritative;
   for (MachineId m : service_.authorities().replicas_of(ctx)) {
     if (via.machine.valid() && m == via.machine) continue;
     auto server = service_.server_on(m);
     if (!server.is_ok()) continue;
     auto loc = net_.location_of(server.value());
     if (!loc.is_ok()) continue;
-    out.push_back(ReplicaRef{relativize(loc.value(), my_loc.value()), m});
+    authoritative.push_back(
+        ReplicaRef{relativize(loc.value(), my_loc.value()), m});
   }
+  if (config_.shard_routing && !authoritative.empty() &&
+      !service_.authorities().is_replica(ctx, via.machine)) {
+    // Shard-aware first hop: go straight to the owning shard's servers
+    // and keep the non-authoritative local server only as a last resort —
+    // funnelling every lookup through one front door is exactly the
+    // bottleneck sharding exists to remove.
+    authoritative.push_back(via);
+    return authoritative;
+  }
+  std::vector<ReplicaRef> out{via};
+  out.insert(out.end(), authoritative.begin(), authoritative.end());
   return out;
 }
 
@@ -957,11 +1285,12 @@ void ResolverClient::send_attempt(PendingResolve& p) {
   request.payload.add_u64(p.expected_corr);
   request.payload.add_u64(p.current.value());
   request.payload.add_name(p.hop_text);
-  // Protocol v4 flags field, only when lease coherence is on — a lease-off
-  // client's requests stay byte-identical to v3.
-  if (config_.lease_coherence) {
-    request.payload.add_u64(NsWire::kFlagLeaseRequested);
-  }
+  // Protocol v4/v5 flags field, only when some extension is on — a
+  // plain client's requests stay byte-identical to v3.
+  std::uint64_t flags = 0;
+  if (config_.lease_coherence) flags |= NsWire::kFlagLeaseRequested;
+  if (config_.shard_routing) flags |= NsWire::kFlagShardGlue;
+  if (flags != 0) request.payload.add_u64(flags);
   corr_to_request_[p.expected_corr] = p.id;
   messages_sent_->inc();
   Status sent = transport_.send(endpoint_, target.pid, std::move(request));
@@ -1090,38 +1419,22 @@ void ResolverClient::handle_reply(const Message& message) {
   reply.authority =
       auth == NsWire::kNoEntity ? EntityId::invalid() : EntityId(auth);
   reply.epoch = payload.u64_at(7);
-  // Protocol v3/v4 tail: the authority's replica set [n, (pid, machine)×n],
-  // optionally followed by the v4 lease pair [duration, id]. A v2 peer
-  // stops at field 8; a malformed tail is ignored rather than trusted.
-  const std::size_t fields = payload.size();
-  if (fields > 8 && payload.type_at(8) == FieldType::kU64) {
-    const std::uint64_t n = payload.u64_at(8);
-    const bool leased = n <= (fields - 9) / 2 && fields == 11 + 2 * n;
-    if (n <= (fields - 9) / 2 && (fields == 9 + 2 * n || leased)) {
-      bool well_formed = true;
-      for (std::uint64_t j = 0; j < n && well_formed; ++j) {
-        well_formed = payload.type_at(9 + 2 * j) == FieldType::kPid &&
-                      payload.type_at(10 + 2 * j) == FieldType::kU64;
-      }
-      if (leased) {
-        well_formed = well_formed &&
-                      payload.type_at(9 + 2 * n) == FieldType::kU64 &&
-                      payload.type_at(10 + 2 * n) == FieldType::kU64;
-      }
-      if (well_formed) {
-        for (std::uint64_t j = 0; j < n; ++j) {
-          const std::uint64_t m = payload.u64_at(10 + 2 * j);
-          reply.replicas.push_back(
-              ReplicaRef{payload.pid_at(9 + 2 * j),
-                         m == NsWire::kNoMachine ? MachineId::invalid()
-                                                 : MachineId(m)});
-        }
-        if (leased) {
-          reply.lease_duration = payload.u64_at(9 + 2 * n);
-          reply.lease_id = payload.u64_at(10 + 2 * n);
-        }
-      }
+  // Protocol v3/v4/v5 tails: replica set, lease pair, glue records — in
+  // that order, each present only as negotiated. A v2 peer stops at field
+  // 8; a malformed tail is ignored wholesale rather than trusted.
+  const ReplyTail tail = parse_reply_tail(payload, 8, config_.lease_coherence,
+                                          config_.shard_routing);
+  if (tail.valid) {
+    reply.replicas.reserve(tail.replicas.size());
+    for (const ReplyTail::Server& server : tail.replicas) {
+      reply.replicas.push_back(
+          ReplicaRef{server.pid, server.machine == NsWire::kNoMachine
+                                     ? MachineId::invalid()
+                                     : MachineId(server.machine)});
     }
+    reply.lease_duration = tail.lease_duration;
+    reply.lease_id = tail.lease_id;
+    reply.glue = tail.glue;
   }
   on_reply(p, reply);
 }
@@ -1226,17 +1539,72 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
       tracer.record_in_span(p.owner_span, sim_.now(),
                             EventKind::kReferralFollowed,
                             reply.entity.valid() ? reply.entity.value() : 0);
+      // Glue records (protocol v5): learn every delegation boundary and
+      // delegate replica set the server volunteered — the chase's next
+      // hop, and every later lookup into the same shard, starts with the
+      // owning shard's servers instead of a blind referral target.
+      if (!reply.glue.empty()) {
+        delegations_chased_->inc();
+        for (const ReplyTail::Glue& glue : reply.glue) {
+          tracer.record_in_span(p.owner_span, sim_.now(),
+                                EventKind::kDelegationChase, glue.ctx,
+                                glue.shard);
+          if (glue.ctx != NsWire::kNoEntity) {
+            ctx_shards_[EntityId(glue.ctx)] = glue.shard;
+          }
+          if (glue.shard == NsWire::kNoShard || glue.servers.empty()) {
+            continue;
+          }
+          auto& route = shard_routes_[glue.shard];
+          route.clear();
+          for (const ReplyTail::Server& server : glue.servers) {
+            route.push_back(
+                ReplicaRef{server.pid,
+                           server.machine == NsWire::kNoMachine
+                               ? MachineId::invalid()
+                               : MachineId(server.machine)});
+          }
+        }
+      }
       p.current = reply.entity;
       p.remaining = *suffix;
       p.hop_text = p.remaining.joined();
-      // The next hop's candidates are the referred-to context's replica
-      // set from the reply tail (pids already rebased by the transport);
-      // a v2 peer sends no tail, leaving the single referral target.
-      if (!reply.replicas.empty()) {
-        p.candidates.assign(reply.replicas.begin(), reply.replicas.end());
-      } else {
-        p.candidates.assign(
-            1, ReplicaRef{reply.next_server, MachineId::invalid()});
+      // The next hop's candidates: a glue-learned shard route when the
+      // referred context's owning shard is known, else the referred-to
+      // context's replica set from the reply tail (pids already rebased
+      // by the transport); a v2 peer sends no tail, leaving the single
+      // referral target.
+      std::uint64_t next_shard = NsWire::kNoShard;
+      if (config_.shard_routing && reply.entity.valid()) {
+        auto owned = ctx_shards_.find(reply.entity);
+        if (owned != ctx_shards_.end()) next_shard = owned->second;
+      }
+      bool routed_by_glue = false;
+      if (next_shard != NsWire::kNoShard) {
+        auto route = shard_routes_.find(next_shard);
+        if (route != shard_routes_.end() && !route->second.empty()) {
+          p.candidates = route->second;
+          routed_by_glue = true;
+          glue_hits_->inc();
+        }
+      }
+      if (!routed_by_glue) {
+        if (!reply.replicas.empty()) {
+          p.candidates.assign(reply.replicas.begin(), reply.replicas.end());
+        } else {
+          p.candidates.assign(
+              1, ReplicaRef{reply.next_server, MachineId::invalid()});
+        }
+      }
+      if (config_.shard_routing) {
+        if (next_shard != NsWire::kNoShard &&
+            p.hop_shard != NsWire::kNoShard && next_shard != p.hop_shard) {
+          cross_shard_hops_->inc();
+          tracer.record_in_span(p.owner_span, sim_.now(),
+                                EventKind::kCrossShardHop, p.hop_shard,
+                                next_shard);
+        }
+        p.hop_shard = next_shard;
       }
       // The limit-breaking referral is still counted above — the chase
       // just stops here instead of sending another hop. The limit is the
@@ -1305,6 +1673,12 @@ ResolverClient::PendingResolve* ResolverClient::launch_exchange(
   record->candidates = candidates_for(
       start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
                         client_machine_});
+  if (config_.shard_routing) {
+    const ShardId shard = service_.authorities().shard_of(start);
+    record->hop_shard = shard == AuthorityMap::kNoShard
+                            ? NsWire::kNoShard
+                            : static_cast<std::uint64_t>(shard);
+  }
   PendingResolve& p = *record;
   requests_.emplace(id, std::move(record));
   inflight_[p.key].push_back(&p);

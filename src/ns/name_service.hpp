@@ -51,6 +51,7 @@
 #include "core/naming_graph.hpp"
 #include "core/resolve.hpp"
 #include "net/transport.hpp"
+#include "ns/shard_ring.hpp"
 #include "obs/snapshot.hpp"
 #include "util/hash.hpp"
 
@@ -64,8 +65,20 @@ namespace namecoh {
 /// (docs/REPLICATION.md). A context configured through set_home has a
 /// one-machine replica set, which makes the pre-replication single-
 /// authority behaviour a special case rather than a separate code path.
+///
+/// Sharding (docs/SHARDING.md): at million-entity scale a per-context map
+/// entry per context is the wrong shape, so the namespace is partitioned
+/// into *shards* — registered replica sets that own whole delegated
+/// subtrees at once. Ownership lives in one dense entity-indexed vector of
+/// shard ids (4 bytes per entity), and every authority query resolves
+/// explicit per-context assignments first, then the owning shard, so the
+/// two mechanisms compose: a shared subtree inside a delegated region
+/// keeps its own replica set.
 class AuthorityMap {
  public:
+  /// "No shard owns this context" sentinel in shard_of().
+  static constexpr ShardId kNoShard = ~static_cast<ShardId>(0);
+
   /// Single-authority compat: a one-machine replica set.
   void set_home(EntityId ctx, MachineId machine);
   /// Full form: `replicas` ordered, primary first, no duplicates.
@@ -80,20 +93,70 @@ class AuthorityMap {
   /// Same walk, assigning the whole replica set to every claimed context.
   void set_replicas_subtree(const NamingGraph& graph, EntityId root,
                             std::vector<MachineId> replicas);
+
+  // --- Shards and delegation (docs/SHARDING.md) ----------------------------
+
+  /// Register a shard: an ordered replica set (primary first, no
+  /// duplicates) that can own whole delegated subtrees. Returns its dense
+  /// id; ids are stable for the map's lifetime and travel on the wire in
+  /// glue records.
+  ShardId add_shard(std::vector<MachineId> replicas);
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// The replica set registered for `shard`; empty for an unknown id.
+  [[nodiscard]] std::span<const MachineId> shard_replicas(ShardId shard) const;
+
+  /// Delegate the subtree rooted at `root` to `shard`: the same
+  /// always-reassign-the-root / stop-at-foreign-authority walk as
+  /// set_replicas_subtree, recorded as one shard id per claimed context
+  /// instead of a replica-set copy. Refuses (kInvalidArgument) a
+  /// self-delegation or any delegation that would close a cycle in the
+  /// shard-level delegation graph — a client chasing glue records through
+  /// a cyclic delegation would never terminate.
+  Status install_delegation(const NamingGraph& graph, EntityId root,
+                            ShardId shard);
+
+  /// Hash placement for flat namespaces: delegate every child context of
+  /// `parent` to the shard the ring names for it. The ring must only name
+  /// shards registered here. Returns the first refusal, if any.
+  Status delegate_children_by_hash(const NamingGraph& graph, EntityId parent,
+                                   const ShardRing& ring);
+
+  /// The shard owning `ctx` via delegation; kNoShard when none. Explicit
+  /// per-context assignments are not reported here (they override shard
+  /// ownership in every replica query but are not shard-owned).
+  [[nodiscard]] ShardId shard_of(EntityId ctx) const;
+
   /// The primary (first replica).
   [[nodiscard]] Result<MachineId> home_of(EntityId ctx) const;
   /// The full ordered replica set; empty when the context has no home.
+  /// Explicit per-context assignments take precedence over the owning
+  /// shard's replica set.
   [[nodiscard]] std::span<const MachineId> replicas_of(EntityId ctx) const;
   [[nodiscard]] bool has_home(EntityId ctx) const;
   [[nodiscard]] bool is_replica(EntityId ctx, MachineId machine) const;
   [[nodiscard]] bool is_primary(EntityId ctx, MachineId machine) const;
-  /// Contexts whose replica set has at least two members (the ones update
-  /// propagation must service), in no particular order.
+  /// Contexts with an *explicit* replica set of at least two members, in
+  /// no particular order. Introspection and tests only: this rebuilds a
+  /// vector per call, so the anti-entropy hot path must never touch it
+  /// (NameService keeps a dirty set instead; docs/REPLICATION.md).
   [[nodiscard]] std::vector<EntityId> replicated_contexts() const;
+  /// Explicit per-context assignments (shard-owned contexts not counted).
   [[nodiscard]] std::size_t size() const { return homes_.size(); }
 
  private:
+  /// True when `from` can reach `to` through recorded delegation edges.
+  [[nodiscard]] bool delegation_reaches(ShardId from, ShardId to) const;
+  void assign_shard(EntityId ctx, ShardId shard);
+
   std::unordered_map<EntityId, std::vector<MachineId>> homes_;
+  /// Shard replica sets, indexed by ShardId.
+  std::vector<std::vector<MachineId>> shards_;
+  /// Dense ownership: entity id → owning shard (kNoShard = none). Sized
+  /// on demand; 4 bytes per entity is what makes million-context maps fit.
+  std::vector<ShardId> shard_of_;
+  /// Shard-level delegation edges (owner at install time → delegate),
+  /// for cycle refusal at install time.
+  std::vector<std::vector<ShardId>> delegates_of_;
 };
 
 /// Pre-replication name for the single-authority special case; reads
@@ -119,11 +182,55 @@ struct NsWire {
   static constexpr std::uint64_t kError = 2;
   /// Request flags (optional fourth request field, protocol v4).
   static constexpr std::uint64_t kFlagLeaseRequested = 1;
+  /// Protocol v5 (docs/SHARDING.md): the client understands glue records —
+  /// the server may append a glue tail to referrals.
+  static constexpr std::uint64_t kFlagShardGlue = 2;
   /// Sentinel for "no entity" in u64 entity fields on the wire.
   static constexpr std::uint64_t kNoEntity = ~0ULL;
   /// Sentinel for "machine unknown" in the reply's replica list.
   static constexpr std::uint64_t kNoMachine = ~0ULL;
+  /// Sentinel for "shard unknown" in u64 shard fields on the wire.
+  static constexpr std::uint64_t kNoShard = ~0ULL;
 };
+
+/// Decoded reply tail: the append-only optional fields after a reply's
+/// eight fixed fields — replica list (v3), lease grant (v4), glue records
+/// (v5). docs/PROTOCOLS.md has the layouts.
+struct ReplyTail {
+  struct Server {
+    Pid pid;
+    std::uint64_t machine = NsWire::kNoMachine;
+  };
+  /// One glue record: "context `ctx` is delegated to shard `shard`, whose
+  /// replica servers are `servers`" — the delegate's replica set learned in
+  /// the same round trip as the referral that crosses into it.
+  struct Glue {
+    std::uint64_t ctx = NsWire::kNoEntity;
+    std::uint64_t shard = NsWire::kNoShard;
+    std::vector<Server> servers;
+  };
+
+  /// False when the fields after `offset` do not parse as exactly the
+  /// expected tails back-to-back; a reply with an invalid tail is treated
+  /// as having no tail at all (replicas/lease/glue all empty), matching
+  /// how pre-v5 parsers skip tails they do not understand.
+  bool valid = false;
+  std::vector<Server> replicas;
+  std::uint64_t lease_duration = 0;
+  std::uint64_t lease_id = 0;
+  std::vector<Glue> glue;
+};
+
+/// Parse the optional tails of a kResolveReply payload starting at field
+/// `offset` (the first field after the fixed ones). `expect_lease` /
+/// `expect_glue` say which tails this client negotiated (request flags);
+/// un-negotiated tails must not be present and make the parse invalid.
+/// Strict: the cursor must consume every remaining field, else valid=false
+/// and the caller ignores the whole tail. Exposed for tests — the
+/// malformed-glue cases in tests/test_sharding.cpp drive it directly.
+[[nodiscard]] ReplyTail parse_reply_tail(const Payload& payload,
+                                         std::size_t offset,
+                                         bool expect_lease, bool expect_glue);
 
 /// Match `remaining` — the bare '/'-joined remaining-path text of a
 /// referral reply — against a suffix of `sent`, the component slice this
@@ -165,11 +272,24 @@ class NameService {
   /// no-op for unreplicated contexts or when the primary has no server.
   void publish_update(EntityId ctx);
 
-  /// Anti-entropy: every `interval` ticks, publish_update every
-  /// replicated context. Repair traffic, in the §5 sense: it bounds how
-  /// long a lagging secondary can stay behind once connectivity returns.
+  /// Anti-entropy: every `interval` ticks, publish_update the contexts
+  /// known to have a lagging secondary (the dirty set — see
+  /// docs/REPLICATION.md; the first tick after a (re)start sweeps every
+  /// replicated context once to seed it). Repair traffic, in the §5 sense:
+  /// it bounds how long a lagging secondary can stay behind once
+  /// connectivity returns — without re-pushing snapshots the secondaries
+  /// already hold. Calling this while running re-times the next tick to
+  /// the new interval immediately (the stale scheduled tick is abandoned
+  /// by generation stamp).
   void start_anti_entropy(SimDuration interval);
   void stop_anti_entropy();
+
+  /// Per-request service time on every server (0 = infinitely fast, the
+  /// default). With a non-zero value each machine's server processes
+  /// resolve requests one at a time, FIFO, each occupying the server for
+  /// `per_request` ticks — so a hot authority saturates and sharding the
+  /// namespace buys real throughput (bench_x7_shard).
+  void set_service_time(SimDuration per_request);
 
   /// The epoch a machine's replica store has applied for `ctx`; nullopt
   /// when that machine never applied a snapshot of it. For staleness-bound
@@ -220,7 +340,15 @@ class NameService {
   /// Record `corr` in the bounded recently-seen window; true if it was
   /// already there (i.e. this request is a retransmission).
   bool note_duplicate(std::uint64_t corr);
-  void anti_entropy_tick();
+  /// One anti-entropy round. `gen` is the generation the round was
+  /// scheduled under; a round whose generation is stale (start/stop was
+  /// called since) returns without publishing or rescheduling, so an
+  /// interval change takes effect immediately instead of after one more
+  /// old-interval round.
+  void anti_entropy_tick(std::uint64_t gen);
+  /// Drop `ctx` from the dirty set once every secondary's applied epoch
+  /// has caught up with the graph's rebind epoch.
+  void maybe_clean(EntityId ctx);
   /// Grant (or renew) a lease on `ctx` to `holder` from `machine`'s
   /// server; returns {duration, lease id}, or {0, 0} when not granted
   /// (granting disabled, or the table is full of unexpired promises).
@@ -252,6 +380,20 @@ class NameService {
   std::unordered_set<std::uint64_t> recent_corr_;
   std::deque<std::uint64_t> recent_corr_order_;  // FIFO eviction
   SimDuration anti_entropy_interval_ = 0;  ///< 0 = not running
+  /// Contexts with at least one secondary known to lag (publish_update saw
+  /// an epoch gap, or the push could not be delivered). Anti-entropy
+  /// rounds iterate only this set — the snapshot-storm fix.
+  std::unordered_set<EntityId> ae_dirty_;
+  /// First round after a (re)start sweeps all replicated contexts once, to
+  /// pick up rebinds that predate the dirty set.
+  bool ae_sweep_pending_ = false;
+  /// Bumped by every start/stop; a scheduled tick carrying an older
+  /// generation is stale and must do nothing.
+  std::uint64_t ae_gen_ = 0;
+  /// Service-time model: per-request occupancy and per-machine busy
+  /// horizon (FIFO single server per machine).
+  SimDuration service_time_ = 0;
+  std::unordered_map<MachineId, SimTime> busy_until_;
   /// Lease policy and per-machine outstanding promises.
   SimDuration lease_duration_ = 5000;
   std::size_t lease_capacity_ = 4096;
@@ -263,6 +405,7 @@ class NameService {
   Counter* failures_;
   Counter* duplicates_;
   Counter* update_pushes_;
+  Counter* pushes_suppressed_;  ///< epoch-gated: secondary already current
   Counter* updates_applied_;
   Counter* updates_stale_;
   Counter* store_answers_;
@@ -312,6 +455,12 @@ struct ResolverClientConfig {
   /// Bound on the per-authority high-water epoch table (epochs_seen_); the
   /// least recently touched authority is forgotten first. 0 = unbounded.
   std::size_t epoch_table_capacity = 4096;
+  /// Shard-aware routing (protocol v5, docs/SHARDING.md): request glue
+  /// records, remember shard → replica-set routes learned from them, and
+  /// go straight to the owning shard's servers on later hops instead of
+  /// re-walking through the delegating authority. Off by default — the
+  /// wire format then never carries the glue flag or tail.
+  bool shard_routing = false;
 };
 
 /// The caller's view of one asynchronous resolution (docs/ASYNC.md). A
@@ -483,6 +632,9 @@ class ResolverClient {
     /// server granted nothing (or the reply predates v4).
     std::uint64_t lease_duration = 0;
     std::uint64_t lease_id = 0;
+    /// Glue tail (protocol v5): delegate replica sets learned alongside a
+    /// referral; empty unless this client negotiated kFlagShardGlue.
+    std::vector<ReplyTail::Glue> glue;
   };
 
   /// The per-request state machine (docs/ASYNC.md). Heap-pinned for its
@@ -515,6 +667,9 @@ class ResolverClient {
     EventId timeout_event;      ///< pending deadline (invalid = none)
     bool timeout_deferred = false;  ///< deadline-tie deferral used up
     std::uint64_t owner_span = 0;  ///< first waiter's span: wire events
+    /// Shard the current hop's context belongs to, as far as this client
+    /// knows (NsWire::kNoShard when unknown) — cross-shard hop accounting.
+    std::uint64_t hop_shard = NsWire::kNoShard;
     std::vector<Waiter> waiters;   ///< everyone settled by this exchange
   };
 
@@ -588,6 +743,13 @@ class ResolverClient {
   Counter* invalidates_received_;
   Counter* lease_renewals_;     ///< background refresh exchanges launched
   Counter* lease_degrades_;     ///< lease lapsed / renewal failed → TTL
+  // Sharding counters (docs/SHARDING.md). Registered registry-wide as
+  // "ns.shard.*" — one set shared by every client on the registry, since
+  // the fabric-level question ("how many referrals crossed shards?") spans
+  // clients.
+  Counter* delegations_chased_;  ///< referrals that carried glue records
+  Counter* glue_hits_;           ///< next hop's candidates came from glue
+  Counter* cross_shard_hops_;    ///< hop moved to a different shard
   Gauge* epochs_tracked_;       ///< live size of the epoch high-water table
   /// Simulated ticks from the first send of a hop to the first reply,
   /// recorded only for hops that failed over at least once.
@@ -611,6 +773,12 @@ class ResolverClient {
   };
   std::unordered_map<EntityId, EpochRecord> epochs_seen_;
   std::list<EntityId> epoch_lru_;  ///< front = most recently touched
+  /// Shard routes learned from glue records: wire shard id → the delegate
+  /// shard's replica servers. Trusted until a resolution through them
+  /// fails over (the normal suspect machinery still applies per machine).
+  std::unordered_map<std::uint64_t, std::vector<ReplicaRef>> shard_routes_;
+  /// Delegation boundaries learned from glue: context → owning wire shard.
+  std::unordered_map<EntityId, std::uint64_t> ctx_shards_;
 
   // Engine state. Requests are keyed by a client-local id; the unique_ptr
   // pins each record so slices and continuations stay valid. A reply is

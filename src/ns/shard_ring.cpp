@@ -1,0 +1,62 @@
+#include "ns/shard_ring.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace namecoh {
+
+namespace {
+
+// splitmix64 finalizer: entity ids and (shard, vnode) pairs are dense
+// small integers, so the ring needs a real avalanche mix — std::hash on
+// libstdc++ is the identity for integers, which would lay every point in
+// one arc.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRing::ShardRing(std::size_t vnodes_per_shard)
+    : vnodes_(vnodes_per_shard) {
+  NAMECOH_CHECK(vnodes_ > 0, "ShardRing needs at least one vnode per shard");
+}
+
+void ShardRing::add_shard(ShardId shard) {
+  for (const Point& point : ring_) {
+    if (point.shard == shard) return;  // already placed
+  }
+  ring_.reserve(ring_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Key each point on (shard, vnode) so a shard's points are fixed for
+    // its id alone — adding shards later never moves existing points,
+    // which is where the ~1/n remap bound comes from.
+    const std::uint64_t position =
+        mix64((static_cast<std::uint64_t>(shard) << 20) | v);
+    ring_.push_back(Point{position, shard});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+  ++shard_count_;
+}
+
+ShardId ShardRing::shard_for(EntityId ctx) const {
+  NAMECOH_CHECK(!ring_.empty(), "shard_for on an empty ring");
+  const std::uint64_t h = mix64(ctx.value());
+  // Successor point, wrapping past the top of the ring.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
+                             [](const Point& point, std::uint64_t value) {
+                               return point.position < value;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace namecoh

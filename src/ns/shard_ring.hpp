@@ -1,0 +1,62 @@
+// Consistent-hash shard placement for flat namespaces (docs/SHARDING.md).
+//
+// Prefix delegation (AuthorityMap::install_delegation) partitions a *tree*
+// along its subtree boundaries. A flat namespace — one huge context with a
+// million sibling bindings, the paper's §7 "shared name space attached
+// under a common name" taken to its degenerate shape — has no subtrees to
+// cut at, so placement hashes each child context onto a ring of shard
+// points instead. The ring gives the two properties a growing fabric
+// needs:
+//
+//   * balance: each shard carries vnodes_per_shard points, so keys spread
+//     within a few percent of uniform without any placement table;
+//   * stability: adding the (n+1)th shard remaps only ~1/(n+1) of the
+//     keys — the ones whose successor point changed — instead of
+//     rehashing the world (tested in tests/test_sharding.cpp).
+//
+// The ring is pure placement policy: it decides *which* shard should own a
+// context; AuthorityMap::install_delegation (or delegate_children_by_hash)
+// records the decision as an ordinary delegation, so resolution, glue
+// records and lease routing never know which policy placed a context.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace namecoh {
+
+/// Dense shard index (AuthorityMap::add_shard order). Plain integer, not a
+/// StrongId: shard ids travel on the wire as u64 glue fields.
+using ShardId = std::uint32_t;
+
+class ShardRing {
+ public:
+  /// `vnodes_per_shard` points are placed per shard; more points = tighter
+  /// balance at a little more ring memory. 64 keeps the spread under a few
+  /// percent for the shard counts the fabric targets (1–64).
+  explicit ShardRing(std::size_t vnodes_per_shard = 64);
+
+  /// Place `shard`'s vnodes on the ring. Idempotent per shard id.
+  void add_shard(ShardId shard);
+
+  /// The shard owning `ctx`: successor point of hash(ctx) on the ring.
+  /// Precondition: at least one shard was added.
+  [[nodiscard]] ShardId shard_for(EntityId ctx) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::size_t point_count() const { return ring_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    ShardId shard;
+  };
+
+  std::size_t vnodes_;
+  std::size_t shard_count_ = 0;
+  std::vector<Point> ring_;  ///< sorted by position
+};
+
+}  // namespace namecoh

@@ -42,6 +42,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kFaultDropCrash: return "fault_drop_crash";
     case EventKind::kFaultDropPartition: return "fault_drop_partition";
     case EventKind::kFaultDelay: return "fault_delay";
+    case EventKind::kDelegationChase: return "delegation_chase";
+    case EventKind::kCrossShardHop: return "cross_shard_hop";
     case EventKind::kResolveStep: return "resolve_step";
     case EventKind::kKindCount: break;
   }

@@ -91,6 +91,10 @@ enum class EventKind : std::uint8_t {
   kFaultDropCrash,  ///< message dropped: a = crashed machine involved
   kFaultDropPartition, ///< message dropped: a = from, b = to machine
   kFaultDelay,      ///< reorder window delayed a message; b = extra ticks
+  // Sharded delegation (docs/SHARDING.md).
+  kDelegationChase, ///< referral carried a glue record; a = delegated
+                    ///< context, b = owning shard
+  kCrossShardHop,   ///< chase moved between shards; a = from, b = to
   // Local (in-memory) resolution.
   kResolveStep,     ///< a = context, b = component index
   kKindCount        ///< sentinel, keep last

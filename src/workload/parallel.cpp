@@ -34,11 +34,20 @@ struct Loop {
 void issue(const std::shared_ptr<Loop>& loop) {
   if (loop->out.issued >= loop->spec.total_resolutions) return;
   ++loop->out.issued;
-  const ParallelQuery& query = loop->rng.pick(loop->queries);
+  const ParallelQuery& query =
+      loop->spec.zipf_s > 0.0
+          ? loop->queries[loop->rng.zipf(loop->queries.size(),
+                                         loop->spec.zipf_s)]
+          : loop->rng.pick(loop->queries);
+  const SimTime issued_at = loop->sim.now();
   loop->client.resolve_async(
       query.start, query.name,
-      [loop](const Result<EntityId>& result) {
+      [loop, issued_at](const Result<EntityId>& result) {
         ++loop->out.completed;
+        if (loop->spec.latency != nullptr) {
+          loop->spec.latency->add(
+              static_cast<double>(loop->sim.now() - issued_at));
+        }
         if (result.is_ok()) {
           ++loop->out.ok;
         } else {

@@ -38,6 +38,14 @@ struct ParallelSpec {
   SimDuration think_time = 0;
   /// Seed for the query-selection stream.
   std::uint64_t seed = 1;
+  /// Zipf exponent for query selection: 0 (default) picks uniformly;
+  /// s > 0 picks queries[rank] with p ∝ 1/(rank+1)^s, so the *front* of
+  /// `queries` is the hot set — order queries hottest-first. Skew is what
+  /// makes shard placement interesting (bench_x7_shard).
+  double zipf_s = 0.0;
+  /// When set, each resolution's settle latency (issue → completion, in
+  /// simulated ticks) is recorded here. Optional; nullptr = off.
+  Histogram* latency = nullptr;
 };
 
 struct ParallelOutcome {

@@ -127,13 +127,15 @@ TEST_F(FailoverTest, PublishUpdateSyncsSecondariesAtCurrentEpoch) {
   EXPECT_EQ(stats["updates_stale"], 0u);
 }
 
-TEST_F(FailoverTest, RepushedSnapshotAtSameEpochIsIdempotent) {
+TEST_F(FailoverTest, RepushedSnapshotAtSameEpochIsSuppressedAtThePrimary) {
   sync_replicas();
   const auto epoch_before = service_.replica_epoch(m3_, proj_);
-  sync_replicas();  // same epochs again: re-deliveries must not re-apply
+  sync_replicas();  // same epochs again: the epoch gate pushes nothing
   StatsSnapshot stats = service_.snapshot();
+  EXPECT_EQ(stats["update_pushes"], 2u);       // only the first round's
+  EXPECT_EQ(stats["pushes_suppressed"], 2u);   // second round: both gated
   EXPECT_EQ(stats["updates_applied"], 2u);
-  EXPECT_EQ(stats["updates_stale"], 2u);
+  EXPECT_EQ(stats["updates_stale"], 0u);       // nothing even arrived
   EXPECT_EQ(service_.replica_epoch(m3_, proj_), epoch_before);
 }
 

@@ -263,6 +263,53 @@ TEST_F(NameServiceTest, RetriesSurviveLossyNetwork) {
   EXPECT_GT(client.snapshot()["messages_sent"], 2u);
 }
 
+TEST_F(NameServiceTest, QuiescentAntiEntropySendsNoPushes) {
+  // Regression: anti_entropy_tick used to re-push every replicated
+  // context's snapshot every round, converged or not — a per-tick
+  // snapshot storm that grows with the namespace. A quiescent system must
+  // send zero kUpdatePush messages per tick: the one-time sweep on start
+  // is suppressed by the per-secondary epoch gate, and later ticks iterate
+  // an empty dirty set.
+  homes_.set_replicas_subtree(graph_, shared_, {m2_, m3_});
+  service_.add_server(m3_);
+  service_.publish_update(shared_);
+  sim_.run();
+  const std::uint64_t pushed = service_.snapshot()["update_pushes"];
+  ASSERT_GE(pushed, 1u);
+  ASSERT_TRUE(service_.replica_epoch(m3_, shared_).has_value());
+
+  service_.start_anti_entropy(100);
+  sim_.run_until(sim_.now() + 5000);  // 50 rounds, nothing rebound
+  service_.stop_anti_entropy();
+  EXPECT_EQ(service_.snapshot()["update_pushes"], pushed);
+  // The suppression is observable, not silent: the start-of-run sweep
+  // visited the converged context exactly once.
+  EXPECT_EQ(service_.snapshot()["pushes_suppressed"], 1u);
+}
+
+TEST_F(NameServiceTest, AntiEntropyIntervalChangeRetimesTheNextTick) {
+  // Regression: calling start_anti_entropy while a round was already
+  // scheduled left the old tick in the queue, so a shortened interval was
+  // ignored until the *previous* interval elapsed once. The re-start must
+  // abandon the stale tick (generation stamp) and converge a lagging
+  // secondary on the new cadence.
+  homes_.set_replicas_subtree(graph_, shared_, {m2_, m3_});
+  service_.add_server(m3_);
+  service_.publish_update(shared_);
+  sim_.run();
+
+  EntityId extra = graph_.add_data_object("extra");
+  ASSERT_TRUE(graph_.bind(shared_, Name("extra"), extra).is_ok());
+  ASSERT_LT(*service_.replica_epoch(m3_, shared_),
+            graph_.rebind_epoch(shared_));
+
+  service_.start_anti_entropy(5000);
+  service_.start_anti_entropy(50);  // operator tightens the knob
+  sim_.run_until(sim_.now() + 1000);
+  EXPECT_EQ(*service_.replica_epoch(m3_, shared_),
+            graph_.rebind_epoch(shared_));
+}
+
 TEST_F(NameServiceTest, LostMessagesSurfaceAsUnreachable) {
   // With 100% drop, the request never arrives and the client reports the
   // loss instead of hanging.

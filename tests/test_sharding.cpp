@@ -1,0 +1,334 @@
+// Sharded delegation fabric tests (docs/SHARDING.md): AuthorityMap shard
+// registration and subtree delegation (precedence, self-delegation and
+// cycle refusal), consistent-hash placement for flat namespaces, the v5
+// reply-tail codec (glue records, malformed tails, old parsers), glue
+// chases across chained delegations, and lease invalidation after a
+// context migrates across a delegation boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_ops.hpp"
+#include "net/wire.hpp"
+#include "ns/name_service.hpp"
+#include "ns/shard_ring.hpp"
+
+namespace namecoh {
+namespace {
+
+// --- AuthorityMap delegation --------------------------------------------------
+
+class DelegationTest : public ::testing::Test {
+ protected:
+  DelegationTest() {
+    NetworkId lan = net_.add_network("lan");
+    ma_ = net_.add_machine(lan, "ma");
+    mb_ = net_.add_machine(lan, "mb");
+    mc_ = net_.add_machine(lan, "mc");
+    root_ = graph_.add_context_object("root");
+    tree_ = build_context_tree(graph_, root_, /*fanout=*/3, /*depth=*/3);
+    s0_ = homes_.add_shard({ma_});
+    s1_ = homes_.add_shard({mb_});
+    s2_ = homes_.add_shard({mc_});
+  }
+
+  NamingGraph graph_;
+  Internetwork net_;
+  AuthorityMap homes_;
+  MachineId ma_, mb_, mc_;
+  EntityId root_;
+  TreeBuildResult tree_;
+  ShardId s0_, s1_, s2_;
+};
+
+TEST_F(DelegationTest, InstallDelegationClaimsUnownedSubtrees) {
+  // Delegate one level-1 subtree while unowned, then the root: the
+  // delegated region keeps its shard, the rest goes to the root's.
+  const EntityId sub = tree_.levels[1][0];
+  ASSERT_TRUE(homes_.install_delegation(graph_, sub, s1_).is_ok());
+  ASSERT_TRUE(homes_.install_delegation(graph_, root_, s0_).is_ok());
+  EXPECT_EQ(homes_.shard_of(root_), s0_);
+  EXPECT_EQ(homes_.shard_of(sub), s1_);
+  EXPECT_EQ(homes_.shard_of(tree_.levels[1][1]), s0_);
+  // A context deep inside the delegated subtree follows its shard.
+  const EntityId inner = graph_.lookup(sub, Name("c0")).value();
+  EXPECT_EQ(homes_.shard_of(inner), s1_);
+  EXPECT_EQ(homes_.home_of(inner).value(), mb_);
+  EXPECT_TRUE(homes_.is_primary(inner, mb_));
+  EXPECT_FALSE(homes_.is_replica(inner, ma_));
+}
+
+TEST_F(DelegationTest, ExplicitHomesTakePrecedenceOverShards) {
+  const EntityId sub = tree_.levels[1][0];
+  homes_.set_home_subtree(graph_, sub, mc_);
+  ASSERT_TRUE(homes_.install_delegation(graph_, root_, s0_).is_ok());
+  // The shard claim walked around the explicitly homed region…
+  const EntityId inner = graph_.lookup(sub, Name("c1")).value();
+  EXPECT_EQ(homes_.home_of(sub).value(), mc_);
+  EXPECT_EQ(homes_.home_of(inner).value(), mc_);
+  // …and the rest of the tree resolved to the shard's replica set.
+  EXPECT_EQ(homes_.home_of(tree_.levels[1][1]).value(), ma_);
+}
+
+TEST_F(DelegationTest, SelfDelegationIsRefused) {
+  ASSERT_TRUE(homes_.install_delegation(graph_, root_, s0_).is_ok());
+  Status again = homes_.install_delegation(graph_, root_, s0_);
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DelegationTest, DelegationCycleIsRefusedAtInstallTime) {
+  // root -> s0, then the sub subtree s0 -> s1 and on to s1 -> s2: the
+  // recorded shard-level edges form the chain s0 -> s1 -> s2. Handing sub
+  // back to s0 (or to s1) would let a glue chase re-enter an earlier
+  // shard, so both installs must be refused.
+  ASSERT_TRUE(homes_.install_delegation(graph_, root_, s0_).is_ok());
+  const EntityId sub = tree_.levels[1][0];
+  ASSERT_TRUE(homes_.install_delegation(graph_, sub, s1_).is_ok());
+  ASSERT_TRUE(homes_.install_delegation(graph_, sub, s2_).is_ok());
+  EXPECT_EQ(homes_.install_delegation(graph_, sub, s0_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(homes_.install_delegation(graph_, sub, s1_).code(),
+            StatusCode::kInvalidArgument);
+  // A sibling subtree of the chain stays delegable: s2 has no outgoing
+  // delegation edges, so s0 -> s2 closes no loop.
+  EXPECT_TRUE(
+      homes_.install_delegation(graph_, tree_.levels[1][1], s2_).is_ok());
+}
+
+TEST_F(DelegationTest, HashDelegationPlacesEveryChildByRing) {
+  ShardRing ring;
+  ring.add_shard(s0_);
+  ring.add_shard(s1_);
+  ring.add_shard(s2_);
+  ASSERT_TRUE(homes_.delegate_children_by_hash(graph_, root_, ring).is_ok());
+  for (EntityId child : tree_.levels[1]) {
+    EXPECT_EQ(homes_.shard_of(child), ring.shard_for(child));
+  }
+  // Idempotent: re-running places nothing new and refuses nothing.
+  EXPECT_TRUE(homes_.delegate_children_by_hash(graph_, root_, ring).is_ok());
+}
+
+// --- ShardRing ----------------------------------------------------------------
+
+TEST(ShardRingTest, SpreadsKeysRoughlyEvenly) {
+  ShardRing ring;
+  for (ShardId s = 0; s < 8; ++s) ring.add_shard(s);
+  std::unordered_map<ShardId, std::size_t> counts;
+  for (std::uint64_t id = 0; id < 8000; ++id) {
+    counts[ring.shard_for(EntityId(id))]++;
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 300u) << "shard " << shard << " underloaded";
+    EXPECT_LT(count, 2500u) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardRingTest, AddingAShardRemapsOnlyItsSlice) {
+  ShardRing before;
+  for (ShardId s = 0; s < 8; ++s) before.add_shard(s);
+  ShardRing after;
+  for (ShardId s = 0; s < 9; ++s) after.add_shard(s);
+  std::size_t moved = 0;
+  for (std::uint64_t id = 0; id < 9000; ++id) {
+    const ShardId was = before.shard_for(EntityId(id));
+    const ShardId now = after.shard_for(EntityId(id));
+    if (was != now) {
+      ++moved;
+      // Every remapped key lands on the new shard, never between old ones.
+      EXPECT_EQ(now, 8u);
+    }
+  }
+  // ~1/9th of the keyspace, with generous slack for hash variance.
+  EXPECT_GT(moved, 200u);
+  EXPECT_LT(moved, 2500u);
+}
+
+TEST(ShardRingTest, AddShardIsIdempotent) {
+  ShardRing ring;
+  ring.add_shard(3);
+  const std::size_t points = ring.point_count();
+  ring.add_shard(3);
+  EXPECT_EQ(ring.point_count(), points);
+  EXPECT_EQ(ring.shard_count(), 1u);
+}
+
+// --- v5 reply-tail codec ------------------------------------------------------
+
+TEST(ReplyTailTest, EmptyTailIsValid) {
+  Payload payload;
+  ReplyTail tail = parse_reply_tail(payload, 0, false, false);
+  EXPECT_TRUE(tail.valid);
+  EXPECT_TRUE(tail.replicas.empty());
+  EXPECT_TRUE(tail.glue.empty());
+}
+
+TEST(ReplyTailTest, GlueRecordsRoundTrip) {
+  Payload payload;
+  payload.add_u64(1);  // replica tail: one server
+  payload.add_pid(Pid{1, 2, 3});
+  payload.add_u64(7);
+  payload.add_u64(2);  // two glue records
+  for (std::uint64_t g = 0; g < 2; ++g) {
+    payload.add_u64(100 + g);  // delegated context
+    payload.add_u64(g);        // owning shard
+    payload.add_u64(1);        // one server
+    payload.add_pid(Pid{4, 5, 6});
+    payload.add_u64(20 + g);
+  }
+  ReplyTail tail = parse_reply_tail(payload, 0, false, true);
+  ASSERT_TRUE(tail.valid);
+  ASSERT_EQ(tail.replicas.size(), 1u);
+  EXPECT_EQ(tail.replicas[0].machine, 7u);
+  ASSERT_EQ(tail.glue.size(), 2u);
+  EXPECT_EQ(tail.glue[0].ctx, 100u);
+  EXPECT_EQ(tail.glue[1].shard, 1u);
+  ASSERT_EQ(tail.glue[1].servers.size(), 1u);
+  EXPECT_EQ(tail.glue[1].servers[0].machine, 21u);
+}
+
+TEST(ReplyTailTest, TruncatedGlueInvalidatesTheWholeTail) {
+  Payload payload;
+  payload.add_u64(0);  // replica tail: none
+  payload.add_u64(2);  // claims two glue records…
+  payload.add_u64(100);
+  payload.add_u64(0);
+  payload.add_u64(1);  // …but the first record's server list is cut off
+  ReplyTail tail = parse_reply_tail(payload, 0, false, true);
+  EXPECT_FALSE(tail.valid);
+  EXPECT_TRUE(tail.replicas.empty());
+  EXPECT_TRUE(tail.glue.empty());
+}
+
+TEST(ReplyTailTest, OldParserIgnoresAGlueTailItNeverAskedFor) {
+  // A v3-era parser (expect_glue = false) meeting a glue tail must not
+  // half-trust the reply: the strict exact-consumption check discards the
+  // whole tail, replicas included, and the client falls back to the reply's
+  // fixed fields.
+  Payload payload;
+  payload.add_u64(1);
+  payload.add_pid(Pid{1, 2, 3});
+  payload.add_u64(7);
+  payload.add_u64(1);  // glue tail the old parser does not understand
+  payload.add_u64(100);
+  payload.add_u64(0);
+  payload.add_u64(0);
+  ReplyTail tail = parse_reply_tail(payload, 0, false, false);
+  EXPECT_FALSE(tail.valid);
+  EXPECT_TRUE(tail.replicas.empty());
+}
+
+// --- Glue chases and shard-aware routing --------------------------------------
+
+class ShardedResolutionTest : public ::testing::Test {
+ protected:
+  ShardedResolutionTest()
+      : transport_(sim_, net_), service_(graph_, net_, transport_, homes_) {
+    NetworkId lan = net_.add_network("lan");
+    ma_ = net_.add_machine(lan, "ma");
+    mb_ = net_.add_machine(lan, "mb");
+    mc_ = net_.add_machine(lan, "mc");
+    mclient_ = net_.add_machine(lan, "mclient");
+    root_ = graph_.add_context_object("root");
+    tree_ = build_context_tree(graph_, root_, /*fanout=*/2, /*depth=*/3);
+    s0_ = homes_.add_shard({ma_});
+    s1_ = homes_.add_shard({mb_});
+    s2_ = homes_.add_shard({mc_});
+    // Chained delegation, installed while unowned (outside-in): root on
+    // s0, the c0 subtree on s1, and c0/c0 — inside the already-delegated
+    // region — on s2. A full-path resolve crosses two delegation
+    // boundaries.
+    x_ = tree_.levels[1][0];
+    y_ = tree_.levels[2][0];
+    EXPECT_TRUE(homes_.install_delegation(graph_, y_, s2_).is_ok());
+    EXPECT_TRUE(homes_.install_delegation(graph_, x_, s1_).is_ok());
+    EXPECT_TRUE(homes_.install_delegation(graph_, root_, s0_).is_ok());
+    leaf_ = graph_.add_data_object("leaf");
+    EXPECT_TRUE(graph_.bind(y_, Name("f"), leaf_).is_ok());
+    service_.add_server(ma_);
+    service_.add_server(mb_);
+    service_.add_server(mc_);
+    service_.add_server(mclient_);
+  }
+
+  std::uint64_t shard_counter(const std::string& what) const {
+    return transport_.metrics().counter_value("ns.shard." + what);
+  }
+
+  NamingGraph graph_;
+  Simulator sim_;
+  Internetwork net_;
+  Transport transport_;
+  AuthorityMap homes_;
+  NameService service_;
+  MachineId ma_, mb_, mc_, mclient_;
+  EntityId root_, x_, y_, leaf_;
+  TreeBuildResult tree_;
+  ShardId s0_, s1_, s2_;
+};
+
+TEST_F(ShardedResolutionTest, TwoHopGlueChaseAcrossChainedDelegations) {
+  ResolverClientConfig cfg;
+  cfg.shard_routing = true;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, mclient_,
+                        "c", cfg);
+  auto result = client.resolve(root_, CompoundName::relative("c0/c0/f"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), leaf_);
+  // Two referrals, each carrying glue for a shard that is itself a
+  // delegate: s0's referral for x (owned s1), then s1's referral for y
+  // (owned s2). Both next hops were routed by the glue just learned, and
+  // both crossed a shard boundary.
+  EXPECT_EQ(shard_counter("delegations_chased"), 2u);
+  EXPECT_EQ(shard_counter("glue_hits"), 2u);
+  EXPECT_EQ(shard_counter("cross_shard_hops"), 2u);
+  EXPECT_EQ(client.snapshot()["referrals_followed"], 2u);
+}
+
+TEST_F(ShardedResolutionTest, GlueRoutingIsOffWithoutTheConfigFlag) {
+  // A v3/v4 client resolving the same name: no glue requested, none
+  // parsed, the chase still works through reply.next_server.
+  ResolverClient client(graph_, net_, transport_, sim_, service_, mclient_,
+                        "old");
+  auto result = client.resolve(root_, CompoundName::relative("c0/c0/f"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), leaf_);
+  EXPECT_EQ(shard_counter("delegations_chased"), 0u);
+  EXPECT_EQ(shard_counter("glue_hits"), 0u);
+}
+
+TEST_F(ShardedResolutionTest, LeaseInvalidationSurvivesMigration) {
+  service_.set_lease_policy(5000);
+  ResolverClientConfig cfg;
+  cfg.shard_routing = true;
+  cfg.lease_coherence = true;
+  cfg.cache_ttl = 100000;
+  ResolverClient client(graph_, net_, transport_, sim_, service_, mclient_,
+                        "c", cfg);
+  const CompoundName target = CompoundName::relative("c0/c0/f");
+  auto first = client.resolve(root_, target);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_EQ(first.value(), leaf_);
+
+  // Migrate y across a delegation boundary: s2 hands it back to its
+  // delegator-side neighbour s1. The lease the client holds was granted
+  // by s2's machine; the rebind after the migration must still reach that
+  // lease table and push the invalidation.
+  ASSERT_TRUE(homes_.install_delegation(graph_, y_, s1_).is_ok());
+  ASSERT_EQ(homes_.shard_of(y_), s1_);
+  EntityId leaf2 = graph_.add_data_object("leaf2");
+  ASSERT_TRUE(graph_.unbind(y_, Name("f")).is_ok());
+  ASSERT_TRUE(graph_.bind(y_, Name("f"), leaf2).is_ok());
+  service_.publish_update(y_);
+  sim_.run();
+
+  EXPECT_GE(client.snapshot()["invalidates_received"], 1u);
+  auto second = client.resolve(root_, target);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), leaf2);
+}
+
+}  // namespace
+}  // namespace namecoh
