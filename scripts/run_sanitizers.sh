@@ -35,13 +35,24 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # in test_name_service above; this drives the full cross-shard path).
 "$BUILD/bench/bench_x7_shard" --benchmark_filter='BM_(ShardedResolve|GlueTailParse)' > /dev/null
 
+# Rebalancing smoke under the sanitized build, at the reduced default
+# scale: the full live-migration path — intake pushes, catch-up epoch
+# diffs, the cutover's bulk slot rewrite, forwarding-tombstone hits —
+# plus the planner reading live metrics (docs/REBALANCING.md). The edge
+# cases ride in test_rebalance above; this drives migration and
+# foreground traffic through one interleaved run.
+"$BUILD/bench/bench_x8_rebalance" --scale small > /dev/null
+
 # TSan pass over the tests that exercise real threads. ASan and TSan cannot
 # share a build, so this is a separate tree; only the concurrency suites
 # run (the rest of the suite is single-threaded and already covered above).
+# test_rebalance rides along: migration interleaves snapshot pushes with
+# foreground traffic through the shared metrics registry, the path most
+# likely to grow a cross-thread reader later.
 cmake -B "$TSAN_BUILD" -S . -DNAMECOH_SANITIZE=tsan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-  --target test_parallel_exec test_interner test_util test_obs
+  --target test_parallel_exec test_interner test_util test_obs test_rebalance
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R 'test_parallel_exec|test_interner|test_util|test_obs'
+  -R 'test_parallel_exec|test_interner|test_util|test_obs|test_rebalance'

@@ -257,7 +257,8 @@ Status AuthorityMap::install_delegation(const NamingGraph& graph,
 
 Status AuthorityMap::delegate_children_by_hash(const NamingGraph& graph,
                                                EntityId parent,
-                                               const ShardRing& ring) {
+                                               const ShardRing& ring,
+                                               std::vector<EntityId>* moved) {
   if (!graph.is_context_object(parent)) {
     return invalid_argument_error(
         "delegate_children_by_hash: parent is not a context object");
@@ -266,11 +267,67 @@ Status AuthorityMap::delegate_children_by_hash(const NamingGraph& graph,
     if (name.is_cwd() || name.is_parent()) continue;
     if (!graph.is_context_object(target)) continue;
     const ShardId shard = ring.shard_for(target);
-    if (shard_of(target) == shard) continue;  // idempotent re-run
+    const ShardId owner = shard_of(target);
+    if (owner == shard) continue;  // idempotent re-run: already placed
+    if (owner != kNoShard || homes_.contains(target)) {
+      // Already owned, but the ring now says elsewhere: a re-run must not
+      // silently re-claim live ownership — that is a migration
+      // (docs/REBALANCING.md). Report it and leave the map untouched.
+      if (moved != nullptr) moved->push_back(target);
+      continue;
+    }
     Status placed = install_delegation(graph, target, shard);
     if (!placed.is_ok()) return placed;
   }
   return Status::ok();
+}
+
+std::vector<EntityId> AuthorityMap::shard_subtree(const NamingGraph& graph,
+                                                  EntityId root) const {
+  std::vector<EntityId> out;
+  const ShardId owner = shard_of(root);
+  if (owner == kNoShard || !graph.is_context_object(root)) return out;
+  // The same walk shape as install_delegation, read-only: collect every
+  // context the owning shard holds under `root`, stopping at foreign
+  // authorities (another shard, or an explicit per-context home).
+  std::unordered_set<EntityId> seen{root};
+  out.push_back(root);
+  std::deque<EntityId> frontier{root};
+  while (!frontier.empty()) {
+    EntityId ctx = frontier.front();
+    frontier.pop_front();
+    for (const auto& [name, target] : graph.context(ctx).bindings()) {
+      if (name.is_cwd() || name.is_parent()) continue;
+      if (!graph.is_context_object(target)) continue;
+      if (shard_of(target) != owner || homes_.contains(target)) continue;
+      if (!seen.insert(target).second) continue;
+      out.push_back(target);
+      frontier.push_back(target);
+    }
+  }
+  return out;
+}
+
+Result<std::size_t> AuthorityMap::migrate_subtree(const NamingGraph& graph,
+                                                  EntityId root, ShardId to) {
+  if (to >= shards_.size()) {
+    return invalid_argument_error("migrate_subtree: unknown target shard");
+  }
+  if (!graph.is_context_object(root)) {
+    return invalid_argument_error(
+        "migrate_subtree: root is not a context object");
+  }
+  const ShardId from = shard_of(root);
+  if (from == kNoShard) {
+    return invalid_argument_error("migrate_subtree: root is not shard-owned");
+  }
+  if (from == to) {
+    return invalid_argument_error(
+        "migrate_subtree: root already lives on the target shard");
+  }
+  const std::vector<EntityId> ctxs = shard_subtree(graph, root);
+  for (EntityId ctx : ctxs) assign_shard(ctx, to);
+  return ctxs.size();
 }
 
 Result<MachineId> AuthorityMap::home_of(EntityId ctx) const {
@@ -330,6 +387,8 @@ NameService::NameService(const NamingGraph& graph, Internetwork& net,
   lease_renewals_ = &metrics.counter("ns.server.lease_renewals");
   invalidates_pushed_ = &metrics.counter("ns.server.invalidates_pushed");
   lease_table_full_ = &metrics.counter("ns.server.lease_table_full");
+  forwarded_ = &metrics.counter("ns.server.forwarded");
+  migration_pushes_ = &metrics.counter("ns.server.migration_pushes");
 }
 
 StatsSnapshot NameService::snapshot() const {
@@ -456,18 +515,142 @@ void NameService::drop_leases(MachineId machine, EntityId ctx) {
   for (std::uint64_t id : ids) erase_lease(table, id);
 }
 
+void NameService::open_migration_intake(MachineId target,
+                                        const std::vector<EntityId>& ctxs) {
+  auto& allowed = intake_[target];
+  allowed.insert(ctxs.begin(), ctxs.end());
+}
+
+void NameService::close_migration_intake(MachineId target) {
+  intake_.erase(target);
+}
+
+bool NameService::push_snapshot(EntityId ctx, MachineId to) {
+  if (!graph_.is_context_object(ctx)) return false;
+  auto replicas = homes_.replicas_of(ctx);
+  if (replicas.empty()) return false;
+  auto origin = servers_.find(replicas.front());
+  if (origin == servers_.end()) return false;
+  auto origin_loc = net_.location_of(origin->second);
+  if (!origin_loc.is_ok()) return false;
+  auto target = servers_.find(to);
+  if (target == servers_.end()) return false;
+  auto target_loc = net_.location_of(target->second);
+  if (!target_loc.is_ok()) return false;
+  // Same full-snapshot layout as publish_update — the receiver cannot
+  // tell a migration copy from a replication push, which is the point:
+  // apply-if-newer makes loss and reordering harmless either way.
+  const std::uint64_t epoch = graph_.rebind_epoch(ctx);
+  const auto bindings = graph_.context(ctx).bindings();
+  Message push;
+  push.type = NsWire::kUpdatePush;
+  push.payload.add_u64(ctx.value());
+  push.payload.add_u64(epoch);
+  push.payload.add_u64(bindings.size());
+  for (const Binding& b : bindings) {
+    push.payload.add_name(b.name.text());
+    push.payload.add_u64(b.entity.value());
+  }
+  migration_pushes_->inc();
+  transport_.tracer().record(transport_.simulator().now(),
+                             EventKind::kUpdatePush, 0, ctx.value(), epoch);
+  return transport_
+      .send(origin->second,
+            relativize(target_loc.value(), origin_loc.value()),
+            std::move(push))
+      .is_ok();
+}
+
+void NameService::install_forwarding(ShardId from_shard,
+                                     const std::vector<EntityId>& ctxs,
+                                     SimTime expires) {
+  auto machines = homes_.shard_replicas(from_shard);
+  if (machines.empty() || ctxs.empty()) return;
+  for (MachineId m : machines) {
+    auto& slots = forwarding_[m];
+    for (EntityId ctx : ctxs) {
+      SimTime& slot = slots[ctx];
+      slot = std::max(slot, expires);
+    }
+  }
+  transport_.simulator().schedule_at(expires, [this] { purge_forwarding(); });
+}
+
+void NameService::purge_forwarding() {
+  const SimTime now = transport_.simulator().now();
+  for (auto it = forwarding_.begin(); it != forwarding_.end();) {
+    auto& slots = it->second;
+    for (auto slot = slots.begin(); slot != slots.end();) {
+      slot = slot->second <= now ? slots.erase(slot) : std::next(slot);
+    }
+    it = slots.empty() ? forwarding_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t NameService::forwarding_count(MachineId machine) const {
+  auto it = forwarding_.find(machine);
+  if (it == forwarding_.end()) return 0;
+  const SimTime now = transport_.simulator().now();
+  std::size_t live = 0;
+  for (const auto& [ctx, expires] : it->second) {
+    if (expires > now) ++live;
+  }
+  return live;
+}
+
+void NameService::track_subtree_loads(const NamingGraph& graph,
+                                      const std::vector<EntityId>& roots) {
+  MetricsRegistry& metrics = transport_.metrics();
+  for (EntityId root : roots) {
+    if (!graph.is_context_object(root)) continue;
+    const auto slot = static_cast<std::uint32_t>(subtree_hits_.size());
+    subtree_hits_.push_back(&metrics.counter(
+        "ns.server.subtree." + std::to_string(root.value()) + ".hits"));
+    // Claim the subtree for this slot; first registration wins, so
+    // overlapping roots attribute shared contexts to the earlier one.
+    std::deque<EntityId> frontier{root};
+    auto claim = [&](EntityId ctx) {
+      if (ctx.value() >= subtree_slot_.size()) {
+        subtree_slot_.resize(ctx.value() + 1, kNoSlot);
+      }
+      if (subtree_slot_[ctx.value()] != kNoSlot) return false;
+      subtree_slot_[ctx.value()] = slot;
+      return true;
+    };
+    if (!claim(root)) continue;
+    while (!frontier.empty()) {
+      EntityId ctx = frontier.front();
+      frontier.pop_front();
+      for (const auto& [name, target] : graph.context(ctx).bindings()) {
+        if (name.is_cwd() || name.is_parent()) continue;
+        if (!graph.is_context_object(target)) continue;
+        if (claim(target)) frontier.push_back(target);
+      }
+    }
+  }
+}
+
 EndpointId NameService::add_server(MachineId machine) {
   NAMECOH_CHECK(!servers_.contains(machine),
                 "machine already has a name server");
   EndpointId server = net_.add_endpoint(machine, "nameserver");
   servers_[machine] = server;
+  // Per-machine load signals for the rebalance planner: requests served
+  // and FIFO queue-wait ticks (docs/REBALANCING.md, "Planner signals").
+  MetricsRegistry& metrics = transport_.metrics();
+  const std::string mprefix =
+      "ns.server.m" + std::to_string(machine.value()) + ".";
+  load_[machine] = MachineLoad{&metrics.counter(mprefix + "served"),
+                               &metrics.counter(mprefix + "wait_ticks")};
   transport_.set_handler(
       server, [this, machine](EndpointId self, const Message& message) {
         if (message.type == NsWire::kUpdatePush) {
           handle_update(self, message);
           return;
         }
+        const MachineLoad& load = load_.at(machine);
         if (service_time_ == 0) {
+          load.served->inc();
           handle_request(self, message);
           return;
         }
@@ -480,6 +663,8 @@ EndpointId NameService::add_server(MachineId machine) {
         SimTime& busy = busy_until_[machine];
         const SimTime begin = std::max(busy, sim.now());
         busy = begin + service_time_;
+        load.served->inc();
+        load.wait_ticks->inc(begin - sim.now());
         sim.schedule_in(busy - sim.now(), [this, self, message] {
           handle_request(self, message);
         });
@@ -653,11 +838,16 @@ void NameService::handle_update(EndpointId self, const Message& message) {
   if (n > (p.size() - 3) / 2 || p.size() != 3 + 2 * n) return;
   auto my_machine = net_.machine_of(self);
   if (!my_machine.is_ok()) return;
-  // Only a secondary for this context applies pushes; anything else —
-  // e.g. a push delayed across a replica-set change — is a stray.
-  if (!homes_.is_replica(ctx, my_machine.value()) ||
-      homes_.is_primary(ctx, my_machine.value())) {
-    return;
+  // Only a secondary for this context applies pushes — or a migration
+  // target with an open intake for it (the copy phase fills the store
+  // *before* the cutover makes the machine authoritative;
+  // docs/REBALANCING.md). Anything else — e.g. a push delayed across a
+  // replica-set change — is a stray.
+  const bool secondary = homes_.is_replica(ctx, my_machine.value()) &&
+                         !homes_.is_primary(ctx, my_machine.value());
+  if (!secondary) {
+    auto open = intake_.find(my_machine.value());
+    if (open == intake_.end() || !open->second.contains(ctx)) return;
   }
   Tracer& tracer = transport_.tracer();
   const SimTime now = transport_.simulator().now();
@@ -736,6 +926,14 @@ void NameService::handle_request(EndpointId self, const Message& message) {
   if (!my_machine.is_ok()) return;
   auto my_loc = net_.location_of(self);
   if (!my_loc.is_ok()) return;
+
+  // Subtree load attribution (track_subtree_loads): charge the request to
+  // the registered subtree its *start* context belongs to, before the walk
+  // advances `ctx`.
+  if (!duplicate && ctx.valid() && ctx.value() < subtree_slot_.size()) {
+    const std::uint32_t slot = subtree_slot_[ctx.value()];
+    if (slot != kNoSlot) subtree_hits_[slot]->inc();
+  }
 
   // Reply layout (protocol v3): the fixed v2 prefix [corr, disposition,
   // entity, remaining, error, next-server pid, authority-ctx, epoch]
@@ -914,6 +1112,26 @@ void NameService::handle_request(EndpointId self, const Message& message) {
       return;
     }
     if (!homes_.is_replica(ctx, my_machine.value())) {
+      // Forwarding window (docs/REBALANCING.md): this server owned `ctx`
+      // until a recent cutover. The referral below already points at the
+      // new owner (the shared authority map was rewritten at cutover, and
+      // v5 glue rides along) — the tombstone just makes the window
+      // observable and bounded.
+      auto held = forwarding_.find(my_machine.value());
+      if (held != forwarding_.end()) {
+        auto slot = held->second.find(ctx);
+        if (slot != held->second.end()) {
+          if (slot->second > now) {
+            count(forwarded_);
+            const ShardId owner = homes_.shard_of(ctx);
+            tracer.record(transport_.simulator().now(), EventKind::kForwarded,
+                          corr, ctx.value(),
+                          owner == AuthorityMap::kNoShard ? 0 : owner);
+          } else {
+            held->second.erase(slot);  // lazy purge: the window closed
+          }
+        }
+      }
       refer_to_primary(replicas.front(), i);
       return;
     }
@@ -1016,6 +1234,7 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   delegations_chased_ = &metrics.counter("ns.shard.delegations_chased");
   glue_hits_ = &metrics.counter("ns.shard.glue_hits");
   cross_shard_hops_ = &metrics.counter("ns.shard.cross_shard_hops");
+  route_reuses_ = &metrics.counter("ns.shard.route_reuses");
   epochs_tracked_ = &metrics.gauge(prefix + "epochs_tracked");
   // Ticks from a hop's first send to its first reply, recorded only when
   // the hop failed over; buckets sized for timeout-dominated latencies.
@@ -1678,6 +1897,21 @@ ResolverClient::PendingResolve* ResolverClient::launch_exchange(
     record->hop_shard = shard == AuthorityMap::kNoShard
                             ? NsWire::kNoShard
                             : static_cast<std::uint64_t>(shard);
+    // Glue-learned routes outrank the bootstrap map on the first hop, the
+    // same trust order the referral chase uses: what the fabric *told*
+    // this client about the start context's owner wins, even if the
+    // authority map has since moved on (that is what makes a post-cutover
+    // stale route land on the old owner and exercise its forwarding
+    // window instead of silently teleporting — docs/REBALANCING.md).
+    auto owned = ctx_shards_.find(start);
+    if (owned != ctx_shards_.end()) {
+      record->hop_shard = owned->second;
+      auto route = shard_routes_.find(owned->second);
+      if (route != shard_routes_.end() && !route->second.empty()) {
+        record->candidates = route->second;
+        route_reuses_->inc();
+      }
+    }
   }
   PendingResolve& p = *record;
   requests_.emplace(id, std::move(record));

@@ -7,9 +7,11 @@
 // compound name whose path crosses machines costs messages. This module
 // supplies that substrate:
 //
-//   * HomeMap        — which machine is authoritative for each context
-//                      object (directories of a machine's tree are homed on
-//                      that machine; a shared tree is homed on its server);
+//   * AuthorityMap   — which machines are authoritative for each context
+//                      object: per-context replica sets plus shard-owned
+//                      delegated subtrees (directories of a machine's tree
+//                      are homed on that machine; a shared tree is homed on
+//                      its server);
 //   * NameService    — one server endpoint per machine; servers walk the
 //                      compound name through locally-homed contexts and
 //                      answer with either a result or a *referral* (next
@@ -118,8 +120,35 @@ class AuthorityMap {
   /// Hash placement for flat namespaces: delegate every child context of
   /// `parent` to the shard the ring names for it. The ring must only name
   /// shards registered here. Returns the first refusal, if any.
+  ///
+  /// Idempotent under re-runs: a child already on its ring shard is left
+  /// alone, and a child the ring now maps *elsewhere* (the ring changed
+  /// since placement) is **not** silently re-claimed — moving live
+  /// ownership is a migration, not a map write (docs/REBALANCING.md).
+  /// When `moved` is non-null, every such ring-moved child is appended to
+  /// it so the caller can plan migrations (see plan_ring_change in
+  /// src/ns/rebalance.hpp).
   Status delegate_children_by_hash(const NamingGraph& graph, EntityId parent,
-                                   const ShardRing& ring);
+                                   const ShardRing& ring,
+                                   std::vector<EntityId>* moved = nullptr);
+
+  /// Every context the shard owning `root` owns in the subtree under
+  /// `root` (tree edges, skipping `.`/`..`, stopping at contexts with a
+  /// foreign authority — an explicit home or another shard). Empty when
+  /// `root` is not shard-owned. This is the unit a migration transfers.
+  [[nodiscard]] std::vector<EntityId> shard_subtree(const NamingGraph& graph,
+                                                    EntityId root) const;
+
+  /// Atomic cutover of a migration (docs/REBALANCING.md): reassign the
+  /// whole shard_subtree(root) from its owning shard to `to` in one map
+  /// write. Returns the number of contexts moved. Unlike
+  /// install_delegation this records no delegation edge — a migration
+  /// transfers the *existing* record rather than layering a new one, so a
+  /// later migration back (A→B→A) stays legal where a delegation cycle
+  /// would be refused. Fails (kInvalidArgument) on an unknown target
+  /// shard, a root that is not shard-owned, or a self-migration.
+  Result<std::size_t> migrate_subtree(const NamingGraph& graph, EntityId root,
+                                      ShardId to);
 
   /// The shard owning `ctx` via delegation; kNoShard when none. Explicit
   /// per-context assignments are not reported here (they override shard
@@ -312,6 +341,50 @@ class NameService {
   /// index by bare field name, e.g. snapshot()["answers"].
   [[nodiscard]] StatsSnapshot snapshot() const;
 
+  /// The tracer / registry this service records into (the transport's).
+  /// For the migration driver and planner (src/ns/rebalance.*), which
+  /// share the service's observability without owning a transport.
+  [[nodiscard]] Tracer& tracer() const { return transport_.tracer(); }
+  [[nodiscard]] MetricsRegistry& metrics() const {
+    return transport_.metrics();
+  }
+
+  // --- Online rebalancing hooks (docs/REBALANCING.md) ----------------------
+  // Used by MigrationDriver; safe to ignore everywhere else.
+
+  /// Let `target`'s server apply kUpdatePush snapshots for `ctxs` even
+  /// though the authority map does not (yet) list it as a secondary — the
+  /// copy phase of a migration fills the target's replica store *before*
+  /// the cutover makes it authoritative. close_migration_intake drops the
+  /// whole allowance (idempotent).
+  void open_migration_intake(MachineId target,
+                             const std::vector<EntityId>& ctxs);
+  void close_migration_intake(MachineId target);
+
+  /// Push one context's current bindings + rebind epoch to `to`'s server
+  /// as a kUpdatePush, regardless of replica-set membership (the copy /
+  /// catch-up phases of a migration; delivery is as lossy as any traffic).
+  /// False when either end has no live server endpoint.
+  bool push_snapshot(EntityId ctx, MachineId to);
+
+  /// Arm forwarding tombstones: until `expires`, every server of
+  /// `from_shard` that is asked about one of `ctxs` — which it no longer
+  /// owns after a cutover — counts/traces the hit before referring the
+  /// client onward to the new owner ("ns.server.forwarded", kForwarded).
+  /// Tombstones self-purge at `expires`.
+  void install_forwarding(ShardId from_shard,
+                          const std::vector<EntityId>& ctxs, SimTime expires);
+  /// Live (unexpired) tombstones held by `machine`'s server. For tests.
+  [[nodiscard]] std::size_t forwarding_count(MachineId machine) const;
+
+  /// Register per-subtree load attribution: each root in `roots` claims
+  /// the contexts of its subtree (first registration wins), and every
+  /// non-duplicate request *starting* at a claimed context bumps
+  /// "ns.server.subtree.<root>.hits" — the signal RebalancePlanner uses
+  /// to pick which subtree to split off a hot shard.
+  void track_subtree_loads(const NamingGraph& graph,
+                           const std::vector<EntityId>& roots);
+
  private:
   /// A secondary's applied snapshot of one context.
   struct ReplicaState {
@@ -399,6 +472,32 @@ class NameService {
   std::size_t lease_capacity_ = 4096;
   std::uint64_t next_lease_id_ = 1;
   std::unordered_map<MachineId, LeaseTable> leases_;
+  /// Migration intake: target machine → contexts whose pushes it may
+  /// apply despite not being a secondary (copy phase allowance).
+  std::unordered_map<MachineId, std::unordered_set<EntityId>> intake_;
+  /// Forwarding tombstones: old-owner machine → (context → expiry). A
+  /// request for a tombstoned context is counted/traced as forwarded
+  /// before the normal referral to the new owner goes out; entries are
+  /// purged lazily on hit and eagerly at their expiry tick.
+  std::unordered_map<MachineId, std::unordered_map<EntityId, SimTime>>
+      forwarding_;
+  /// Drop every tombstone whose window has closed.
+  void purge_forwarding();
+  /// Per-machine load signals for the rebalance planner
+  /// ("ns.server.m<id>.served" / ".wait_ticks"): how many requests this
+  /// machine's server processed, and the total ticks they waited in its
+  /// FIFO queue before service began.
+  struct MachineLoad {
+    Counter* served = nullptr;
+    Counter* wait_ticks = nullptr;
+  };
+  std::unordered_map<MachineId, MachineLoad> load_;
+  /// Subtree load attribution (track_subtree_loads): dense entity →
+  /// claiming-root slot (kNoSlot = unclaimed) and the per-root hit
+  /// counters, indexed by slot.
+  static constexpr std::uint32_t kNoSlot = ~static_cast<std::uint32_t>(0);
+  std::vector<std::uint32_t> subtree_slot_;
+  std::vector<Counter*> subtree_hits_;
   Counter* requests_;
   Counter* answers_;
   Counter* referrals_;
@@ -413,6 +512,8 @@ class NameService {
   Counter* lease_renewals_;
   Counter* invalidates_pushed_;
   Counter* lease_table_full_;
+  Counter* forwarded_;         ///< tombstoned-context hits in the window
+  Counter* migration_pushes_;  ///< push_snapshot copies sent
 };
 
 struct ResolverClientConfig {
@@ -750,6 +851,7 @@ class ResolverClient {
   Counter* delegations_chased_;  ///< referrals that carried glue records
   Counter* glue_hits_;           ///< next hop's candidates came from glue
   Counter* cross_shard_hops_;    ///< hop moved to a different shard
+  Counter* route_reuses_;        ///< first hop reused a learned shard route
   Gauge* epochs_tracked_;       ///< live size of the epoch high-water table
   /// Simulated ticks from the first send of a hop to the first reply,
   /// recorded only for hops that failed over at least once.

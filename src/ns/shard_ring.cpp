@@ -47,9 +47,23 @@ void ShardRing::add_shard(ShardId shard) {
   ++shard_count_;
 }
 
+void ShardRing::remove_shard(ShardId shard) {
+  const std::size_t before = ring_.size();
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const Point& point) {
+                               return point.shard == shard;
+                             }),
+              ring_.end());
+  if (ring_.size() != before) --shard_count_;
+}
+
 ShardId ShardRing::shard_for(EntityId ctx) const {
   NAMECOH_CHECK(!ring_.empty(), "shard_for on an empty ring");
-  const std::uint64_t h = mix64(ctx.value());
+  // Domain-separate key hashes from point positions: without the xor tag,
+  // entity ids below vnodes_per_shard hash to exactly shard 0's point
+  // positions ((0 << 20) | v == v), landing *on* the point — those keys
+  // stuck to shard 0 no matter how the ring changed.
+  const std::uint64_t h = mix64(ctx.value() ^ 0x8f1db5a3u);
   // Successor point, wrapping past the top of the ring.
   auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
                              [](const Point& point, std::uint64_t value) {

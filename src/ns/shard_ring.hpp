@@ -41,6 +41,14 @@ class ShardRing {
   /// Place `shard`'s vnodes on the ring. Idempotent per shard id.
   void add_shard(ShardId shard);
 
+  /// Take `shard`'s vnodes off the ring: keys it owned fall through to
+  /// their successor points (~1/n of all keys), everything else keeps its
+  /// shard. No-op for a shard that was never added. Like add_shard this
+  /// only changes *placement policy* — nothing moves until the caller
+  /// turns the remap into migrations (plan_ring_change,
+  /// docs/REBALANCING.md).
+  void remove_shard(ShardId shard);
+
   /// The shard owning `ctx`: successor point of hash(ctx) on the ring.
   /// Precondition: at least one shard was added.
   [[nodiscard]] ShardId shard_for(EntityId ctx) const;

@@ -44,6 +44,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kFaultDelay: return "fault_delay";
     case EventKind::kDelegationChase: return "delegation_chase";
     case EventKind::kCrossShardHop: return "cross_shard_hop";
+    case EventKind::kMigrationPhase: return "migration_phase";
+    case EventKind::kForwarded: return "forwarded";
     case EventKind::kResolveStep: return "resolve_step";
     case EventKind::kKindCount: break;
   }

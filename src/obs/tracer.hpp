@@ -95,6 +95,11 @@ enum class EventKind : std::uint8_t {
   kDelegationChase, ///< referral carried a glue record; a = delegated
                     ///< context, b = owning shard
   kCrossShardHop,   ///< chase moved between shards; a = from, b = to
+  // Online rebalancing (docs/REBALANCING.md).
+  kMigrationPhase,  ///< driver phase transition; a = subtree root,
+                    ///< b = MigrationPhase entered
+  kForwarded,       ///< old owner hit in the forwarding window; a = context,
+                    ///< b = shard that owns it now
   // Local (in-memory) resolution.
   kResolveStep,     ///< a = context, b = component index
   kKindCount        ///< sentinel, keep last

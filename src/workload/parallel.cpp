@@ -34,11 +34,27 @@ struct Loop {
 void issue(const std::shared_ptr<Loop>& loop) {
   if (loop->out.issued >= loop->spec.total_resolutions) return;
   ++loop->out.issued;
-  const ParallelQuery& query =
-      loop->spec.zipf_s > 0.0
-          ? loop->queries[loop->rng.zipf(loop->queries.size(),
-                                         loop->spec.zipf_s)]
-          : loop->rng.pick(loop->queries);
+  // Index-based selection so the flash-crowd branch shares one draw
+  // stream with the base distribution: with flash_count == 0 the draws
+  // below are exactly the pre-flash zipf/pick sequence.
+  const ParallelSpec& spec = loop->spec;
+  std::size_t pick;
+  const SimTime at = loop->sim.now();
+  const bool flashing = spec.flash_count > 0 && at >= spec.flash_begin &&
+                        at < spec.flash_end &&
+                        loop->rng.next_below(1000000) <
+                            static_cast<std::uint64_t>(
+                                spec.flash_fraction * 1000000.0);
+  if (flashing) {
+    pick = spec.flash_first + loop->rng.next_below(spec.flash_count);
+    NAMECOH_CHECK(pick < loop->queries.size(),
+                  "flash crowd range exceeds the query list");
+  } else if (spec.zipf_s > 0.0) {
+    pick = loop->rng.zipf(loop->queries.size(), spec.zipf_s);
+  } else {
+    pick = loop->rng.next_below(loop->queries.size());
+  }
+  const ParallelQuery& query = loop->queries[pick];
   const SimTime issued_at = loop->sim.now();
   loop->client.resolve_async(
       query.start, query.name,

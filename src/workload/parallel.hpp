@@ -46,6 +46,19 @@ struct ParallelSpec {
   /// When set, each resolution's settle latency (issue → completion, in
   /// simulated ticks) is recorded here. Optional; nullptr = off.
   Histogram* latency = nullptr;
+  /// Flash crowd (docs/REBALANCING.md): while the simulator clock is in
+  /// [flash_begin, flash_end), each issue redirects with probability
+  /// `flash_fraction` to a uniform pick from
+  /// queries[flash_first .. flash_first + flash_count). flash_count == 0
+  /// disables the crowd entirely (the default); outside the window the
+  /// normal zipf/uniform pick applies. This is what melts one subtree's
+  /// shard while the rest of the fabric idles — the hot-spot the
+  /// rebalance planner exists to detect.
+  SimTime flash_begin = 0;
+  SimTime flash_end = 0;
+  double flash_fraction = 0.8;
+  std::size_t flash_first = 0;
+  std::size_t flash_count = 0;
 };
 
 struct ParallelOutcome {
