@@ -30,7 +30,7 @@ struct NsWorld {
   Simulator sim;
   Internetwork net;
   Transport transport{sim, net};
-  HomeMap homes;
+  AuthorityMap homes;
   NameService service{graph, net, transport, homes};
   MachineId m1, m2;
   EntityId root, shared;
@@ -276,8 +276,8 @@ int run_observability_export(const std::string& trace_path,
                     [&] { w.transport.set_drop_probability(0.0); });
   ResolverClientConfig cfg;
   cfg.cache_ttl = 10000;
-  cfg.retries = 2;
-  cfg.request_timeout = 100;
+  cfg.retry.retries = 2;
+  cfg.retry.request_timeout = 100;
   ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service, w.m1,
                         "trace", cfg);
   for (const auto& name : w.local_names) (void)client.resolve(w.root, name);

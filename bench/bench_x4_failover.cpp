@@ -106,8 +106,8 @@ void run_experiment() {
     X4World w;
     w.sync_replicas();
     ResolverClientConfig cfg;
-    cfg.request_timeout = 300;
-    cfg.retries = 1;
+    cfg.retry.request_timeout = 300;
+    cfg.retry.retries = 1;
     cfg.replica_quarantine = 2000;  // re-probe the corpse periodically
     ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service,
                           w.m1, "avail", cfg);
@@ -209,8 +209,8 @@ void run_experiment() {
     // each answer against the authoritative graph.
     w.faults.crash(w.m2.value());
     ResolverClientConfig cfg;
-    cfg.request_timeout = 300;
-    cfg.retries = 1;
+    cfg.retry.request_timeout = 300;
+    cfg.retry.retries = 1;
     ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service,
                           w.m1, "stale", cfg);
     CoherenceAnalyzer analyzer(w.graph);
@@ -270,8 +270,8 @@ void BM_ResolveViaSecondary(benchmark::State& state) {
   w.sync_replicas();
   w.faults.crash(w.m2.value());
   ResolverClientConfig cfg;
-  cfg.request_timeout = 300;
-  cfg.retries = 1;
+  cfg.retry.request_timeout = 300;
+  cfg.retry.retries = 1;
   ResolverClient client(w.graph, w.net, w.transport, w.sim, w.service, w.m1,
                         "bench", cfg);
   // Pay the one-time failover before measuring.

@@ -92,8 +92,8 @@ struct X6World {
 ResolverClientConfig config_for(CachePolicy policy) {
   ResolverClientConfig cfg;
   cfg.cache_ttl = kTtl;
-  cfg.request_timeout = 300;
-  cfg.retries = 0;
+  cfg.retry.request_timeout = 300;
+  cfg.retry.retries = 0;
   cfg.epoch_invalidation = policy != CachePolicy::kTtlOnly;
   cfg.lease_coherence = policy == CachePolicy::kLeasePush;
   return cfg;

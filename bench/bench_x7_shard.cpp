@@ -38,6 +38,7 @@
 #include "ns/name_service.hpp"
 #include "ns/shard_ring.hpp"
 #include "workload/parallel.hpp"
+#include "workload/scenario.hpp"
 
 namespace namecoh {
 namespace {
@@ -129,56 +130,39 @@ struct ShardRun {
 };
 
 /// Resolve the workload against the fabric delegated across `shards`
-/// authority shards. Fresh simulator/network/authority state per run; the
-/// naming graph is shared read-only.
+/// authority shards. Fresh cluster per run (ScenarioBuilder wires the
+/// simulator/network/authority stack); the naming graph is shared
+/// read-only.
 ShardRun run_shards(const X7Fabric& fabric, const X7Scale& s,
                     std::size_t shards) {
-  Simulator sim;
-  Internetwork net;
-  Transport transport{sim, net};
-  NetworkId lan = net.add_network("lan");
-
-  AuthorityMap homes;
-  std::vector<MachineId> machines;
-  for (std::size_t i = 0; i < shards; ++i) {
-    MachineId m = net.add_machine(lan, "s" + std::to_string(i));
-    machines.push_back(m);
-    (void)homes.add_shard({m});
-  }
-  MachineId client_machine = net.add_machine(lan, "client");
+  ResolverClientConfig cfg;
+  cfg.cache_ttl = 0;  // every lookup pays the wire: servers are the story
+  cfg.shard_routing = true;
+  cfg.retry.retries = 0;
+  // Closed-loop queueing at one shard can back a request up behind the
+  // whole activity population; the timeout must sit above that, not above
+  // a network round trip.
+  cfg.retry.request_timeout =
+      static_cast<SimDuration>(s.activities) * kServiceTime * 4 + 100000;
+  cfg.retry.max_timeout = cfg.retry.request_timeout;
 
   // Delegate the level-2 subtree roots round-robin while unowned — each
   // claims its whole subtree — then hand the remainder (root, levels 0-1)
   // to shard 0. Order matters: install_delegation never descends into an
   // already-owned region.
+  ScenarioBuilder builder(fabric.graph);
+  builder.shards(shards)
+      .service_time(kServiceTime)
+      .client_config(cfg)
+      .client_label("x7");
   for (std::size_t i = 0; i < fabric.delegation_roots.size(); ++i) {
-    NAMECOH_CHECK(homes
-                      .install_delegation(fabric.graph,
-                                          fabric.delegation_roots[i],
-                                          static_cast<ShardId>(i % shards))
-                      .is_ok(),
-                  "subtree delegation failed");
+    builder.delegate(fabric.delegation_roots[i],
+                     static_cast<ShardId>(i % shards));
   }
-  NAMECOH_CHECK(homes.install_delegation(fabric.graph, fabric.root, 0).is_ok(),
-                "root delegation failed");
-
-  NameService service{fabric.graph, net, transport, homes};
-  for (MachineId m : machines) service.add_server(m);
-  service.add_server(client_machine);  // non-authoritative first hop
-  service.set_service_time(kServiceTime);
-
-  ResolverClientConfig cfg;
-  cfg.cache_ttl = 0;  // every lookup pays the wire: servers are the story
-  cfg.shard_routing = true;
-  cfg.retries = 0;
-  // Closed-loop queueing at one shard can back a request up behind the
-  // whole activity population; the timeout must sit above that, not above
-  // a network round trip.
-  cfg.request_timeout =
-      static_cast<SimDuration>(s.activities) * kServiceTime * 4 + 100000;
-  cfg.max_timeout = cfg.request_timeout;
-  ResolverClient client(fabric.graph, net, transport, sim, service,
-                        client_machine, "x7", cfg);
+  builder.delegate(fabric.root, 0);
+  auto cluster = builder.build();
+  Simulator& sim = cluster->sim();
+  ResolverClient& client = cluster->client();
 
   // Queries, hottest-first for the Zipf pick. Cycling over the delegation
   // roots spreads consecutive ranks across shards, so the hot set is a
@@ -224,7 +208,7 @@ ShardRun run_shards(const X7Fabric& fabric, const X7Scale& s,
   spec.latency = &latency;
   ParallelOutcome out = run_parallel(sim, client, queries, spec);
 
-  const MetricsRegistry& metrics = transport.metrics();
+  const MetricsRegistry& metrics = cluster->metrics();
   ShardRun run;
   run.shards = shards;
   run.throughput = out.elapsed() > 0

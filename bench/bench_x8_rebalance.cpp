@@ -30,6 +30,7 @@
 #include "ns/rebalance.hpp"
 #include "ns/shard_ring.hpp"
 #include "workload/parallel.hpp"
+#include "workload/scenario.hpp"
 
 namespace namecoh {
 namespace {
@@ -203,48 +204,34 @@ Segment run_segment(Simulator& sim, ResolverClient& client,
 X8Run run_fabric(const X8Fabric& fabric, const X8Scale& s,
                  ShardId static_target) {
   const bool live = static_target == AuthorityMap::kNoShard;
-  Simulator sim;
-  Internetwork net;
-  Transport transport{sim, net};
-  NetworkId lan = net.add_network("lan");
-
-  AuthorityMap homes;
-  std::vector<MachineId> machines;
-  for (std::size_t i = 0; i < kShards; ++i) {
-    MachineId m = net.add_machine(lan, "s" + std::to_string(i));
-    machines.push_back(m);
-    (void)homes.add_shard({m});
-  }
-  MachineId client_machine = net.add_machine(lan, "client");
-
-  // Two subtrees per shard — except the baseline, which pre-places t0
-  // where the live run's migration put it.
-  for (std::size_t i = 0; i < kSubtrees; ++i) {
-    ShardId shard = static_cast<ShardId>(i / 2);
-    if (!live && i == 0) shard = static_target;
-    NAMECOH_CHECK(
-        homes.install_delegation(fabric.graph, fabric.subtree_roots[i], shard)
-            .is_ok(),
-        "subtree delegation failed");
-  }
-  NAMECOH_CHECK(homes.install_delegation(fabric.graph, fabric.root, 0).is_ok(),
-                "root delegation failed");
-
-  NameService service{fabric.graph, net, transport, homes};
-  for (MachineId m : machines) service.add_server(m);
-  service.add_server(client_machine);
-  service.set_service_time(kServiceTime);
-  service.track_subtree_loads(fabric.graph, fabric.subtree_roots);
-
   ResolverClientConfig cfg;
   cfg.cache_ttl = 0;
   cfg.shard_routing = true;
-  cfg.retries = 0;
-  cfg.request_timeout =
+  cfg.retry.retries = 0;
+  cfg.retry.request_timeout =
       static_cast<SimDuration>(s.activities) * kServiceTime * 4 + 100000;
-  cfg.max_timeout = cfg.request_timeout;
-  ResolverClient client(fabric.graph, net, transport, sim, service,
-                        client_machine, "x8", cfg);
+  cfg.retry.max_timeout = cfg.retry.request_timeout;
+
+  // Two subtrees per shard — except the baseline, which pre-places t0
+  // where the live run's migration put it.
+  ScenarioBuilder builder(fabric.graph);
+  builder.shards(kShards)
+      .service_time(kServiceTime)
+      .track_loads(fabric.subtree_roots)
+      .client_config(cfg)
+      .client_label("x8");
+  for (std::size_t i = 0; i < kSubtrees; ++i) {
+    ShardId shard = static_cast<ShardId>(i / 2);
+    if (!live && i == 0) shard = static_target;
+    builder.delegate(fabric.subtree_roots[i], shard);
+  }
+  builder.delegate(fabric.root, 0);
+  auto cluster = builder.build();
+  Simulator& sim = cluster->sim();
+  Transport& transport = cluster->transport();
+  AuthorityMap& homes = cluster->homes();
+  NameService& service = cluster->service();
+  ResolverClient& client = cluster->client();
 
   std::size_t flash_first = 0;
   const std::vector<ParallelQuery> queries =

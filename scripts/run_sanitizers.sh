@@ -43,16 +43,26 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # foreground traffic through one interleaved run.
 "$BUILD/bench/bench_x8_rebalance" --scale small > /dev/null
 
+# Churn smoke under the sanitized build, at the reduced default scale:
+# rolling restarts (graceful leave → down → rejoin), rolling renumbering
+# with rename tombstones, a partition window, and the client's
+# route-healing path, all under closed-loop load (docs/MEMBERSHIP.md).
+# The lifecycle edge cases ride in test_membership above; this drives
+# the full churn timeline end to end.
+"$BUILD/bench/bench_x9_churn" --scale small > /dev/null
+
 # TSan pass over the tests that exercise real threads. ASan and TSan cannot
 # share a build, so this is a separate tree; only the concurrency suites
 # run (the rest of the suite is single-threaded and already covered above).
-# test_rebalance rides along: migration interleaves snapshot pushes with
-# foreground traffic through the shared metrics registry, the path most
-# likely to grow a cross-thread reader later.
+# test_rebalance and test_membership ride along: migration and membership
+# handoffs interleave snapshot pushes with foreground traffic through the
+# shared metrics registry, the path most likely to grow a cross-thread
+# reader later.
 cmake -B "$TSAN_BUILD" -S . -DNAMECOH_SANITIZE=tsan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-  --target test_parallel_exec test_interner test_util test_obs test_rebalance
+  --target test_parallel_exec test_interner test_util test_obs \
+  test_rebalance test_membership
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R 'test_parallel_exec|test_interner|test_util|test_obs|test_rebalance'
+  -R 'test_parallel_exec|test_interner|test_util|test_obs|test_rebalance|test_membership'

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ns/membership.hpp"
 #include "util/strings.hpp"
 
 namespace namecoh {
@@ -672,6 +673,20 @@ EndpointId NameService::add_server(MachineId machine) {
   return server;
 }
 
+void NameService::remove_server(MachineId machine) {
+  auto it = servers_.find(machine);
+  if (it == servers_.end()) return;
+  transport_.clear_handler(it->second);
+  net_.remove_endpoint(it->second);
+  servers_.erase(it);
+  // The departed server can honor no promise and answer no straggler:
+  // its lease table and forwarding tombstones go with it. busy_until_ is
+  // reset so a re-added server starts with an empty FIFO.
+  leases_.erase(machine);
+  forwarding_.erase(machine);
+  busy_until_.erase(machine);
+}
+
 void NameService::set_service_time(SimDuration per_request) {
   service_time_ = per_request;
 }
@@ -1235,6 +1250,9 @@ ResolverClient::ResolverClient(const NamingGraph& graph, Internetwork& net,
   glue_hits_ = &metrics.counter("ns.shard.glue_hits");
   cross_shard_hops_ = &metrics.counter("ns.shard.cross_shard_hops");
   route_reuses_ = &metrics.counter("ns.shard.route_reuses");
+  // Membership counters are registry-wide too (docs/MEMBERSHIP.md).
+  routes_healed_ = &metrics.counter("ns.member.routes_healed");
+  dead_route_skips_ = &metrics.counter("ns.member.dead_route_skips");
   epochs_tracked_ = &metrics.gauge(prefix + "epochs_tracked");
   // Ticks from a hop's first send to its first reply, recorded only when
   // the hop failed over; buckets sized for timeout-dominated latencies.
@@ -1373,6 +1391,10 @@ bool ResolverClient::is_suspect(MachineId machine) const {
   return it != suspect_until_.end() && it->second > sim_.now();
 }
 
+std::uint64_t ResolverClient::member_incarnation(MachineId machine) const {
+  return membership_ == nullptr ? 0 : membership_->incarnation(machine);
+}
+
 std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
     EntityId ctx, const ReplicaRef& via) const {
   auto my_loc = net_.location_of(endpoint_);
@@ -1384,8 +1406,8 @@ std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
     if (!server.is_ok()) continue;
     auto loc = net_.location_of(server.value());
     if (!loc.is_ok()) continue;
-    authoritative.push_back(
-        ReplicaRef{relativize(loc.value(), my_loc.value()), m});
+    authoritative.push_back(ReplicaRef{relativize(loc.value(), my_loc.value()),
+                                       m, member_incarnation(m)});
   }
   if (config_.shard_routing && !authoritative.empty() &&
       !service_.authorities().is_replica(ctx, via.machine)) {
@@ -1399,6 +1421,107 @@ std::vector<ResolverClient::ReplicaRef> ResolverClient::candidates_for(
   std::vector<ReplicaRef> out{via};
   out.insert(out.end(), authoritative.begin(), authoritative.end());
   return out;
+}
+
+void ResolverClient::purge_routes(MachineId machine) {
+  for (auto it = shard_routes_.begin(); it != shard_routes_.end();) {
+    auto& route = it->second;
+    route.erase(std::remove_if(route.begin(), route.end(),
+                               [machine](const ReplicaRef& ref) {
+                                 return ref.machine == machine;
+                               }),
+                route.end());
+    // An emptied route is forgotten outright, so later lookups fall back
+    // to the authority map instead of a dead shortcut.
+    it = route.empty() ? shard_routes_.erase(it) : std::next(it);
+  }
+}
+
+void ResolverClient::refresh_routes(MachineId machine, const Pid& pid,
+                                    std::uint64_t incarnation) {
+  for (auto& [shard, route] : shard_routes_) {
+    for (ReplicaRef& ref : route) {
+      if (ref.machine == machine) {
+        ref.pid = pid;
+        ref.incarnation = incarnation;
+      }
+    }
+  }
+}
+
+void ResolverClient::reroute_hop(PendingResolve& p) {
+  auto local_server = service_.server_on(client_machine_);
+  auto my_loc = net_.location_of(endpoint_);
+  if (!local_server.is_ok() || !my_loc.is_ok()) {
+    complete(p, unreachable_error("no local server to reroute through"));
+    return;
+  }
+  auto server_loc = net_.location_of(local_server.value());
+  if (!server_loc.is_ok()) {
+    complete(p, unreachable_error("local server endpoint is dead"));
+    return;
+  }
+  p.candidates = candidates_for(
+      p.current, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
+                            client_machine_,
+                            member_incarnation(client_machine_)});
+  start_hop(p);
+}
+
+bool ResolverClient::heal_target(PendingResolve& p) {
+  if (membership_ == nullptr) return false;
+  ReplicaRef& target = p.candidates[p.order[p.candidate]];
+  auto my_loc = net_.location_of(endpoint_);
+  if (!my_loc.is_ok()) return false;
+  if (!target.machine.valid()) {
+    // A machine-less route (a v2 referral target): the pid may be the old
+    // address of a renamed machine — consult the rename tombstones while
+    // their window is open.
+    auto addressed = qualify(target.pid, my_loc.value());
+    if (addressed.is_ok()) {
+      if (auto renamed = membership_->renamed_machine_at(addressed.value())) {
+        target.machine = *renamed;  // falls through to the rename check
+      }
+    }
+  }
+  if (!target.machine.valid()) return false;
+  const MemberState state = membership_->state(target.machine);
+  if (state == MemberState::kDown) {
+    // The machine left the fabric: skip it without burning the timeout
+    // budget, forget routes through it, and give the hop one restart
+    // with candidates re-derived from the (post-handoff) authority map.
+    purge_routes(target.machine);
+    dead_route_skips_->inc();
+    if (!p.rerouted) {
+      p.rerouted = true;
+      reroute_hop(p);
+      return true;
+    }
+    fail_candidate(p, unreachable_error("routed machine left the fabric"));
+    return true;
+  }
+  if (state == MemberState::kUnknown) return false;
+  const std::uint64_t current = membership_->incarnation(target.machine);
+  if (current == target.incarnation) return false;
+  // The machine renamed (or rejoined) since this route was minted: every
+  // address in the route predates the event. Re-derive the pid from the
+  // machine's *current* server address before wasting a send on it.
+  auto server = service_.server_on(target.machine);
+  if (server.is_ok()) {
+    if (auto loc = net_.location_of(server.value()); loc.is_ok()) {
+      Pid fresh = relativize(loc.value(), my_loc.value());
+      if (fresh != target.pid) {
+        target.pid = fresh;
+        routes_healed_->inc();
+        transport_.tracer().record_in_span(p.owner_span, sim_.now(),
+                                           EventKind::kRouteHealed,
+                                           target.machine.value(), current);
+        refresh_routes(target.machine, fresh, current);
+      }
+    }
+  }
+  target.incarnation = current;
+  return false;
 }
 
 void ResolverClient::settle_waiter(Waiter& waiter,
@@ -1480,11 +1603,15 @@ void ResolverClient::start_hop(PendingResolve& p) {
 void ResolverClient::begin_candidate(PendingResolve& p) {
   // Each candidate starts from the base timeout again.
   p.attempt = 0;
-  p.timeout = std::max<SimDuration>(1, config_.request_timeout);
+  p.timeout = std::max<SimDuration>(1, config_.retry.request_timeout);
   send_attempt(p);
 }
 
 void ResolverClient::send_attempt(PendingResolve& p) {
+  // Membership-aware rerouting: heal or skip a stale target first. A
+  // `true` return means the healing path took over (hop restarted,
+  // failed over, or completed) — `p` may even be dead.
+  if (heal_target(p)) return;
   Tracer& tracer = transport_.tracer();
   const ReplicaRef& target = p.candidates[p.order[p.candidate]];
   Message request;
@@ -1552,13 +1679,13 @@ void ResolverClient::on_timeout(std::uint64_t id) {
                                      EventKind::kTimeout, p.expected_corr,
                                      p.timeout);
   p.expected_corr = 0;
-  if (p.attempt < config_.retries) {
+  if (p.attempt < config_.retry.retries) {
     // Silence: the request or the reply was lost (or is slower than the
     // timeout). Back off and resend.
     auto scaled = static_cast<SimDuration>(
         static_cast<double>(p.timeout) *
-        std::max(1.0, config_.backoff_multiplier));
-    p.timeout = config_.max_timeout > 0 ? std::min(scaled, config_.max_timeout)
+        std::max(1.0, config_.retry.backoff_multiplier));
+    p.timeout = config_.retry.max_timeout > 0 ? std::min(scaled, config_.retry.max_timeout)
                                         : scaled;
     ++p.attempt;
     send_attempt(p);
@@ -1566,7 +1693,7 @@ void ResolverClient::on_timeout(std::uint64_t id) {
   }
   fail_candidate(p, unreachable_error(
                         "no reply from name server after " +
-                        std::to_string(config_.retries + 1) +
+                        std::to_string(config_.retry.retries + 1) +
                         " attempt(s) (message lost or too slow)"));
 }
 
@@ -1646,10 +1773,11 @@ void ResolverClient::handle_reply(const Message& message) {
   if (tail.valid) {
     reply.replicas.reserve(tail.replicas.size());
     for (const ReplyTail::Server& server : tail.replicas) {
+      const MachineId machine = server.machine == NsWire::kNoMachine
+                                    ? MachineId::invalid()
+                                    : MachineId(server.machine);
       reply.replicas.push_back(
-          ReplicaRef{server.pid, server.machine == NsWire::kNoMachine
-                                     ? MachineId::invalid()
-                                     : MachineId(server.machine)});
+          ReplicaRef{server.pid, machine, member_incarnation(machine)});
     }
     reply.lease_duration = tail.lease_duration;
     reply.lease_id = tail.lease_id;
@@ -1777,11 +1905,11 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
           auto& route = shard_routes_[glue.shard];
           route.clear();
           for (const ReplyTail::Server& server : glue.servers) {
+            const MachineId m = server.machine == NsWire::kNoMachine
+                                    ? MachineId::invalid()
+                                    : MachineId(server.machine);
             route.push_back(
-                ReplicaRef{server.pid,
-                           server.machine == NsWire::kNoMachine
-                               ? MachineId::invalid()
-                               : MachineId(server.machine)});
+                ReplicaRef{server.pid, m, member_incarnation(m)});
           }
         }
       }
@@ -1832,6 +1960,7 @@ void ResolverClient::on_reply(PendingResolve& p, const Reply& reply) {
         complete(p, depth_exceeded_error("referral chase exceeded limit"));
         return;
       }
+      p.rerouted = false;  // each hop gets one membership-driven reroute
       start_hop(p);
       return;
     }
@@ -1891,7 +2020,8 @@ ResolverClient::PendingResolve* ResolverClient::launch_exchange(
   record->hop_text = record->key.name.to_path();
   record->candidates = candidates_for(
       start, ReplicaRef{relativize(server_loc.value(), my_loc.value()),
-                        client_machine_});
+                        client_machine_,
+                        member_incarnation(client_machine_)});
   if (config_.shard_routing) {
     const ShardId shard = service_.authorities().shard_of(start);
     record->hop_shard = shard == AuthorityMap::kNoShard

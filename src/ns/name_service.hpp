@@ -59,6 +59,8 @@
 
 namespace namecoh {
 
+class MembershipDirectory;  // src/ns/membership.hpp
+
 /// Authority assignment: context object → ordered replica set of machines.
 ///
 /// The first machine in a context's list is its *primary* — the one that
@@ -188,11 +190,6 @@ class AuthorityMap {
   std::vector<std::vector<ShardId>> delegates_of_;
 };
 
-/// Pre-replication name for the single-authority special case; reads
-/// "which machine is authoritative" where AuthorityMap reads "which
-/// machines".
-using HomeMap = AuthorityMap;
-
 /// Wire protocol message types and field conventions (Transport
 /// Message::type). See docs/PROTOCOLS.md for the full layouts and the
 /// protocol-version table.
@@ -291,6 +288,14 @@ class NameService {
   /// Install a server on `machine`; returns its endpoint. A machine
   /// without a server cannot answer for contexts homed on it.
   EndpointId add_server(MachineId machine);
+
+  /// Tear the server on `machine` down: unregister its handler, remove
+  /// its endpoint and void the leases it granted (a promise nobody can
+  /// keep is dropped, not broken mid-flight). The machine's replica store
+  /// survives — a later add_server resumes from the snapshots it had
+  /// applied, the graceful-leave / rejoin cycle of docs/MEMBERSHIP.md.
+  /// No-op for a machine without a server.
+  void remove_server(MachineId machine);
 
   [[nodiscard]] Result<EndpointId> server_on(MachineId machine) const;
   [[nodiscard]] const AuthorityMap& authorities() const { return homes_; }
@@ -516,6 +521,25 @@ class NameService {
   Counter* migration_pushes_;  ///< push_snapshot copies sent
 };
 
+/// Loss-recovery knobs for one class of wire exchange: how often to
+/// resend into silence, and how the per-attempt deadline grows. Grouped so
+/// a policy travels as one value — the client's normal lookups and the
+/// membership-aware rerouting path (docs/MEMBERSHIP.md) can each carry
+/// their own. (Until PR 10 these four lived as flat fields directly on
+/// ResolverClientConfig; see docs/ASYNC.md for the migration note.)
+struct RetryPolicy {
+  /// Resend attempts per hop after a timeout (the transport reports
+  /// nothing; loss shows up as silence). 0 = fail on first timeout.
+  std::size_t retries = 0;
+  /// How long (simulated ticks) to wait for a reply before declaring the
+  /// hop lost. Must exceed the worst round trip of the topology.
+  SimDuration request_timeout = 5000;
+  /// Timeout multiplier applied after each loss (exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Upper bound for the backed-off timeout. 0 = uncapped.
+  SimDuration max_timeout = 60000;
+};
+
 struct ResolverClientConfig {
   /// Positive-entry TTL in simulator ticks; 0 disables positive caching.
   SimDuration cache_ttl = 0;
@@ -532,16 +556,9 @@ struct ResolverClientConfig {
   /// `resolve.max_referrals` (its referral-chase cycle guard); the local-
   /// walk fields are documented there and ignored here.
   ResolveOptions resolve;
-  /// Resend attempts per hop after a timeout (the transport reports
-  /// nothing; loss shows up as silence). 0 = fail on first timeout.
-  std::size_t retries = 0;
-  /// How long (simulated ticks) to wait for a reply before declaring the
-  /// hop lost. Must exceed the worst round trip of the topology.
-  SimDuration request_timeout = 5000;
-  /// Timeout multiplier applied after each loss (exponential backoff).
-  double backoff_multiplier = 2.0;
-  /// Upper bound for the backed-off timeout. 0 = uncapped.
-  SimDuration max_timeout = 60000;
+  /// Loss recovery for this client's exchanges: resend attempts, attempt
+  /// deadline and its exponential backoff.
+  RetryPolicy retry;
   /// After a replica exhausts its retry budget, how long (simulated ticks)
   /// the client treats it as *suspect* — still usable as a last resort,
   /// but ordered after every live replica when a hop has alternatives.
@@ -666,6 +683,20 @@ class ResolverClient {
   }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
+  /// Membership-aware route healing (docs/MEMBERSHIP.md): with a
+  /// directory attached, every send first checks its target against the
+  /// membership view. A target whose machine has *left* is skipped
+  /// without burning its timeout budget (and the hop re-derives fresh
+  /// candidates from the authority map once); a target whose machine was
+  /// *renamed* since the route was learned gets its pid re-derived from
+  /// the machine's current server address ("ns.member.routes_healed",
+  /// kRouteHealed); a machine-less route (v2 referral) is matched against
+  /// the directory's rename tombstones while their window is open.
+  /// Detach (nullptr) restores the membership-blind behaviour.
+  void attach_membership(const MembershipDirectory* directory) {
+    membership_ = directory;
+  }
+
  private:
   // Keys are (start context, name) with the name held as interned atoms:
   // hashing and equality are integer scans, and a key copy is a memcpy for
@@ -702,10 +733,14 @@ class ResolverClient {
 
   /// One server a hop may talk to: its pid in this client's context, plus
   /// the machine it serves for (kNoMachine → invalid when unknown, e.g. a
-  /// pre-replication referral with no replica list).
+  /// pre-replication referral with no replica list). `incarnation` is the
+  /// machine's membership incarnation when the route was minted (0 = no
+  /// directory attached / unknown): a later rename bumps the directory's
+  /// incarnation, marking this pid as minted against dead addresses.
   struct ReplicaRef {
     Pid pid;
     MachineId machine;
+    std::uint64_t incarnation = 0;
   };
 
   /// One completion to deliver when a resolution settles.
@@ -768,6 +803,9 @@ class ResolverClient {
     EventId timeout_event;      ///< pending deadline (invalid = none)
     bool timeout_deferred = false;  ///< deadline-tie deferral used up
     std::uint64_t owner_span = 0;  ///< first waiter's span: wire events
+    /// Membership healing: this hop already re-derived its candidates
+    /// from the authority map once after hitting a departed machine.
+    bool rerouted = false;
     /// Shard the current hop's context belongs to, as far as this client
     /// knows (NsWire::kNoShard when unknown) — cross-shard hop accounting.
     std::uint64_t hop_shard = NsWire::kNoShard;
@@ -798,6 +836,21 @@ class ResolverClient {
   /// refresh exchange (waiter-less) so the promise stays unbroken.
   void maybe_renew(const CacheKey& key, const CacheEntry& entry);
   void fail_candidate(PendingResolve& p, Status error);
+  /// Membership healing (attach_membership). Checks the current target
+  /// against the directory; may rewrite its pid in place, restart the hop
+  /// with fresh candidates, or fail the candidate. True = control flow
+  /// was taken over and send_attempt must return without sending.
+  bool heal_target(PendingResolve& p);
+  /// Re-derive this hop's candidates from the authority map (the
+  /// departed-machine recovery path) and restart the hop.
+  void reroute_hop(PendingResolve& p);
+  /// Forget learned shard routes through `machine` (it left the fabric).
+  void purge_routes(MachineId machine);
+  /// Rewrite learned shard routes through `machine` to its fresh pid.
+  void refresh_routes(MachineId machine, const Pid& pid,
+                      std::uint64_t incarnation);
+  /// The membership incarnation to stamp a freshly minted route with.
+  [[nodiscard]] std::uint64_t member_incarnation(MachineId machine) const;
   /// Detach the request from every engine map, then settle all waiters.
   void complete(PendingResolve& p, const Result<EntityId>& result);
   /// Close the waiter's span, count failures, store the result, invoke the
@@ -852,6 +905,11 @@ class ResolverClient {
   Counter* glue_hits_;           ///< next hop's candidates came from glue
   Counter* cross_shard_hops_;    ///< hop moved to a different shard
   Counter* route_reuses_;        ///< first hop reused a learned shard route
+  // Membership counters (docs/MEMBERSHIP.md). Registry-wide as
+  // "ns.member.*", like the sharding set: route health is a fabric-level
+  // question that spans clients.
+  Counter* routes_healed_;       ///< stale pid re-derived before sending
+  Counter* dead_route_skips_;    ///< candidate skipped: machine left
   Gauge* epochs_tracked_;       ///< live size of the epoch high-water table
   /// Simulated ticks from the first send of a hop to the first reply,
   /// recorded only for hops that failed over at least once.
@@ -900,6 +958,8 @@ class ResolverClient {
   /// Currently-awaited correlation ids → owning request id.
   std::unordered_map<std::uint64_t, std::uint64_t> corr_to_request_;
   MachineId client_machine_;  ///< where this client endpoint lives
+  /// Membership view for route healing; nullptr = membership-blind.
+  const MembershipDirectory* membership_ = nullptr;
 };
 
 }  // namespace namecoh

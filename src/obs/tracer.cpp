@@ -46,6 +46,11 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kCrossShardHop: return "cross_shard_hop";
     case EventKind::kMigrationPhase: return "migration_phase";
     case EventKind::kForwarded: return "forwarded";
+    case EventKind::kMemberJoin: return "member_join";
+    case EventKind::kMemberLeave: return "member_leave";
+    case EventKind::kMemberCrash: return "member_crash";
+    case EventKind::kMemberRename: return "member_rename";
+    case EventKind::kRouteHealed: return "route_healed";
     case EventKind::kResolveStep: return "resolve_step";
     case EventKind::kKindCount: break;
   }

@@ -100,6 +100,15 @@ enum class EventKind : std::uint8_t {
                     ///< b = MigrationPhase entered
   kForwarded,       ///< old owner hit in the forwarding window; a = context,
                     ///< b = shard that owns it now
+  // Dynamic membership (docs/MEMBERSHIP.md).
+  kMemberJoin,      ///< machine announced / rejoined; a = machine,
+                    ///< b = incarnation
+  kMemberLeave,     ///< graceful leave completed (authority handed off);
+                    ///< a = machine, b = subtrees handed off
+  kMemberCrash,     ///< crash-leave; a = machine, b = subtrees re-delegated
+  kMemberRename,    ///< machine renumbered; a = machine, b = incarnation
+  kRouteHealed,     ///< client re-derived a stale (pid, machine) route;
+                    ///< a = machine, b = its current incarnation
   // Local (in-memory) resolution.
   kResolveStep,     ///< a = context, b = component index
   kKindCount        ///< sentinel, keep last

@@ -58,9 +58,9 @@ class FailoverTest : public ::testing::Test {
   /// Short timeouts so crashed-replica budgets exhaust quickly.
   static ResolverClientConfig fast_config() {
     ResolverClientConfig config;
-    config.request_timeout = 200;
-    config.retries = 1;
-    config.backoff_multiplier = 2.0;
+    config.retry.request_timeout = 200;
+    config.retry.retries = 1;
+    config.retry.backoff_multiplier = 2.0;
     return config;
   }
 
@@ -340,8 +340,8 @@ faulted_run_signature() {
   faults.schedule_heal(4000, m1.value(), m3.value());
 
   ResolverClientConfig config;
-  config.request_timeout = 300;
-  config.retries = 2;
+  config.retry.request_timeout = 300;
+  config.retry.retries = 2;
   ResolverClient client(graph, net, transport, sim, service, m1, "det",
                         config);
   for (int i = 0; i < 12; ++i) {

@@ -244,8 +244,8 @@ TEST_F(LeaseTest, PartitionDegradesLeaseToPlainTtl) {
   service_.set_lease_policy(1000);
   ResolverClientConfig config = lease_config();
   config.cache_ttl = 5000;
-  config.request_timeout = 300;
-  config.retries = 0;
+  config.retry.request_timeout = 300;
+  config.retry.retries = 0;
   ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
                         config);
   ASSERT_TRUE(client.resolve(root_, readme_name()).is_ok());
@@ -411,8 +411,8 @@ TEST_F(LeaseTest, SeededReorderWindowDelaysButConverges) {
   // epoch announcement, not a sequenced stream.
   faults_.add_reorder_window(0, 100000, /*max_extra=*/40, /*seed=*/7);
   ResolverClientConfig config = lease_config();
-  config.request_timeout = 500;
-  config.retries = 2;
+  config.retry.request_timeout = 500;
+  config.retry.retries = 2;
   ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
                         config);
   ASSERT_TRUE(client.resolve(root_, readme_name()).is_ok());

@@ -1,4 +1,4 @@
-// Tests for the distributed name service: authority (HomeMap), server-side
+// Tests for the distributed name service: authority (AuthorityMap), server-side
 // walking, referrals (with transport-rebased server pids), the client
 // resolver, and the TTL cache including its staleness incoherence.
 #include <gtest/gtest.h>
@@ -40,14 +40,14 @@ class NameServiceTest : public ::testing::Test {
   Simulator sim_;
   Internetwork net_;
   Transport transport_;
-  HomeMap homes_;
+  AuthorityMap homes_;
   NameService service_;
   MachineId m1_, m2_, m3_;
   EntityId root_, shared_;
   EndpointId server1_, server2_;
 };
 
-TEST_F(NameServiceTest, HomeMapSubtreeAssignment) {
+TEST_F(NameServiceTest, AuthorityMapSubtreeAssignment) {
   // Every directory under root_ is homed on m1 except the shared subtree.
   Context ctx = FileSystem::make_process_context(root_, root_);
   EntityId local_dir = fs_.resolve_path(ctx, "/local").entity;
@@ -59,7 +59,7 @@ TEST_F(NameServiceTest, HomeMapSubtreeAssignment) {
   EXPECT_FALSE(homes_.home_of(EntityId(9999)).is_ok());
 }
 
-TEST_F(NameServiceTest, HomeMapDoesNotOverrideForeignAuthority) {
+TEST_F(NameServiceTest, AuthorityMapDoesNotOverrideForeignAuthority) {
   // root_ was assigned after shared_; the shared subtree kept m2.
   EXPECT_EQ(homes_.home_of(shared_).value(), m2_);
   EXPECT_TRUE(homes_.has_home(root_));
@@ -252,7 +252,7 @@ TEST_F(NameServiceTest, RetriesSurviveLossyNetwork) {
   lossy_service.add_server(m1_);
   lossy_service.add_server(m2_);
   ResolverClientConfig config;
-  config.retries = 16;
+  config.retry.retries = 16;
   ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
                         m1_, "c", config);
   auto result =

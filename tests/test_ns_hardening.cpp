@@ -92,7 +92,7 @@ class NsHardeningTest : public ::testing::Test {
   Simulator sim_;
   Internetwork net_;
   Transport transport_;
-  HomeMap homes_;
+  AuthorityMap homes_;
   NameService service_;
   MachineId m1_, m2_, m3_;
   EntityId root_, shared_;
@@ -199,9 +199,9 @@ TEST_F(NsHardeningTest, TimeoutBackoffConsumesSimulatedTime) {
   NameService lossy_service(graph_, net_, drop_transport, homes_);
   lossy_service.add_server(m1_);
   ResolverClientConfig config;
-  config.retries = 2;
-  config.request_timeout = 100;
-  config.backoff_multiplier = 2.0;
+  config.retry.retries = 2;
+  config.retry.request_timeout = 100;
+  config.retry.backoff_multiplier = 2.0;
   ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
                         m1_, "c", config);
   SimTime t0 = sim_.now();
@@ -223,10 +223,10 @@ TEST_F(NsHardeningTest, BackoffTimeoutRespectsCap) {
   NameService lossy_service(graph_, net_, drop_transport, homes_);
   lossy_service.add_server(m1_);
   ResolverClientConfig config;
-  config.retries = 3;
-  config.request_timeout = 100;
-  config.backoff_multiplier = 2.0;
-  config.max_timeout = 150;
+  config.retry.retries = 3;
+  config.retry.request_timeout = 100;
+  config.retry.backoff_multiplier = 2.0;
+  config.retry.max_timeout = 150;
   ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
                         m1_, "c", config);
   SimTime t0 = sim_.now();
@@ -254,8 +254,8 @@ TEST_F(NsHardeningTest, ReferralChainSurvivesLossWithRetries) {
   lossy_service.add_server(m2_);
   lossy_service.add_server(m3_);
   ResolverClientConfig config;
-  config.retries = 16;
-  config.request_timeout = 500;
+  config.retry.retries = 16;
+  config.retry.request_timeout = 500;
   ResolverClient client(graph_, net_, drop_transport, sim_, lossy_service,
                         m1_, "c", config);
   auto result =
@@ -432,7 +432,7 @@ TEST_F(NsHardeningTest, NegativeEntryInvalidatedWhenNameAppears) {
   EXPECT_EQ(client.snapshot()["stale_epoch_drops"], 1u);
 }
 
-// --- Satellite: HomeMap::set_home_subtree re-homes the root ----------------
+// --- Satellite: AuthorityMap::set_home_subtree re-homes the root ----------------
 
 TEST_F(NsHardeningTest, SetHomeSubtreeRehomesRoot) {
   // Pre-fix this call silently no-opped when the root already had a
@@ -518,8 +518,8 @@ TEST_F(NsHardeningTest, LossyLookupYieldsOneSpanWithFullEventChain) {
   NameService service(graph_, net_, tp, homes_);
   service.add_server(m1_);
   ResolverClientConfig config;
-  config.retries = 2;
-  config.request_timeout = 100;
+  config.retry.retries = 2;
+  config.retry.request_timeout = 100;
   config.cache_ttl = 1000;  // so the cache probe is part of the story
   ResolverClient client(graph_, net_, tp, sim_, service, m1_, "c", config);
   // The first attempt is sent into the blackout; the line heals (an event

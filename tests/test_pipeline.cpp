@@ -59,7 +59,7 @@ class PipelineTest : public ::testing::Test {
   Simulator sim_;
   Internetwork net_;
   Transport transport_;
-  HomeMap homes_;
+  AuthorityMap homes_;
   NameService service_;
   MachineId m1_, m2_;
   EntityId root_, shared_;
@@ -178,8 +178,8 @@ TEST_F(PipelineTest, IdenticalInflightLookupsShareOneWireExchange) {
 // exactly one wire request per attempt, never one per waiter.
 TEST_F(PipelineTest, CoalescedWaitersBothCompleteAfterRetry) {
   ResolverClientConfig config;
-  config.retries = 1;
-  config.request_timeout = 100;
+  config.retry.retries = 1;
+  config.retry.request_timeout = 100;
   ResolverClient client(graph_, net_, transport_, sim_, service_, m1_, "c",
                         config);
   transport_.set_drop_probability(1.0);

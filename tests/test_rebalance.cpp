@@ -286,7 +286,7 @@ MigrationRunDigest run_migration_under_load(std::uint64_t seed) {
 
   ResolverClientConfig cfg;
   cfg.shard_routing = true;
-  cfg.request_timeout = 100000;
+  cfg.retry.request_timeout = 100000;
   ResolverClient client(graph, net, transport, sim, service, mclient, "c",
                         cfg);
 

@@ -64,7 +64,7 @@ class BuildFarm : public ::testing::Test {
   Transport transport_;
   ProcessManager pm_;
   SharedGraphScheme scheme_;
-  HomeMap homes_;
+  AuthorityMap homes_;
   NameService service_;
   MachineId m1_, m2_;
   SiteId c1_, c2_;
